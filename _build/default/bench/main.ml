@@ -1,0 +1,345 @@
+(* The benchmark harness.
+
+   The paper is a theory paper: its "tables and figures" are the verdict
+   annotations on its example executions, the theorem statements, and the
+   §6 compilation/fencing discussion.  This harness regenerates each of
+   them (EXPERIMENTS.md maps experiment ids to the sections below):
+
+   part 1 — the verdict matrix across the model design space (§1–§3, §5,
+            App D), i.e. every figure's allowed/forbidden annotation;
+   part 2 — the theorem checks (§4, §5): SC-LTRF, Thm 4.2, Lemma 5.1;
+   part 3 — the STM-design table (§3): which anomalies each operational
+            STM strategy exhibits, and what repairs them;
+   part 4 — timing: the model checker itself, and the §6-style fencing
+            cost measurements on the real multicore STM runtime
+            (transaction cost lazy vs eager, read-only commits, plain vs
+            transactional access, quiescence-fence cost). *)
+
+open Bechamel
+open Toolkit
+open Tmx_core
+open Tmx_exec
+
+let catalog name = (Option.get (Tmx_litmus.Catalog.find name)).Tmx_litmus.Litmus.program
+
+(* ------------------------------------------------------------------ *)
+(* part 1: verdict matrix                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_matrix () =
+  Fmt.pr "@.=== part 1: verdict matrix (paper figures, all models) ===@.@.";
+  let probes =
+    [
+      ("privatization", "x=1", fun o -> Outcome.mem o "x" = 1);
+      ("publication", "z=0", fun o -> Outcome.mem o "z" = 0);
+      ("ex2_2", "x=2", fun o -> Outcome.mem o "x" = 2);
+      ("lb", "r=q=1", fun o -> Outcome.reg o 0 "r" = 1 && Outcome.reg o 1 "q" = 1);
+      ("sb", "r=q=0", fun o -> Outcome.reg o 0 "r" = 0 && Outcome.reg o 1 "q" = 0);
+      ("ex3_1", "r=q=0", fun o -> Outcome.reg o 0 "r" = 0 && Outcome.reg o 1 "q" = 0);
+      ("ex3_2", "r=q=0", fun o -> Outcome.reg o 0 "r" = 0 && Outcome.reg o 1 "q" = 0);
+      ("ex3_3", "q=0", fun o -> Outcome.mem o "q" = 0);
+      ("ex3_4", "q=0", fun o -> Outcome.reg o 1 "q" = 0);
+      ("ex3_5", "r1<>r2", fun o -> Outcome.reg o 0 "r1" <> Outcome.reg o 0 "r2");
+      ("impl_reorder", "ry=0,r=0", fun o -> Outcome.reg o 0 "ry" = 0 && Outcome.reg o 1 "r" = 0);
+      ("privatization_fence", "x=1", fun o -> Outcome.mem o "x" = 1);
+      ("d1_opaque_writes", "r=1", fun o -> Outcome.reg o 1 "r" = 1);
+      ("d2_race_free_speculation", "r<>2", fun o -> Outcome.reg o 2 "r" <> 2);
+      ("d3_dirty_reads", "x=0,w=1", fun o -> Outcome.mem o "x" = 0 && Outcome.mem o "w" = 1);
+      ("d4_no_overlapped_writes", "r=0", fun o -> Outcome.mem o "r" = 0);
+    ]
+  in
+  Fmt.pr "%-26s %-9s" "program" "outcome";
+  List.iter (fun (m : Model.t) -> Fmt.pr " %-6s" m.name) Model.all;
+  Fmt.pr "@.";
+  List.iter
+    (fun (name, what, cond) ->
+      Fmt.pr "%-26s %-9s" name what;
+      List.iter
+        (fun model ->
+          let allowed = Enumerate.allowed (Enumerate.run model (catalog name)) cond in
+          Fmt.pr " %-6s" (if allowed then "yes" else "no"))
+        Model.all;
+      Fmt.pr "@.")
+    probes
+
+let shapes_summary () =
+  Fmt.pr "@.=== shape families (plain/transactional site matrix) ===@.@.";
+  let results = Tmx_litmus.Shapes.run_all () in
+  let families =
+    List.sort_uniq compare
+      (List.map (fun (r : Tmx_litmus.Shapes.result) -> r.case.family) results)
+  in
+  List.iter
+    (fun family ->
+      let mine =
+        List.filter (fun (r : Tmx_litmus.Shapes.result) -> r.case.family = family) results
+      in
+      let ok = List.length (List.filter (fun (r : Tmx_litmus.Shapes.result) -> r.ok) mine) in
+      Fmt.pr "%-8s %d/%d combinations match the model-derived oracle" family ok
+        (List.length mine);
+      let forbidden =
+        List.filter_map
+          (fun (r : Tmx_litmus.Shapes.result) ->
+            if r.observed_forbidden then Some r.case.name else None)
+          mine
+      in
+      Fmt.pr "  (forbidden: %a)@." Fmt.(list ~sep:sp string) forbidden)
+    families
+
+let litmus_summary () =
+  Fmt.pr "@.=== litmus expectations (every paper verdict) ===@.@.";
+  let pass = ref 0 and total = ref 0 in
+  List.iter
+    (fun l ->
+      incr total;
+      let report = Tmx_litmus.Litmus.run l in
+      if Tmx_litmus.Litmus.passed report then incr pass
+      else Fmt.pr "%a@." Tmx_litmus.Litmus.pp_report report)
+    Tmx_litmus.Catalog.all;
+  Fmt.pr "%d/%d litmus tests match the paper@." !pass !total
+
+(* ------------------------------------------------------------------ *)
+(* part 2: theorems                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let theorem_table () =
+  Fmt.pr "@.=== part 2: theorem checks (§4, §5) ===@.@.";
+  Fmt.pr "%-26s %-28s %-8s %-14s@." "program" "SC-LTRF (racy/weak/seq)" "Thm 4.2"
+    "Lemma 5.1";
+  List.iter
+    (fun (l : Tmx_litmus.Litmus.t) ->
+      let sc = Verdict.check_sc_ltrf Model.programmer l.program in
+      let t42 = Verdict.check_theorem_4_2 Model.programmer l.program in
+      let l51 = Verdict.check_lemma_5_1 l.program in
+      Fmt.pr "%-26s %-4s (%b/%b/%b)%14s %-8s %s (%d/%d)@." l.name
+        (if sc.theorem_holds then "ok" else "FAIL")
+        sc.sc_racy sc.weak_exists sc.outcomes_contained ""
+        (if t42 then "ok" else "FAIL")
+        (if l51.holds then "ok" else "FAIL")
+        l51.pm_consistent l51.mixed_race_free)
+    Tmx_litmus.Catalog.all
+
+(* ------------------------------------------------------------------ *)
+(* part 3: STM design table (§3)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let stm_design_table () =
+  Fmt.pr "@.=== part 3: operational STM anomalies (§3, exhaustive schedules) ===@.@.";
+  let open Tmx_stmsim in
+  let configs =
+    [
+      ("lazy", Stmsim.default_config);
+      ("lazy+atomic-commit", { Stmsim.default_config with atomic_commit = true });
+      ("eager", { Stmsim.default_config with strategy = Stmsim.Eager });
+    ]
+  in
+  let programs =
+    [ "privatization"; "privatization_fence"; "publication"; "ex3_4"; "d3_dirty_reads" ]
+  in
+  Fmt.pr "%-22s" "program";
+  List.iter (fun (n, _) -> Fmt.pr " %-20s" n) configs;
+  Fmt.pr "@.";
+  List.iter
+    (fun name ->
+      Fmt.pr "%-22s" name;
+      List.iter
+        (fun (_, config) ->
+          let anomalies = Stmsim.anomalies ~config (catalog name) in
+          Fmt.pr " %-20s"
+            (if anomalies = [] then "serializable"
+             else Fmt.str "%d anomalies" (List.length anomalies)))
+        configs;
+      Fmt.pr "@.")
+    programs
+
+let fence_table () =
+  Fmt.pr "@.=== part 3b: §6 fence insertion (realizing pm on an im STM) ===@.@.";
+  Fmt.pr "%-18s %-22s %-22s@." "program" "targeted policy" "conservative policy";
+  List.iter
+    (fun name ->
+      let p = catalog name in
+      let show policy =
+        let r = Tmx_opt.Fenceify.realizes ~policy p in
+        Fmt.str "%d fences, %s" r.fences (if r.realizes then "realizes" else "FAILS")
+      in
+      Fmt.pr "%-18s %-22s %-22s@." name
+        (show `After_transactions)
+        (show `Every_mixed_access))
+    [ "privatization"; "publication"; "ex2_2"; "impl_reorder"; "ldrf_example" ]
+
+(* ------------------------------------------------------------------ *)
+(* part 4: timing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let checker_tests =
+  let trace =
+    let r = Enumerate.run Model.programmer (catalog "privatization") in
+    (List.hd r.executions).trace
+  in
+  Test.make_grouped ~name:"checker"
+    (List.map
+       (fun (model : Model.t) ->
+         Test.make ~name:model.name
+           (Staged.stage (fun () -> ignore (Consistency.check model trace))))
+       [ Model.programmer; Model.implementation; Model.strongest ])
+
+let enumerate_tests =
+  Test.make_grouped ~name:"enumerate"
+    (List.map
+       (fun name ->
+         let p = catalog name in
+         Test.make ~name
+           (Staged.stage (fun () -> ignore (Enumerate.run Model.programmer p))))
+       [ "privatization"; "publication"; "iriw_z"; "ex3_4"; "ex3_5" ])
+
+let sim_tests =
+  let open Tmx_stmsim in
+  Test.make_grouped ~name:"sim"
+    [
+      Test.make ~name:"privatization-lazy"
+        (Staged.stage (fun () -> ignore (Stmsim.run (catalog "privatization"))));
+      Test.make ~name:"privatization-eager"
+        (Staged.stage (fun () ->
+             ignore
+               (Stmsim.run
+                  ~config:{ Stmsim.default_config with strategy = Stmsim.Eager }
+                  (catalog "privatization"))));
+      Test.make ~name:"privatization-fenced"
+        (Staged.stage (fun () ->
+             ignore (Stmsim.run (catalog "privatization_fence"))));
+    ]
+
+(* §6 analogue: the costs a compiler/programmer pays to realize the
+   programmer model on an STM that implements the implementation model *)
+let runtime_tests =
+  let open Tmx_runtime in
+  let v = Tvar.make 0 in
+  let vars = Array.init 16 (fun _ -> Tvar.make 0) in
+  let txn_rw mode n () =
+    ignore
+      (Stm.atomically ~mode (fun tx ->
+           for i = 0 to n - 1 do
+             Stm.write tx vars.(i) (Stm.read tx vars.(i) + 1)
+           done))
+  in
+  Test.make_grouped ~name:"stm"
+    [
+      Test.make ~name:"plain-read" (Staged.stage (fun () -> ignore (Tvar.unsafe_read v)));
+      Test.make ~name:"plain-write" (Staged.stage (fun () -> Tvar.unsafe_write v 1));
+      Test.make ~name:"txn-read-only"
+        (Staged.stage (fun () -> ignore (Stm.atomically (fun tx -> Stm.read tx v))));
+      Test.make ~name:"txn-update-lazy-1" (Staged.stage (txn_rw Stm.Lazy 1));
+      Test.make ~name:"txn-update-eager-1" (Staged.stage (txn_rw Stm.Eager 1));
+      Test.make ~name:"txn-update-lazy-4" (Staged.stage (txn_rw Stm.Lazy 4));
+      Test.make ~name:"txn-update-eager-4" (Staged.stage (txn_rw Stm.Eager 4));
+      Test.make ~name:"txn-update-lazy-16" (Staged.stage (txn_rw Stm.Lazy 16));
+      Test.make ~name:"txn-update-eager-16" (Staged.stage (txn_rw Stm.Eager 16));
+      Test.make ~name:"quiesce-global" (Staged.stage (fun () -> Stm.quiesce ()));
+      Test.make ~name:"quiesce-selective"
+        (Staged.stage (fun () -> Stm.quiesce ~var:v ()));
+    ]
+
+let structure_tests =
+  let open Tmx_runtime in
+  let q = Tqueue.create ~capacity:64 in
+  let m = Tmap.create ~capacity:256 in
+  ignore (Stm.atomically (fun tx -> Tmap.add tx m 17 1));
+  let k = ref 0 in
+  Test.make_grouped ~name:"structures"
+    [
+      Test.make ~name:"tqueue-push-pop"
+        (Staged.stage (fun () ->
+             ignore
+               (Stm.atomically (fun tx ->
+                    ignore (Tqueue.push tx q 1);
+                    Tqueue.pop tx q))));
+      Test.make ~name:"tmap-find"
+        (Staged.stage (fun () -> ignore (Stm.atomically (fun tx -> Tmap.find tx m 17))));
+      Test.make ~name:"tmap-add-remove"
+        (Staged.stage (fun () ->
+             incr k;
+             let key = 1 + (!k mod 100) in
+             ignore
+               (Stm.atomically (fun tx ->
+                    ignore (Tmap.add tx m key key);
+                    Tmap.remove tx m key))));
+    ]
+
+let machine_tests =
+  Test.make_grouped ~name:"machine"
+    (List.map
+       (fun name ->
+         let p = catalog name in
+         Test.make ~name (Staged.stage (fun () -> ignore (Tmx_machine.Machine.run p))))
+       [ "privatization"; "iriw_z"; "temporal" ])
+
+let analysis_tests =
+  Test.make_grouped ~name:"analysis"
+    [
+      Test.make ~name:"temporal-stability"
+        (Staged.stage (fun () ->
+             ignore
+               (Tmx_exec.Stability.temporal_holds Model.programmer (catalog "temporal"))));
+      Test.make ~name:"sc-ltrf-check"
+        (Staged.stage (fun () ->
+             ignore
+               (Tmx_exec.Verdict.check_sc_ltrf Model.programmer (catalog "privatization"))));
+    ]
+
+let opt_tests =
+  let p = catalog "privatization" in
+  let roach = List.find (fun (t : Tmx_opt.Transform.named) -> t.name = "roach-motel") Tmx_opt.Transform.all in
+  Test.make_grouped ~name:"opt"
+    [
+      Test.make ~name:"roach-motel-soundness"
+        (Staged.stage (fun () ->
+             ignore
+               (Tmx_opt.Soundness.check_transformation Model.implementation roach p)));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"tmx"
+    [
+      checker_tests; enumerate_tests; machine_tests; sim_tests;
+      runtime_tests; structure_tests; analysis_tests; opt_tests;
+    ]
+
+let run_benchmarks () =
+  Fmt.pr "@.=== part 4: timing (bechamel, monotonic clock) ===@.@.";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~stabilize:true
+      ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results =
+    Analyze.merge ols instances (List.map (fun i -> Analyze.all ols i raw) instances)
+  in
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
+        in
+        (name, ns) :: acc)
+      clock []
+  in
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Fmt.pr "%-34s (no estimate)@." name
+      else if ns > 1_000_000.0 then Fmt.pr "%-34s %10.3f ms/run@." name (ns /. 1e6)
+      else if ns > 1_000.0 then Fmt.pr "%-34s %10.3f us/run@." name (ns /. 1e3)
+      else Fmt.pr "%-34s %10.1f ns/run@." name ns)
+    (List.sort compare rows)
+
+let () =
+  verdict_matrix ();
+  shapes_summary ();
+  litmus_summary ();
+  theorem_table ();
+  stm_design_table ();
+  fence_table ();
+  run_benchmarks ();
+  Fmt.pr "@.done.@."

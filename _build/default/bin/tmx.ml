@@ -1,0 +1,406 @@
+(* The tmx command-line interface.
+
+   Subcommands:
+     tmx litmus [NAME ...]       run litmus tests (default: all)
+     tmx outcomes NAME -m MODEL  enumerate the consistent outcomes
+     tmx races NAME -m MODEL     list races of every consistent execution
+     tmx stm NAME                explore a program under the STM simulator
+     tmx theorems [NAME ...]     run the theorem checks
+     tmx models                  list the model configurations
+     tmx show NAME               print a catalog program *)
+
+open Cmdliner
+open Tmx_core
+open Tmx_exec
+
+let find_litmus name =
+  match Tmx_litmus.Catalog.find name with
+  | Some l -> Ok l
+  | None ->
+      Error
+        (Fmt.str "unknown litmus test %S; try `tmx litmus --list'" name)
+
+let model_conv =
+  let parse s =
+    match Model.by_name s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown model %S (known: %a)" s
+               Fmt.(list ~sep:comma Model.pp)
+               Model.all))
+  in
+  Arg.conv (parse, Model.pp)
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Model.programmer
+    & info [ "m"; "model" ] ~docv:"MODEL"
+        ~doc:
+          "Memory model: pm (programmer), im (implementation), strong \
+           (x86-like), bare, or the Example 2.3 variants v-ww, v-rw, v-wr, \
+           v-ww', v-rw', v-wr'.")
+
+let names_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Litmus test names.")
+
+let list_flag =
+  Arg.(value & flag & info [ "list" ] ~doc:"List available litmus tests.")
+
+(* -- litmus ---------------------------------------------------------------- *)
+
+let litmus_cmd =
+  let run list names =
+    if list then begin
+      List.iter
+        (fun (l : Tmx_litmus.Litmus.t) -> Fmt.pr "%-28s %s@." l.name l.section)
+        Tmx_litmus.Catalog.all;
+      Ok ()
+    end
+    else
+      let tests =
+        if names = [] then Ok Tmx_litmus.Catalog.all
+        else
+          List.fold_left
+            (fun acc n ->
+              Result.bind acc (fun ts ->
+                  Result.map (fun t -> t :: ts) (find_litmus n)))
+            (Ok []) names
+          |> Result.map List.rev
+      in
+      Result.map
+        (fun tests ->
+          let failures = ref 0 in
+          List.iter
+            (fun l ->
+              let report = Tmx_litmus.Litmus.run l in
+              if not (Tmx_litmus.Litmus.passed report) then incr failures;
+              Fmt.pr "%a@." Tmx_litmus.Litmus.pp_report report)
+            tests;
+          Fmt.pr "%d/%d litmus tests pass@."
+            (List.length tests - !failures)
+            (List.length tests);
+          if !failures > 0 then exit 1)
+        tests
+  in
+  let term = Term.(term_result' (const run $ list_flag $ names_arg)) in
+  Cmd.v
+    (Cmd.info "litmus" ~doc:"Check the paper's examples against their verdicts.")
+    term
+
+(* -- outcomes ---------------------------------------------------------------- *)
+
+let one_name =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+
+let outcomes_cmd =
+  let run model name =
+    Result.map
+      (fun (l : Tmx_litmus.Litmus.t) ->
+        let r = Enumerate.run model l.program in
+        Fmt.pr "%a@.%d candidate graphs, %d consistent executions under %a@."
+          Tmx_lang.Ast.pp_program l.program r.graphs
+          (List.length r.executions)
+          Model.pp model;
+        List.iter (fun o -> Fmt.pr "  %a@." Outcome.pp o) (Enumerate.outcomes r))
+      (find_litmus name)
+  in
+  let term = Term.(term_result' (const run $ model_arg $ one_name)) in
+  Cmd.v
+    (Cmd.info "outcomes" ~doc:"Enumerate the consistent outcomes of a program.")
+    term
+
+(* -- races ------------------------------------------------------------------ *)
+
+let races_cmd =
+  let run model name =
+    Result.map
+      (fun (l : Tmx_litmus.Litmus.t) ->
+        let r = Enumerate.run model l.program in
+        let racy = ref 0 in
+        List.iter
+          (fun (e : Enumerate.execution) ->
+            let races = Verdict.execution_races model e.trace in
+            if races <> [] then begin
+              incr racy;
+              Fmt.pr "@[<v>execution %a@,  races: %a@]@." Outcome.pp e.outcome
+                Fmt.(
+                  list ~sep:comma (fun ppf (i, j) ->
+                      Fmt.pf ppf "(%a, %a)" Action.pp (Trace.act e.trace i)
+                        Action.pp (Trace.act e.trace j)))
+                races
+            end)
+          r.executions;
+        Fmt.pr "%d/%d executions racy under %a@." !racy
+          (List.length r.executions)
+          Model.pp model)
+      (find_litmus name)
+  in
+  let term = Term.(term_result' (const run $ model_arg $ one_name)) in
+  Cmd.v (Cmd.info "races" ~doc:"List the races of every consistent execution.") term
+
+(* -- stm --------------------------------------------------------------------- *)
+
+let stm_cmd =
+  let strategy_arg =
+    Arg.(
+      value
+      & opt (enum [ ("lazy", Tmx_stmsim.Stmsim.Lazy); ("eager", Tmx_stmsim.Stmsim.Eager) ])
+          Tmx_stmsim.Stmsim.Lazy
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc:"Versioning: lazy or eager.")
+  in
+  let atomic_flag =
+    Arg.(
+      value & flag
+      & info [ "atomic-commit" ] ~doc:"Publish lazy write buffers indivisibly.")
+  in
+  let run strategy atomic_commit name =
+    Result.map
+      (fun (l : Tmx_litmus.Litmus.t) ->
+        let config =
+          { Tmx_stmsim.Stmsim.default_config with strategy; atomic_commit }
+        in
+        let r = Tmx_stmsim.Stmsim.run ~config l.program in
+        Fmt.pr "%d schedules explored, %d distinct outcomes@." r.paths
+          (List.length r.outcomes);
+        List.iter (fun o -> Fmt.pr "  %a@." Outcome.pp o) r.outcomes;
+        let anomalies = Tmx_stmsim.Stmsim.anomalies ~config l.program in
+        if anomalies = [] then Fmt.pr "no anomalies vs the atomic reference@."
+        else begin
+          Fmt.pr "ANOMALIES vs the atomic reference semantics:@.";
+          List.iter (fun o -> Fmt.pr "  %a@." Outcome.pp o) anomalies
+        end)
+      (find_litmus name)
+  in
+  let term = Term.(term_result' (const run $ strategy_arg $ atomic_flag $ one_name)) in
+  Cmd.v
+    (Cmd.info "stm"
+       ~doc:
+         "Exhaustively explore a program under the operational STM simulator \
+          and report anomalies against the atomic reference semantics.")
+    term
+
+(* -- theorems ----------------------------------------------------------------- *)
+
+let machine_cmd =
+  let run name =
+    Result.map
+      (fun (l : Tmx_litmus.Litmus.t) ->
+        let m = Tmx_machine.Machine.run l.program in
+        let a = Enumerate.outcomes (Enumerate.run Model.implementation l.program) in
+        Fmt.pr "operational machine: %d states, %d outcomes@." m.states
+          (List.length m.outcomes);
+        List.iter (fun o -> Fmt.pr "  %a@." Outcome.pp o) m.outcomes;
+        let agree =
+          List.length m.outcomes = List.length a
+          && List.for_all (fun o -> List.exists (Outcome.equal o) a) m.outcomes
+        in
+        Fmt.pr "agreement with the axiomatic implementation model: %s@."
+          (if agree then "exact" else "MISMATCH"))
+      (find_litmus name)
+  in
+  let term = Term.(term_result' (const run $ one_name)) in
+  Cmd.v
+    (Cmd.info "machine"
+       ~doc:
+         "Explore a program with the operational timestamp machine and \
+          compare against the axiomatic implementation model.")
+    term
+
+let fence_cmd =
+  let policy_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("all", `Every_mixed_access); ("targeted", `After_transactions);
+             ])
+          `After_transactions
+      & info [ "p"; "policy" ] ~docv:"POLICY"
+          ~doc:"Insertion policy: all (every mixed access) or targeted \
+                (accesses following a transaction).")
+  in
+  let run policy name =
+    Result.map
+      (fun (l : Tmx_litmus.Litmus.t) ->
+        let fenced = Tmx_opt.Fenceify.insert ~policy l.program in
+        Fmt.pr "%a@." Tmx_lang.Ast.pp_program fenced;
+        let r = Tmx_opt.Fenceify.realizes ~policy l.program in
+        Fmt.pr
+          "fences:%d  mixed-race-free(im):%b  im-outcomes ⊆ pm-outcomes:%b  \
+           realizes the programmer model:%b@."
+          r.fences r.mixed_race_free r.outcomes_contained r.realizes)
+      (find_litmus name)
+  in
+  let term = Term.(term_result' (const run $ policy_arg $ one_name)) in
+  Cmd.v
+    (Cmd.info "fence"
+       ~doc:
+         "Insert quiescence fences to realize the programmer model on an \
+          implementation-model STM, and check the §6 correctness criterion.")
+    term
+
+let theorems_cmd =
+  let run names =
+    let tests =
+      if names = [] then Ok Tmx_litmus.Catalog.all
+      else
+        List.fold_left
+          (fun acc n ->
+            Result.bind acc (fun ts -> Result.map (fun t -> t :: ts) (find_litmus n)))
+          (Ok []) names
+        |> Result.map List.rev
+    in
+    Result.map
+      (fun tests ->
+        List.iter
+          (fun (l : Tmx_litmus.Litmus.t) ->
+            let sc = Verdict.check_sc_ltrf Model.programmer l.program in
+            let t42 = Verdict.check_theorem_4_2 Model.programmer l.program in
+            let l51 = Verdict.check_lemma_5_1 l.program in
+            Fmt.pr
+              "%-28s SC-LTRF:%s (seq-racy:%b weak:%b contained:%b)  Thm4.2:%s \
+               Lemma5.1:%s (%d/%d)@."
+              l.name
+              (if sc.theorem_holds then "ok" else "FAIL")
+              sc.sc_racy sc.weak_exists sc.outcomes_contained
+              (if t42 then "ok" else "FAIL")
+              (if l51.holds then "ok" else "FAIL")
+              l51.pm_consistent l51.mixed_race_free)
+          tests)
+      tests
+  in
+  let term = Term.(term_result' (const run $ names_arg)) in
+  Cmd.v
+    (Cmd.info "theorems"
+       ~doc:"Empirically check SC-LTRF, Theorem 4.2 and Lemma 5.1 on programs.")
+    term
+
+(* -- models / show -------------------------------------------------------------- *)
+
+let models_cmd =
+  let run () =
+    List.iter
+      (fun (m : Model.t) ->
+        Fmt.pr "%-8s hb:%s%s%s%s%s%s anti:%s%s%s%s fences:%b@." m.name
+          (if m.hb_ww then " ww" else "")
+          (if m.hb_wr then " wr" else "")
+          (if m.hb_rw then " rw" else "")
+          (if m.hb_ww' then " ww'" else "")
+          (if m.hb_wr' then " wr'" else "")
+          (if m.hb_rw' then " rw'" else "")
+          (if m.anti_ww then " ww" else "")
+          (if m.anti_rw then " rw" else "")
+          (if m.anti_ww' then " ww'" else "")
+          (if m.anti_rw' then " rw'" else "")
+          m.quiescence)
+      Model.all
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List the model configurations.") Term.(const run $ const ())
+
+let check_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Litmus file.")
+  in
+  let run file =
+    match Tmx_litmus.Parse.parse_file file with
+    | exception Tmx_litmus.Parse.Error msg -> Error (Fmt.str "%s: %s" file msg)
+    | litmus ->
+        let report = Tmx_litmus.Litmus.run litmus in
+        Fmt.pr "%a@." Tmx_litmus.Litmus.pp_report report;
+        if Tmx_litmus.Litmus.passed report then Ok () else exit 1
+  in
+  let term = Term.(term_result' (const run $ file_arg)) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Parse a litmus file (program + expectations) and check it against \
+          the models.  See lib/litmus/parse.mli for the format.")
+    term
+
+let dot_cmd =
+  let index_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "i"; "index" ] ~docv:"N" ~doc:"Which consistent execution to render.")
+  in
+  let hb_flag = Arg.(value & flag & info [ "hb" ] ~doc:"Include happens-before edges.") in
+  let run model index show_hb name =
+    Result.bind (find_litmus name) (fun (l : Tmx_litmus.Litmus.t) ->
+        let r = Enumerate.run model l.program in
+        match List.nth_opt r.executions index with
+        | None ->
+            Error
+              (Fmt.str "execution index %d out of range (%d consistent executions)"
+                 index (List.length r.executions))
+        | Some e ->
+            print_string (Dot.to_dot ~model ~show_hb e.trace);
+            Ok ())
+  in
+  let term = Term.(term_result' (const run $ model_arg $ index_arg $ hb_flag $ one_name)) in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render a consistent execution as a Graphviz graph.")
+    term
+
+let show_cmd =
+  let run name =
+    Result.map
+      (fun (l : Tmx_litmus.Litmus.t) ->
+        Fmt.pr "%s — %s@.%s@.@.%a@." l.name l.section l.description
+          Tmx_lang.Ast.pp_program l.program)
+      (find_litmus name)
+  in
+  let term = Term.(term_result' (const run $ one_name)) in
+  Cmd.v (Cmd.info "show" ~doc:"Print a catalog program.") term
+
+let export_cmd =
+  let run name =
+    Result.map
+      (fun (l : Tmx_litmus.Litmus.t) ->
+        print_string (Tmx_litmus.Export.program_to_string l.program))
+      (find_litmus name)
+  in
+  let term = Term.(term_result' (const run $ one_name)) in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Print a catalog program in the litmus text format (add your own \
+          `check` lines and run it back through `tmx check`).")
+    term
+
+let shapes_cmd =
+  let run model =
+    let results = Tmx_litmus.Shapes.run_all ~model () in
+    let ok = List.filter (fun (r : Tmx_litmus.Shapes.result) -> r.ok) results in
+    List.iter
+      (fun (r : Tmx_litmus.Shapes.result) ->
+        Fmt.pr "%-16s %-9s (expected %s)%s@." r.case.name
+          (if r.observed_forbidden then "forbidden" else "allowed")
+          (if r.case.forbidden then "forbidden" else "allowed")
+          (if r.ok then "" else "  <-- MISMATCH"))
+      results;
+    Fmt.pr "%d/%d match the model-derived oracle@." (List.length ok)
+      (List.length results)
+  in
+  let term = Term.(const run $ model_arg) in
+  Cmd.v
+    (Cmd.info "shapes"
+       ~doc:
+         "Run the systematic shape families (MP/SB/LB/IRIW/CoRR/2+2W/WRC at \
+          every plain/transactional site combination).")
+    term
+
+let () =
+  let doc = "modular transactions: the LTRF model checker and STM workbench" in
+  let info = Cmd.info "tmx" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            litmus_cmd; outcomes_cmd; races_cmd; stm_cmd; machine_cmd;
+            theorems_cmd; models_cmd; show_cmd; dot_cmd; check_cmd;
+            export_cmd; shapes_cmd; fence_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/bank.ml: Array Atomic Domain Fmt List Option Stm Tmx_runtime Tvar

@@ -1,0 +1,1 @@
+examples/model_explorer.ml: Enumerate Fmt List Model Option Outcome Tmx_core Tmx_exec Tmx_lang Tmx_litmus

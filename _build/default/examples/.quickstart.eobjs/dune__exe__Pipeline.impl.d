@@ -1,0 +1,1 @@
+examples/pipeline.ml: Array Domain Fmt Stm Tarray Tmx_runtime Tqueue Tvar

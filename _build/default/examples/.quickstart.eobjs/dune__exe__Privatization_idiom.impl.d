@@ -1,0 +1,1 @@
+examples/privatization_idiom.ml: Array Atomic Domain Enumerate Fmt List Model Option Outcome Stm Tmx_core Tmx_exec Tmx_litmus Tmx_runtime Tmx_stmsim Tvar

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Enumerate Fmt List Model Outcome Tmx_core Tmx_exec Tmx_lang Verdict

@@ -1,0 +1,85 @@
+(* Model explorer: run litmus programs under every model configuration and
+   print the allowed/forbidden matrix for their designated outcome —
+   regenerating the design-space discussion of §2.3/§3.
+
+   Run with:  dune exec examples/model_explorer.exe *)
+
+open Tmx_core
+open Tmx_exec
+
+type probe = { name : string; program : Tmx_lang.Ast.program; cond : Outcome.t -> bool; what : string }
+
+let catalog name = (Option.get (Tmx_litmus.Catalog.find name)).Tmx_litmus.Litmus.program
+
+let probes =
+  [
+    {
+      name = "privatization";
+      program = catalog "privatization";
+      cond = (fun o -> Outcome.mem o "x" = 1);
+      what = "x=1";
+    };
+    {
+      name = "publication";
+      program = catalog "publication";
+      cond = (fun o -> Outcome.mem o "z" = 0);
+      what = "z=0";
+    };
+    {
+      name = "ex2_2";
+      program = catalog "ex2_2";
+      cond = (fun o -> Outcome.mem o "x" = 2);
+      what = "x=2";
+    };
+    {
+      name = "ex3_1 (pub-by-antidep)";
+      program = catalog "ex3_1";
+      cond = (fun o -> Outcome.reg o 0 "r" = 0 && Outcome.reg o 1 "q" = 0);
+      what = "r=q=0";
+    };
+    {
+      name = "ex3_2 (global lock)";
+      program = catalog "ex3_2";
+      cond = (fun o -> Outcome.reg o 0 "r" = 0 && Outcome.reg o 1 "q" = 0);
+      what = "r=q=0";
+    };
+    {
+      name = "sb";
+      program = catalog "sb";
+      cond = (fun o -> Outcome.reg o 0 "r" = 0 && Outcome.reg o 1 "q" = 0);
+      what = "r=q=0";
+    };
+    {
+      name = "lb";
+      program = catalog "lb";
+      cond = (fun o -> Outcome.reg o 0 "r" = 1 && Outcome.reg o 1 "q" = 1);
+      what = "r=q=1";
+    };
+    {
+      name = "ex3_5 (torn reads)";
+      program = catalog "ex3_5";
+      cond = (fun o -> Outcome.reg o 0 "r1" <> Outcome.reg o 0 "r2");
+      what = "r1<>r2";
+    };
+  ]
+
+let () =
+  Fmt.pr "%-24s %-8s" "program" "outcome";
+  List.iter (fun (m : Model.t) -> Fmt.pr " %-6s" m.name) Model.all;
+  Fmt.pr "@.";
+  List.iter
+    (fun p ->
+      Fmt.pr "%-24s %-8s" p.name p.what;
+      List.iter
+        (fun model ->
+          let verdict =
+            if Enumerate.allowed (Enumerate.run model p.program) p.cond then "yes"
+            else "no"
+          in
+          Fmt.pr " %-6s" verdict)
+        Model.all;
+      Fmt.pr "@.")
+    probes;
+  Fmt.pr
+    "@.('yes' = the outcome is allowed under that model; pm = programmer, im \
+     = implementation, strong = x86-like, v-* = the Example 2.3 variants)@."

@@ -1,0 +1,1 @@
+lib/core/closure.ml: Array Fun Hashtbl Hb Lift List Option Rel Trace Wellformed

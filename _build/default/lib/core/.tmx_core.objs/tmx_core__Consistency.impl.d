@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Fmt Fun Hb Lift List Model Rel Wellformed

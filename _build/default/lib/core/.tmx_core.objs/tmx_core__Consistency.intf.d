@@ -1,0 +1,1 @@
+lib/core/consistency.mli: Fmt Lift Model Rel Trace

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Action Buffer Fmt Hashtbl Hb Lift List Model Option Rel String Trace

@@ -1,0 +1,1 @@
+lib/core/hb.ml: Action Lift Model Rel Trace

@@ -1,0 +1,1 @@
+lib/core/lift.ml: Array Rel Trace

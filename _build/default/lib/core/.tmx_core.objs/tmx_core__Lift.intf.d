@@ -1,0 +1,1 @@
+lib/core/lift.mli: Rel Trace

@@ -1,0 +1,1 @@
+lib/core/naive.ml: Action Fun Hashtbl List Model Rat String Trace Wellformed

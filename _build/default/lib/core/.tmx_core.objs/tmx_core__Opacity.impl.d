@@ -1,0 +1,1 @@
+lib/core/opacity.ml: Action Fun Hashtbl Hb Lift List Model Rel Trace

@@ -1,0 +1,1 @@
+lib/core/opacity.mli: Model Trace

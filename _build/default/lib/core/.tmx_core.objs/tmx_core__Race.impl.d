@@ -1,0 +1,1 @@
+lib/core/race.ml: Action Hb Lift List Rel String Trace

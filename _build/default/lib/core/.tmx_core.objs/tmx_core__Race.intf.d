@@ -1,0 +1,1 @@
+lib/core/race.mli: Model Rel Trace

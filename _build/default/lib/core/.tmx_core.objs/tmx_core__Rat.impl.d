@@ -1,0 +1,1 @@
+lib/core/rat.ml: Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/core/rel.ml: Array Fmt Int List Sys

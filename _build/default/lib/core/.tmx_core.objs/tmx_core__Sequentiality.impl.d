@@ -1,0 +1,1 @@
+lib/core/sequentiality.ml: Action List Rat String Trace

@@ -1,0 +1,1 @@
+lib/core/sequentiality.mli: Trace

@@ -1,0 +1,1 @@
+lib/core/suborder.ml: Action Lift List Rel String Trace

@@ -1,0 +1,1 @@
+lib/core/suborder.mli: Lift Rel

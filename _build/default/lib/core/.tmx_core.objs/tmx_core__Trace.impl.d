@@ -1,0 +1,1 @@
+lib/core/trace.ml: Action Array Fmt Hashtbl List Option Rat Rel String

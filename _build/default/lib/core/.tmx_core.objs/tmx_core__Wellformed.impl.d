@@ -1,0 +1,1 @@
+lib/core/wellformed.ml: Action Fmt Hashtbl List Rat Rel String Trace

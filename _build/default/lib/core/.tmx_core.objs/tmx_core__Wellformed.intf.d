@@ -1,0 +1,1 @@
+lib/core/wellformed.mli: Fmt Trace

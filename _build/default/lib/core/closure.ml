@@ -1,0 +1,96 @@
+(* Causal closure and contiguity permutations (§4 and appendix A).
+
+   The causality relation (hb ∪ lwr ∪ xrw) drives both: σ#a removes the
+   causal up-closure of an action (used by the SC-LTRF proof to rewind a
+   trace past an action without touching its causes), and Lemma A.5's
+   construction linearizes causality classes to give an order-preserving
+   permutation with contiguous transactions. *)
+
+let causality (ctx : Lift.ctx) hb = Rel.union_many [ hb; ctx.lwr; ctx.xrw ]
+
+(* positions strictly causally after [a] (transitively), excluding [a] *)
+let causal_future model t a =
+  let ctx = Lift.make t in
+  let hb = Hb.compute model ctx in
+  let c = Rel.transitive_closure (causality ctx hb) in
+  List.filter (fun b -> b <> a && Rel.mem c a b) (List.init (Trace.length t) Fun.id)
+
+(* σ#a: drop every event that causally follows [a] ([a] itself stays). *)
+let drop_causal_future model t a =
+  let future = causal_future model t a in
+  Trace.sub t (fun i -> not (List.mem i future))
+
+(* Lemma A.5: an order-preserving permutation with contiguous
+   transactions, built by topologically sorting tx~ classes under the
+   contraction of causality (lifted edges are class-level; program order
+   between classes is uniform because atomic blocks are syntactic).
+
+   Returns [None] when no such well-formed permutation exists.  This is
+   not always a bug: the lemma's parenthetical claim ("any consistent
+   trace has an order-preserving permutation with contiguous
+   transactions") fails for aborted transactions — an aborted transaction
+   that writes a smaller timestamp than, and reads from, a committed
+   transaction must interleave with it (WF9 forces its write before, WF8
+   its read after).  See the corresponding test for a concrete
+   counterexample. *)
+let contiguous_permutation model t =
+  let n = Trace.length t in
+  let ctx = Lift.make t in
+  let hb = Hb.compute model ctx in
+  let c = causality ctx hb in
+  let cls i =
+    let b = Trace.txn_of t i in
+    if b >= 0 then b else i
+  in
+  (* class-level successors from causality and program order *)
+  let succs = Hashtbl.create 16 in
+  let indeg = Hashtbl.create 16 in
+  let classes = List.sort_uniq compare (List.map cls (List.init n Fun.id)) in
+  List.iter (fun k -> Hashtbl.replace indeg k 0) classes;
+  let edge a b =
+    if a <> b then begin
+      let existing = Option.value (Hashtbl.find_opt succs a) ~default:[] in
+      if not (List.mem b existing) then begin
+        Hashtbl.replace succs a (b :: existing);
+        Hashtbl.replace indeg b (Hashtbl.find indeg b + 1)
+      end
+    end
+  in
+  Rel.iter c (fun i j -> edge (cls i) (cls j));
+  Rel.iter (Trace.rel_po t) (fun i j -> edge (cls i) (cls j));
+  (* Kahn's algorithm over classes, deterministic order *)
+  let ready () =
+    List.filter (fun k -> Hashtbl.find indeg k = 0 && Hashtbl.mem indeg k) classes
+    |> List.filter (fun k -> Hashtbl.find indeg k = 0)
+  in
+  let emitted = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec go () =
+    match List.find_opt (fun k -> not (Hashtbl.mem emitted k)) (ready ()) with
+    | None -> ()
+    | Some k ->
+        Hashtbl.replace emitted k ();
+        Hashtbl.replace indeg k (-1);
+        order := k :: !order;
+        List.iter
+          (fun b ->
+            if not (Hashtbl.mem emitted b) then
+              Hashtbl.replace indeg b (Hashtbl.find indeg b - 1))
+          (Option.value (Hashtbl.find_opt succs k) ~default:[]);
+        go ()
+  in
+  go ();
+  if List.length !order <> List.length classes then None
+  else begin
+    let perm =
+      List.concat_map
+        (fun k -> List.filter (fun i -> cls i = k) (List.init n Fun.id))
+        (List.rev !order)
+    in
+    let perm = Array.of_list perm in
+    if
+      Trace.is_order_preserving t perm
+      && Wellformed.is_well_formed (Trace.permute t perm)
+    then Some perm
+    else None
+  end

@@ -1,0 +1,20 @@
+(** Causal closure and contiguity permutations (§4 and appendix A of the
+    paper). *)
+
+val causality : Lift.ctx -> Rel.t -> Rel.t
+(** [hb ∪ lwr ∪ xrw], the relation whose acyclicity is Causality and
+    which drives causal closure. *)
+
+val causal_future : Model.t -> Trace.t -> int -> int list
+(** Positions strictly causally after the given position. *)
+
+val drop_causal_future : Model.t -> Trace.t -> int -> Trace.t
+(** [σ#a]: the subtrace without the causal up-closure of [a] ([a] itself
+    remains). *)
+
+val contiguous_permutation : Model.t -> Trace.t -> int array option
+(** An order-preserving permutation that makes every transaction
+    contiguous and keeps the trace well-formed, per Lemma A.5's
+    construction — or [None] when none exists, which can genuinely happen
+    for aborted transactions (a counterexample to the lemma's
+    parenthetical claim; see the tests). *)

@@ -1,0 +1,69 @@
+(* Graphviz export of executions, in the style of the paper's figures:
+   transactions are boxes (solid for committed/live, dashed for aborted),
+   and the derived relations are labelled edges. *)
+
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let node_label t i =
+  Fmt.str "%d: %s" i (escape (Fmt.str "%a" Action.pp (Trace.act t i)))
+
+let edges buf name color rel skip =
+  Rel.iter rel (fun i j ->
+      if not (skip i j) then
+        Buffer.add_string buf
+          (Fmt.str "  e%d -> e%d [label=\"%s\", color=\"%s\", fontcolor=\"%s\"];\n"
+             i j name color color))
+
+let to_dot ?(model = Model.programmer) ?(show_hb = false) t =
+  let buf = Buffer.create 1024 in
+  let ctx = Lift.make t in
+  Buffer.add_string buf "digraph execution {\n  rankdir=TB;\n  node [shape=plaintext, fontname=\"monospace\"];\n";
+  (* transaction clusters *)
+  let clusters = Hashtbl.create 8 in
+  for i = 0 to Trace.length t - 1 do
+    let b = Trace.txn_of t i in
+    if b >= 0 then
+      Hashtbl.replace clusters b (i :: Option.value (Hashtbl.find_opt clusters b) ~default:[])
+  done;
+  Hashtbl.iter
+    (fun b members ->
+      let aborted = Trace.status t b = Some Trace.Aborted in
+      Buffer.add_string buf
+        (Fmt.str "  subgraph cluster_%d {\n    style=%s;\n    color=%s;\n" b
+           (if aborted then "dashed" else "solid")
+           (if aborted then "red" else "blue"));
+      List.iter
+        (fun i ->
+          Buffer.add_string buf
+            (Fmt.str "    e%d [label=\"%s\"];\n" i (node_label t i)))
+        (List.rev members);
+      Buffer.add_string buf "  }\n")
+    clusters;
+  (* plain events *)
+  for i = 0 to Trace.length t - 1 do
+    if Trace.is_plain t i then
+      Buffer.add_string buf (Fmt.str "  e%d [label=\"%s\"];\n" i (node_label t i))
+  done;
+  (* program order as invisible backbone between po-adjacent events *)
+  let last = Hashtbl.create 8 in
+  for i = 0 to Trace.length t - 1 do
+    let th = Trace.thread t i in
+    (match Hashtbl.find_opt last th with
+    | Some j ->
+        Buffer.add_string buf (Fmt.str "  e%d -> e%d [style=dotted, arrowhead=none];\n" j i)
+    | None -> ());
+    Hashtbl.replace last th i
+  done;
+  edges buf "rf" "darkgreen" ctx.wr (fun _ _ -> false);
+  edges buf "ww" "blue" ctx.ww (fun i j ->
+      (* only coherence-adjacent edges, to avoid clutter *)
+      Rel.fold ctx.ww (fun a b acc -> acc || (a = i && Rel.mem ctx.ww b j)) false);
+  edges buf "rw" "orange" ctx.rw (fun _ _ -> false);
+  if show_hb then begin
+    let hb = Hb.compute model ctx in
+    edges buf "hb" "gray" hb (fun i j ->
+        Rel.mem ctx.po i j
+        || Rel.fold hb (fun a b acc -> acc || (a = i && Rel.mem hb b j && a <> b && b <> j)) false)
+  end;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

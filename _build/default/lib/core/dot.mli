@@ -1,0 +1,6 @@
+(** Graphviz export of executions, in the style of the paper's figures:
+    transactions are boxes (solid blue for committed/live, dashed red for
+    aborted); reads-from, coherence and antidependency edges are
+    labelled; happens-before can be overlaid. *)
+
+val to_dot : ?model:Model.t -> ?show_hb:bool -> Trace.t -> string

@@ -1,0 +1,70 @@
+(* Happens-before (§2, §5).
+
+   hb is the least relation closed under
+     HBdef    a hb c  if  a (init ∪ po ∪ cwr ∪ cww) c
+     HBtrans  a hb c  if  a hb b hb c
+   plus the model's optional rules:
+     HBww     a hb c  if  c plain, a lww c, a (crw ; hb) c
+     HBwr/HBrw  likewise with lwr / lrw
+     HB'ww    a hb c  if  a plain, a lww c, a (hb ; crw) c
+     HB'wr/HB'rw likewise
+   and, when the model has quiescence fences (§5):
+     HBCQ     <Cb> hb <Qx>  if the commit precedes the fence in the trace
+              and transaction b touches x
+     HBQB     <Qx> hb <B b> if the fence precedes the begin in the trace
+              and transaction b touches x. *)
+
+let quiescence_edges (ctx : Lift.ctx) =
+  let t = ctx.trace in
+  let n = Trace.length t in
+  let r = Rel.create n in
+  for c = 0 to n - 1 do
+    match Trace.act t c with
+    | Action.Qfence x ->
+        for i = 0 to n - 1 do
+          match Trace.act t i with
+          | Action.Commit ->
+              let b = Trace.txn_of t i in
+              if b >= 0 && i < c && Trace.txn_touches t b x then Rel.add r i c
+          | Action.Begin ->
+              if c < i && Trace.txn_touches t i x then Rel.add r c i
+          | _ -> ()
+        done
+    | _ -> ()
+  done;
+  r
+
+(* One fixpoint round of an unprimed rule: additions are
+   lXX ∩ (crw ; hb) restricted to plain targets. *)
+let rule_unprimed (ctx : Lift.ctx) hb lxx =
+  let t = ctx.trace in
+  let reach = Rel.compose ctx.crw hb in
+  Rel.filter lxx (fun a c -> Trace.is_plain t c && Rel.mem reach a c)
+
+(* One round of a primed rule: lXX ∩ (hb ; crw) restricted to plain
+   sources. *)
+let rule_primed (ctx : Lift.ctx) hb lxx =
+  let t = ctx.trace in
+  let reach = Rel.compose hb ctx.crw in
+  Rel.filter lxx (fun a c -> Trace.is_plain t a && Rel.mem reach a c)
+
+let compute (model : Model.t) (ctx : Lift.ctx) =
+  let base = Rel.union_many [ ctx.init_; ctx.po; ctx.cwr; ctx.cww ] in
+  let base =
+    if model.quiescence then Rel.union base (quiescence_edges ctx) else base
+  in
+  let hb = Rel.copy base in
+  let continue = ref true in
+  while !continue do
+    Rel.transitive_closure_in_place hb;
+    let changed = ref false in
+    let apply rel = if Rel.union_into ~into:hb rel then changed := true in
+    if model.hb_ww then apply (rule_unprimed ctx hb ctx.lww);
+    if model.hb_wr then apply (rule_unprimed ctx hb ctx.lwr);
+    if model.hb_rw then apply (rule_unprimed ctx hb ctx.lrw);
+    if model.hb_ww' then apply (rule_primed ctx hb ctx.lww);
+    if model.hb_wr' then apply (rule_primed ctx hb ctx.lwr);
+    if model.hb_rw' then apply (rule_primed ctx hb ctx.lrw);
+    continue := !changed
+  done;
+  hb

@@ -1,0 +1,12 @@
+(** Happens-before (§2 of the paper; §5 for the quiescence-fence rules).
+
+    [compute model ctx] is the least relation containing
+    [init ∪ po ∪ cwr ∪ cww] (plus the HBCQ/HBQB fence edges when
+    [model.quiescence]), closed under transitivity and whichever of the
+    HBww/HBwr/HBrw rules and their primed variants [model] enables. *)
+
+val compute : Model.t -> Lift.ctx -> Rel.t
+
+val quiescence_edges : Lift.ctx -> Rel.t
+(** The HBCQ and HBQB edges of the implementation model, exposed for
+    testing. *)

@@ -1,0 +1,72 @@
+(* Transaction-lifting of relations (§2, "Lifted Relations").
+
+     a lR b  iff  a R b, or a' R b' for some a' tx~ a !tx~ b tx~ b'
+     a xR b  iff  a lR b and a, b are transactional
+     a cR b  iff  a xR b and a, b are committed or live
+
+   Classes of tx~ are transactions plus singleton classes for plain
+   events; class-to-class reachability is computed once per relation. *)
+
+let classes t =
+  Array.init (Trace.length t) (fun i ->
+      let b = Trace.txn_of t i in
+      if b >= 0 then b else i)
+
+let lifted t r =
+  let n = Trace.length t in
+  let cls = classes t in
+  (* class-pair reachability, indexed by representative positions *)
+  let cross = Rel.create n in
+  Rel.iter r (fun i j -> Rel.add cross cls.(i) cls.(j));
+  Rel.of_pred n (fun i j ->
+      Rel.mem r i j || (cls.(i) <> cls.(j) && Rel.mem cross cls.(i) cls.(j)))
+
+let lifted_x t r =
+  Rel.filter (lifted t r) (fun i j ->
+      Trace.is_transactional t i && Trace.is_transactional t j)
+
+let lifted_c t r =
+  Rel.filter (lifted t r) (fun i j ->
+      Trace.is_committed_or_live_txn t i && Trace.is_committed_or_live_txn t j)
+
+(* All lifted variants of the three base memory relations, computed once
+   per trace and shared by happens-before, consistency and race checks. *)
+type ctx = {
+  trace : Trace.t;
+  index_ : Rel.t;
+  init_ : Rel.t;
+  po : Rel.t;
+  ww : Rel.t;
+  wr : Rel.t;
+  rw : Rel.t;
+  lww : Rel.t;
+  lwr : Rel.t;
+  lrw : Rel.t;
+  xww : Rel.t;
+  xwr : Rel.t;
+  xrw : Rel.t;
+  cww : Rel.t;
+  cwr : Rel.t;
+  crw : Rel.t;
+}
+
+let make t =
+  let ww = Trace.rel_ww t and wr = Trace.rel_wr t and rw = Trace.rel_rw t in
+  {
+    trace = t;
+    index_ = Trace.rel_index t;
+    init_ = Trace.rel_init t;
+    po = Trace.rel_po t;
+    ww;
+    wr;
+    rw;
+    lww = lifted t ww;
+    lwr = lifted t wr;
+    lrw = lifted t rw;
+    xww = lifted_x t ww;
+    xwr = lifted_x t wr;
+    xrw = lifted_x t rw;
+    cww = lifted_c t ww;
+    cwr = lifted_c t wr;
+    crw = lifted_c t rw;
+  }

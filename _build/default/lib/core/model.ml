@@ -1,0 +1,73 @@
+(* Model configurations: which happens-before rules and antidependency
+   axioms are in force (§2 "Anti-Dependence vs Happens-Before", Ex 2.3;
+   §5 implementation model; §6 strongest/x86 variant). *)
+
+type t = {
+  name : string;
+  hb_ww : bool; (* HBww: c plain, a lww c, a crw;hb c *)
+  anti_ww : bool; (* irreflexive (crw ; hb ; lww) *)
+  hb_wr : bool; (* HBwr: c plain, a lwr c, a crw;hb c *)
+  hb_rw : bool; (* HBrw: c plain, a lrw c, a crw;hb c *)
+  anti_rw : bool; (* irreflexive (crw ; hb ; lrw) *)
+  hb_ww' : bool; (* HB'ww: a plain, a lww c, a hb;crw c *)
+  anti_ww' : bool; (* irreflexive (hb ; crw ; lww) *)
+  hb_wr' : bool; (* HB'wr: a plain, a lwr c, a hb;crw c *)
+  hb_rw' : bool; (* HB'rw: a plain, a lrw c, a hb;crw c *)
+  anti_rw' : bool; (* irreflexive (hb ; crw ; lrw) *)
+  quiescence : bool; (* WF12 + HBCQ + HBQB fence rules *)
+}
+
+let bare =
+  {
+    name = "bare";
+    hb_ww = false;
+    anti_ww = false;
+    hb_wr = false;
+    hb_rw = false;
+    anti_rw = false;
+    hb_ww' = false;
+    anti_ww' = false;
+    hb_wr' = false;
+    hb_rw' = false;
+    anti_rw' = false;
+    quiescence = false;
+  }
+
+(* The programmer model of §2: HBww + AntiWW. *)
+let programmer = { bare with name = "pm"; hb_ww = true; anti_ww = true }
+
+(* The implementation model of §5: no HBww/AntiWW, quiescence fences. *)
+let implementation = { bare with name = "im"; quiescence = true }
+
+(* The six variants of Example 2.3, each on top of the bare model. *)
+let variant_ww = { bare with name = "v-ww"; hb_ww = true; anti_ww = true }
+let variant_rw = { bare with name = "v-rw"; hb_rw = true; anti_rw = true }
+let variant_wr = { bare with name = "v-wr"; hb_wr = true }
+let variant_ww' = { bare with name = "v-ww'"; hb_ww' = true; anti_ww' = true }
+let variant_rw' = { bare with name = "v-rw'"; hb_rw' = true; anti_rw' = true }
+let variant_wr' = { bare with name = "v-wr'"; hb_wr' = true }
+
+(* §6: "x86-TSO validates even the strongest variant of our programmer
+   model, which includes HBwr, HBrw, HBww and their prime variants". *)
+let strongest =
+  {
+    name = "strong";
+    hb_ww = true;
+    anti_ww = true;
+    hb_wr = true;
+    hb_rw = true;
+    anti_rw = true;
+    hb_ww' = true;
+    anti_ww' = true;
+    hb_wr' = true;
+    hb_rw' = true;
+    anti_rw' = true;
+    quiescence = true;
+  }
+
+let all = [ programmer; implementation; strongest; variant_ww; variant_rw;
+            variant_wr; variant_ww'; variant_rw'; variant_wr' ]
+
+let by_name name = List.find_opt (fun m -> String.equal m.name name) all
+
+let pp ppf m = Fmt.string ppf m.name

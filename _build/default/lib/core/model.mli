@@ -1,0 +1,40 @@
+(** Model configurations.
+
+    The paper defines a design space of memory models sharing the same
+    base definitions but differing in which happens-before rules and
+    antidependency axioms are in force: the programmer model of §2
+    (HBww + AntiWW), the implementation model of §5 (quiescence fences,
+    no HBww/AntiWW), the six variants of Example 2.3, and the strongest
+    variant which §6 shows is validated by x86-TSO. *)
+
+type t = {
+  name : string;
+  hb_ww : bool;
+  anti_ww : bool;
+  hb_wr : bool;
+  hb_rw : bool;
+  anti_rw : bool;
+  hb_ww' : bool;
+  anti_ww' : bool;
+  hb_wr' : bool;
+  hb_rw' : bool;
+  anti_rw' : bool;
+  quiescence : bool;
+}
+
+val bare : t
+(** No extra happens-before rules, no antidependency axioms, no fences:
+    just HBdef/HBtrans and the three core consistency axioms. *)
+
+val programmer : t
+val implementation : t
+val strongest : t
+val variant_ww : t
+val variant_rw : t
+val variant_wr : t
+val variant_ww' : t
+val variant_rw' : t
+val variant_wr' : t
+val all : t list
+val by_name : string -> t option
+val pp : t Fmt.t

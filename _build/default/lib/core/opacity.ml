@@ -1,0 +1,92 @@
+(* Opacity (Guerraoui & Kapalka): all transactions — committed, aborted
+   and live — embed into a single serial order consistent with their
+   reads.  The paper argues SC-LTRF guarantees opacity; this module
+   checks it directly on executions, so the claim is testable.
+
+   Mixed-mode locations cannot be replayed serially (plain interference
+   is the whole point of the paper), so the value check covers the
+   locations accessed only transactionally in the trace; for these, every
+   transactional read must return the value of the serially-preceding
+   write.  The serial order is any topological order of transaction
+   classes under lifted causality (hb ∪ lwr ∪ xrw): causality already
+   contains cwr, cww and xrw, which pin each reader strictly between its
+   source and the source's successor, so any topological order works. *)
+
+let transactional_only_locs t =
+  let n = Trace.length t in
+  let bad = Hashtbl.create 8 and seen = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    match Action.loc_of (Trace.act t i) with
+    | Some x when Action.is_memory (Trace.act t i) ->
+        Hashtbl.replace seen x ();
+        if Trace.is_plain t i then Hashtbl.replace bad x ()
+    | _ -> ()
+  done;
+  Hashtbl.fold (fun x () acc -> if Hashtbl.mem bad x then acc else x :: acc) seen []
+
+(* a serialization of the transaction classes, or None if cyclic *)
+let serialization model t =
+  let ctx = Lift.make t in
+  let hb = Hb.compute model ctx in
+  let causality = Rel.union_many [ hb; ctx.lwr; ctx.xrw ] in
+  let classes = Trace.txns t in
+  let before a b =
+    List.exists
+      (fun i ->
+        Trace.txn_of t i = a
+        && List.exists (fun j -> Trace.txn_of t j = b && Rel.mem causality i j) (List.init (Trace.length t) Fun.id))
+      (List.init (Trace.length t) Fun.id)
+  in
+  (* Kahn over classes *)
+  let remaining = ref classes and order = ref [] in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    match
+      List.find_opt
+        (fun c -> not (List.exists (fun d -> d <> c && before d c) !remaining))
+        !remaining
+    with
+    | Some c ->
+        order := c :: !order;
+        remaining := List.filter (fun d -> d <> c) !remaining;
+        progress := true
+    | None -> ()
+  done;
+  if !remaining = [] then Some (List.rev !order) else None
+
+(* replay the purely-transactional locations through a serialization *)
+let replay t locs order =
+  let mem = Hashtbl.create 8 in
+  List.iter (fun x -> Hashtbl.replace mem x 0) locs;
+  List.for_all
+    (fun b ->
+      let members = Trace.txn_members t b in
+      let local = Hashtbl.create 4 in
+      let ok =
+        List.for_all
+          (fun i ->
+            match Trace.act t i with
+            | Action.Read { loc; value; _ } when List.mem loc locs ->
+                let expected =
+                  match Hashtbl.find_opt local loc with
+                  | Some v -> v
+                  | None -> Hashtbl.find mem loc
+                in
+                value = expected
+            | Action.Write { loc; value; _ } when List.mem loc locs ->
+                Hashtbl.replace local loc value;
+                true
+            | _ -> true)
+          members
+      in
+      (* only committed transactions publish *)
+      if ok && Trace.status t b = Some Trace.Committed then
+        Hashtbl.iter (fun x v -> Hashtbl.replace mem x v) local;
+      ok)
+    order
+
+let check ?(model = Model.programmer) t =
+  match serialization model t with
+  | None -> false
+  | Some order -> replay t (transactional_only_locs t) order

@@ -1,0 +1,16 @@
+(** A direct opacity check: all transactions (committed, aborted, live)
+    embed into one serial order consistent with their reads.
+
+    The paper argues SC-LTRF guarantees opacity; the test suite verifies
+    [check] on every consistent execution the enumerator produces.  The
+    value-replay part covers the locations accessed only transactionally
+    in the trace (mixed-mode locations admit plain interference by
+    design). *)
+
+val transactional_only_locs : Trace.t -> string list
+
+val serialization : Model.t -> Trace.t -> int list option
+(** A topological order of the transaction classes under lifted
+    causality, or [None] when cyclic. *)
+
+val check : ?model:Model.t -> Trace.t -> bool

@@ -1,0 +1,49 @@
+(* L-races (§4).
+
+   Two actions are in L-conflict if they access the same x ∈ L, at least
+   one is plain, at least one is a write, and neither is aborted.
+   (b, c) is an L-race if they are in L-conflict, b index c, and not
+   b hb c. *)
+
+let in_set l x = match l with None -> true | Some locs -> List.mem x locs
+
+let l_conflict ?l t b c =
+  match (Trace.act t b, Trace.act t c) with
+  | ( (Action.Write { loc = x; _ } | Action.Read { loc = x; _ }),
+      (Action.Write { loc = y; _ } | Action.Read { loc = y; _ }) )
+    when String.equal x y && in_set l x ->
+      (Trace.is_plain t b || Trace.is_plain t c)
+      && (Action.is_write (Trace.act t b) || Action.is_write (Trace.act t c))
+      && Trace.is_nonaborted t b
+      && Trace.is_nonaborted t c
+  | _ -> false
+
+let races ?l t hb =
+  let n = Trace.length t in
+  let acc = ref [] in
+  for b = 0 to n - 1 do
+    for c = b + 1 to n - 1 do
+      if l_conflict ?l t b c && not (Rel.mem hb b c) then
+        acc := (b, c) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let has_race ?l t hb = races ?l t hb <> []
+
+(* §5: a mixed race is an L-race between a transactional write and a
+   plain write, for some L. *)
+let mixed_races t hb =
+  List.filter
+    (fun (b, c) ->
+      Action.is_write (Trace.act t b)
+      && Action.is_write (Trace.act t c)
+      && Trace.is_transactional t b <> Trace.is_transactional t c)
+    (races t hb)
+
+let has_mixed_race t hb = mixed_races t hb <> []
+
+let races_of_model model t =
+  let ctx = Lift.make t in
+  let hb = Hb.compute model ctx in
+  races t hb

@@ -1,0 +1,147 @@
+(* Binary relations over trace positions 0..n-1, as bitset rows.
+   Litmus-scale traces have n < 64, so a row is usually one word, but the
+   implementation is general. *)
+
+type t = { n : int; words : int; rows : int array array }
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit *)
+
+let create n =
+  let words = (n + bits_per_word - 1) / bits_per_word in
+  let words = max words 1 in
+  { n; words; rows = Array.init n (fun _ -> Array.make words 0) }
+
+let copy r = { r with rows = Array.map Array.copy r.rows }
+let size r = r.n
+
+let mem r i j =
+  r.rows.(i).((j / bits_per_word)) land (1 lsl (j mod bits_per_word)) <> 0
+
+let add r i j =
+  let w = j / bits_per_word and b = j mod bits_per_word in
+  r.rows.(i).(w) <- r.rows.(i).(w) lor (1 lsl b)
+
+let of_pred n f =
+  let r = create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if f i j then add r i j
+    done
+  done;
+  r
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Rel.union: size mismatch";
+  let r = copy a in
+  for i = 0 to a.n - 1 do
+    for w = 0 to a.words - 1 do
+      r.rows.(i).(w) <- r.rows.(i).(w) lor b.rows.(i).(w)
+    done
+  done;
+  r
+
+let union_many = function
+  | [] -> invalid_arg "Rel.union_many: empty"
+  | r :: rs -> List.fold_left union r rs
+
+let union_into ~into b =
+  let changed = ref false in
+  for i = 0 to into.n - 1 do
+    for w = 0 to into.words - 1 do
+      let v = into.rows.(i).(w) lor b.rows.(i).(w) in
+      if v <> into.rows.(i).(w) then begin
+        into.rows.(i).(w) <- v;
+        changed := true
+      end
+    done
+  done;
+  !changed
+
+let equal a b =
+  a.n = b.n
+  && Array.for_all2 (fun ra rb -> Array.for_all2 Int.equal ra rb) a.rows b.rows
+
+let is_empty r =
+  Array.for_all (fun row -> Array.for_all (fun w -> w = 0) row) r.rows
+
+let or_row dst src =
+  let changed = ref false in
+  Array.iteri
+    (fun w v ->
+      let v' = dst.(w) lor v in
+      if v' <> dst.(w) then begin
+        dst.(w) <- v';
+        changed := true
+      end)
+    src;
+  !changed
+
+(* In-place reflexive-free transitive closure (Warshall with bitset rows). *)
+let transitive_closure_in_place r =
+  for k = 0 to r.n - 1 do
+    for i = 0 to r.n - 1 do
+      if mem r i k then ignore (or_row r.rows.(i) r.rows.(k))
+    done
+  done
+
+let transitive_closure r =
+  let c = copy r in
+  transitive_closure_in_place c;
+  c
+
+let compose a b =
+  if a.n <> b.n then invalid_arg "Rel.compose: size mismatch";
+  let r = create a.n in
+  for i = 0 to a.n - 1 do
+    for j = 0 to a.n - 1 do
+      if mem a i j then ignore (or_row r.rows.(i) b.rows.(j))
+    done
+  done;
+  r
+
+let compose3 a b c = compose (compose a b) c
+
+let has_reflexive r =
+  let rec go i = i < r.n && (mem r i i || go (i + 1)) in
+  go 0
+
+let irreflexive r = not (has_reflexive r)
+
+let is_acyclic r =
+  let c = transitive_closure r in
+  irreflexive c
+
+let iter r f =
+  for i = 0 to r.n - 1 do
+    for j = 0 to r.n - 1 do
+      if mem r i j then f i j
+    done
+  done
+
+let fold r f init =
+  let acc = ref init in
+  iter r (fun i j -> acc := f i j !acc);
+  !acc
+
+let to_list r = fold r (fun i j acc -> (i, j) :: acc) [] |> List.rev
+
+let cardinal r = fold r (fun _ _ acc -> acc + 1) 0
+
+let restrict r keep = of_pred r.n (fun i j -> mem r i j && keep i && keep j)
+
+let filter r keep_pair = of_pred r.n (fun i j -> mem r i j && keep_pair i j)
+
+let subset a b =
+  if a.n <> b.n then invalid_arg "Rel.subset: size mismatch";
+  let ok = ref true in
+  for i = 0 to a.n - 1 do
+    for w = 0 to a.words - 1 do
+      if a.rows.(i).(w) land lnot b.rows.(i).(w) <> 0 then ok := false
+    done
+  done;
+  !ok
+
+let pp ppf r =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any ";@ ") (pair ~sep:(any "->") int int))
+    (to_list r)

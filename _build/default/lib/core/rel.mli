@@ -1,0 +1,55 @@
+(** Binary relations over trace positions, with the little relation
+    calculus the consistency axioms need: union, relational composition,
+    transitive closure, acyclicity and irreflexivity checks.
+
+    Represented as bitset rows; all operations are O(n²·w) or better with
+    [w] the words per row (1 for litmus-scale traces). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty relation over [{0..n-1}]. *)
+
+val copy : t -> t
+val size : t -> int
+val mem : t -> int -> int -> bool
+
+val add : t -> int -> int -> unit
+(** In-place insertion. *)
+
+val of_pred : int -> (int -> int -> bool) -> t
+val union : t -> t -> t
+val union_many : t list -> t
+
+val union_into : into:t -> t -> bool
+(** [union_into ~into b] adds [b] into [into] in place; returns [true] if
+    anything changed. *)
+
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val transitive_closure : t -> t
+val transitive_closure_in_place : t -> unit
+
+val compose : t -> t -> t
+(** Relational composition [a ; b]. *)
+
+val compose3 : t -> t -> t -> t
+
+val irreflexive : t -> bool
+val has_reflexive : t -> bool
+
+val is_acyclic : t -> bool
+(** [is_acyclic r] holds when the transitive closure of [r] is
+    irreflexive. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+val fold : t -> (int -> int -> 'a -> 'a) -> 'a -> 'a
+val to_list : t -> (int * int) list
+val cardinal : t -> int
+
+val restrict : t -> (int -> bool) -> t
+(** Restrict both endpoints to positions satisfying the predicate. *)
+
+val filter : t -> (int -> int -> bool) -> t
+val subset : t -> t -> bool
+val pp : t Fmt.t

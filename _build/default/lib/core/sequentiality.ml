@@ -1,0 +1,61 @@
+(* L-sequentiality (§4).
+
+   An action c at position i is L-sequential if it does not touch L, or
+   is a transaction boundary, or:
+     (1) no earlier b with c ww b   (writes get maximal timestamps), and
+     (2) if a wr c then no earlier b with a ww b  (reads see the newest
+         earlier write).
+
+   In both conditions we restrict the obscuring write b to nonaborted
+   writes.  The paper's text does not state the restriction, but its proof
+   of Lemma A.4 (every L-weak action participates in an L-race) derives
+   "c rw b" from condition (2) — and rw excludes aborted b by definition —
+   and an L-race with an aborted b is impossible since aborted actions
+   never conflict.  Without the restriction, a read following an aborted
+   write could be L-weak yet race-free, contradicting the lemma.
+
+   A trace is transactionally L-sequential when every action is
+   L-sequential and every transaction is contiguous. *)
+
+let touches_l l t i =
+  match Action.loc_of (Trace.act t i) with
+  | None -> false
+  | Some x -> ( match l with None -> true | Some locs -> List.mem x locs)
+
+let l_sequential_action ?l t i =
+  if not (touches_l l t i) then true
+  else
+    match Trace.act t i with
+    | Action.Begin | Action.Commit | Action.Abort | Action.Qfence _ -> true
+    | Action.Write { loc; ts; _ } | Action.Read { loc; ts; _ } ->
+        (* no earlier nonaborted same-location write with a later
+           timestamp *)
+        let rec ok b =
+          b >= i
+          ||
+          (match Trace.act t b with
+          | Action.Write w
+            when String.equal w.loc loc && Rat.lt ts w.ts
+                 && Trace.is_nonaborted t b ->
+              false
+          | _ -> ok (b + 1))
+        in
+        ok 0
+
+let l_weak ?l t i = not (l_sequential_action ?l t i)
+
+let l_sequential ?l t =
+  let n = Trace.length t in
+  let rec go i = i >= n || (l_sequential_action ?l t i && go (i + 1)) in
+  go 0
+
+let transactionally_l_sequential ?l t =
+  l_sequential ?l t && Trace.all_txns_contiguous t
+
+(* Positions of L-weak actions, for diagnostics. *)
+let weak_positions ?l t =
+  let acc = ref [] in
+  for i = Trace.length t - 1 downto 0 do
+    if l_weak ?l t i then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,16 @@
+(** L-sequentiality (§4).
+
+    An action is L-sequential if it does not touch L, is a transaction
+    boundary or fence, or obeys the sequential store discipline: a write's
+    timestamp exceeds every earlier same-location timestamp, and a read
+    reads from the newest earlier write.  Omitting [l] means L = all
+    locations. *)
+
+val l_sequential_action : ?l:string list -> Trace.t -> int -> bool
+val l_weak : ?l:string list -> Trace.t -> int -> bool
+val l_sequential : ?l:string list -> Trace.t -> bool
+
+val transactionally_l_sequential : ?l:string list -> Trace.t -> bool
+(** Every action L-sequential and every transaction contiguous. *)
+
+val weak_positions : ?l:string list -> Trace.t -> int list

@@ -1,0 +1,35 @@
+(** The program-order suborders and external-synchronization decomposition
+    of happens-before (§5 "Suborders" and appendix C).
+
+    These characterize which reorderings the implementation model permits
+    and underpin the compiler-optimization proofs: a transformation that
+    preserves the suborders preserves consistency (Lemma C.3). *)
+
+val po_to_t : Lift.ctx -> Rel.t
+(** [po-T]: program order into a transactional action of a writing
+    transaction, across transaction boundaries. *)
+
+val po_t_from : Lift.ctx -> Rel.t
+(** [poT-]: program order out of a transactional action. *)
+
+val po_tt : Lift.ctx -> Rel.t
+val po_rw : Lift.ctx -> Rel.t
+val po_con : Lift.ctx -> Rel.t
+
+val swe : Lift.ctx -> Rel.t
+(** External transactional communication: [(cwr ∪ cww) \ po]. *)
+
+val hbe : Lift.ctx -> Rel.t
+(** External component of happens-before:
+    [(po-T)? ; (swe ; poTT)* ; swe ; (poT-)?]. *)
+
+val lemma_c1_holds : Lift.ctx -> Rel.t -> bool
+(** Check [hb = init ∪ hbe ∪ po] over non-boundary events, where [hb] is
+    the implementation-model happens-before of the context's trace. *)
+
+val wre : Lift.ctx -> Rel.t
+val xrwe : Lift.ctx -> Rel.t
+
+val lemma_c2_consistent : Lift.ctx -> bool
+(** The alternative consistency characterization of Lemma C.2 for the
+    implementation model. *)

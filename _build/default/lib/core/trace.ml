@@ -1,0 +1,258 @@
+(* Traces and the relations derived from them (§2).
+
+   A trace is a finite sequence of events; the action id of the paper is
+   the event's position.  From the sequence we derive the transaction
+   structure (which events belong to which transaction, and each
+   transaction's resolution status) and the base relations: index, init,
+   po, ww, wr and rw. *)
+
+type status = Committed | Aborted | Live
+
+let pp_status ppf = function
+  | Committed -> Fmt.string ppf "committed"
+  | Aborted -> Fmt.string ppf "aborted"
+  | Live -> Fmt.string ppf "live"
+
+type t = {
+  events : Action.event array;
+  locs : string list;
+  txn_of : int array; (* position of the owning Begin, or -1 for plain *)
+  resolution_of : int array; (* per Begin position: resolution position or -1 *)
+  txn_status : status array; (* per position, meaningful where txn_of >= 0 *)
+}
+
+let events t = t.events
+let length t = Array.length t.events
+let event t i = t.events.(i)
+let act t i = t.events.(i).Action.act
+let thread t i = t.events.(i).Action.thread
+let locs t = t.locs
+
+(* Scan the sequence assigning each event to the open transaction of its
+   thread, WF5-style: a resolution closes the latest open begin. *)
+let analyze events =
+  let n = Array.length events in
+  let txn_of = Array.make n (-1) in
+  let resolution_of = Array.make n (-1) in
+  let open_txn = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let { Action.thread; act } = events.(i) in
+    let current = Option.value (Hashtbl.find_opt open_txn thread) ~default:(-1) in
+    (match act with
+    | Action.Begin ->
+        txn_of.(i) <- i;
+        Hashtbl.replace open_txn thread i
+    | Action.Commit | Action.Abort ->
+        txn_of.(i) <- current;
+        if current >= 0 then resolution_of.(current) <- i;
+        Hashtbl.remove open_txn thread
+    | Action.Write _ | Action.Read _ | Action.Qfence _ -> txn_of.(i) <- current)
+  done;
+  let txn_status =
+    Array.init n (fun i ->
+        let b = txn_of.(i) in
+        if b < 0 then Committed (* unused for plain events *)
+        else
+          let r = resolution_of.(b) in
+          if r < 0 then Live
+          else
+            match events.(r).Action.act with
+            | Action.Commit -> Committed
+            | Action.Abort -> Aborted
+            | _ -> assert false)
+  in
+  (txn_of, resolution_of, txn_status)
+
+let of_events ~locs events =
+  let events = Array.of_list events in
+  let txn_of, resolution_of, txn_status = analyze events in
+  { events; locs; txn_of; resolution_of; txn_status }
+
+let init_events locs =
+  ({ Action.thread = Action.init_thread; act = Action.Begin }
+  :: List.map
+       (fun loc ->
+         {
+           Action.thread = Action.init_thread;
+           act = Action.Write { loc; value = 0; ts = Rat.zero };
+         })
+       locs)
+  @ [ { Action.thread = Action.init_thread; act = Action.Commit } ]
+
+let make ~locs body = of_events ~locs (init_events locs @ body)
+
+(* -- per-event predicates ------------------------------------------------ *)
+
+let txn_of t i = t.txn_of.(i)
+let is_transactional t i = t.txn_of.(i) >= 0
+let is_plain t i = t.txn_of.(i) < 0
+
+let same_txn t i j = i = j || (t.txn_of.(i) >= 0 && t.txn_of.(i) = t.txn_of.(j))
+
+let status t i = if t.txn_of.(i) < 0 then None else Some t.txn_status.(i)
+let is_aborted t i = t.txn_of.(i) >= 0 && t.txn_status.(i) = Aborted
+let is_nonaborted t i = not (is_aborted t i)
+
+(* "committed or live" in WF9/WF10 and the c-lifted relations: a
+   transactional action whose transaction is not aborted. *)
+let is_committed_or_live_txn t i = t.txn_of.(i) >= 0 && t.txn_status.(i) <> Aborted
+
+let is_init t i = (event t i).Action.thread = Action.init_thread
+
+let resolution_of_txn t b = if t.resolution_of.(b) < 0 then None else Some t.resolution_of.(b)
+
+let txn_touches t b x =
+  let n = length t in
+  let rec go i = i < n && ((t.txn_of.(i) = b && Action.touches x (act t i)) || go (i + 1)) in
+  go 0
+
+let txn_members t b =
+  let acc = ref [] in
+  for i = length t - 1 downto 0 do
+    if t.txn_of.(i) = b then acc := i :: !acc
+  done;
+  !acc
+
+let txns t =
+  let acc = ref [] in
+  for i = length t - 1 downto 0 do
+    if Action.is_begin (act t i) then acc := i :: !acc
+  done;
+  !acc
+
+(* -- base relations ------------------------------------------------------ *)
+
+let rel_index t = Rel.of_pred (length t) (fun i j -> i < j)
+
+let rel_init t =
+  Rel.of_pred (length t) (fun i j -> is_init t i && not (is_init t j))
+
+let rel_po t =
+  Rel.of_pred (length t) (fun i j -> i < j && thread t i = thread t j)
+
+let rel_ww t =
+  Rel.of_pred (length t) (fun i j ->
+      match (act t i, act t j) with
+      | Action.Write a, Action.Write b ->
+          String.equal a.loc b.loc && Rat.lt a.ts b.ts
+      | _ -> false)
+
+let rel_wr t =
+  Rel.of_pred (length t) (fun i j ->
+      match (act t i, act t j) with
+      | Action.Write a, Action.Read b ->
+          String.equal a.loc b.loc && a.value = b.value && Rat.equal a.ts b.ts
+      | _ -> false)
+
+(* b rw c iff a wr b and a ww c for some a, and c is plain or nonaborted. *)
+let rel_rw t =
+  let wr = rel_wr t and ww = rel_ww t in
+  let from_read = Rel.compose (Rel.of_pred (length t) (fun i j -> Rel.mem wr j i)) ww in
+  Rel.filter from_read (fun _ c -> is_nonaborted t c)
+
+let wr_source t j =
+  match act t j with
+  | Action.Read { loc; ts; _ } ->
+      let n = length t in
+      let rec go i =
+        if i >= n then None
+        else
+          match act t i with
+          | Action.Write w when String.equal w.loc loc && Rat.equal w.ts ts ->
+              Some i
+          | _ -> go (i + 1)
+      in
+      go 0
+  | _ -> None
+
+(* -- whole-trace queries ------------------------------------------------- *)
+
+let writes_to t x =
+  let acc = ref [] in
+  for i = length t - 1 downto 0 do
+    match act t i with
+    | Action.Write { loc; _ } when String.equal loc x -> acc := i :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+(* Final value: the nonaborted write with the greatest timestamp. *)
+let final_value t x =
+  let best = ref None in
+  List.iter
+    (fun i ->
+      if is_nonaborted t i then
+        match act t i with
+        | Action.Write { ts; value; _ } -> (
+            match !best with
+            | Some (ts', _) when Rat.leq ts ts' -> ()
+            | _ -> best := Some (ts, value))
+        | _ -> ())
+    (writes_to t x);
+  Option.map snd !best
+
+(* Transaction b is contiguous (§4): a foreign event strictly inside the
+   transaction's span forces either the resolution to occur before it, or
+   the owner thread to never act again after it. *)
+let txn_contiguous t b =
+  let s = thread t b in
+  let r = t.resolution_of.(b) in
+  let n = length t in
+  let owner_acts_after c =
+    let rec go i = i < n && (thread t i = s || go (i + 1)) in
+    go (c + 1)
+  in
+  let ok = ref true in
+  let upper = if r >= 0 then r else n in
+  for c = b + 1 to upper - 1 do
+    if thread t c <> s && thread t c <> Action.init_thread then
+      if owner_acts_after c then ok := false
+  done;
+  !ok
+
+let all_txns_contiguous t = List.for_all (txn_contiguous t) (txns t)
+
+let all_txns_resolved t =
+  List.for_all (fun b -> t.resolution_of.(b) >= 0) (txns t)
+
+(* -- surgery ------------------------------------------------------------- *)
+
+let sub t keep =
+  let body = ref [] in
+  for i = length t - 1 downto 0 do
+    if keep i then body := event t i :: !body
+  done;
+  of_events ~locs:t.locs !body
+
+(* Theorem 4.2: drop all events of aborted transactions. *)
+let drop_aborted t = sub t (fun i -> not (is_aborted t i))
+
+let permute t perm =
+  let events = Array.map (fun old -> t.events.(old)) perm in
+  let txn_of, resolution_of, txn_status = analyze events in
+  { events; locs = t.locs; txn_of; resolution_of; txn_status }
+
+let is_order_preserving t perm =
+  (* po is preserved iff each thread's subsequence of events is unchanged. *)
+  let pos_of = Array.make (Array.length perm) 0 in
+  Array.iteri (fun newp old -> pos_of.(old) <- newp) perm;
+  let ok = ref true in
+  let n = length t in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if thread t i = thread t j && pos_of.(i) > pos_of.(j) then ok := false
+    done
+  done;
+  !ok
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.iter_bindings ~sep:Fmt.cut
+       (fun f t -> Array.iteri (fun i e -> f i e) t.events)
+       (fun ppf (i, e) -> Fmt.pf ppf "%3d %a" i Action.pp_event e))
+    t
+
+let pp_compact ppf t =
+  Fmt.pf ppf "%a"
+    Fmt.(array ~sep:(any " ") Action.pp_event)
+    t.events

@@ -1,0 +1,107 @@
+(** Traces and the relations derived from them (§2 of the paper).
+
+    A trace is a finite sequence of events; the paper's action id of an
+    event is its position in the sequence.  This module derives the
+    transaction structure (membership, resolution status, contiguity) and
+    the base relations: index, init, program order, coherence ([ww]),
+    reads-from ([wr]) and antidependency ([rw]). *)
+
+type status = Committed | Aborted | Live
+
+val pp_status : status Fmt.t
+
+type t
+
+val make : locs:string list -> Action.event list -> t
+(** [make ~locs body] is the trace consisting of the WF1 initializing
+    transaction (one write of [0] at timestamp [0] per location in [locs])
+    followed by [body]. *)
+
+val of_events : locs:string list -> Action.event list -> t
+(** A raw trace with no implicit initializing transaction.  Used to build
+    deliberately ill-formed traces in tests. *)
+
+val init_events : string list -> Action.event list
+(** The events of the WF1 initializing transaction. *)
+
+val events : t -> Action.event array
+val length : t -> int
+val event : t -> int -> Action.event
+val act : t -> int -> Action.t
+val thread : t -> int -> Action.thread
+val locs : t -> string list
+
+(** {1 Transaction structure} *)
+
+val txn_of : t -> int -> int
+(** Position of the owning [Begin], or [-1] when the event is plain. *)
+
+val is_transactional : t -> int -> bool
+val is_plain : t -> int -> bool
+
+val same_txn : t -> int -> int -> bool
+(** The equivalence [tx~]: equal positions, or members of the same
+    transaction. *)
+
+val status : t -> int -> status option
+val is_aborted : t -> int -> bool
+
+val is_nonaborted : t -> int -> bool
+(** Plain events count as nonaborted, as in the paper's definitions of
+    conflict and antidependency. *)
+
+val is_committed_or_live_txn : t -> int -> bool
+(** Transactional and not aborted — the side condition of WF9/WF10 and of
+    the [c]-lifted relations. *)
+
+val is_init : t -> int -> bool
+val resolution_of_txn : t -> int -> int option
+val txn_touches : t -> int -> string -> bool
+val txn_members : t -> int -> int list
+
+val txns : t -> int list
+(** Positions of all [Begin] events. *)
+
+(** {1 Base relations (over positions)} *)
+
+val rel_index : t -> Rel.t
+val rel_init : t -> Rel.t
+val rel_po : t -> Rel.t
+val rel_ww : t -> Rel.t
+val rel_wr : t -> Rel.t
+
+val rel_rw : t -> Rel.t
+(** [b rw c] iff [a wr b] and [a ww c] for some [a], and [c] is plain or
+    nonaborted. *)
+
+val wr_source : t -> int -> int option
+(** The unique write a read takes its value from (matching location and
+    timestamp), if any. *)
+
+(** {1 Whole-trace queries} *)
+
+val writes_to : t -> string -> int list
+
+val final_value : t -> string -> int option
+(** The value of the nonaborted write with the greatest timestamp. *)
+
+val txn_contiguous : t -> int -> bool
+val all_txns_contiguous : t -> bool
+val all_txns_resolved : t -> bool
+
+(** {1 Surgery} *)
+
+val sub : t -> (int -> bool) -> t
+(** Keep only the selected positions (re-analyzed as a fresh trace). *)
+
+val drop_aborted : t -> t
+(** Remove every event of every aborted transaction (Theorem 4.2). *)
+
+val permute : t -> int array -> t
+(** [permute t perm] reorders events; [perm.(new_position) = old_position]. *)
+
+val is_order_preserving : t -> int array -> bool
+(** Does the permutation preserve program order (§4)? *)
+
+val pp : t Fmt.t
+val pp_compact : t Fmt.t

@@ -1,0 +1,21 @@
+(** Well-formedness of traces: WF1–WF11 of §2 and WF12 of §5.
+
+    WF2 (unique action names) holds by construction since action ids are
+    trace positions. *)
+
+type violation =
+  | WF1_no_init
+  | WF3_duplicate_timestamp of int * int
+  | WF4_unmatched_resolution of int
+  | WF5_nested_begin of int
+  | WF6_unfulfilled_read of int
+  | WF7_aborted_source of int * int
+  | WF8_read_from_future of int * int
+  | WF9_txn_write_order of int * int
+  | WF10_txn_read_order of int * int
+  | WF11_same_txn_order of int * int
+  | WF12_fence_overlap of int * int
+
+val pp_violation : violation Fmt.t
+val violations : Trace.t -> violation list
+val is_well_formed : Trace.t -> bool

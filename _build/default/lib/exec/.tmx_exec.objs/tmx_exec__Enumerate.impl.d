@@ -1,0 +1,1 @@
+lib/exec/enumerate.ml: Action Array Consistency Fmt Fun Hashtbl Hb Lift List Model Option Outcome Proto Rat String Tmx_core Tmx_lang Trace Wellformed

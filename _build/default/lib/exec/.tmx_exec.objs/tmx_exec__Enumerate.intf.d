@@ -1,0 +1,1 @@
+lib/exec/enumerate.mli: Outcome Tmx_core Tmx_lang

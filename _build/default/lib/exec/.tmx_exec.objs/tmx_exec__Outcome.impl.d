@@ -1,0 +1,1 @@
+lib/exec/outcome.ml: Array Fmt List Option Stdlib

@@ -1,0 +1,1 @@
+lib/exec/proto.ml: Ast Fmt Hashtbl List Option Tmx_lang

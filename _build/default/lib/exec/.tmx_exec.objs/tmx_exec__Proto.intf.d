@@ -1,0 +1,1 @@
+lib/exec/proto.mli: Fmt Tmx_lang

@@ -1,0 +1,1 @@
+lib/exec/sc.ml: Action Ast List Option Outcome Proto Rat Tmx_core Tmx_lang Trace

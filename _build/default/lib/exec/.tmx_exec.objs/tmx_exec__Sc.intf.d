@@ -1,0 +1,1 @@
+lib/exec/sc.mli: Outcome Tmx_core Tmx_lang

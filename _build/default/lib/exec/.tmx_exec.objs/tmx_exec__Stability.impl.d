@@ -1,0 +1,1 @@
+lib/exec/stability.ml: Action Enumerate Fun Hb Lift List Race Rat Sequentiality String Tmx_core Trace

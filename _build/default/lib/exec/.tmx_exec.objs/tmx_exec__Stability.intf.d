@@ -1,0 +1,1 @@
+lib/exec/stability.mli: Enumerate Model Rel Tmx_core Tmx_lang Trace

@@ -1,0 +1,1 @@
+lib/exec/verdict.ml: Action Consistency Enumerate Hb Lift List Model Outcome Race Sc Sequentiality Tmx_core Trace

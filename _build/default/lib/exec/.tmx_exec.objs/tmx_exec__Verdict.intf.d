@@ -1,0 +1,1 @@
+lib/exec/verdict.mli: Enumerate Model Outcome Sc Tmx_core Tmx_lang Trace

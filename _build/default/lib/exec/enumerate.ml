@@ -1,0 +1,403 @@
+(* Exhaustive enumeration of the consistent executions of a litmus
+   program, herd-style.
+
+   Rather than enumerating raw interleavings (hopeless beyond a handful of
+   events), we enumerate execution graphs — per-thread control paths ×
+   reads-from choices × per-location coherence orders × fence/transaction
+   orderings — and then build one well-formed linearization per graph.
+   This is justified by the paper's observation (§2) that WF8–WF11 are
+   redundant with respect to the consistency axioms when traces are viewed
+   as execution graphs: a graph is the semantics of some well-formed trace
+   iff the WF-derived ordering constraints below are acyclic.
+
+   The ordering constraints are exactly the necessary consequences of
+   WF1/WF5/WF8–WF12: initialization first, program order, reads-from
+   (WF8), the three obscured-read/write conditions (WF9–WF11), and the
+   chosen side of each fence/transaction ordering (WF12).  Any topological
+   order satisfies every WF condition — checked, not assumed: the
+   enumerator runs the full well-formedness scan on every trace it
+   produces and raises on violation. *)
+
+open Tmx_core
+
+type config = { fuel : int; domain_iters : int; max_graphs : int }
+
+let default_config = { fuel = 6; domain_iters = 4; max_graphs = 500_000 }
+
+type execution = { trace : Trace.t; outcome : Outcome.t }
+
+type result = {
+  executions : execution list;
+  truncated : bool; (* some thread path hit the loop-unrolling bound *)
+  capped : bool; (* the graph-count cap was hit *)
+  graphs : int; (* candidate graphs examined *)
+}
+
+(* -- combined event list for one choice of thread paths ------------------ *)
+
+type gevent = {
+  thread : int;
+  proto : Proto.proto;
+  txn : int; (* index of owning PBegin, or -1 *)
+  aborted : bool; (* in an aborted transaction *)
+}
+
+let build_events (paths : Proto.path list) =
+  let protos =
+    List.concat
+      (List.mapi
+         (fun i (p : Proto.path) ->
+           List.map (fun pr -> (i, pr)) p.protos)
+         paths)
+  in
+  let events =
+    Array.of_list
+      (List.map (fun (thread, proto) -> { thread; proto; txn = -1; aborted = false }) protos)
+  in
+  (* transaction membership + status, per thread *)
+  let n = Array.length events in
+  let open_txn = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let e = events.(i) in
+    match e.proto with
+    | Proto.PBegin ->
+        Hashtbl.replace open_txn e.thread i;
+        events.(i) <- { e with txn = i }
+    | Proto.PCommit | Proto.PAbort ->
+        let b = Option.value (Hashtbl.find_opt open_txn e.thread) ~default:(-1) in
+        events.(i) <- { e with txn = b };
+        Hashtbl.remove open_txn e.thread
+    | _ ->
+        let b = Option.value (Hashtbl.find_opt open_txn e.thread) ~default:(-1) in
+        events.(i) <- { e with txn = b }
+  done;
+  (* mark aborted transactions *)
+  let aborted_txns = Hashtbl.create 8 in
+  Array.iter
+    (fun e ->
+      match e.proto with
+      | Proto.PAbort when e.txn >= 0 -> Hashtbl.replace aborted_txns e.txn ()
+      | _ -> ())
+    events;
+  Array.map
+    (fun e -> { e with aborted = e.txn >= 0 && Hashtbl.mem aborted_txns e.txn })
+    events
+
+(* -- small combinatorics helpers ----------------------------------------- *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+(* product over a list of choice lists, calling [k] with each selection
+   (as a list aligned with the input). *)
+let rec product choices k =
+  match choices with
+  | [] -> k []
+  | c :: rest -> List.iter (fun x -> product rest (fun sel -> k (x :: sel))) c
+
+(* -- the enumerator ------------------------------------------------------- *)
+
+let same_txn (ev : gevent array) i j = i = j || (ev.(i).txn >= 0 && ev.(i).txn = ev.(j).txn)
+
+let txn_touches_loc (ev : gevent array) b x =
+  let n = Array.length ev in
+  let rec go i =
+    i < n
+    && ((ev.(i).txn = b
+        &&
+        match ev.(i).proto with
+        | Proto.PWrite (y, _) | Proto.PRead (y, _) -> String.equal x y
+        | _ -> false)
+       || go (i + 1))
+  in
+  go 0
+
+type fence_choice = Commit_before | Fence_before
+
+let run ?(config = default_config) (model : Model.t) (program : Tmx_lang.Ast.program) =
+  (match Tmx_lang.Ast.validate program with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Enumerate.run: " ^ msg));
+  let domain, thread_paths =
+    Proto.unfold ~iters:config.domain_iters ~fuel:config.fuel program
+  in
+  let locs = Proto.Domain.locs domain in
+  let truncated =
+    List.exists (List.exists (fun (p : Proto.path) -> p.truncated)) thread_paths
+  in
+  let thread_paths =
+    List.map (List.filter (fun (p : Proto.path) -> not p.truncated)) thread_paths
+  in
+  let executions = ref [] in
+  let graphs = ref 0 in
+  let capped = ref false in
+
+  let process_paths (paths : Proto.path list) =
+    let ev = build_events paths in
+    let n = Array.length ev in
+    (* indices *)
+    let reads = ref [] and fences = ref [] in
+    let writes_to = Hashtbl.create 8 in
+    for i = n - 1 downto 0 do
+      match ev.(i).proto with
+      | Proto.PRead _ -> reads := i :: !reads
+      | Proto.PWrite (x, _) ->
+          Hashtbl.replace writes_to x (i :: Option.value (Hashtbl.find_opt writes_to x) ~default:[])
+      | Proto.PQfence _ -> fences := i :: !fences
+      | _ -> ()
+    done;
+    let writes_of x = Option.value (Hashtbl.find_opt writes_to x) ~default:[] in
+    (* reads-from candidates: same location and value; an aborted source
+       must be in the reader's own transaction; a same-thread source must
+       precede the read in program order (else no linearization can put it
+       before the read). [-1] encodes reading the initial value 0. *)
+    let rf_candidates i =
+      match ev.(i).proto with
+      | Proto.PRead (x, v) ->
+          let from_writes =
+            List.filter
+              (fun j ->
+                (match ev.(j).proto with
+                | Proto.PWrite (_, w) -> w = v
+                | _ -> false)
+                && (not (ev.(j).aborted && not (same_txn ev i j)))
+                && not (ev.(j).thread = ev.(i).thread && j > i))
+              (writes_of x)
+          in
+          if v = 0 then -1 :: from_writes else from_writes
+      | _ -> assert false
+    in
+    let read_choices = List.map rf_candidates !reads in
+    if List.exists (fun c -> c = []) read_choices then ()
+    else begin
+      (* coherence choices: per location, a permutation of its non-init
+         writes; the initializing write is first (anything below it is
+         inconsistent by Coherence). *)
+      let locs_written =
+        List.sort_uniq compare
+          (Hashtbl.fold (fun x _ acc -> x :: acc) writes_to [])
+      in
+      let ww_choices = List.map (fun x -> permutations (writes_of x)) locs_written in
+      (* fence ordering choices per (fence, transaction touching its
+         location): same-thread pairs are forced by program order. *)
+      let fence_pairs =
+        List.concat_map
+          (fun q ->
+            let x = match ev.(q).proto with Proto.PQfence x -> x | _ -> assert false in
+            List.filter_map
+              (fun b ->
+                if ev.(b).proto = Proto.PBegin && txn_touches_loc ev b x then
+                  if ev.(b).thread = ev.(q).thread then
+                    (* forced: the side matching program order *)
+                    if b < q then Some ((q, b), [ Commit_before ])
+                    else Some ((q, b), [ Fence_before ])
+                  else Some ((q, b), [ Commit_before; Fence_before ])
+                else None)
+              (List.init n Fun.id))
+          !fences
+      in
+      let fence_keys = List.map fst fence_pairs in
+      let fence_opts = List.map snd fence_pairs in
+      product read_choices (fun rf_sel ->
+          product ww_choices (fun ww_sel ->
+              product fence_opts (fun fence_sel ->
+                  if !graphs >= config.max_graphs then capped := true
+                  else begin
+                    incr graphs;
+                    (* timestamps: position in the chosen coherence order *)
+                    let ts_of_write = Hashtbl.create 16 in
+                    List.iter2
+                      (fun _x perm ->
+                        List.iteri
+                          (fun k j -> Hashtbl.replace ts_of_write j (Rat.of_int (k + 1)))
+                          perm)
+                      locs_written ww_sel;
+                    let rf = Hashtbl.create 16 in
+                    List.iter2 (fun r w -> Hashtbl.replace rf r w) !reads rf_sel;
+                    let ts_of_read r =
+                      match Hashtbl.find rf r with
+                      | -1 -> Rat.zero
+                      | w -> Hashtbl.find ts_of_write w
+                    in
+                    (* WF-derived ordering constraints *)
+                    let succs = Array.make n [] in
+                    let indeg = Array.make n 0 in
+                    let edge a b =
+                      succs.(a) <- b :: succs.(a);
+                      indeg.(b) <- indeg.(b) + 1
+                    in
+                    (* program order: consecutive events of each thread *)
+                    let last_of_thread = Hashtbl.create 8 in
+                    for i = 0 to n - 1 do
+                      (match Hashtbl.find_opt last_of_thread ev.(i).thread with
+                      | Some j -> edge j i
+                      | None -> ());
+                      Hashtbl.replace last_of_thread ev.(i).thread i
+                    done;
+                    (* reads-from (WF8) *)
+                    List.iter
+                      (fun r -> match Hashtbl.find rf r with -1 -> () | w -> edge w r)
+                      !reads;
+                    (* WF9: transactional write before any coherence-later
+                       committed transactional write *)
+                    List.iter
+                      (fun x ->
+                        let ws = writes_of x in
+                        List.iter
+                          (fun b ->
+                            if ev.(b).txn >= 0 then
+                              List.iter
+                                (fun c ->
+                                  if
+                                    c <> b && ev.(c).txn >= 0 && (not ev.(c).aborted)
+                                    && Rat.lt (Hashtbl.find ts_of_write b) (Hashtbl.find ts_of_write c)
+                                  then edge b c)
+                                ws)
+                          ws)
+                      locs_written;
+                    (* WF10/WF11: a read before any write that obscures its
+                       source (committed-foreign for transactional sources,
+                       same-transaction always) *)
+                    List.iter
+                      (fun r ->
+                        if ev.(r).txn >= 0 then
+                          let w = Hashtbl.find rf r in
+                          let src_ts = ts_of_read r in
+                          (* the initializing write is transactional
+                             (committed), like any other member of the
+                             initializing transaction *)
+                          let src_is_txn = w = -1 || ev.(w).txn >= 0 in
+                          let x =
+                            match ev.(r).proto with
+                            | Proto.PRead (x, _) -> x
+                            | _ -> assert false
+                          in
+                          List.iter
+                            (fun c ->
+                              if Rat.lt src_ts (Hashtbl.find ts_of_write c) then begin
+                                if
+                                  src_is_txn && ev.(c).txn >= 0
+                                  && not ev.(c).aborted
+                                then edge r c;
+                                if same_txn ev r c then edge r c
+                              end)
+                            (writes_of x))
+                      !reads;
+                    (* fence choices (WF12) *)
+                    List.iter2
+                      (fun (q, b) choice ->
+                        match choice with
+                        | Commit_before ->
+                            (* resolution of txn b before fence q *)
+                            let rec find_res i =
+                              if i >= n then None
+                              else if
+                                ev.(i).txn = b
+                                && (ev.(i).proto = Proto.PCommit
+                                   || ev.(i).proto = Proto.PAbort)
+                              then Some i
+                              else find_res (i + 1)
+                            in
+                            (match find_res 0 with
+                            | Some r -> edge r q
+                            | None -> ())
+                        | Fence_before -> edge q b)
+                      fence_keys fence_sel;
+                    (* topological sort, preferring to keep the currently
+                       open transaction contiguous *)
+                    let emitted = Array.make n false in
+                    let order = ref [] in
+                    let count = ref 0 in
+                    let current_txn = ref (-1) in
+                    let ok = ref true in
+                    while !ok && !count < n do
+                      (* candidate: available event, prefer same txn *)
+                      let pick = ref (-1) in
+                      (try
+                         for i = 0 to n - 1 do
+                           if (not emitted.(i)) && indeg.(i) = 0 then begin
+                             if !pick = -1 then pick := i;
+                             if !current_txn >= 0 && ev.(i).txn = !current_txn
+                             then begin
+                               pick := i;
+                               raise Exit
+                             end
+                           end
+                         done
+                       with Exit -> ());
+                      if !pick = -1 then ok := false
+                      else begin
+                        let i = !pick in
+                        emitted.(i) <- true;
+                        incr count;
+                        order := i :: !order;
+                        (match ev.(i).proto with
+                        | Proto.PBegin -> current_txn := i
+                        | Proto.PCommit | Proto.PAbort -> current_txn := -1
+                        | _ -> ());
+                        List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) succs.(i)
+                      end
+                    done;
+                    if !ok then begin
+                      let order = List.rev !order in
+                      let to_action i =
+                        let open Action in
+                        match ev.(i).proto with
+                        | Proto.PWrite (x, v) ->
+                            Write { loc = x; value = v; ts = Hashtbl.find ts_of_write i }
+                        | Proto.PRead (x, v) ->
+                            Read { loc = x; value = v; ts = ts_of_read i }
+                        | Proto.PBegin -> Begin
+                        | Proto.PCommit -> Commit
+                        | Proto.PAbort -> Abort
+                        | Proto.PQfence x -> Qfence x
+                      in
+                      let body =
+                        List.map
+                          (fun i -> { Action.thread = ev.(i).thread; act = to_action i })
+                          order
+                      in
+                      let trace = Trace.make ~locs body in
+                      (match Wellformed.violations trace with
+                      | [] -> ()
+                      | vs ->
+                          Fmt.failwith
+                            "Enumerate: internal error, ill-formed linearization:@ %a@ trace:@ %a"
+                            Fmt.(list ~sep:comma Wellformed.pp_violation)
+                            vs Trace.pp trace);
+                      let ctx = Lift.make trace in
+                      let hb = Hb.compute model ctx in
+                      if Consistency.consistent_axioms model ctx hb then begin
+                        let outcome =
+                          Outcome.make
+                            ~envs:(List.map (fun (p : Proto.path) -> p.env) paths)
+                            ~mem:
+                              (List.map
+                                 (fun x ->
+                                   (x, Option.value (Trace.final_value trace x) ~default:0))
+                                 locs)
+                        in
+                        executions := { trace; outcome } :: !executions
+                      end
+                    end
+                  end)))
+    end
+  in
+  product thread_paths process_paths;
+  {
+    executions = List.rev !executions;
+    truncated;
+    capped = !capped;
+    graphs = !graphs;
+  }
+
+let outcomes result = Outcome.dedup (List.map (fun e -> e.outcome) result.executions)
+
+let allowed result cond = List.exists (fun e -> cond e.outcome) result.executions
+let forbidden result cond = not (allowed result cond)

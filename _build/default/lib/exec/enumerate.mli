@@ -1,0 +1,35 @@
+(** Exhaustive enumeration of the consistent executions of a litmus
+    program, herd-style.
+
+    Rather than enumerating raw interleavings, the enumerator works over
+    execution graphs — per-thread control paths × reads-from choices ×
+    per-location coherence orders × fence/transaction orderings — and
+    builds one well-formed linearization per graph through the
+    WF-derived ordering constraints (initialization, program order, WF8
+    reads-from, WF9–WF11 obscured accesses, WF12 fence sides).  This is
+    complete by the paper's observation that WF8–WF11 are redundant with
+    respect to the consistency axioms at the graph level; every produced
+    trace is re-checked against the full well-formedness scan (a
+    violation raises, as an enumerator-bug detector). *)
+
+type config = {
+  fuel : int;  (** loop unrollings per thread *)
+  domain_iters : int;  (** value-domain fixpoint rounds *)
+  max_graphs : int;  (** cap on candidate graphs *)
+}
+
+val default_config : config
+
+type execution = { trace : Tmx_core.Trace.t; outcome : Outcome.t }
+
+type result = {
+  executions : execution list;  (** the consistent executions *)
+  truncated : bool;  (** a path hit the loop bound *)
+  capped : bool;  (** the graph cap was hit *)
+  graphs : int;  (** candidate graphs examined *)
+}
+
+val run : ?config:config -> Tmx_core.Model.t -> Tmx_lang.Ast.program -> result
+val outcomes : result -> Outcome.t list
+val allowed : result -> (Outcome.t -> bool) -> bool
+val forbidden : result -> (Outcome.t -> bool) -> bool

@@ -1,0 +1,36 @@
+(* Final-state observations of an execution: per-thread register values
+   and final memory (the nonaborted write with the greatest timestamp per
+   location). *)
+
+type t = { regs : (string * int) list array; mem : (string * int) list }
+
+(* Zero-valued bindings are dropped: zero is the default for unbound
+   registers and untouched locations, so this canonicalizes outcomes
+   across components that track different sets of names (e.g. the
+   enumerator knows dynamically-discovered array cells the simulator
+   never touches). *)
+let normalize bindings =
+  List.sort compare (List.filter (fun (_, v) -> v <> 0) bindings)
+
+let make ~envs ~mem =
+  { regs = Array.of_list (List.map normalize envs); mem = normalize mem }
+
+let reg o thread r =
+  if thread < 0 || thread >= Array.length o.regs then 0
+  else Option.value (List.assoc_opt r o.regs.(thread)) ~default:0
+
+let mem o x = Option.value (List.assoc_opt x o.mem) ~default:0
+
+let compare_t (a : t) (b : t) = Stdlib.compare (a.regs, a.mem) (b.regs, b.mem)
+let equal a b = compare_t a b = 0
+
+let dedup outcomes = List.sort_uniq compare_t outcomes
+
+let pp ppf o =
+  let pp_binding ppf (k, v) = Fmt.pf ppf "%s=%d" k v in
+  Array.iteri
+    (fun i env ->
+      if env <> [] then
+        Fmt.pf ppf "t%d:[%a] " i Fmt.(list ~sep:(any " ") pp_binding) env)
+    o.regs;
+  Fmt.pf ppf "mem:[%a]" Fmt.(list ~sep:(any " ") pp_binding) o.mem

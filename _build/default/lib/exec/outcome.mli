@@ -1,0 +1,25 @@
+(** Final-state observations of an execution: per-thread register values
+    and the final memory (the nonaborted write with the greatest
+    timestamp per location).
+
+    Registers written only inside aborted transactions do not appear:
+    aborts roll register state back, as in a real STM. *)
+
+type t = { regs : (string * int) list array; mem : (string * int) list }
+
+val make : envs:(string * int) list list -> mem:(string * int) list -> t
+
+val reg : t -> int -> string -> int
+(** [reg o thread r] is the final value of register [r] on [thread]
+    ([0] when unbound or the thread does not exist). *)
+
+val mem : t -> string -> int
+(** Final memory value ([0] when the location is unknown). *)
+
+val compare_t : t -> t -> int
+val equal : t -> t -> bool
+
+val dedup : t list -> t list
+(** Sort and deduplicate. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,164 @@
+(* Thread unfolding: from a litmus program to per-thread sequences of
+   proto-events.
+
+   Control flow depends on the values loads return, so each load branches
+   over the location's value domain; infeasible assumptions die later when
+   no write can fulfil the read.  Value domains are computed by a small
+   fixpoint: start with {0} everywhere and iterate collecting the values
+   threads can write. *)
+
+open Tmx_lang
+
+type proto =
+  | PWrite of string * int
+  | PRead of string * int (* assumed value *)
+  | PBegin
+  | PCommit
+  | PAbort
+  | PQfence of string
+
+let pp_proto ppf = function
+  | PWrite (x, v) -> Fmt.pf ppf "W%s%d" x v
+  | PRead (x, v) -> Fmt.pf ppf "R%s%d" x v
+  | PBegin -> Fmt.string ppf "B"
+  | PCommit -> Fmt.string ppf "C"
+  | PAbort -> Fmt.string ppf "A"
+  | PQfence x -> Fmt.pf ppf "Q%s" x
+
+type env = (string * int) list
+
+let env_get env r = Option.value (List.assoc_opt r env) ~default:0
+let env_set env r v = (r, v) :: List.remove_assoc r env
+
+let rec eval env : Ast.expr -> int = function
+  | Int n -> n
+  | Reg r -> env_get env r
+  | Add (a, b) -> eval env a + eval env b
+  | Sub (a, b) -> eval env a - eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Eq (a, b) -> if eval env a = eval env b then 1 else 0
+  | Ne (a, b) -> if eval env a <> eval env b then 1 else 0
+  | Lt (a, b) -> if eval env a < eval env b then 1 else 0
+  | Not a -> if eval env a = 0 then 1 else 0
+  | And (a, b) -> if eval env a <> 0 && eval env b <> 0 then 1 else 0
+  | Or (a, b) -> if eval env a <> 0 || eval env b <> 0 then 1 else 0
+
+let resolve env ({ base; index } : Ast.lval) =
+  match index with
+  | None -> base
+  | Some e -> Fmt.str "%s[%d]" base (eval env e)
+
+(* Value domains: location -> set of values a read may return. *)
+module Domain = struct
+  type t = (string, int list) Hashtbl.t (* sorted value lists *)
+
+  let create locs =
+    let d = Hashtbl.create 16 in
+    List.iter (fun x -> Hashtbl.replace d x [ 0 ]) locs;
+    d
+
+  let values d x = Option.value (Hashtbl.find_opt d x) ~default:[ 0 ]
+
+  let add d x v =
+    let vs = values d x in
+    if List.mem v vs then false
+    else begin
+      Hashtbl.replace d x (List.sort compare (v :: vs));
+      true
+    end
+
+  let locs d = Hashtbl.fold (fun x _ acc -> x :: acc) d [] |> List.sort compare
+end
+
+type path = { protos : proto list; env : env; truncated : bool }
+
+type item = S of Ast.stmt | End_atomic
+
+(* Unfold one thread against a value domain.  [fuel] bounds loop
+   unrollings; a path that exhausts it is marked truncated.
+
+   An abort rolls the registers back to their values at the transaction's
+   begin: like an STM, an aborted block has no observable effect beyond
+   its trace actions.  [txn_env] holds the snapshot while inside an
+   atomic block (no nesting, by validation). *)
+let unfold_thread (domain : Domain.t) ~fuel (thread : Ast.thread) : path list =
+  let rec go fuel env txn_env items acc =
+    match items with
+    | [] -> [ { protos = List.rev acc; env; truncated = false } ]
+    | End_atomic :: rest -> go fuel env None rest (PCommit :: acc)
+    | S s :: rest -> (
+        match (s : Ast.stmt) with
+        | Skip -> go fuel env txn_env rest acc
+        | Assign (r, e) -> go fuel (env_set env r (eval env e)) txn_env rest acc
+        | Load (r, lv) ->
+            let x = resolve env lv in
+            List.concat_map
+              (fun v ->
+                go fuel (env_set env r v) txn_env rest (PRead (x, v) :: acc))
+              (Domain.values domain x)
+        | Store (lv, e) ->
+            let x = resolve env lv in
+            go fuel env txn_env rest (PWrite (x, eval env e) :: acc)
+        | Atomic body ->
+            go fuel env (Some env)
+              (List.map (fun s -> S s) body @ (End_atomic :: rest))
+              (PBegin :: acc)
+        | Abort ->
+            let rec drop = function
+              | End_atomic :: rest -> rest
+              | _ :: rest -> drop rest
+              | [] -> []
+            in
+            let rolled_back = Option.value txn_env ~default:env in
+            go fuel rolled_back None (drop rest) (PAbort :: acc)
+        | If (c, t, e) ->
+            let branch = if eval env c <> 0 then t else e in
+            go fuel env txn_env (List.map (fun s -> S s) branch @ rest) acc
+        | While (c, b) ->
+            if eval env c = 0 then go fuel env txn_env rest acc
+            else if fuel <= 0 then
+              [ { protos = List.rev acc; env; truncated = true } ]
+            else
+              go (fuel - 1) env txn_env
+                (List.map (fun s -> S s) b @ (S (While (c, b)) :: rest))
+                acc
+        | Fence x -> go fuel env txn_env rest (PQfence x :: acc))
+  in
+  go fuel [] None (List.map (fun s -> S s) thread) []
+
+(* Fixpoint of value domains.  Iteration is capped: extra values only add
+   read assumptions that die at the reads-from stage, so a low cap is
+   sound for programs whose data chains are short (all litmus programs
+   converge in two rounds). *)
+let domains ?(iters = 4) ~fuel (p : Ast.program) =
+  let d = Domain.create p.locs in
+  let rec loop i =
+    if i >= iters then ()
+    else begin
+      let changed = ref false in
+      List.iter
+        (fun th ->
+          List.iter
+            (fun path ->
+              List.iter
+                (function
+                  | PWrite (x, v) -> if Domain.add d x v then changed := true
+                  | PRead (x, _) | PQfence x ->
+                      (* make sure dynamically-named cells exist *)
+                      if not (Hashtbl.mem d x) then begin
+                        Hashtbl.replace d x [ 0 ];
+                        changed := true
+                      end
+                  | _ -> ())
+                path.protos)
+            (unfold_thread d ~fuel th))
+        p.threads;
+      if !changed then loop (i + 1)
+    end
+  in
+  loop 0;
+  d
+
+let unfold ?iters ~fuel (p : Ast.program) =
+  let d = domains ?iters ~fuel p in
+  (d, List.map (unfold_thread d ~fuel) p.threads)

@@ -1,0 +1,56 @@
+(** Thread unfolding: from litmus programs to per-thread sequences of
+    proto-events.
+
+    Control flow depends on the values loads return, so each load
+    branches over the location's value domain; infeasible assumptions die
+    at the reads-from stage of the enumerator.  Value domains are a small
+    fixpoint: start at [{0}] and iterate collecting written values (the
+    iteration cap only ever overapproximates). *)
+
+type proto =
+  | PWrite of string * int
+  | PRead of string * int  (** assumed value *)
+  | PBegin
+  | PCommit
+  | PAbort
+  | PQfence of string
+
+val pp_proto : proto Fmt.t
+
+type env = (string * int) list
+(** Register environments. *)
+
+val env_get : env -> string -> int
+(** Unbound registers read as [0]. *)
+
+val env_set : env -> string -> int -> env
+val eval : env -> Tmx_lang.Ast.expr -> int
+
+val resolve : env -> Tmx_lang.Ast.lval -> string
+(** Resolve an lvalue to a concrete location name (["z[3]"]). *)
+
+(** Value domains per location. *)
+module Domain : sig
+  type t
+
+  val create : string list -> t
+  val values : t -> string -> int list
+  val add : t -> string -> int -> bool
+  val locs : t -> string list
+end
+
+type path = { protos : proto list; env : env; truncated : bool }
+(** One control path of one thread: its proto-events, final registers,
+    and whether the loop-unrolling bound was hit.  An abort rolls the
+    registers back to their values at the transaction's begin. *)
+
+type item = S of Tmx_lang.Ast.stmt | End_atomic
+
+val unfold_thread : Domain.t -> fuel:int -> Tmx_lang.Ast.thread -> path list
+
+val domains : ?iters:int -> fuel:int -> Tmx_lang.Ast.program -> Domain.t
+(** The value-domain fixpoint (capped at [iters] rounds). *)
+
+val unfold :
+  ?iters:int -> fuel:int -> Tmx_lang.Ast.program -> Domain.t * path list list
+(** Domains plus every thread's paths. *)

@@ -1,0 +1,18 @@
+(** The sequential reference semantics: exhaustive interleaving with
+    atomic blocks executed atomically, reads seeing the newest nonaborted
+    write, writes taking fresh maximal timestamps.
+
+    Every produced execution is transactionally Loc-sequential (§4), so
+    this module's outcome set is what the paper calls "reasoning
+    sequentially"; SC-LTRF says the full model adds nothing for programs
+    whose sequential executions are race-free. *)
+
+type config = { fuel : int }
+
+val default_config : config
+
+type execution = { trace : Tmx_core.Trace.t; outcome : Outcome.t }
+type result = { executions : execution list; truncated : bool }
+
+val run : ?config:config -> Tmx_lang.Ast.program -> result
+val outcomes : result -> Outcome.t list

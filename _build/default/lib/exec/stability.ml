@@ -1,0 +1,90 @@
+(* Temporal locality (§4): stability points and the "bounded in time"
+   half of the SC-LTRF guarantee.
+
+   A position p of a trace is temporally L-stable when every L-race of
+   the trace lies strictly in its past — from p onwards, the locations in
+   L are no longer contended.  The temporal content of SC-LTRF is then:
+   past a stable point, execution is sequential for L — no (nonaborted)
+   L-weak action can occur at or after a stable point of a consistent
+   execution.  This is the formal version of the paper's guarded-IRIW
+   example: once the guard has observed the flag, the earlier races on x
+   are history and reads of x behave sequentially. *)
+
+open Tmx_core
+
+let races_crossing ?l t hb p =
+  List.filter (fun (_, c) -> c >= p) (Race.races ?l t hb)
+
+(* p is temporally stable iff no race reaches p or beyond *)
+let is_stable ?l t hb p = races_crossing ?l t hb p = []
+
+let stable_points ?l t hb =
+  let races = Race.races ?l t hb in
+  let horizon = List.fold_left (fun acc (_, c) -> max acc (c + 1)) 0 races in
+  List.filter (fun p -> p >= horizon) (List.init (Trace.length t + 1) Fun.id)
+
+(* A weak action whose obscuring write could actually race with it: at
+   least one of the pair is plain.  A transactional read from a plain
+   source obscured by a transactional write is weak but race-free
+   (transactions never race), and the SC-LTRF proof resolves it by
+   permuting transactions rather than exhibiting a race — so it is not a
+   temporal-locality violation. *)
+let conflicting_weak ?l t c =
+  (not (Trace.is_aborted t c))
+  && Sequentiality.l_weak ?l t c
+  &&
+  match Action.loc_of (Trace.act t c) with
+  | None -> false
+  | Some x ->
+      let ts_c =
+        match Trace.act t c with
+        | Action.Write { ts; _ } | Action.Read { ts; _ } -> ts
+        | _ -> assert false
+      in
+      let rec obscured b =
+        b < c
+        && ((match Trace.act t b with
+            | Action.Write w
+              when String.equal w.loc x && Rat.lt ts_c w.ts
+                   && Trace.is_nonaborted t b ->
+                Trace.is_plain t b || Trace.is_plain t c
+            | _ -> false)
+           || obscured (b + 1))
+      in
+      obscured 0
+
+let weak_at_or_after ?l t p =
+  List.filter
+    (fun i -> i >= p && conflicting_weak ?l t i)
+    (List.init (Trace.length t) Fun.id)
+
+type violation = {
+  trace : Trace.t;
+  stable_point : int;
+  weak_position : int;
+}
+
+(* Check, over every consistent execution of a program, that no
+   (nonaborted) L-weak action occurs at or after a temporally L-stable
+   point. *)
+let check_temporal ?config ?l model program =
+  let result = Enumerate.run ?config model program in
+  let violations = ref [] in
+  List.iter
+    (fun (e : Enumerate.execution) ->
+      let ctx = Lift.make e.trace in
+      let hb = Hb.compute model ctx in
+      match stable_points ?l e.trace hb with
+      | [] -> ()
+      | p :: _ -> (
+          match weak_at_or_after ?l e.trace p with
+          | [] -> ()
+          | w :: _ ->
+              violations :=
+                { trace = e.trace; stable_point = p; weak_position = w }
+                :: !violations))
+    result.executions;
+  !violations
+
+let temporal_holds ?config ?l model program =
+  check_temporal ?config ?l model program = []

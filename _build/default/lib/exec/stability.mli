@@ -1,0 +1,44 @@
+(** Temporal locality (§4): stability points and the "bounded in time"
+    half of the SC-LTRF guarantee.
+
+    A position is temporally L-stable when every L-race of the trace lies
+    strictly in its past.  The temporal content of SC-LTRF: past a stable
+    point of a consistent execution, no (nonaborted) L-weak action
+    occurs — the locations in L behave sequentially from then on, which
+    is the paper's guarded-IRIW example made checkable. *)
+
+open Tmx_core
+
+val races_crossing :
+  ?l:string list -> Trace.t -> Rel.t -> int -> (int * int) list
+
+val is_stable : ?l:string list -> Trace.t -> Rel.t -> int -> bool
+
+val stable_points : ?l:string list -> Trace.t -> Rel.t -> int list
+(** All stable positions, in increasing order (the trace length itself is
+    always included). *)
+
+val conflicting_weak : ?l:string list -> Trace.t -> int -> bool
+(** Nonaborted, L-weak, and obscured by a write it could actually race
+    with (at least one of the pair is plain).  Transactional weakness
+    against transactional writes is excluded: such pairs never race, and
+    the SC-LTRF proof resolves them by permutation. *)
+
+val weak_at_or_after : ?l:string list -> Trace.t -> int -> int list
+(** Positions of conflicting-weak actions at or after a position. *)
+
+type violation = { trace : Trace.t; stable_point : int; weak_position : int }
+
+val check_temporal :
+  ?config:Enumerate.config ->
+  ?l:string list ->
+  Model.t ->
+  Tmx_lang.Ast.program ->
+  violation list
+
+val temporal_holds :
+  ?config:Enumerate.config ->
+  ?l:string list ->
+  Model.t ->
+  Tmx_lang.Ast.program ->
+  bool

@@ -1,0 +1,72 @@
+(** Program-level analyses: allowed/forbidden outcome verdicts, race
+    detection, and the empirical checks of the paper's theorems. *)
+
+open Tmx_core
+
+type cond = Outcome.t -> bool
+
+val allowed :
+  ?config:Enumerate.config -> Model.t -> Tmx_lang.Ast.program -> cond -> bool
+
+val forbidden :
+  ?config:Enumerate.config -> Model.t -> Tmx_lang.Ast.program -> cond -> bool
+
+val execution_races :
+  ?l:string list -> Model.t -> Trace.t -> (int * int) list
+(** The L-races of one trace under the model's happens-before. *)
+
+val racy :
+  ?config:Enumerate.config ->
+  ?l:string list ->
+  Model.t ->
+  Tmx_lang.Ast.program ->
+  bool
+(** Does some consistent execution contain an L-race? *)
+
+val mixed_racy :
+  ?config:Enumerate.config -> Model.t -> Tmx_lang.Ast.program -> bool
+
+(** {1 SC-LTRF (Theorem 4.1, global corollary)} *)
+
+type sc_ltrf_report = {
+  sc_racy : bool;
+      (** some transactionally sequential execution has a race *)
+  weak_exists : bool;
+      (** some model execution contains a nonaborted Loc-weak action *)
+  model_outcomes : Outcome.t list;
+  sc_outcomes : Outcome.t list;
+  outcomes_contained : bool;  (** model outcomes ⊆ sequential outcomes *)
+  theorem_holds : bool;
+}
+
+val check_sc_ltrf :
+  ?config:Enumerate.config ->
+  ?sc_config:Sc.config ->
+  Model.t ->
+  Tmx_lang.Ast.program ->
+  sc_ltrf_report
+(** If no transactionally sequential execution races, then the model
+    admits no nonaborted weak action and its outcome set is sequential.
+    Weak actions in aborted transactions are exempt: aborted actions
+    never conflict, so the theorem's conclusion cannot cover them (and
+    their observations roll back). *)
+
+(** {1 Theorem 4.2 and Lemma 5.1} *)
+
+val check_theorem_4_2 :
+  ?config:Enumerate.config -> Model.t -> Tmx_lang.Ast.program -> bool
+(** Dropping aborted transactions preserves consistency, over every
+    consistent execution of the program. *)
+
+type lemma_5_1_report = {
+  executions_checked : int;
+  mixed_race_free : int;
+  pm_consistent : int;
+  holds : bool;
+}
+
+val check_lemma_5_1 :
+  ?config:Enumerate.config -> Tmx_lang.Ast.program -> lemma_5_1_report
+(** Every implementation-model execution without mixed races remains
+    consistent in the programmer model once quiescence fences are
+    dropped. *)

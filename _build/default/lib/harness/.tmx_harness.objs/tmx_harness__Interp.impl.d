@@ -1,0 +1,1 @@
+lib/harness/interp.ml: Ast Domain Fmt Hashtbl List Outcome Proto Stm Tmx_exec Tmx_lang Tmx_runtime Tvar

@@ -1,0 +1,1 @@
+lib/harness/interp.mli: Tmx_exec Tmx_lang Tmx_runtime

@@ -1,0 +1,128 @@
+(* Run litmus programs on the real STM runtime: each program thread
+   becomes a domain, shared locations become TVars, atomic blocks run
+   under [Stm.atomically] (explicit aborts via [Stm.abort], not retried),
+   plain accesses use the unsafe TVar operations, and fences are
+   [Stm.quiesce].
+
+   This closes the loop between the formal side and the artifact: the
+   outcomes the runtime actually produces on real domains can be compared
+   against the axiomatic implementation model (see the differential
+   tests). *)
+
+open Tmx_lang
+open Tmx_runtime
+open Tmx_exec
+
+exception Unsupported of string
+
+type instance = {
+  program : Ast.program;
+  vars : (string, Tvar.t) Hashtbl.t;
+  mode : Stm.mode;
+  fuel : int;
+}
+
+let make ?(mode = Stm.Lazy) ?(fuel = 1000) (program : Ast.program) =
+  (match Ast.validate program with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Interp.make: " ^ msg));
+  let vars = Hashtbl.create 16 in
+  List.iter (fun x -> Hashtbl.replace vars x (Tvar.make 0)) program.locs;
+  { program; vars; mode; fuel }
+
+let var inst x =
+  match Hashtbl.find_opt inst.vars x with
+  | Some v -> v
+  | None ->
+      (* dynamically named cell: create on first use (initial value 0);
+         benign race on registration is avoided by pre-registering all
+         declared locations and requiring array programs to declare their
+         cells *)
+      raise (Unsupported (Fmt.str "undeclared location %S" x))
+
+(* execution of straight-line code inside a transaction *)
+let rec run_txn_stmts inst tx env stmts =
+  List.fold_left
+    (fun env (s : Ast.stmt) ->
+      match s with
+      | Skip -> env
+      | Assign (r, e) -> Proto.env_set env r (Proto.eval env e)
+      | Load (r, lv) ->
+          let x = Proto.resolve env lv in
+          Proto.env_set env r (Stm.read tx (var inst x))
+      | Store (lv, e) ->
+          let x = Proto.resolve env lv in
+          Stm.write tx (var inst x) (Proto.eval env e);
+          env
+      | If (c, t, f) -> run_txn_stmts inst tx env (if Proto.eval env c <> 0 then t else f)
+      | While (c, b) ->
+          let rec loop env fuel =
+            if Proto.eval env c = 0 then env
+            else if fuel <= 0 then raise (Unsupported "loop bound exceeded")
+            else loop (run_txn_stmts inst tx env b) (fuel - 1)
+          in
+          loop env inst.fuel
+      | Abort -> Stm.abort tx
+      | Atomic _ | Fence _ -> raise (Unsupported "nested atomic/fence"))
+    env stmts
+
+let rec run_stmts inst env stmts =
+  List.fold_left
+    (fun env (s : Ast.stmt) ->
+      match s with
+      | Skip -> env
+      | Assign (r, e) -> Proto.env_set env r (Proto.eval env e)
+      | Load (r, lv) ->
+          let x = Proto.resolve env lv in
+          Proto.env_set env r (Tvar.unsafe_read (var inst x))
+      | Store (lv, e) ->
+          let x = Proto.resolve env lv in
+          Tvar.unsafe_write (var inst x) (Proto.eval env e);
+          env
+      | If (c, t, f) -> run_stmts inst env (if Proto.eval env c <> 0 then t else f)
+      | While (c, b) ->
+          let rec loop env fuel =
+            if Proto.eval env c = 0 then env
+            else if fuel <= 0 then raise (Unsupported "loop bound exceeded")
+            else loop (run_stmts inst env b) (fuel - 1)
+          in
+          loop env inst.fuel
+      | Fence x -> (
+          Stm.quiesce ~var:(var inst x) ();
+          env)
+      | Atomic body -> (
+          (* an explicit abort skips the block, like the litmus
+             semantics; conflicts retry inside atomically *)
+          match
+            Stm.atomically ~mode:inst.mode (fun tx -> run_txn_stmts inst tx env body)
+          with
+          | Some env' -> env'
+          | None -> env)
+      | Abort -> raise (Unsupported "abort outside atomic"))
+    env stmts
+
+(* One run with real domains; returns an outcome comparable with the
+   model checker's. *)
+let run_once inst =
+  (* reset locations *)
+  Hashtbl.iter (fun _ v -> Tvar.unsafe_write v 0) inst.vars;
+  let domains =
+    List.map
+      (fun thread -> Domain.spawn (fun () -> run_stmts inst [] thread))
+      inst.program.threads
+  in
+  let envs = List.map Domain.join domains in
+  let mem =
+    Hashtbl.fold (fun x v acc -> (x, Tvar.unsafe_read v) :: acc) inst.vars []
+  in
+  Outcome.make ~envs ~mem
+
+(* Repeated runs, deduplicated: a sample of the outcomes the runtime can
+   produce under real scheduling. *)
+let sample ?mode ?fuel ~runs program =
+  let inst = make ?mode ?fuel program in
+  let outcomes = ref [] in
+  for _ = 1 to runs do
+    outcomes := run_once inst :: !outcomes
+  done;
+  Outcome.dedup !outcomes

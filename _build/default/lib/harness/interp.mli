@@ -1,0 +1,28 @@
+(** Run litmus programs on the real STM runtime: threads become domains,
+    locations become {!Tmx_runtime.Tvar}s, atomic blocks run under
+    {!Tmx_runtime.Stm.atomically}, plain accesses are unsafe TVar
+    operations, fences are per-location quiescence.
+
+    This closes the loop between the formal side and the artifact: the
+    outcomes the runtime produces under real scheduling can be compared
+    against the axiomatic implementation model. *)
+
+exception Unsupported of string
+
+type instance
+
+val make : ?mode:Tmx_runtime.Stm.mode -> ?fuel:int -> Tmx_lang.Ast.program -> instance
+(** @raise Invalid_argument on programs rejected by [Ast.validate].
+    Array programs must declare every cell they touch. *)
+
+val run_once : instance -> Tmx_exec.Outcome.t
+(** One run with real domains (locations reset to 0 first). *)
+
+val sample :
+  ?mode:Tmx_runtime.Stm.mode ->
+  ?fuel:int ->
+  runs:int ->
+  Tmx_lang.Ast.program ->
+  Tmx_exec.Outcome.t list
+(** Repeated runs, deduplicated: a sample of the outcomes the runtime can
+    produce. *)

@@ -1,0 +1,180 @@
+(* The litmus programming language: the minimal imperative language the
+   paper writes its examples in.  Threads operate on private registers and
+   shared locations; transactions are [atomic { ... }] blocks that may
+   abort explicitly; the quiescence fence of §5 is a statement.
+
+   Array cells (z[r] in examples 3.5 and D.4) are modelled as computed
+   location names: location "z" with an index expression denotes the cell
+   "z[v]", which must be declared in the program's location list. *)
+
+type reg = string
+
+type expr =
+  | Int of int
+  | Reg of reg
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Eq of expr * expr
+  | Ne of expr * expr
+  | Lt of expr * expr
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+
+(* A location reference: plain name, or array cell with computed index. *)
+type lval = { base : string; index : expr option }
+
+type stmt =
+  | Load of reg * lval (* r := x *)
+  | Store of lval * expr (* x := e *)
+  | Assign of reg * expr (* r := e, register-only *)
+  | Atomic of stmt list
+  | Abort (* only meaningful inside atomic *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Fence of string (* quiescence fence Qx *)
+  | Skip
+
+type thread = stmt list
+type program = { name : string; locs : string list; threads : thread list }
+
+(* -- constructors --------------------------------------------------------- *)
+
+let int n = Int n
+let reg r = Reg r
+let not_ a = Not a
+
+(* Operator spellings for writing litmus programs compactly; open this
+   locally ([Ast.Infix.(...)]) since it shadows the stdlib comparisons. *)
+module Infix = struct
+  let ( + ) a b = Add (a, b)
+  let ( - ) a b = Sub (a, b)
+  let ( * ) a b = Mul (a, b)
+  let ( = ) a b = Eq (a, b)
+  let ( <> ) a b = Ne (a, b)
+  let ( < ) a b = Lt (a, b)
+  let ( && ) a b = And (a, b)
+  let ( || ) a b = Or (a, b)
+end
+
+let loc base = { base; index = None }
+let cell base index = { base; index = Some index }
+
+let load r lv = Load (r, lv)
+let store lv e = Store (lv, e)
+let assign r e = Assign (r, e)
+let atomic body = Atomic body
+let abort = Abort
+let if_ c t e = If (c, t, e)
+let when_ c t = If (c, t, [])
+let while_ c b = While (c, b)
+let fence x = Fence x
+let skip = Skip
+
+let program ?(name = "anon") ~locs threads = { name; locs; threads }
+
+(* -- analysis -------------------------------------------------------------- *)
+
+let rec expr_regs acc = function
+  | Int _ -> acc
+  | Reg r -> r :: acc
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b) | Ne (a, b) | Lt (a, b)
+  | And (a, b) | Or (a, b) ->
+      expr_regs (expr_regs acc a) b
+  | Not a -> expr_regs acc a
+
+let rec stmt_regs acc = function
+  | Load (r, { index; _ }) ->
+      let acc = r :: acc in
+      Option.fold ~none:acc ~some:(expr_regs acc) index
+  | Store ({ index; _ }, e) ->
+      let acc = expr_regs acc e in
+      Option.fold ~none:acc ~some:(expr_regs acc) index
+  | Assign (r, e) -> expr_regs (r :: acc) e
+  | Atomic body | While (_, body) -> List.fold_left stmt_regs acc body
+  | If (c, t, e) ->
+      let acc = expr_regs acc c in
+      List.fold_left stmt_regs (List.fold_left stmt_regs acc t) e
+  | Abort | Fence _ | Skip -> acc
+
+let thread_regs th = List.sort_uniq String.compare (List.fold_left stmt_regs [] th)
+
+let rec stmt_has_atomic = function
+  | Atomic _ -> true
+  | If (_, t, e) -> List.exists stmt_has_atomic t || List.exists stmt_has_atomic e
+  | While (_, b) -> List.exists stmt_has_atomic b
+  | _ -> false
+
+(* Static sanity: aborts only inside atomic, no nested atomics, no fences
+   inside atomic. *)
+let validate p =
+  let rec check_stmt ~in_txn s =
+    match s with
+    | Atomic body ->
+        if in_txn then Error "nested atomic block"
+        else
+          List.fold_left
+            (fun acc s -> Result.bind acc (fun () -> check_stmt ~in_txn:true s))
+            (Ok ()) body
+    | Abort -> if in_txn then Ok () else Error "abort outside atomic"
+    | Fence _ -> if in_txn then Error "fence inside atomic" else Ok ()
+    | If (_, t, e) ->
+        List.fold_left
+          (fun acc s -> Result.bind acc (fun () -> check_stmt ~in_txn s))
+          (Ok ()) (t @ e)
+    | While (_, b) ->
+        List.fold_left
+          (fun acc s -> Result.bind acc (fun () -> check_stmt ~in_txn s))
+          (Ok ()) b
+    | Load _ | Store _ | Assign _ | Skip -> Ok ()
+  in
+  List.fold_left
+    (fun acc th ->
+      Result.bind acc (fun () ->
+          List.fold_left
+            (fun acc s -> Result.bind acc (fun () -> check_stmt ~in_txn:false s))
+            (Ok ()) th))
+    (Ok ()) p.threads
+
+(* -- pretty printing ------------------------------------------------------- *)
+
+let rec pp_expr ppf = function
+  | Int n -> Fmt.int ppf n
+  | Reg r -> Fmt.string ppf r
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp_expr a pp_expr b
+  | Eq (a, b) -> Fmt.pf ppf "(%a = %a)" pp_expr a pp_expr b
+  | Ne (a, b) -> Fmt.pf ppf "(%a != %a)" pp_expr a pp_expr b
+  | Lt (a, b) -> Fmt.pf ppf "(%a < %a)" pp_expr a pp_expr b
+  | Not a -> Fmt.pf ppf "!%a" pp_expr a
+  | And (a, b) -> Fmt.pf ppf "(%a && %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Fmt.pf ppf "(%a || %a)" pp_expr a pp_expr b
+
+let pp_lval ppf { base; index } =
+  match index with
+  | None -> Fmt.string ppf base
+  | Some e -> Fmt.pf ppf "%s[%a]" base pp_expr e
+
+let rec pp_stmt ppf = function
+  | Load (r, lv) -> Fmt.pf ppf "%s := %a" r pp_lval lv
+  | Store (lv, e) -> Fmt.pf ppf "%a := %a" pp_lval lv pp_expr e
+  | Assign (r, e) -> Fmt.pf ppf "%s := %a" r pp_expr e
+  | Atomic body -> Fmt.pf ppf "atomic { %a }" pp_body body
+  | Abort -> Fmt.string ppf "abort"
+  | If (c, t, []) -> Fmt.pf ppf "if %a { %a }" pp_expr c pp_body t
+  | If (c, t, e) ->
+      Fmt.pf ppf "if %a { %a } else { %a }" pp_expr c pp_body t pp_body e
+  | While (c, b) -> Fmt.pf ppf "while %a { %a }" pp_expr c pp_body b
+  | Fence x -> Fmt.pf ppf "fence(%s)" x
+  | Skip -> Fmt.string ppf "skip"
+
+and pp_body ppf body = Fmt.(list ~sep:(any ";@ ") pp_stmt) ppf body
+
+let pp_program ppf p =
+  Fmt.pf ppf "@[<v>%s:@,%a@]" p.name
+    Fmt.(
+      list ~sep:cut (fun ppf (i, th) ->
+          Fmt.pf ppf "  t%d: @[%a@]" i pp_body th))
+    (List.mapi (fun i th -> (i, th)) p.threads)

@@ -1,0 +1,96 @@
+(** The litmus programming language: the minimal imperative language the
+    paper writes its examples in.
+
+    Threads operate on private registers and shared locations;
+    transactions are [atomic { ... }] blocks that may abort explicitly;
+    the quiescence fence of §5 is a statement.  Array cells ([z[r]] in
+    examples 3.5 and D.4) are computed location names: location ["z"]
+    with an index expression denotes the cell ["z[v]"]. *)
+
+type reg = string
+
+type expr =
+  | Int of int
+  | Reg of reg
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Eq of expr * expr
+  | Ne of expr * expr
+  | Lt of expr * expr
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+
+type lval = { base : string; index : expr option }
+(** A location reference: a plain name, or an array cell with a computed
+    index. *)
+
+type stmt =
+  | Load of reg * lval  (** [r := x] *)
+  | Store of lval * expr  (** [x := e] *)
+  | Assign of reg * expr  (** register-only assignment *)
+  | Atomic of stmt list
+  | Abort  (** aborts the enclosing transaction *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Fence of string  (** the quiescence fence [Qx] of §5 *)
+  | Skip
+
+type thread = stmt list
+type program = { name : string; locs : string list; threads : thread list }
+
+(** {1 Constructors} *)
+
+val int : int -> expr
+val reg : reg -> expr
+val not_ : expr -> expr
+
+(** Operator spellings for writing programs compactly; open locally
+    ([Ast.Infix.(...)]) since they shadow the stdlib comparisons. *)
+module Infix : sig
+  val ( + ) : expr -> expr -> expr
+  val ( - ) : expr -> expr -> expr
+  val ( * ) : expr -> expr -> expr
+  val ( = ) : expr -> expr -> expr
+  val ( <> ) : expr -> expr -> expr
+  val ( < ) : expr -> expr -> expr
+  val ( && ) : expr -> expr -> expr
+  val ( || ) : expr -> expr -> expr
+end
+
+val loc : string -> lval
+val cell : string -> expr -> lval
+val load : reg -> lval -> stmt
+val store : lval -> expr -> stmt
+val assign : reg -> expr -> stmt
+val atomic : stmt list -> stmt
+val abort : stmt
+val if_ : expr -> stmt list -> stmt list -> stmt
+
+val when_ : expr -> stmt list -> stmt
+(** [if_ c body []]. *)
+
+val while_ : expr -> stmt list -> stmt
+val fence : string -> stmt
+val skip : stmt
+val program : ?name:string -> locs:string list -> thread list -> program
+
+(** {1 Analysis} *)
+
+val thread_regs : thread -> reg list
+(** All register names a thread mentions, sorted, without duplicates. *)
+
+val stmt_has_atomic : stmt -> bool
+
+val validate : program -> (unit, string) result
+(** Static sanity: no nested atomic blocks, no abort outside a block, no
+    fence inside a block. *)
+
+(** {1 Printing} *)
+
+val pp_expr : expr Fmt.t
+val pp_lval : lval Fmt.t
+val pp_stmt : stmt Fmt.t
+val pp_body : stmt list Fmt.t
+val pp_program : program Fmt.t

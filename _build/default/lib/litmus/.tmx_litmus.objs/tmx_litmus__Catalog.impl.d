@@ -1,0 +1,1 @@
+lib/litmus/catalog.ml: Ast Infix List Litmus Model Outcome String Tmx_core Tmx_exec Tmx_lang Trace

@@ -1,0 +1,1 @@
+lib/litmus/export.ml: Ast Buffer Fmt List String Tmx_lang

@@ -1,0 +1,1 @@
+lib/litmus/export.mli: Tmx_lang

@@ -1,0 +1,1 @@
+lib/litmus/litmus.ml: Action Enumerate Fmt Hashtbl Hb Lift List Model Outcome Race String Tmx_core Tmx_exec Tmx_lang Trace Verdict

@@ -1,0 +1,1 @@
+lib/litmus/litmus.mli: Enumerate Fmt Model Outcome Tmx_core Tmx_exec Tmx_lang Trace

@@ -1,0 +1,1 @@
+lib/litmus/parse.ml: Ast Fmt List Litmus Model String Tmx_core Tmx_exec Tmx_lang

@@ -1,0 +1,1 @@
+lib/litmus/parse.mli: Litmus

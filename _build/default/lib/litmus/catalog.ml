@@ -1,0 +1,1090 @@
+(* The paper's examples as machine-checked litmus tests.
+
+   Every numbered example and every figure-with-verdict of the paper
+   appears here, with the paper's verdict encoded as an expectation.  The
+   experiment index in DESIGN.md maps experiment ids (E01..E30) to these
+   names. *)
+
+open Tmx_core
+open Tmx_lang
+open Tmx_exec
+
+let pm = Model.programmer
+let im = Model.implementation
+let bare = Model.bare
+let strong = Model.strongest
+
+(* condition helpers *)
+let reg = Outcome.reg
+let mem = Outcome.mem
+
+let allowed ?(model = pm) descr cond =
+  Litmus.Outcome_check { model; descr; cond; expect = Litmus.Allowed }
+
+let forbidden ?(model = pm) descr cond =
+  Litmus.Outcome_check { model; descr; cond; expect = Litmus.Forbidden }
+
+let race_free ?(model = pm) ?cond ?l descr =
+  Litmus.Race_check { model; descr; cond; l; expect = `All_race_free }
+
+let some_racy ?(model = pm) ?cond ?l descr =
+  Litmus.Race_check { model; descr; cond; l; expect = `Some_racy }
+
+let mixed ?(model = im) descr expect = Litmus.Mixed_race_check { model; descr; expect }
+
+let exec_allowed ?(model = pm) descr pred =
+  Litmus.Exec_check { model; descr; pred; expect = Litmus.Allowed }
+
+let exec_forbidden ?(model = pm) descr pred =
+  Litmus.Exec_check { model; descr; pred; expect = Litmus.Forbidden }
+
+(* program helpers *)
+let x = Ast.loc "x"
+let y = Ast.loc "y"
+let z = Ast.loc "z"
+let f_ = Ast.loc "F"
+let one = Ast.int 1
+let two = Ast.int 2
+
+(* ------------------------------------------------------------------ *)
+(* §1 / §2 Example 2.1: privatization                                  *)
+(* ------------------------------------------------------------------ *)
+
+let privatization =
+  {
+    Litmus.name = "privatization";
+    section = "§1, §2 Ex 2.1";
+    description =
+      "atomic_a{ if !y then x:=1 } || atomic_b{ y:=1 }; x:=2 — the atomic \
+       blocks synchronize, so sequentially x=1 is impossible; HBww makes \
+       the mixed writes on x ordered, hence race-free.";
+    program =
+      Ast.(
+        program ~name:"privatization" ~locs:[ "x"; "y" ]
+          [
+            [ atomic [ load "ry" y; when_ (not_ (reg "ry")) [ store x one ] ] ];
+            [ atomic [ store y one ]; store x two ];
+          ]);
+    checks =
+      [
+        forbidden "final x=1" (fun o -> mem o "x" = 1);
+        allowed "final x=2" (fun o -> mem o "x" = 2);
+        race_free ~cond:(fun o -> reg o 0 "ry" = 0)
+          "privatizing executions race-free under pm (HBww)";
+        allowed ~model:im "final x=1 without fences in the implementation model"
+          (fun o -> mem o "x" = 1);
+        mixed "implementation model has a mixed race on x" true;
+        forbidden ~model:strong "final x=1 under the strongest (x86) variant"
+          (fun o -> mem o "x" = 1);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §2: the cascading privatization example                             *)
+(* ------------------------------------------------------------------ *)
+
+let privatization_chain =
+  {
+    Litmus.name = "privatization_chain";
+    section = "§2 (HBww cascade)";
+    description =
+      "Two chained privatizations: the order added by HBww for the x'/y' \
+       pair feeds the HBww application for the x/y pair, so both plain \
+       writes are ordered after the transactional ones.";
+    program =
+      Ast.(
+        program ~name:"privatization_chain" ~locs:[ "x"; "y"; "x'"; "y'" ]
+          [
+            [ atomic [ load "ry" y; when_ (not_ (reg "ry")) [ store x one ] ] ];
+            [
+              atomic [ store y one ];
+              atomic
+                [ load "ry'" (loc "y'"); when_ (not_ (reg "ry'")) [ store (loc "x'") one ] ];
+            ];
+            [ atomic [ store (loc "y'") one ]; store (loc "x'") two; store x two ];
+          ]);
+    checks =
+      [
+        forbidden "final x'=1" (fun o -> mem o "x'" = 1);
+        (* the cascade only exists when both guards read 0; if a' misses
+           its flag the chain breaks and x=1 is reachable (racily) *)
+        forbidden "final x=1 with both guards taken" (fun o ->
+            reg o 0 "ry" = 0 && reg o 1 "ry'" = 0 && mem o "x" = 1);
+        allowed "final x=1 when the second guard misses (the chain breaks)"
+          (fun o -> reg o 1 "ry'" = 1 && mem o "x" = 1);
+        allowed "final x=2 and x'=2" (fun o -> mem o "x" = 2 && mem o "x'" = 2);
+        allowed ~model:im "final x=1 in the implementation model" (fun o ->
+            mem o "x" = 1);
+        race_free ~cond:(fun o -> reg o 0 "ry" = 0 && reg o 1 "ry'" = 0)
+          "doubly-privatizing executions race-free under pm";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §1: publication                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let publication =
+  {
+    Litmus.name = "publication";
+    section = "§1";
+    description =
+      "x:=1; atomic_a{ y:=1 } || atomic_b{ z:=2; if y then z:=x } — if b \
+       sees the flag it must also see the published x, so z=0 is \
+       impossible.";
+    program =
+      Ast.(
+        program ~name:"publication" ~locs:[ "x"; "y"; "z" ]
+          [
+            [ store x one; atomic [ store y one ] ];
+            [
+              atomic
+                [
+                  store z two;
+                  load "ry" y;
+                  when_ (reg "ry") [ load "rx" x; store z (reg "rx") ];
+                ];
+            ];
+          ]);
+    checks =
+      [
+        forbidden "final z=0" (fun o -> mem o "z" = 0);
+        allowed "final z=1 (b saw the flag)" (fun o -> mem o "z" = 1);
+        allowed "final z=2 (b missed the flag)" (fun o -> mem o "z" = 2);
+        forbidden ~model:im
+          "publication needs no fences: z=0 forbidden even in the \
+           implementation model"
+          (fun o -> mem o "z" = 0);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §1: IRIW with plain races on z (spatial locality)                   *)
+(* ------------------------------------------------------------------ *)
+
+let iriw_z =
+  {
+    Litmus.name = "iriw_z";
+    section = "§1 (IRIW)";
+    description =
+      "IRIW through transactions with racy plain writes to z interleaved: \
+       the z races are spatially isolated, so SC-LTRF still forbids the \
+       IRIW outcome.";
+    program =
+      Ast.(
+        program ~name:"iriw_z" ~locs:[ "x"; "y"; "z" ]
+          [
+            [ atomic [ store x one ] ];
+            [ atomic [ store y one ] ];
+            [ atomic [ load "r1" x ]; store z one; atomic [ load "r2" y ] ];
+            [ atomic [ load "q1" y ]; store z two; atomic [ load "q2" x ] ];
+          ]);
+    checks =
+      [
+        forbidden "r1=1 r2=0 q1=1 q2=0" (fun o ->
+            reg o 2 "r1" = 1 && reg o 2 "r2" = 0 && reg o 3 "q1" = 1
+            && reg o 3 "q2" = 0);
+        allowed "r1=1 r2=1 q1=1 q2=1" (fun o ->
+            reg o 2 "r1" = 1 && reg o 2 "r2" = 1 && reg o 3 "q1" = 1
+            && reg o 3 "q2" = 1);
+        allowed "r1=0 r2=0 q1=0 q2=0" (fun o ->
+            reg o 2 "r1" = 0 && reg o 2 "r2" = 0 && reg o 3 "q1" = 0
+            && reg o 3 "q2" = 0);
+        some_racy ~l:[ "z" ] "the z writes race";
+        race_free ~l:[ "x"; "y" ] "no races on the transactional locations";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §1: temporal locality                                               *)
+(* ------------------------------------------------------------------ *)
+
+let temporal =
+  {
+    Litmus.name = "temporal";
+    section = "§1 (temporal locality)";
+    description =
+      "x is written racily by two threads, each then incrementing a \
+       transactional flag; once a reader observes F=2 the races on x are \
+       in its past, so reads of x behave sequentially from then on \
+       (compact stand-in for the paper's guarded-IRIW example).";
+    program =
+      Ast.(
+        program ~name:"temporal" ~locs:[ "x"; "F" ]
+          [
+            [ store x one; atomic [ load "f" f_; store f_ Infix.(reg "f" + int 1) ] ];
+            [ store x two; atomic [ load "f" f_; store f_ Infix.(reg "f" + int 1) ] ];
+            [
+              atomic [ load "r" f_ ];
+              if_ Infix.(reg "r" = int 2)
+                [ load "s1" x; load "s2" x ]
+                [];
+            ];
+          ]);
+    checks =
+      [
+        forbidden "r=2 and s1=0 (stale read after stabilization)" (fun o ->
+            reg o 2 "r" = 2 && reg o 2 "s1" = 0);
+        forbidden "r=2 and s1<>s2 (reads disagree after stabilization)"
+          (fun o -> reg o 2 "r" = 2 && reg o 2 "s1" <> reg o 2 "s2");
+        allowed "r=2 and s1=s2=1" (fun o ->
+            reg o 2 "r" = 2 && reg o 2 "s1" = 1 && reg o 2 "s2" = 1);
+        allowed "r=2 and s1=s2=2" (fun o ->
+            reg o 2 "r" = 2 && reg o 2 "s1" = 2 && reg o 2 "s2" = 2);
+        allowed "r=1" (fun o -> reg o 2 "r" = 1);
+        some_racy ~l:[ "x" ] "the x writes race (before stabilization)";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §2 Example 2.2: reversed coherence forbidden by AntiWW              *)
+(* ------------------------------------------------------------------ *)
+
+let ex2_2 =
+  {
+    Litmus.name = "ex2_2";
+    section = "§2 Ex 2.2";
+    description =
+      "atomic_a{ if !y then x:=2 } || atomic_b{ y:=1 }; x:=1 — the \
+       transactional write may not be coherence-after the plain write it \
+       privatizes against (AntiWW); needed for SC-LTRF.";
+    program =
+      Ast.(
+        program ~name:"ex2_2" ~locs:[ "x"; "y" ]
+          [
+            [ atomic [ load "ry" y; when_ (not_ (reg "ry")) [ store x two ] ] ];
+            [ atomic [ store y one ]; store x one ];
+          ]);
+    checks =
+      [
+        forbidden "final x=2 (transactional write coherence-last)" (fun o ->
+            mem o "x" = 2);
+        allowed "final x=1" (fun o -> mem o "x" = 1);
+        allowed ~model:im "final x=2 in the implementation model (no AntiWW)"
+          (fun o -> mem o "x" = 2);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §2: load buffering and store buffering                              *)
+(* ------------------------------------------------------------------ *)
+
+let load_buffering =
+  {
+    Litmus.name = "lb";
+    section = "§2 (load buffering)";
+    description =
+      "r:=x; y:=1 || q:=y; x:=1 — forbidden because Causality includes \
+       plain reads-from (lwr), as in LDRF.";
+    program =
+      Ast.(
+        program ~name:"lb" ~locs:[ "x"; "y" ]
+          [
+            [ load "r" x; store y one ];
+            [ load "q" y; store x one ];
+          ]);
+    checks =
+      [
+        forbidden "r=1 and q=1" (fun o -> reg o 0 "r" = 1 && reg o 1 "q" = 1);
+        forbidden ~model:bare "r=1 and q=1 (even in the bare model)" (fun o ->
+            reg o 0 "r" = 1 && reg o 1 "q" = 1);
+        allowed "r=0 and q=1" (fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 1);
+      ];
+  }
+
+let store_buffering =
+  {
+    Litmus.name = "sb";
+    section = "§2 (store buffering)";
+    description =
+      "x:=1; r:=y || y:=1; q:=x — allowed: plain antidependencies are \
+       only irreflexive (Observation), not acyclic.";
+    program =
+      Ast.(
+        program ~name:"sb" ~locs:[ "x"; "y" ]
+          [
+            [ store x one; load "r" y ];
+            [ store y one; load "q" x ];
+          ]);
+    checks =
+      [
+        allowed "r=0 and q=0" (fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 0);
+        allowed "r=1 and q=1" (fun o -> reg o 0 "r" = 1 && reg o 1 "q" = 1);
+        allowed ~model:strong
+          "r=0 and q=0 under the strongest variant (store buffering survives)"
+          (fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 0);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §2: publication through aborted reads must not happen               *)
+(* ------------------------------------------------------------------ *)
+
+let aborted_publication =
+  {
+    Litmus.name = "aborted_pub";
+    section = "§2 (aborted reads)";
+    description =
+      "atomic{ x:=1; y:=1 } || atomic{ r:=y; abort }; q:=x — the aborted \
+       read of the flag must not publish x (hb uses cwr, not xwr).";
+    program =
+      Ast.(
+        program ~name:"aborted_pub" ~locs:[ "x"; "y" ]
+          [
+            [ atomic [ store x one; store y one ] ];
+            [ atomic [ load "r" y; abort ]; load "q" x ];
+          ]);
+    checks =
+      [
+        exec_allowed "aborted read of y=1 with plain read of x=0" (fun t ->
+            Litmus.aborted_txn_with_reads [ ("y", 1) ] t
+            && Litmus.plain_read_of "x" 0 t);
+        allowed "q=1" (fun o -> reg o 1 "q" = 1);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §2: opacity — aborted transactions still serialize                  *)
+(* ------------------------------------------------------------------ *)
+
+let opacity_iriw =
+  {
+    Litmus.name = "opacity_iriw";
+    section = "§2 (opacity)";
+    description =
+      "IRIW where the readers abort: still forbidden, because aborted \
+       transactions participate in xrw and must embed in the serial \
+       order (opacity).";
+    program =
+      Ast.(
+        program ~name:"opacity_iriw" ~locs:[ "x"; "y" ]
+          [
+            [ atomic [ store x one ] ];
+            [ atomic [ store y one ] ];
+            [ atomic [ load "r1" x; load "r2" y; abort ] ];
+            [ atomic [ load "q1" y; load "q2" x; abort ] ];
+          ]);
+    checks =
+      [
+        exec_forbidden "aborted readers see the IRIW outcome" (fun t ->
+            Litmus.aborted_txn_with_reads [ ("x", 1); ("y", 0) ] t
+            && Litmus.aborted_txn_with_reads [ ("y", 1); ("x", 0) ] t);
+        exec_allowed "aborted readers see both writes" (fun t ->
+            Litmus.aborted_txn_with_reads [ ("x", 1); ("y", 1) ] t
+            && Litmus.aborted_txn_with_reads [ ("y", 1); ("x", 1) ] t);
+      ];
+  }
+
+let opacity_iriw_plain =
+  {
+    Litmus.name = "opacity_iriw_plain";
+    section = "§2 (opacity, plain writes)";
+    description =
+      "The same shape with plain writes is allowed: xrw requires both \
+       endpoints transactional.";
+    program =
+      Ast.(
+        program ~name:"opacity_iriw_plain" ~locs:[ "x"; "y" ]
+          [
+            [ store x one ];
+            [ store y one ];
+            [ atomic [ load "r1" x; load "r2" y; abort ] ];
+            [ atomic [ load "q1" y; load "q2" x; abort ] ];
+          ]);
+    checks =
+      [
+        exec_allowed "aborted readers see the IRIW outcome (plain writers)"
+          (fun t ->
+            Litmus.aborted_txn_with_reads [ ("x", 1); ("y", 0) ] t
+            && Litmus.aborted_txn_with_reads [ ("y", 1); ("x", 0) ] t);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §2: coherence strength figures                                      *)
+(* ------------------------------------------------------------------ *)
+
+let coherence_java =
+  {
+    Litmus.name = "coh_java";
+    section = "§2 (coherence, forbidden figure)";
+    description =
+      "x:=1; atomic{ y:=1 } || x:=2; atomic{ r:=y }; s1:=x; s2:=x — with \
+       synchronization through y, reading x new-then-old is forbidden \
+       (LTRF coherence is stronger than Java's).";
+    program =
+      Ast.(
+        program ~name:"coh_java" ~locs:[ "x"; "y" ]
+          [
+            [ store x one; atomic [ store y one ] ];
+            [ store x two; atomic [ load "r" y ]; load "s1" x; load "s2" x ];
+          ]);
+    checks =
+      [
+        forbidden "r=1, s1=2, s2=1" (fun o ->
+            reg o 1 "r" = 1 && reg o 1 "s1" = 2 && reg o 1 "s2" = 1);
+        forbidden "r=1, s1=1, s2=2" (fun o ->
+            reg o 1 "r" = 1 && reg o 1 "s1" = 1 && reg o 1 "s2" = 2);
+        allowed "r=1, s1=s2" (fun o ->
+            reg o 1 "r" = 1 && reg o 1 "s1" = reg o 1 "s2");
+      ];
+  }
+
+let coherence_cse =
+  {
+    Litmus.name = "coh_cse";
+    section = "§2 (coherence, allowed figure)";
+    description =
+      "x:=1; x:=2 || s1:=x; s2:=x; s3:=x — without synchronization, \
+       new-old-new reads are allowed; required for common subexpression \
+       elimination.";
+    program =
+      Ast.(
+        program ~name:"coh_cse" ~locs:[ "x" ]
+          [
+            [ store x one; store x two ];
+            [ load "s1" x; load "s2" x; load "s3" x ];
+          ]);
+    checks =
+      [
+        allowed "s1=2, s2=1, s3=2" (fun o ->
+            reg o 1 "s1" = 2 && reg o 1 "s2" = 1 && reg o 1 "s3" = 2);
+        some_racy "the plain accesses race";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §2 Example 2.3: the six HB/Anti variants                            *)
+(* ------------------------------------------------------------------ *)
+
+let ex2_3_ww =
+  {
+    Litmus.name = "ex2_3_ww";
+    section = "§2 Ex 2.3 (HBww/AntiWW)";
+    description = "atomic_a{ r:=y; x:=1 } || atomic_b{ y:=1 }; x:=2";
+    program =
+      Ast.(
+        program ~name:"ex2_3_ww" ~locs:[ "x"; "y" ]
+          [
+            [ atomic [ load "r" y; store x one ] ];
+            [ atomic [ store y one ]; store x two ];
+          ]);
+    checks =
+      [
+        race_free ~model:Model.variant_ww ~cond:(fun o -> reg o 0 "r" = 0)
+          "r=0 executions race-free under the ww variant";
+        some_racy ~model:bare ~cond:(fun o -> reg o 0 "r" = 0)
+          "racy without HBww";
+        forbidden ~model:Model.variant_ww "final x=1 with r=0" (fun o ->
+            reg o 0 "r" = 0 && mem o "x" = 1);
+        allowed ~model:bare "final x=1 with r=0 without AntiWW" (fun o ->
+            reg o 0 "r" = 0 && mem o "x" = 1);
+      ];
+  }
+
+let ex2_3_rw =
+  {
+    Litmus.name = "ex2_3_rw";
+    section = "§2 Ex 2.3 (HBrw/AntiRW)";
+    description = "atomic_a{ r:=y; q:=x } || atomic_b{ y:=1 }; x:=1";
+    program =
+      Ast.(
+        program ~name:"ex2_3_rw" ~locs:[ "x"; "y" ]
+          [
+            [ atomic [ load "r" y; load "q" x ] ];
+            [ atomic [ store y one ]; store x one ];
+          ]);
+    checks =
+      [
+        race_free ~model:Model.variant_rw
+          ~cond:(fun o -> reg o 0 "r" = 0 && reg o 0 "q" = 0)
+          "r=q=0 executions race-free under the rw variant";
+        some_racy ~model:bare
+          ~cond:(fun o -> reg o 0 "r" = 0 && reg o 0 "q" = 0)
+          "racy without HBrw";
+        forbidden ~model:Model.variant_rw "r=0 reading q=1" (fun o ->
+            reg o 0 "r" = 0 && reg o 0 "q" = 1);
+      ];
+  }
+
+let ex2_3_wr =
+  {
+    Litmus.name = "ex2_3_wr";
+    section = "§2 Ex 2.3 (HBwr)";
+    description = "atomic_a{ r:=y; x:=1 } || atomic_b{ y:=1 }; q:=x";
+    program =
+      Ast.(
+        program ~name:"ex2_3_wr" ~locs:[ "x"; "y" ]
+          [
+            [ atomic [ load "r" y; store x one ] ];
+            [ atomic [ store y one ]; load "q" x ];
+          ]);
+    checks =
+      [
+        race_free ~model:Model.variant_wr
+          ~cond:(fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 1)
+          "r=0,q=1 executions race-free under the wr variant";
+        some_racy ~model:bare
+          ~cond:(fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 1)
+          "racy without HBwr";
+      ];
+  }
+
+let ex2_3_ww' =
+  {
+    Litmus.name = "ex2_3_ww_prime";
+    section = "§2 Ex 2.3 (HB'ww/Anti'WW)";
+    description = "x:=1; atomic_b{ r:=y } || atomic_c{ x:=2; y:=1 }";
+    program =
+      Ast.(
+        program ~name:"ex2_3_ww_prime" ~locs:[ "x"; "y" ]
+          [
+            [ store x one; atomic [ load "r" y ] ];
+            [ atomic [ store x two; store y one ] ];
+          ]);
+    checks =
+      [
+        race_free ~model:Model.variant_ww'
+          ~cond:(fun o -> reg o 0 "r" = 0 && mem o "x" = 2)
+          "r=0 final x=2 race-free under the ww' variant";
+        some_racy ~model:bare
+          ~cond:(fun o -> reg o 0 "r" = 0 && mem o "x" = 2)
+          "racy without HB'ww";
+        forbidden ~model:Model.variant_ww' "r=0 with final x=1" (fun o ->
+            reg o 0 "r" = 0 && mem o "x" = 1);
+        allowed ~model:bare "r=0 with final x=1 without Anti'WW" (fun o ->
+            reg o 0 "r" = 0 && mem o "x" = 1);
+      ];
+  }
+
+let ex2_3_rw' =
+  {
+    Litmus.name = "ex2_3_rw_prime";
+    section = "§2 Ex 2.3 (HB'rw/Anti'RW)";
+    description = "q:=x; atomic_b{ r:=y } || atomic_c{ x:=1; y:=1 }";
+    program =
+      Ast.(
+        program ~name:"ex2_3_rw_prime" ~locs:[ "x"; "y" ]
+          [
+            [ load "q" x; atomic [ load "r" y ] ];
+            [ atomic [ store x one; store y one ] ];
+          ]);
+    checks =
+      [
+        race_free ~model:Model.variant_rw'
+          ~cond:(fun o -> reg o 0 "q" = 0 && reg o 0 "r" = 0)
+          "q=0,r=0 executions race-free under the rw' variant";
+        some_racy ~model:bare
+          ~cond:(fun o -> reg o 0 "q" = 0 && reg o 0 "r" = 0)
+          "racy without HB'rw";
+      ];
+  }
+
+let ex2_3_wr' =
+  {
+    Litmus.name = "ex2_3_wr_prime";
+    section = "§2 Ex 2.3 (HB'wr)";
+    description = "x:=1; atomic_b{ r:=y } || atomic_c{ q:=x; y:=1 }";
+    program =
+      Ast.(
+        program ~name:"ex2_3_wr_prime" ~locs:[ "x"; "y" ]
+          [
+            [ store x one; atomic [ load "r" y ] ];
+            [ atomic [ load "q" x; store y one ] ];
+          ]);
+    checks =
+      [
+        race_free ~model:Model.variant_wr'
+          ~cond:(fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 1)
+          "r=0,q=1 executions race-free under the wr' variant";
+        some_racy ~model:bare
+          ~cond:(fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 1)
+          "racy without HB'wr";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §3: STM design freedoms and limits                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ex3_1 =
+  {
+    Litmus.name = "ex3_1";
+    section = "§3 Ex 3.1";
+    description =
+      "x:=1; atomic_a{ r:=y } || atomic_b{ q:=x; y:=1 } — no publication \
+       by antidependence: r=q=0 is allowed (unlike models with Anti'RW, \
+       e.g. x86).";
+    program =
+      Ast.(
+        program ~name:"ex3_1" ~locs:[ "x"; "y" ]
+          [
+            [ store x one; atomic [ load "r" y ] ];
+            [ atomic [ load "q" x; store y one ] ];
+          ]);
+    checks =
+      [
+        allowed "r=0 and q=0" (fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 0);
+        forbidden ~model:Model.variant_rw'
+          "r=0 and q=0 forbidden under Anti'RW"
+          (fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 0);
+        forbidden ~model:strong "r=0 and q=0 forbidden on x86 (strongest)"
+          (fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 0);
+      ];
+  }
+
+let ex3_2 =
+  {
+    Litmus.name = "ex3_2";
+    section = "§3 Ex 3.2";
+    description =
+      "x:=1; atomic_a{ y:=1 }; r:=z || atomic_b{ q:=x; z:=1 } — no global \
+       lock atomicity: r=q=0 allowed in every variant.";
+    program =
+      Ast.(
+        program ~name:"ex3_2" ~locs:[ "x"; "y"; "z" ]
+          [
+            [ store x one; atomic [ store y one ]; load "r" z ];
+            [ atomic [ load "q" x; store z one ] ];
+          ]);
+    checks =
+      [
+        allowed "r=0 and q=0" (fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 0);
+        allowed ~model:strong "r=0 and q=0 even under the strongest variant"
+          (fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 0);
+      ];
+  }
+
+let ex3_3 =
+  {
+    Litmus.name = "ex3_3";
+    section = "§3 Ex 3.3";
+    description =
+      "x:=1; atomic_a{ y:=1 } || q:=2; atomic_b{ r:=x; g:=y; if g then \
+       q:=r } — 'benign' racy publication is nevertheless forbidden by \
+       Observation.";
+    program =
+      Ast.(
+        program ~name:"ex3_3" ~locs:[ "x"; "y"; "q" ]
+          [
+            [ store x one; atomic [ store y one ] ];
+            [
+              store (loc "q") two;
+              atomic
+                [
+                  load "r" x;
+                  load "g" y;
+                  when_ (reg "g") [ store (loc "q") (reg "r") ];
+                ];
+            ];
+          ]);
+    checks =
+      [
+        forbidden "final q=0" (fun o -> mem o "q" = 0);
+        allowed "final q=1" (fun o -> mem o "q" = 1);
+        allowed "final q=2" (fun o -> mem o "q" = 2);
+      ];
+  }
+
+let ex3_4 =
+  {
+    Litmus.name = "ex3_4";
+    section = "§3 Ex 3.4, App D.3";
+    description =
+      "Eager versioning: atomic_a{ r1:=y; if !r1 { x:=1; abort } }; \
+       atomic_b{ r2:=y; if !r2 then x:=1 }; r:=x || x:=2; y:=1; q:=x — \
+       the speculative lost update (q=0) is forbidden.";
+    program =
+      Ast.(
+        program ~name:"ex3_4" ~locs:[ "x"; "y" ]
+          [
+            [
+              atomic
+                [ load "r1" y; when_ (not_ (reg "r1")) [ store x one; abort ] ];
+              atomic [ load "r2" y; when_ (not_ (reg "r2")) [ store x one ] ];
+              load "r" x;
+            ];
+            [ store x two; store y one; load "q" x ];
+          ]);
+    checks =
+      [
+        forbidden "q=0 (the non-transactional write is never lost)" (fun o ->
+            reg o 1 "q" = 0);
+        allowed "r=0" (fun o -> reg o 0 "r" = 0);
+        allowed "r=2" (fun o -> reg o 0 "r" = 2);
+        allowed "q=2" (fun o -> reg o 1 "q" = 2);
+        allowed "q=1 (b's write observed)" (fun o -> reg o 1 "q" = 1);
+      ];
+  }
+
+let ex3_5 =
+  {
+    Litmus.name = "ex3_5";
+    section = "§3 Ex 3.5";
+    description =
+      "Lazy versioning privatization of an array cell: atomic_a{ r:=x; \
+       x:=42 }; r1:=z[r]; r2:=z[r]; z[r]:=0 || atomic_b{ q:=x; if q!=42 { \
+       t:=z[q]; z[q]:=t+1 } } — reading the cell twice must agree, and \
+       the final cleanup write wins (AntiWW).";
+    program =
+      Ast.(
+        program ~name:"ex3_5" ~locs:[ "x"; "z[0]" ]
+          [
+            [
+              atomic [ load "r" x; store x (int 42) ];
+              load "r1" (cell "z" (reg "r"));
+              load "r2" (cell "z" (reg "r"));
+              store (cell "z" (reg "r")) (int 0);
+            ];
+            [
+              atomic
+                [
+                  load "q" x;
+                  if_ Infix.(reg "q" <> int 42)
+                    [
+                      load "t" (cell "z" (reg "q"));
+                      store (cell "z" (reg "q")) Infix.(reg "t" + int 1);
+                    ]
+                    [];
+                ];
+            ];
+          ]);
+    checks =
+      [
+        (* The paper says the torn-read outcome "is disallowed by any
+           variant of our model that includes A<glyphs> (Example 2.3)".
+           The referenced axiom must be AntiRW, a §2.3 variant axiom: the
+           base programmer model's AntiWW does not forbid the execution
+           (the antidependency closing the cycle is the plain read of
+           z[0] against the buffered transactional write, an lrw not an
+           lww edge), and "variant that includes" would be an odd way to
+           refer to a base-model axiom.  The checker confirms: allowed
+           under pm, forbidden under the rw variant. *)
+        forbidden ~model:Model.variant_rw
+          "r1 <> r2 (torn privatized reads) under AntiRW" (fun o ->
+            reg o 0 "r1" <> reg o 0 "r2");
+        allowed "r1 <> r2 under the base programmer model (AntiWW alone \
+                 does not order the plain reads)" (fun o ->
+            reg o 0 "r1" <> reg o 0 "r2");
+        forbidden "final z[0] <> 0 (buffered write after cleanup)" (fun o ->
+            mem o "z[0]" <> 0);
+        allowed ~model:im "r1 <> r2 in the implementation model (the lazy \
+                           STM anomaly)"
+          (fun o -> reg o 0 "r1" <> reg o 0 "r2");
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §4: the LDRF example and the doomed transaction                     *)
+(* ------------------------------------------------------------------ *)
+
+let ldrf_example =
+  {
+    Litmus.name = "ldrf_example";
+    section = "§4 (LDRF example)";
+    description =
+      "x:=1; y:=1; atomic_a{ F:=1 }; z:=1 || y:=2; atomic_b{ r:=F }; \
+       z:=2; if r { rx:=x; ry1:=y; ry2:=y } — despite races on y and z, \
+       publication through F guarantees rx=1 and ry1=ry2 when r=1.";
+    program =
+      Ast.(
+        program ~name:"ldrf_example" ~locs:[ "x"; "y"; "z"; "F" ]
+          [
+            [ store x one; store y one; atomic [ store f_ one ]; store z one ];
+            [
+              store y two;
+              atomic [ load "r" f_ ];
+              store z two;
+              when_ (reg "r") [ load "rx" x; load "ry1" y; load "ry2" y ];
+            ];
+          ]);
+    checks =
+      [
+        forbidden "r=1 and rx=0" (fun o -> reg o 1 "r" = 1 && reg o 1 "rx" = 0);
+        forbidden "r=1 and ry1 <> ry2" (fun o ->
+            reg o 1 "r" = 1 && reg o 1 "ry1" <> reg o 1 "ry2");
+        allowed "r=1, rx=1, ry1=ry2=1" (fun o ->
+            reg o 1 "r" = 1 && reg o 1 "rx" = 1 && reg o 1 "ry1" = 1
+            && reg o 1 "ry2" = 1);
+        allowed "r=1, rx=1, ry1=ry2=2" (fun o ->
+            reg o 1 "r" = 1 && reg o 1 "rx" = 1 && reg o 1 "ry1" = 2
+            && reg o 1 "ry2" = 2);
+        some_racy ~l:[ "y" ] "the y writes race";
+      ];
+  }
+
+let doomed =
+  {
+    Litmus.name = "doomed";
+    section = "§4 (doomed transaction)";
+    description =
+      "atomic_a{ r:=y; if !r { s:=x } } || atomic_b{ y:=1 }; x:=1 — a \
+       transaction that reads the old flag can never see the new x \
+       (otherwise it would be doomed; forbidden by Causality via lifted \
+       antidependency).";
+    program =
+      Ast.(
+        program ~name:"doomed" ~locs:[ "x"; "y" ]
+          [
+            [ atomic [ load "r" y; when_ (not_ (reg "r")) [ load "s" x ] ] ];
+            [ atomic [ store y one ]; store x one ];
+          ]);
+    checks =
+      [
+        forbidden "r=0 and s=1" (fun o -> reg o 0 "r" = 0 && reg o 0 "s" = 1);
+        allowed "r=0 and s=0" (fun o -> reg o 0 "r" = 0 && reg o 0 "s" = 0);
+        allowed "r=1" (fun o -> reg o 0 "r" = 1);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §5: the (‡) reordering counterexample and quiescence fences         *)
+(* ------------------------------------------------------------------ *)
+
+let impl_reorder =
+  {
+    Litmus.name = "impl_reorder";
+    section = "§5 (‡)";
+    description =
+      "z:=1; atomic_a{ if !y then x:=1 } || atomic_b{ y:=1 }; x:=2; r:=z \
+       — in the programmer model the privatizing HBww order forces r=1; \
+       hence 'x:=2; r:=z' cannot be reordered.";
+    program =
+      Ast.(
+        program ~name:"impl_reorder" ~locs:[ "x"; "y"; "z" ]
+          [
+            [
+              store z one;
+              atomic [ load "ry" y; when_ (not_ (reg "ry")) [ store x one ] ];
+            ];
+            [ atomic [ store y one ]; store x two; load "r" z ];
+          ]);
+    checks =
+      [
+        forbidden "ry=0 and r=0" (fun o -> reg o 0 "ry" = 0 && reg o 1 "r" = 0);
+        allowed "ry=0 and r=1" (fun o -> reg o 0 "ry" = 0 && reg o 1 "r" = 1);
+        allowed ~model:im "ry=0 and r=0 in the implementation model" (fun o ->
+            reg o 0 "ry" = 0 && reg o 1 "r" = 0);
+      ];
+  }
+
+let impl_reorder_swapped =
+  {
+    Litmus.name = "impl_reorder_swapped";
+    section = "§5 (‡ swapped)";
+    description =
+      "The same program with 'r:=z; x:=2' — now r=0 is allowed, so the \
+       reordering introduces new behaviour and is invalid in the \
+       programmer model.";
+    program =
+      Ast.(
+        program ~name:"impl_reorder_swapped" ~locs:[ "x"; "y"; "z" ]
+          [
+            [
+              store z one;
+              atomic [ load "ry" y; when_ (not_ (reg "ry")) [ store x one ] ];
+            ];
+            [ atomic [ store y one ]; load "r" z; store x two ];
+          ]);
+    checks =
+      [ allowed "ry=0 and r=0" (fun o -> reg o 0 "ry" = 0 && reg o 1 "r" = 0) ];
+  }
+
+let privatization_fence =
+  {
+    Litmus.name = "privatization_fence";
+    section = "§5 (quiescence)";
+    description =
+      "Privatization in the implementation model with a quiescence fence \
+       on x before the plain write: the fence restores the programmer \
+       model's guarantee.";
+    program =
+      Ast.(
+        program ~name:"privatization_fence" ~locs:[ "x"; "y" ]
+          [
+            [ atomic [ load "ry" y; when_ (not_ (reg "ry")) [ store x one ] ] ];
+            [ atomic [ store y one ]; fence "x"; store x two ];
+          ]);
+    checks =
+      [
+        forbidden ~model:im "final x=1 with the fence" (fun o -> mem o "x" = 1);
+        allowed ~model:im "final x=2" (fun o -> mem o "x" = 2);
+        mixed ~model:im "no mixed race once fenced" false;
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Appendix D                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let d1_opaque_writes =
+  {
+    Litmus.name = "d1_opaque_writes";
+    section = "App D.1";
+    description =
+      "atomic_a{ x:=1; abort } || atomic_b{ r:=x } — aborted writes are \
+       invisible (WF7).";
+    program =
+      Ast.(
+        program ~name:"d1_opaque_writes" ~locs:[ "x" ]
+          [
+            [ atomic [ store x one; abort ] ];
+            [ atomic [ load "r" x ] ];
+          ]);
+    checks =
+      [
+        forbidden "r=1" (fun o -> reg o 1 "r" = 1);
+        allowed "r=0" (fun o -> reg o 1 "r" = 0);
+        forbidden ~model:im "r=1 (implementation model too)" (fun o ->
+            reg o 1 "r" = 1);
+      ];
+  }
+
+let d2_race_free_speculation =
+  {
+    Litmus.name = "d2_race_free_speculation";
+    section = "App D.2";
+    description =
+      "atomic_a{ x++; y++ } || atomic_b{ if x<>y { z:=1; abort } } || \
+       z:=2; r:=z — the speculation never observes x<>y (opacity), so \
+       the abort never undoes the plain write: r=2 always.";
+    program =
+      Ast.(
+        program ~name:"d2_race_free_speculation" ~locs:[ "x"; "y"; "z" ]
+          [
+            [
+              atomic
+                [
+                  load "a" x;
+                  store x Infix.(reg "a" + int 1);
+                  load "b" y;
+                  store y Infix.(reg "b" + int 1);
+                ];
+            ];
+            [
+              atomic
+                [
+                  load "q1" x;
+                  load "q2" y;
+                  when_ Infix.(reg "q1" <> reg "q2") [ store z one; abort ];
+                ];
+            ];
+            [ store z two; load "r" z ];
+          ]);
+    checks =
+      [
+        forbidden "r=0" (fun o -> reg o 2 "r" = 0);
+        forbidden "r=1" (fun o -> reg o 2 "r" = 1);
+        allowed "r=2" (fun o -> reg o 2 "r" = 2);
+        forbidden "q1 <> q2 in a committed speculation" (fun o ->
+            reg o 1 "q1" <> reg o 1 "q2");
+        exec_forbidden "no transaction ever observes x <> y (opacity)"
+          (fun t ->
+            List.exists
+              (fun b ->
+                let reads = Litmus.txn_reads t b in
+                match (List.assoc_opt "x" reads, List.assoc_opt "y" reads) with
+                | Some v, Some w -> v <> w
+                | _ -> false)
+              (Trace.txns t));
+      ];
+  }
+
+let d3_dirty_reads =
+  {
+    Litmus.name = "d3_dirty_reads";
+    section = "App D.3";
+    description =
+      "atomic_a{ if !y' { x:=1; abort } }; atomic_b{ if !y' then x:=1 } \
+       || s:=x; if s=1 then y':=1 — a dirty read of the rolled-back x \
+       cannot set the flag while x ends 0.";
+    program =
+      Ast.(
+        program ~name:"d3_dirty_reads" ~locs:[ "x"; "w" ]
+          [
+            [
+              atomic
+                [ load "r1" (loc "w"); when_ (not_ (reg "r1")) [ store x one; abort ] ];
+              atomic
+                [ load "r2" (loc "w"); when_ (not_ (reg "r2")) [ store x one ] ];
+            ];
+            [ load "s" x; when_ Infix.(reg "s" = int 1) [ store (loc "w") one ] ];
+          ]);
+    checks =
+      [
+        forbidden "final x=0 and w=1" (fun o -> mem o "x" = 0 && mem o "w" = 1);
+        allowed "final x=1 and w=1" (fun o -> mem o "x" = 1 && mem o "w" = 1);
+        allowed "final x=1 and w=0" (fun o -> mem o "x" = 1 && mem o "w" = 0);
+      ];
+  }
+
+let d4_no_overlapped_writes =
+  {
+    Litmus.name = "d4_no_overlapped_writes";
+    section = "App D.4";
+    description =
+      "atomic_a{ y:=4; z[4]:=1; x:=4 } || r:=1; atomic{ q:=x }; if q<>0 \
+       then r:=z[q] — lazy version copies may not be observed out of \
+       order: r=0 is forbidden.";
+    program =
+      Ast.(
+        program ~name:"d4_no_overlapped_writes" ~locs:[ "x"; "y"; "z[4]"; "r" ]
+          [
+            [
+              atomic
+                [ store y (int 4); store (cell "z" (int 4)) one; store x (int 4) ];
+            ];
+            [
+              store (loc "r") one;
+              atomic [ load "q" x ];
+              when_ Infix.(reg "q" <> int 0) [ load "rz" (cell "z" (reg "q")) ];
+              when_ Infix.(reg "q" <> int 0) [ store (loc "r") (reg "rz") ];
+            ];
+          ]);
+    checks =
+      [
+        forbidden "final r=0" (fun o -> mem o "r" = 0);
+        allowed "final r=1" (fun o -> mem o "r" = 1);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let all : Litmus.t list =
+  [
+    privatization;
+    privatization_chain;
+    publication;
+    iriw_z;
+    temporal;
+    ex2_2;
+    load_buffering;
+    store_buffering;
+    aborted_publication;
+    opacity_iriw;
+    opacity_iriw_plain;
+    coherence_java;
+    coherence_cse;
+    ex2_3_ww;
+    ex2_3_rw;
+    ex2_3_wr;
+    ex2_3_ww';
+    ex2_3_rw';
+    ex2_3_wr';
+    ex3_1;
+    ex3_2;
+    ex3_3;
+    ex3_4;
+    ex3_5;
+    ldrf_example;
+    doomed;
+    impl_reorder;
+    impl_reorder_swapped;
+    privatization_fence;
+    d1_opaque_writes;
+    d2_race_free_speculation;
+    d3_dirty_reads;
+    d4_no_overlapped_writes;
+  ]
+
+let find name = List.find_opt (fun (l : Litmus.t) -> String.equal l.name name) all

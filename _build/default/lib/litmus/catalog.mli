@@ -1,0 +1,42 @@
+(** The paper's examples as machine-checked litmus tests.
+
+    Every numbered example and every figure-with-verdict of the paper is
+    here, with the paper's verdicts encoded as expectations; DESIGN.md's
+    experiment index maps experiment ids to these names. *)
+
+val privatization : Litmus.t
+val privatization_chain : Litmus.t
+val publication : Litmus.t
+val iriw_z : Litmus.t
+val temporal : Litmus.t
+val ex2_2 : Litmus.t
+val load_buffering : Litmus.t
+val store_buffering : Litmus.t
+val aborted_publication : Litmus.t
+val opacity_iriw : Litmus.t
+val opacity_iriw_plain : Litmus.t
+val coherence_java : Litmus.t
+val coherence_cse : Litmus.t
+val ex2_3_ww : Litmus.t
+val ex2_3_rw : Litmus.t
+val ex2_3_wr : Litmus.t
+val ex2_3_ww' : Litmus.t
+val ex2_3_rw' : Litmus.t
+val ex2_3_wr' : Litmus.t
+val ex3_1 : Litmus.t
+val ex3_2 : Litmus.t
+val ex3_3 : Litmus.t
+val ex3_4 : Litmus.t
+val ex3_5 : Litmus.t
+val ldrf_example : Litmus.t
+val doomed : Litmus.t
+val impl_reorder : Litmus.t
+val impl_reorder_swapped : Litmus.t
+val privatization_fence : Litmus.t
+val d1_opaque_writes : Litmus.t
+val d2_race_free_speculation : Litmus.t
+val d3_dirty_reads : Litmus.t
+val d4_no_overlapped_writes : Litmus.t
+
+val all : Litmus.t list
+val find : string -> Litmus.t option

@@ -1,0 +1,567 @@
+(* A text format for litmus files, so the checker runs on user-written
+   programs.  Example:
+
+     name my-privatization
+     locs x y
+
+     thread 0:
+       atomic { ry := y; if !ry { x := 1 } }
+
+     thread 1:
+       atomic { y := 1 }
+       x := 2
+
+     check pm forbidden mem x = 1
+     check im allowed  mem x = 1
+     check pm allowed  reg 0 ry = 0 && mem x = 2
+
+   Identifiers declared under "locs" (and array cells "base[i]") are
+   shared locations; every other identifier is a register.  Statements
+   are separated by newlines or ';'.  '#' starts a comment. *)
+
+open Tmx_core
+open Tmx_lang
+
+exception Error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* -- lexer ----------------------------------------------------------------- *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | ASSIGN (* := *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | BANG
+  | EQ
+  | NEQ
+  | LT
+  | ANDAND
+  | OROR
+  | PLUS
+  | MINUS
+  | STAR
+  | SEMI
+  | COLON
+  | NEWLINE
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | INT n -> Fmt.pf ppf "integer %d" n
+  | ASSIGN -> Fmt.string ppf "':='"
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | LBRACKET -> Fmt.string ppf "'['"
+  | RBRACKET -> Fmt.string ppf "']'"
+  | BANG -> Fmt.string ppf "'!'"
+  | EQ -> Fmt.string ppf "'='"
+  | NEQ -> Fmt.string ppf "'!='"
+  | LT -> Fmt.string ppf "'<'"
+  | ANDAND -> Fmt.string ppf "'&&'"
+  | OROR -> Fmt.string ppf "'||'"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | STAR -> Fmt.string ppf "'*'"
+  | SEMI -> Fmt.string ppf "';'"
+  | COLON -> Fmt.string ppf "':'"
+  | NEWLINE -> Fmt.string ppf "newline"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+          emit NEWLINE;
+          incr line;
+          go (i + 1)
+      | '#' ->
+          let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+          go (skip i)
+      | ':' when i + 1 < n && src.[i + 1] = '=' ->
+          emit ASSIGN;
+          go (i + 2)
+      | ':' ->
+          emit COLON;
+          go (i + 1)
+      | '{' ->
+          emit LBRACE;
+          go (i + 1)
+      | '}' ->
+          emit RBRACE;
+          go (i + 1)
+      | '(' ->
+          emit LPAREN;
+          go (i + 1)
+      | ')' ->
+          emit RPAREN;
+          go (i + 1)
+      | '[' ->
+          emit LBRACKET;
+          go (i + 1)
+      | ']' ->
+          emit RBRACKET;
+          go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' ->
+          emit NEQ;
+          go (i + 2)
+      | '!' ->
+          emit BANG;
+          go (i + 1)
+      | '=' ->
+          emit EQ;
+          go (i + 1)
+      | '<' when i + 1 < n && src.[i + 1] = '>' ->
+          emit NEQ;
+          go (i + 2)
+      | '<' ->
+          emit LT;
+          go (i + 1)
+      | '&' when i + 1 < n && src.[i + 1] = '&' ->
+          emit ANDAND;
+          go (i + 2)
+      | '|' when i + 1 < n && src.[i + 1] = '|' ->
+          emit OROR;
+          go (i + 2)
+      | '+' ->
+          emit PLUS;
+          go (i + 1)
+      | '-' ->
+          emit MINUS;
+          go (i + 1)
+      | '*' ->
+          emit STAR;
+          go (i + 1)
+      | ';' ->
+          emit SEMI;
+          go (i + 1)
+      | c when c >= '0' && c <= '9' ->
+          let rec num j = if j < n && src.[j] >= '0' && src.[j] <= '9' then num (j + 1) else j in
+          let j = num i in
+          emit (INT (int_of_string (String.sub src i (j - i))));
+          go j
+      | c when is_ident_char c ->
+          let rec ident j = if j < n && is_ident_char src.[j] then ident (j + 1) else j in
+          let j = ident i in
+          emit (IDENT (String.sub src i (j - i)));
+          go j
+      | c -> fail "line %d: unexpected character %C" !line c
+  in
+  go 0;
+  List.rev !tokens
+
+(* -- parser ----------------------------------------------------------------- *)
+
+type state = { mutable toks : (token * int) list; mutable locs : string list }
+
+let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let cur_line st = match st.toks with [] -> 0 | (_, l) :: _ -> l
+
+let expect st t =
+  match st.toks with
+  | (t', _) :: rest when t' = t -> st.toks <- rest
+  | (t', l) :: _ -> fail "line %d: expected %a, found %a" l pp_token t pp_token t'
+  | [] -> fail "unexpected end of file: expected %a" pp_token t
+
+let skip_newlines st =
+  let rec go () =
+    match peek st with
+    | Some (NEWLINE | SEMI) ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let ident st =
+  match st.toks with
+  | (IDENT s, _) :: rest ->
+      st.toks <- rest;
+      s
+  | (t, l) :: _ -> fail "line %d: expected an identifier, found %a" l pp_token t
+  | [] -> fail "unexpected end of file: expected an identifier"
+
+let integer st =
+  match st.toks with
+  | (INT n, _) :: rest ->
+      st.toks <- rest;
+      n
+  | (MINUS, _) :: (INT n, _) :: rest ->
+      st.toks <- rest;
+      -n
+  | (t, l) :: _ -> fail "line %d: expected an integer, found %a" l pp_token t
+  | [] -> fail "unexpected end of file: expected an integer"
+
+(* a name denotes a location if declared exactly, or if it is the base of
+   a declared array cell ("z" when "z[0]" is declared) *)
+let is_loc st name =
+  let prefix = name ^ "[" in
+  let plen = String.length prefix in
+  List.exists
+    (fun l ->
+      String.equal l name
+      || (String.length l >= plen && String.equal (String.sub l 0 plen) prefix))
+    st.locs
+
+(* expressions over registers and constants; precedence (low to high):
+   || ; && ; = != < ; + - ; * ; unary *)
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Some OROR ->
+      advance st;
+      Ast.Or (lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  match peek st with
+  | Some ANDAND ->
+      advance st;
+      Ast.And (lhs, parse_and st)
+  | _ -> lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  match peek st with
+  | Some EQ ->
+      advance st;
+      Ast.Eq (lhs, parse_add st)
+  | Some NEQ ->
+      advance st;
+      Ast.Ne (lhs, parse_add st)
+  | Some LT ->
+      advance st;
+      Ast.Lt (lhs, parse_add st)
+  | _ -> lhs
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | Some PLUS ->
+        advance st;
+        go (Ast.Add (lhs, parse_mul st))
+    | Some MINUS ->
+        advance st;
+        go (Ast.Sub (lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | Some STAR ->
+        advance st;
+        go (Ast.Mul (lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Some BANG ->
+      advance st;
+      Ast.Not (parse_unary st)
+  | Some MINUS ->
+      advance st;
+      Ast.Sub (Ast.Int 0, parse_unary st)
+  | Some (INT _) -> Ast.Int (integer st)
+  | Some LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | Some (IDENT name) ->
+      if is_loc st name then
+        fail "line %d: location %S used in an expression (only registers \
+              and constants may appear; use a load first)"
+          (cur_line st) name;
+      advance st;
+      Ast.Reg name
+  | Some t -> fail "line %d: unexpected %a in expression" (cur_line st) pp_token t
+  | None -> fail "unexpected end of file in expression"
+
+(* an lvalue: a declared location, optionally with an index *)
+let parse_lval_from st base =
+  match peek st with
+  | Some LBRACKET ->
+      advance st;
+      let e = parse_expr st in
+      expect st RBRACKET;
+      Ast.cell base e
+  | _ -> Ast.loc base
+
+let rec parse_stmt st : Ast.stmt =
+  match peek st with
+  | Some (IDENT "atomic") ->
+      advance st;
+      expect st LBRACE;
+      let body = parse_block st in
+      Ast.atomic body
+  | Some (IDENT "abort") ->
+      advance st;
+      Ast.abort
+  | Some (IDENT "skip") ->
+      advance st;
+      Ast.skip
+  | Some (IDENT "fence") ->
+      advance st;
+      expect st LPAREN;
+      let x = ident st in
+      expect st RPAREN;
+      Ast.fence x
+  | Some (IDENT "if") ->
+      advance st;
+      let c = parse_expr st in
+      expect st LBRACE;
+      let thenb = parse_block st in
+      skip_newlines st;
+      let elseb =
+        match peek st with
+        | Some (IDENT "else") ->
+            advance st;
+            expect st LBRACE;
+            parse_block st
+        | _ -> []
+      in
+      Ast.if_ c thenb elseb
+  | Some (IDENT "while") ->
+      advance st;
+      let c = parse_expr st in
+      expect st LBRACE;
+      let body = parse_block st in
+      Ast.while_ c body
+  | Some (IDENT name) -> (
+      advance st;
+      if is_loc st name then begin
+        let lv = parse_lval_from st name in
+        expect st ASSIGN;
+        Ast.store lv (parse_expr st)
+      end
+      else
+        match peek st with
+        | Some ASSIGN -> (
+            advance st;
+            (* a load ("r := x" / "r := z[e]") or a register computation *)
+            match peek st with
+            | Some (IDENT rhs) when is_loc st rhs ->
+                advance st;
+                let load = Ast.load name (parse_lval_from st rhs) in
+                (match peek st with
+                | Some (PLUS | MINUS | STAR | EQ | NEQ | LT | ANDAND | OROR) ->
+                    fail
+                      "line %d: location %S used in an expression (load it \
+                       into a register first)"
+                      (cur_line st) rhs
+                | _ -> ());
+                load
+            | _ -> Ast.assign name (parse_expr st))
+        | Some t ->
+            fail "line %d: expected ':=' after %S, found %a" (cur_line st) name
+              pp_token t
+        | None -> fail "unexpected end of file after %S" name)
+  | Some t -> fail "line %d: unexpected %a at start of statement" (cur_line st) pp_token t
+  | None -> fail "unexpected end of file in statement"
+
+and parse_block st =
+  skip_newlines st;
+  match peek st with
+  | Some RBRACE ->
+      advance st;
+      []
+  | _ ->
+      let s = parse_stmt st in
+      let rec more acc =
+        skip_newlines st;
+        match peek st with
+        | Some RBRACE ->
+            advance st;
+            List.rev acc
+        | _ -> more (parse_stmt st :: acc)
+      in
+      more [ s ]
+
+(* -- top level --------------------------------------------------------------- *)
+
+let top_keyword = function
+  | Some (IDENT ("thread" | "check" | "name" | "locs")) -> true
+  | None -> true
+  | _ -> false
+
+let parse_thread_body st =
+  let rec go acc =
+    skip_newlines st;
+    if top_keyword (peek st) then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_cond st =
+  (* conjunctions of "reg THREAD NAME (=|!=) INT" and "mem LOC (=|!=) INT" *)
+  let atom () =
+    match peek st with
+    | Some (IDENT "reg") ->
+        advance st;
+        let th = integer st in
+        let r = ident st in
+        let negated = peek st = Some NEQ in
+        (match peek st with
+        | Some (EQ | NEQ) -> advance st
+        | _ -> fail "line %d: expected '=' or '!=' in condition" (cur_line st));
+        let v = integer st in
+        fun (o : Tmx_exec.Outcome.t) ->
+          if negated then Tmx_exec.Outcome.reg o th r <> v
+          else Tmx_exec.Outcome.reg o th r = v
+    | Some (IDENT "mem") -> (
+        advance st;
+        let x = ident st in
+        let x =
+          match peek st with
+          | Some LBRACKET ->
+              advance st;
+              let i = integer st in
+              expect st RBRACKET;
+              Fmt.str "%s[%d]" x i
+          | _ -> x
+        in
+        let negated = peek st = Some NEQ in
+        match peek st with
+        | Some (EQ | NEQ) ->
+            advance st;
+            let v = integer st in
+            fun o ->
+              if negated then Tmx_exec.Outcome.mem o x <> v
+              else Tmx_exec.Outcome.mem o x = v
+        | _ -> fail "line %d: expected '=' or '!=' in condition" (cur_line st))
+    | Some t -> fail "line %d: expected 'reg' or 'mem', found %a" (cur_line st) pp_token t
+    | None -> fail "unexpected end of file in condition"
+  in
+  let rec conj acc =
+    let a = atom () in
+    let acc o = acc o && a o in
+    match peek st with
+    | Some ANDAND ->
+        advance st;
+        conj acc
+    | _ -> acc
+  in
+  conj (fun _ -> true)
+
+let parse string =
+  let st = { toks = tokenize string; locs = [] } in
+  let name = ref "litmus" in
+  let threads : (int * Ast.thread) list ref = ref [] in
+  let checks = ref [] in
+  let rec go () =
+    skip_newlines st;
+    match peek st with
+    | None -> ()
+    | Some (IDENT "name") ->
+        advance st;
+        name := ident st;
+        go ()
+    | Some (IDENT "locs") ->
+        advance st;
+        let rec more () =
+          match peek st with
+          | Some (IDENT x) when not (top_keyword (Some (IDENT x))) ->
+              advance st;
+              let x =
+                match peek st with
+                | Some LBRACKET ->
+                    advance st;
+                    let i = integer st in
+                    expect st RBRACKET;
+                    Fmt.str "%s[%d]" x i
+                | _ -> x
+              in
+              st.locs <- st.locs @ [ x ];
+              more ()
+          | _ -> ()
+        in
+        more ();
+        go ()
+    | Some (IDENT "thread") ->
+        advance st;
+        let i = integer st in
+        expect st COLON;
+        let body = parse_thread_body st in
+        threads := (i, body) :: !threads;
+        go ()
+    | Some (IDENT "check") ->
+        advance st;
+        let model_name = ident st in
+        let model =
+          match Model.by_name model_name with
+          | Some m -> m
+          | None -> fail "line %d: unknown model %S" (cur_line st) model_name
+        in
+        let expect_kw = ident st in
+        let expectation =
+          match expect_kw with
+          | "allowed" -> Litmus.Allowed
+          | "forbidden" -> Litmus.Forbidden
+          | s -> fail "line %d: expected 'allowed' or 'forbidden', found %S" (cur_line st) s
+        in
+        let descr_start = cur_line st in
+        let cond = parse_cond st in
+        checks :=
+          Litmus.Outcome_check
+            {
+              model;
+              descr = Fmt.str "check at line %d" descr_start;
+              cond;
+              expect = expectation;
+            }
+          :: !checks;
+        go ()
+    | Some t -> fail "line %d: unexpected %a at top level" (cur_line st) pp_token t
+  in
+  go ();
+  let threads = List.sort compare !threads in
+  (* thread indices must be 0..n-1 *)
+  List.iteri
+    (fun i (j, _) -> if i <> j then fail "thread indices must be consecutive from 0 (missing thread %d)" i)
+    threads;
+  let program =
+    Ast.program ~name:!name ~locs:st.locs (List.map snd threads)
+  in
+  (match Ast.validate program with
+  | Ok () -> ()
+  | Error msg -> fail "invalid program: %s" msg);
+  {
+    Litmus.name = !name;
+    section = "user";
+    description = "parsed litmus file";
+    program;
+    checks = List.rev !checks;
+  }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  parse s

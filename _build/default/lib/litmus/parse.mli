@@ -1,0 +1,31 @@
+(** A text format for litmus files, so the checker runs on user-written
+    programs.
+
+    {v
+    name my-privatization
+    locs x y
+
+    thread 0:
+      atomic { ry := y; if !ry { x := 1 } }
+
+    thread 1:
+      atomic { y := 1 }
+      x := 2
+
+    check pm forbidden mem x = 1
+    check im allowed  mem x = 1
+    check pm allowed  reg 0 ry = 0 && mem x = 2
+    v}
+
+    Identifiers declared under [locs] (and array cells [base[i]]) are
+    shared locations; every other identifier is a register.  Statements
+    are separated by newlines or [;]; [#] starts a comment.  Conditions
+    are conjunctions of [reg THREAD NAME = INT] and [mem LOC = INT]
+    atoms ([!=] for negation). *)
+
+exception Error of string
+
+val parse : string -> Litmus.t
+(** @raise Error with a line-numbered message on malformed input. *)
+
+val parse_file : string -> Litmus.t

@@ -1,0 +1,191 @@
+(* Systematic litmus families: the classic relaxed-memory shapes (message
+   passing, store/load buffering, IRIW, coherence, 2+2W) instantiated at
+   every combination of plain and transactional access, with the verdict
+   each combination must have under the programmer model.
+
+   The oracles are derived from the model: transactions synchronize
+   (cwr/cww in happens-before, xrw in Causality) and plain accesses do
+   not, so a forbidden outcome generally requires every synchronizing
+   site to be transactional; load buffering is forbidden outright because
+   plain reads-from is already in Causality (lwr). *)
+
+open Tmx_core
+open Tmx_lang
+open Tmx_exec
+
+type site = P | T
+
+let pp_site ppf = function P -> Fmt.string ppf "p" | T -> Fmt.string ppf "t"
+
+(* wrap a group of statements in one transaction *)
+let group site body = match site with P -> body | T -> [ Ast.atomic body ]
+
+(* wrap each statement in its own transaction *)
+let each site stmts =
+  match site with P -> stmts | T -> List.map (fun s -> Ast.atomic [ s ]) stmts
+
+type case = {
+  name : string;
+  family : string;
+  program : Ast.program;
+  cond : Outcome.t -> bool;
+  forbidden : bool; (* expected verdict under the programmer model *)
+}
+
+let reg = Outcome.reg
+let mem = Outcome.mem
+let sites2 = [ (P, P); (P, T); (T, P); (T, T) ]
+
+let case family sites program cond forbidden =
+  {
+    name = Fmt.str "%s[%a]" family Fmt.(list ~sep:nop pp_site) sites;
+    family;
+    program;
+    cond;
+    forbidden;
+  }
+
+(* message passing: x published through a flag *)
+let mp =
+  List.map
+    (fun (s1, s2) ->
+      let program =
+        Ast.(
+          program ~name:"mp" ~locs:[ "x"; "y" ]
+            [
+              store (loc "x") (int 1) :: group s1 [ store (loc "y") (int 1) ];
+              group s2 [ load "r1" (loc "y") ] @ [ load "r2" (loc "x") ];
+            ])
+      in
+      case "mp" [ s1; s2 ] program
+        (fun o -> reg o 1 "r1" = 1 && reg o 1 "r2" = 0)
+        (s1 = T && s2 = T))
+    sites2
+
+(* store buffering: forbidden only when both sides are transactions *)
+let sb =
+  List.map
+    (fun (s1, s2) ->
+      let program =
+        Ast.(
+          program ~name:"sb" ~locs:[ "x"; "y" ]
+            [
+              group s1 [ store (loc "x") (int 1); load "r" (loc "y") ];
+              group s2 [ store (loc "y") (int 1); load "q" (loc "x") ];
+            ])
+      in
+      case "sb" [ s1; s2 ] program
+        (fun o -> reg o 0 "r" = 0 && reg o 1 "q" = 0)
+        (s1 = T && s2 = T))
+    sites2
+
+(* load buffering: forbidden in every combination (lwr is in Causality) *)
+let lb =
+  List.map
+    (fun (s1, s2) ->
+      let program =
+        Ast.(
+          program ~name:"lb" ~locs:[ "x"; "y" ]
+            [
+              group s1 [ load "r" (loc "x"); store (loc "y") (int 1) ];
+              group s2 [ load "q" (loc "y"); store (loc "x") (int 1) ];
+            ])
+      in
+      case "lb" [ s1; s2 ] program
+        (fun o -> reg o 0 "r" = 1 && reg o 1 "q" = 1)
+        true)
+    sites2
+
+(* IRIW: forbidden only when all four sites are transactional *)
+let iriw =
+  List.concat_map
+    (fun (w1, w2) ->
+      List.map
+        (fun (r1, r2) ->
+          let program =
+            Ast.(
+              program ~name:"iriw" ~locs:[ "x"; "y" ]
+                [
+                  group w1 [ store (loc "x") (int 1) ];
+                  group w2 [ store (loc "y") (int 1) ];
+                  each r1 [ load "r1" (loc "x"); load "r2" (loc "y") ];
+                  each r2 [ load "q1" (loc "y"); load "q2" (loc "x") ];
+                ])
+          in
+          case "iriw" [ w1; w2; r1; r2 ] program
+            (fun o ->
+              reg o 2 "r1" = 1 && reg o 2 "r2" = 0 && reg o 3 "q1" = 1
+              && reg o 3 "q2" = 0)
+            (w1 = T && w2 = T && r1 = T && r2 = T))
+        sites2)
+    sites2
+
+(* coherence (read-read): new-then-old reads, forbidden only for
+   transactions on both sides (opacity); plain allows it (CSE) *)
+let corr =
+  List.map
+    (fun (s1, s2) ->
+      let program =
+        Ast.(
+          program ~name:"corr" ~locs:[ "x" ]
+            [
+              group s1 [ store (loc "x") (int 1); store (loc "x") (int 2) ];
+              each s2 [ load "r1" (loc "x"); load "r2" (loc "x") ];
+            ])
+      in
+      case "corr" [ s1; s2 ] program
+        (fun o -> reg o 1 "r1" = 2 && reg o 1 "r2" = 1)
+        (s1 = T && s2 = T))
+    sites2
+
+(* 2+2W: both locations end at the first thread's value — forbidden only
+   when both sides are transactions *)
+let w2plus2 =
+  List.map
+    (fun (s1, s2) ->
+      let program =
+        Ast.(
+          program ~name:"2+2w" ~locs:[ "x"; "y" ]
+            [
+              group s1 [ store (loc "x") (int 1); store (loc "y") (int 2) ];
+              group s2 [ store (loc "y") (int 1); store (loc "x") (int 2) ];
+            ])
+      in
+      case "2+2w" [ s1; s2 ] program
+        (fun o -> mem o "x" = 1 && mem o "y" = 1)
+        (s1 = T && s2 = T))
+    sites2
+
+(* write-to-read causality: synchronization must be transitive through
+   the middle thread — forbidden only when all four sites are
+   transactional *)
+let wrc =
+  List.concat_map
+    (fun (w, rx) ->
+      List.map
+        (fun (wy, ry) ->
+          let program =
+            Ast.(
+              program ~name:"wrc" ~locs:[ "x"; "y" ]
+                [
+                  group w [ store (loc "x") (int 1) ];
+                  group rx [ load "r" (loc "x") ] @ group wy [ store (loc "y") (int 1) ];
+                  group ry [ load "q" (loc "y") ] @ [ load "p" (loc "x") ];
+                ])
+          in
+          case "wrc" [ w; rx; wy; ry ] program
+            (fun o -> reg o 1 "r" = 1 && reg o 2 "q" = 1 && reg o 2 "p" = 0)
+            (w = T && rx = T && wy = T && ry = T))
+        sites2)
+    sites2
+
+let all_cases = mp @ sb @ lb @ iriw @ corr @ w2plus2 @ wrc
+
+type result = { case : case; observed_forbidden : bool; ok : bool }
+
+let run_case ?config ?(model = Model.programmer) case =
+  let result = Enumerate.run ?config model case.program in
+  let observed_forbidden = not (Enumerate.allowed result case.cond) in
+  { case; observed_forbidden; ok = observed_forbidden = case.forbidden }
+
+let run_all ?config ?model () = List.map (run_case ?config ?model) all_cases

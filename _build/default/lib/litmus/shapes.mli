@@ -1,0 +1,39 @@
+(** Systematic litmus families: the classic relaxed-memory shapes
+    (message passing, store/load buffering, IRIW, coherence, 2+2W)
+    instantiated at every combination of plain and transactional access,
+    with the programmer-model verdict each combination must have.
+
+    The oracles follow from the model: transactions synchronize, plain
+    accesses do not, so forbidden outcomes generally require every
+    synchronizing site to be transactional — except load buffering, which
+    is forbidden outright because plain reads-from already participates
+    in Causality. *)
+
+open Tmx_core
+open Tmx_exec
+
+type site = P | T
+
+val pp_site : site Fmt.t
+
+type case = {
+  name : string;
+  family : string;
+  program : Tmx_lang.Ast.program;
+  cond : Outcome.t -> bool;
+  forbidden : bool;
+}
+
+val mp : case list
+val sb : case list
+val lb : case list
+val iriw : case list
+val corr : case list
+val w2plus2 : case list
+val wrc : case list
+val all_cases : case list
+
+type result = { case : case; observed_forbidden : bool; ok : bool }
+
+val run_case : ?config:Enumerate.config -> ?model:Model.t -> case -> result
+val run_all : ?config:Enumerate.config -> ?model:Model.t -> unit -> result list

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Ast Hashtbl List Option Outcome Proto Rat String Tmx_core Tmx_exec Tmx_lang

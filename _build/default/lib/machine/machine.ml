@@ -1,0 +1,511 @@
+(* An operational timestamp machine for the implementation model.
+
+   Dolan, Sivaramakrishnan and Madhavapeddy give LDRF an operational
+   semantics: the store keeps a timestamped history per location and each
+   thread a frontier (the oldest timestamp it may still read per
+   location); plain writes pick a fresh timestamp above the writer's
+   frontier (possibly between existing ones), plain reads return any
+   entry at or above the frontier without advancing it, and
+   synchronization merges frontiers.  The paper (§7) notes its axiomatic
+   account coincides with the operational one.  This module extends that
+   machine with the paper's transactions and quiescence fences:
+
+   - a transaction executes as one atomic step (contiguity loses no
+     outcomes); its reads see its own buffer first, and otherwise must
+     take a timestamp at or above its frontier AND at or above every
+     committed transactional entry for that location (the operational
+     WF9–WF11/opacity discipline);
+   - reading a transactional entry acquires the frontier stored with it
+     (cwr in happens-before); plain reads of transactional entries do not
+     synchronize — they are plain;
+   - commit publishes every buffered write, in program order at ascending
+     fresh timestamps above the transaction's frontier and above every
+     committed transactional entry (cww; intermediate values remain
+     visible to plain readers, as in a lazy STM's write-back);
+   - aborted transactions publish nothing and roll their registers back;
+   - a fence on x acquires the frontiers of all transactional entries of
+     x (HBCQ) and publishes the fencing thread's frontier so that any
+     later transaction touching x starts above it (HBQB).
+
+   The machine is exhaustively explored; the differential tests check its
+   outcome set against the axiomatic enumerator's. *)
+
+open Tmx_core
+open Tmx_lang
+open Tmx_exec
+
+type config = { fuel : int; max_states : int }
+
+let default_config = { fuel = 6; max_states = 2_000_000 }
+
+(* -- frontiers -------------------------------------------------------------- *)
+
+module Frontier = struct
+  type t = (string * Rat.t) list (* absent = Rat.zero *)
+
+  let empty : t = []
+  let get (f : t) x = Option.value (List.assoc_opt x f) ~default:Rat.zero
+
+  let advance (f : t) x q =
+    if Rat.leq q (get f x) then f else (x, q) :: List.remove_assoc x f
+
+  let merge (a : t) (b : t) = List.fold_left (fun acc (x, q) -> advance acc x q) a b
+end
+
+(* -- the store -------------------------------------------------------------- *)
+
+type entry = {
+  ts : Rat.t;
+  value : int;
+  txn : Frontier.t option; (* Some f: transactional entry publishing f *)
+}
+
+type history = entry list (* sorted by ascending timestamp *)
+
+let insert (h : history) e =
+  let rec go = function
+    | [] -> [ e ]
+    | e' :: rest when Rat.lt e'.ts e.ts -> e' :: go rest
+    | rest -> e :: rest
+  in
+  go h
+
+(* the largest transactional timestamp of a history (Rat.zero if only the
+   initializing entry) *)
+let txn_ceiling (h : history) =
+  List.fold_left
+    (fun acc e -> match e.txn with Some _ when Rat.lt acc e.ts -> e.ts | _ -> acc)
+    Rat.zero h
+
+let max_ts (h : history) = List.fold_left (fun acc e -> if Rat.lt acc e.ts then e.ts else acc) Rat.zero h
+
+(* a fresh timestamp strictly above [lo]: either squeezed before the next
+   existing entry or past the end — all distinct choices *)
+let fresh_slots (h : history) ~above =
+  let higher = List.filter (fun e -> Rat.lt above e.ts) h in
+  let rec slots lo = function
+    | [] -> [ Rat.succ lo ]
+    | e :: rest -> Rat.between lo e.ts :: slots e.ts rest
+  in
+  slots above higher
+
+type store = (string * history) list
+
+let history (s : store) x =
+  Option.value (List.assoc_opt x s)
+    ~default:[ { ts = Rat.zero; value = 0; txn = Some Frontier.empty } ]
+
+let set_history (s : store) x h = (x, h) :: List.remove_assoc x s
+
+(* -- machine state ----------------------------------------------------------- *)
+
+type tstate = { stmts : Ast.stmt list; env : Proto.env; fuel : int }
+
+type state = {
+  store : store;
+  vol : (string * (int * Frontier.t)) list;
+      (* native volatile locations: current value + stored frontier *)
+  fence_pub : (string * Frontier.t) list; (* Ψ: frontiers published by fences *)
+  read_pub : (string * Frontier.t) list;
+      (* frontiers published by committed transactions that READ the
+         location: HBCQ synchronizes a fence with every committed
+         transaction touching the location, including pure readers, and
+         reads leave no store entry to hang the frontier on *)
+  frontiers : Frontier.t list; (* per thread *)
+  threads : tstate list;
+}
+
+let vol_cell st x =
+  Option.value (List.assoc_opt x st.vol) ~default:(0, Frontier.empty)
+
+let fence_frontier st x =
+  Option.value (List.assoc_opt x st.fence_pub) ~default:Frontier.empty
+
+let read_frontier st x =
+  Option.value (List.assoc_opt x st.read_pub) ~default:Frontier.empty
+
+type result = {
+  outcomes : Outcome.t list;
+  states : int;
+  truncated : bool;
+  capped : bool;
+}
+
+(* [volatile] marks locations given Dolan et al.'s native Java-volatile
+   semantics: a single current value plus a stored frontier, merged on
+   every access — no history, reads always return the latest value.  Used
+   to machine-check the §2 degeneracy claim that singleton transactions
+   behave exactly like volatiles. *)
+let run ?(config = default_config) ?(volatile = []) (program : Ast.program) =
+  (match Ast.validate program with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Machine.run: " ^ msg));
+  let outcomes : (Outcome.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let states = ref 0 in
+  let truncated = ref false and capped = ref false in
+  let locs = ref program.locs in
+  let note_loc x = if not (List.mem x !locs) then locs := !locs @ [ x ] in
+
+  (* Run an atomic block to completion against a snapshot; branches over
+     read choices.  Returns (buffer in po order, acquired frontier, env,
+     aborted) alternatives.
+
+     A read's timestamp must clear the frontier known *so far*, and —
+     checked at the end of the block — the frontier acquired by the
+     *whole* block: a transaction that reads x and later acquires
+     knowledge of a newer x (through a location published after a newer
+     x-write) has an inconsistent snapshot.  Operationally this is TL2's
+     read-set validation; axiomatically it is Observation closing the
+     (hb ; lrw) cycle (Example 3.3). *)
+  let run_block store frontier fuel env body =
+    let rec go fuel env (buffer : (string * int) list) acquired reads caps stmts k =
+      match stmts with
+      | [] -> k (List.rev buffer, acquired, reads, caps, env, false)
+      | s :: rest -> (
+          match (s : Ast.stmt) with
+          | Skip -> go fuel env buffer acquired reads caps rest k
+          | Assign (r, e) ->
+              go fuel (Proto.env_set env r (Proto.eval env e)) buffer acquired reads caps rest k
+          | Store (lv, e) ->
+              let x = Proto.resolve env lv in
+              note_loc x;
+              go fuel env ((x, Proto.eval env e) :: buffer) acquired reads caps rest k
+          | Load (r, lv) ->
+              let x = Proto.resolve env lv in
+              note_loc x;
+              let h = history store x in
+              let floor =
+                let f = Frontier.get (Frontier.merge frontier acquired) x in
+                let c = txn_ceiling h in
+                if Rat.lt f c then c else f
+              in
+              let foreign_read caps =
+                (* read an existing entry despite any buffered own write:
+                   WF11 only forbids sources older than an own write, so
+                   an own write may be overtaken by a newer entry as long
+                   as the commit places the own writes below it (the cap) *)
+                List.iter
+                  (fun e ->
+                    if Rat.leq floor e.ts then
+                      let acquired =
+                        match e.txn with
+                        | Some f ->
+                            Frontier.advance (Frontier.merge acquired f) x e.ts
+                        | None -> acquired
+                      in
+                      go fuel
+                        (Proto.env_set env r e.value)
+                        buffer acquired
+                        ((x, e.ts) :: reads)
+                        caps rest k)
+                  h
+              in
+              (match List.assoc_opt x buffer with
+              | Some v ->
+                  (* own buffered write *)
+                  go fuel (Proto.env_set env r v) buffer acquired reads caps rest k;
+                  (* or a foreign entry that will obscure it: cap the own
+                     writes below whatever entry is chosen *)
+                  let cap ts =
+                    match List.assoc_opt x caps with
+                    | Some c when Rat.leq c ts -> caps
+                    | _ -> (x, ts) :: List.remove_assoc x caps
+                  in
+                  List.iter
+                    (fun e ->
+                      if Rat.leq floor e.ts then
+                        let acquired =
+                          match e.txn with
+                          | Some f ->
+                              Frontier.advance (Frontier.merge acquired f) x e.ts
+                          | None -> acquired
+                        in
+                        go fuel
+                          (Proto.env_set env r e.value)
+                          buffer acquired
+                          ((x, e.ts) :: reads)
+                          (cap e.ts) rest k)
+                    h
+              | None -> foreign_read caps)
+          | If (c, t, f) ->
+              go fuel env buffer acquired reads caps
+                ((if Proto.eval env c <> 0 then t else f) @ rest)
+                k
+          | While (c, b) ->
+              if Proto.eval env c = 0 then go fuel env buffer acquired reads caps rest k
+              else if fuel <= 0 then truncated := true
+              else
+                go (fuel - 1) env buffer acquired reads caps
+                  (b @ (Ast.While (c, b) :: rest))
+                  k
+          | Abort -> k ([], acquired, [], [], env, true)
+          | Atomic _ | Fence _ -> invalid_arg "Machine: nested atomic/fence")
+    in
+    go fuel env [] Frontier.empty [] [] body
+  in
+
+  (* publish a committed buffer: for each write in order, branch over
+     fresh timestamp slots above the constraint *)
+  let publish st thread_idx frontier caps buffer k =
+    (* choose timestamps for every write first (in program order, each
+       above the running constraint), then stamp every published entry
+       with the transaction's FINAL frontier: lifting makes cww/cwr
+       class-level, so a reader or overwriter of any entry synchronizes
+       with the whole committing transaction, including writes published
+       after that entry. *)
+    let rec choose frontier chosen = function
+      | [] ->
+          let final = frontier in
+          let store =
+            List.fold_left
+              (fun store (x, v, ts) ->
+                set_history store x
+                  (insert (history store x) { ts; value = v; txn = Some final }))
+              st (List.rev chosen)
+          in
+          k store final
+      | (x, v) :: rest ->
+          (* slot selection sees the real history plus the slots already
+             reserved by this transaction's earlier writes to x *)
+          let h =
+            List.fold_left
+              (fun h (x', v', ts) ->
+                if String.equal x' x then insert h { ts; value = v'; txn = None }
+                else h)
+              (history st x) chosen
+          in
+          let above =
+            let f = Frontier.get frontier x and c = txn_ceiling h in
+            if Rat.lt f c then c else f
+          in
+          let slots =
+            let all = fresh_slots h ~above in
+            match List.assoc_opt x caps with
+            | Some cap -> List.filter (fun ts -> Rat.lt ts cap) all
+            | None -> all
+          in
+          List.iter
+            (fun ts ->
+              choose (Frontier.advance frontier x ts) ((x, v, ts) :: chosen) rest)
+            slots
+    in
+    ignore thread_idx;
+    choose frontier [] buffer
+  in
+
+  (* static footprint of a block: the location names it may touch;
+     computed cells resolve at runtime, so collect every declared cell of
+     the same base *)
+  let block_footprint body =
+    let rec of_stmt acc (s : Ast.stmt) =
+      match s with
+      | Load (_, lv) | Store (lv, _) -> lval_locs acc lv
+      | If (_, a, b) -> List.fold_left of_stmt (List.fold_left of_stmt acc a) b
+      | While (_, b) -> List.fold_left of_stmt acc b
+      | _ -> acc
+    and lval_locs acc ({ base; index } : Ast.lval) =
+      match index with
+      | None -> if List.mem base acc then acc else base :: acc
+      | Some _ ->
+          List.fold_left
+            (fun acc l ->
+              let prefix = base ^ "[" in
+              let plen = String.length prefix in
+              if
+                String.length l >= plen
+                && String.equal (String.sub l 0 plen) prefix
+                && not (List.mem l acc)
+              then l :: acc
+              else acc)
+            acc !locs
+    in
+    List.fold_left of_stmt [] body
+  in
+
+  let rec explore (st : state) =
+    if !states >= config.max_states then capped := true
+    else begin
+      incr states;
+      let stepped = ref false in
+      List.iteri
+        (fun i (t : tstate) ->
+          match t.stmts with
+          | [] -> ()
+          | s :: rest -> (
+              stepped := true;
+              let frontier = List.nth st.frontiers i in
+              let continue ?(store = st.store) ?(vol = st.vol)
+                  ?(fence_pub = st.fence_pub) ?(read_pub = st.read_pub)
+                  ?frontier:(f = frontier) t' =
+                explore
+                  {
+                    store;
+                    vol;
+                    fence_pub;
+                    read_pub;
+                    frontiers = List.mapi (fun j u -> if j = i then f else u) st.frontiers;
+                    threads = List.mapi (fun j u -> if j = i then t' else u) st.threads;
+                  }
+              in
+              match (s : Ast.stmt) with
+              | Skip -> continue { t with stmts = rest }
+              | Assign (r, e) ->
+                  continue { t with stmts = rest; env = Proto.env_set t.env r (Proto.eval t.env e) }
+              | Store (lv, e) when List.mem (Proto.resolve t.env lv) volatile ->
+                  let x = Proto.resolve t.env lv in
+                  note_loc x;
+                  let v = Proto.eval t.env e in
+                  (* volatile write: merge frontiers both ways, replace
+                     the value *)
+                  let _, fl = vol_cell st x in
+                  let f = Frontier.merge frontier fl in
+                  continue
+                    ~vol:((x, (v, f)) :: List.remove_assoc x st.vol)
+                    ~frontier:f { t with stmts = rest }
+              | Load (r, lv) when List.mem (Proto.resolve t.env lv) volatile ->
+                  let x = Proto.resolve t.env lv in
+                  note_loc x;
+                  (* volatile read: the latest value, acquiring the
+                     stored frontier *)
+                  let v, fl = vol_cell st x in
+                  continue
+                    ~frontier:(Frontier.merge frontier fl)
+                    { t with stmts = rest; env = Proto.env_set t.env r v }
+              | Store (lv, e) ->
+                  let x = Proto.resolve t.env lv in
+                  note_loc x;
+                  let h = history st.store x in
+                  let v = Proto.eval t.env e in
+                  List.iter
+                    (fun ts ->
+                      let entry = { ts; value = v; txn = None } in
+                      continue
+                        ~store:(set_history st.store x (insert h entry))
+                        ~frontier:(Frontier.advance frontier x ts)
+                        { t with stmts = rest })
+                    (fresh_slots h ~above:(Frontier.get frontier x))
+              | Load (r, lv) ->
+                  let x = Proto.resolve t.env lv in
+                  note_loc x;
+                  let floor = Frontier.get frontier x in
+                  List.iter
+                    (fun e ->
+                      if Rat.leq floor e.ts then
+                        (* plain reads do not advance the frontier and do
+                           not synchronize *)
+                        continue { t with stmts = rest; env = Proto.env_set t.env r e.value })
+                    (history st.store x)
+              | If (c, tb, eb) ->
+                  continue
+                    { t with stmts = (if Proto.eval t.env c <> 0 then tb else eb) @ rest }
+              | While (c, b) ->
+                  if Proto.eval t.env c = 0 then continue { t with stmts = rest }
+                  else if t.fuel <= 0 then truncated := true
+                  else
+                    continue
+                      { t with stmts = b @ (Ast.While (c, b) :: rest); fuel = t.fuel - 1 }
+              | Fence x ->
+                  note_loc x;
+                  (* HBCQ: acquire every transactional entry of x and the
+                     frontier published by committed readers of x *)
+                  let f =
+                    List.fold_left
+                      (fun f e ->
+                        match e.txn with
+                        | Some ef -> Frontier.advance (Frontier.merge f ef) x e.ts
+                        | None -> f)
+                      (Frontier.merge frontier (read_frontier st x))
+                      (history st.store x)
+                  in
+                  (* HBQB: publish for later transactions touching x *)
+                  let fence_pub =
+                    (x, Frontier.merge (fence_frontier st x) f)
+                    :: List.remove_assoc x st.fence_pub
+                  in
+                  continue ~fence_pub ~frontier:f { t with stmts = rest }
+              | Abort -> invalid_arg "Machine: abort outside atomic"
+              | Atomic body ->
+                  (* start from the frontier raised by fences on every
+                     location the block touches *)
+                  let fp = block_footprint body in
+                  let frontier0 =
+                    List.fold_left
+                      (fun f x -> Frontier.merge f (fence_frontier st x))
+                      frontier fp
+                  in
+                  run_block st.store frontier0 t.fuel t.env body
+                    (fun (buffer, acquired, reads, caps, env', aborted) ->
+                      if aborted then
+                        (* registers roll back; nothing published *)
+                        continue { t with stmts = rest }
+                      else begin
+                        (* cww: writing above the existing transactional
+                           entries of a location synchronizes with them —
+                           acquire their frontiers before validating *)
+                        let acquired =
+                          List.fold_left
+                            (fun acc x ->
+                              List.fold_left
+                                (fun acc (e : entry) ->
+                                  match e.txn with
+                                  | Some f ->
+                                      Frontier.advance (Frontier.merge acc f) x e.ts
+                                  | None -> acc)
+                                acc (history st.store x))
+                            acquired
+                            (List.sort_uniq compare (List.map fst buffer))
+                        in
+                        let f = Frontier.merge frontier0 acquired in
+                        (* TL2-style read-set validation: every read must
+                           still clear the final frontier (Observation) *)
+                        if
+                          List.for_all
+                            (fun (x, q) -> Rat.leq (Frontier.get f x) q)
+                            reads
+                        then
+                          publish st.store i f caps buffer (fun store f ->
+                              let read_pub =
+                                List.fold_left
+                                  (fun acc (x, _) ->
+                                    (x, Frontier.merge (read_frontier st x) f)
+                                    :: List.remove_assoc x acc)
+                                  st.read_pub reads
+                              in
+                              continue ~store ~read_pub ~frontier:f
+                                { t with stmts = rest; env = env' })
+                      end)))
+        st.threads;
+      if not !stepped then begin
+        let envs = List.map (fun (t : tstate) -> t.env) st.threads in
+        let mem =
+          List.map
+            (fun x ->
+              if List.mem x volatile then (x, fst (vol_cell st x))
+              else
+                let h = history st.store x in
+                let top = max_ts h in
+                (x, (List.find (fun e -> Rat.equal e.ts top) h).value))
+            !locs
+        in
+        Hashtbl.replace outcomes (Outcome.make ~envs ~mem) ()
+      end
+    end
+  in
+  explore
+    {
+      store = [];
+      vol = [];
+      fence_pub = [];
+      read_pub = [];
+      frontiers = List.map (fun _ -> Frontier.empty) program.threads;
+      threads =
+        List.map
+          (fun stmts -> { stmts; env = []; fuel = config.fuel })
+          program.threads;
+    };
+  {
+    outcomes = Outcome.dedup (Hashtbl.fold (fun o () acc -> o :: acc) outcomes []);
+    states = !states;
+    truncated = !truncated;
+    capped = !capped;
+  }

@@ -1,0 +1,46 @@
+(** An operational timestamp machine for the implementation model, in the
+    style of Dolan et al.'s LDRF machine: timestamped histories per
+    location, per-thread frontiers, frontier-merging synchronization —
+    extended with the paper's transactions (atomic steps with buffered
+    writes, opacity via a committed-transactional-timestamp floor on
+    reads, frontier publication on commit) and quiescence fences (acquire
+    all transactional entries of the location, publish the thread's
+    frontier to later transactions touching it).
+
+    Four rules were forced by differential testing against the axiomatic
+    enumerator and correspond exactly to axioms:
+
+    - commit-time read-set validation against the finally acquired
+      frontier (Observation / TL2 validation, Example 3.3);
+    - commit acquires the frontiers of the transactional entries it
+      overwrites (cww is in happens-before);
+    - a read may take a newer foreign entry past the transaction's own
+      buffered write (WF11 only forbids staler-than-own), capping the own
+      writes' commit timestamps below it;
+    - committed transactions publish their final frontier per location
+      they READ, and fences acquire it (HBCQ covers pure readers, which
+      leave no store entry).
+
+    The machine is exhaustively explored.  The differential tests check
+    that its outcome set *coincides* with the axiomatic enumerator's
+    under [Model.implementation] on the whole catalog, the shape
+    families, and random programs — the operational/axiomatic
+    equivalence the paper inherits from LDRF (§7), here machine-checked
+    for the transactional extension too. *)
+
+type config = { fuel : int; max_states : int }
+
+val default_config : config
+
+type result = {
+  outcomes : Tmx_exec.Outcome.t list;
+  states : int;  (** states explored *)
+  truncated : bool;
+  capped : bool;
+}
+
+val run : ?config:config -> ?volatile:string list -> Tmx_lang.Ast.program -> result
+(** [volatile] marks locations given Dolan et al.'s native Java-volatile
+    semantics (single current value + stored frontier, merged on every
+    access); used to machine-check the §2 degeneracy claim that singleton
+    transactions behave exactly like volatiles. *)

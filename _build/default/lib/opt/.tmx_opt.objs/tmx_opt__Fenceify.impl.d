@@ -1,0 +1,1 @@
+lib/opt/fenceify.ml: Ast Enumerate Footprint Hashtbl List Model Outcome String Tmx_core Tmx_exec Tmx_lang Verdict

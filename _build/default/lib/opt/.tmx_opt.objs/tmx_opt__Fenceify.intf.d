@@ -1,0 +1,1 @@
+lib/opt/fenceify.mli: Tmx_exec Tmx_lang

@@ -1,0 +1,1 @@
+lib/opt/footprint.ml: Ast List String Tmx_lang

@@ -1,0 +1,1 @@
+lib/opt/footprint.mli: Tmx_lang

@@ -1,0 +1,1 @@
+lib/opt/soundness.ml: Enumerate Fmt List Outcome Tmx_exec Tmx_lang Transform

@@ -1,0 +1,1 @@
+lib/opt/soundness.mli: Enumerate Fmt Outcome Tmx_core Tmx_exec Tmx_lang Transform

@@ -1,0 +1,1 @@
+lib/opt/transform.ml: Ast Footprint List Tmx_lang

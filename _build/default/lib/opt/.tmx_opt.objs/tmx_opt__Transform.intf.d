@@ -1,0 +1,1 @@
+lib/opt/transform.mli: Ast Tmx_lang

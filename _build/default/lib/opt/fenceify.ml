@@ -1,0 +1,131 @@
+(* Realizing the programmer model on an implementation-model STM (§6).
+
+   STMs implement the model of §5; privatizing idioms then need
+   quiescence fences.  The paper: "it will be necessary for either the
+   programmer or compiler to insert quiescent fences in order to realize
+   our programmer model.  Our results provide a correctness criterion" —
+   namely Lemma 5.1: if the fenced program has no mixed races in the
+   implementation model, its behaviours are programmer-model behaviours.
+
+   This pass inserts a fence before plain accesses to mixed-mode
+   locations.  Policies:
+   - [`Every_mixed_access]: before every plain access to a location that
+     is also accessed transactionally (maximally conservative);
+   - [`After_transactions]: only where the access follows an atomic
+     block in its thread — publication-shaped prefixes need no fence
+     (the transactional machinery orders direct dependencies), only
+     privatization-shaped suffixes do.
+
+   [realizes] checks the criterion end-to-end: the fenced program is
+   mixed-race free in the implementation model and its outcomes are
+   contained in the original program's programmer-model outcomes. *)
+
+open Tmx_lang
+
+type policy = [ `Every_mixed_access | `After_transactions ]
+
+(* locations accessed both transactionally and plainly, statically *)
+let mixed_locations (p : Ast.program) =
+  let txn = Hashtbl.create 8 and plain = Hashtbl.create 8 in
+  let note ~in_txn lv =
+    let name = Footprint.lval_name lv in
+    Hashtbl.replace (if in_txn then txn else plain) name ()
+  in
+  let rec scan ~in_txn (s : Ast.stmt) =
+    match s with
+    | Load (_, lv) | Store (lv, _) -> note ~in_txn lv
+    | Atomic body -> List.iter (scan ~in_txn:true) body
+    | If (_, a, b) ->
+        List.iter (scan ~in_txn) a;
+        List.iter (scan ~in_txn) b
+    | While (_, b) -> List.iter (scan ~in_txn) b
+    | Assign _ | Abort | Fence _ | Skip -> ()
+  in
+  List.iter (List.iter (scan ~in_txn:false)) p.threads;
+  Hashtbl.fold
+    (fun x () acc -> if Hashtbl.mem plain x then x :: acc else acc)
+    txn []
+
+(* a wildcard footprint name refers to every declared cell of its base *)
+let expand_name locs name =
+  match String.index_opt name '[' with
+  | Some i when String.length name > i && String.sub name i (String.length name - i) = "[*]"
+    ->
+      let base = String.sub name 0 i in
+      List.filter
+        (fun l ->
+          let prefix = base ^ "[" in
+          String.length l >= String.length prefix
+          && String.equal (String.sub l 0 (String.length prefix)) prefix)
+        locs
+  | _ -> [ name ]
+
+let insert ?(policy = `After_transactions) (p : Ast.program) =
+  let mixed = List.concat_map (expand_name p.locs) (mixed_locations p) in
+  let fences_for lv =
+    List.filter (fun x -> List.mem x mixed) (expand_name p.locs (Footprint.lval_name lv))
+  in
+  let transform thread =
+    let saw_txn = ref false in
+    let rec go (s : Ast.stmt) =
+      match s with
+      | Atomic _ ->
+          saw_txn := true;
+          [ s ]
+      | Load (_, lv) | Store (lv, _) ->
+          let need =
+            match policy with
+            | `Every_mixed_access -> true
+            | `After_transactions -> !saw_txn
+          in
+          if need then List.map (fun x -> Ast.fence x) (fences_for lv) @ [ s ]
+          else [ s ]
+      | If (c, a, b) ->
+          (* conservative: branches are transformed with the current
+             prefix state; a transaction inside a branch counts *)
+          let a' = List.concat_map go a in
+          let b' = List.concat_map go b in
+          [ Ast.If (c, a', b') ]
+      | While (c, b) ->
+          saw_txn := true;
+          (* a loop body may run after itself; be conservative inside *)
+          [ Ast.While (c, List.concat_map go b) ]
+      | s -> [ s ]
+    in
+    List.concat_map go thread
+  in
+  { p with Ast.name = p.name ^ "+fences"; threads = List.map transform p.threads }
+
+type report = {
+  fences : int;
+  mixed_race_free : bool; (* the Lemma 5.1 precondition *)
+  outcomes_contained : bool; (* fenced im outcomes ⊆ original pm outcomes *)
+  realizes : bool;
+}
+
+let count_fences (p : Ast.program) =
+  let rec of_stmt acc (s : Ast.stmt) =
+    match s with
+    | Fence _ -> acc + 1
+    | Atomic b | While (_, b) -> List.fold_left of_stmt acc b
+    | If (_, a, b) -> List.fold_left of_stmt (List.fold_left of_stmt acc a) b
+    | _ -> acc
+  in
+  List.fold_left (List.fold_left of_stmt) 0 p.threads
+
+let realizes ?config ?policy (p : Ast.program) =
+  let open Tmx_exec in
+  let open Tmx_core in
+  let fenced = insert ?policy p in
+  let mixed_race_free = not (Verdict.mixed_racy ?config Model.implementation fenced) in
+  let im = Enumerate.outcomes (Enumerate.run ?config Model.implementation fenced) in
+  let pm = Enumerate.outcomes (Enumerate.run ?config Model.programmer p) in
+  let outcomes_contained =
+    List.for_all (fun o -> List.exists (Outcome.equal o) pm) im
+  in
+  {
+    fences = count_fences fenced;
+    mixed_race_free;
+    outcomes_contained;
+    realizes = mixed_race_free && outcomes_contained;
+  }

@@ -1,0 +1,31 @@
+(** Realizing the programmer model on an implementation-model STM (§6):
+    insert quiescence fences before plain accesses to mixed-mode
+    locations, and check the paper's correctness criterion — the fenced
+    program is mixed-race free in the implementation model (Lemma 5.1's
+    precondition) and its implementation-model outcomes are contained in
+    the original program's programmer-model outcomes. *)
+
+type policy =
+  [ `Every_mixed_access  (** maximally conservative *)
+  | `After_transactions
+    (** only accesses that follow an atomic block in their thread —
+        publication-shaped prefixes need no fence *) ]
+
+val mixed_locations : Tmx_lang.Ast.program -> string list
+
+val insert : ?policy:policy -> Tmx_lang.Ast.program -> Tmx_lang.Ast.program
+
+val count_fences : Tmx_lang.Ast.program -> int
+
+type report = {
+  fences : int;
+  mixed_race_free : bool;
+  outcomes_contained : bool;
+  realizes : bool;
+}
+
+val realizes :
+  ?config:Tmx_exec.Enumerate.config ->
+  ?policy:policy ->
+  Tmx_lang.Ast.program ->
+  report

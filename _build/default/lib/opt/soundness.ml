@@ -1,0 +1,51 @@
+(* Empirical soundness of a transformation: the transformed program may
+   not exhibit outcomes the original cannot.  Outcome-set inclusion over
+   the exhaustive enumerator is the litmus-scale analogue of the paper's
+   trace-set refinement. *)
+
+open Tmx_exec
+
+type verdict = Sound | Unsound of Outcome.t
+
+let pp_verdict ppf = function
+  | Sound -> Fmt.string ppf "sound"
+  | Unsound o -> Fmt.pf ppf "unsound, new outcome: %a" Outcome.pp o
+
+let check ?config model ~original ~transformed =
+  let orig = Enumerate.outcomes (Enumerate.run ?config model original) in
+  let trans = Enumerate.outcomes (Enumerate.run ?config model transformed) in
+  match
+    List.find_opt (fun o -> not (List.exists (Outcome.equal o) orig)) trans
+  with
+  | None -> Sound
+  | Some witness -> Unsound witness
+
+(* Check every single-step application of a named transformation on a
+   program. *)
+type report = {
+  transformation : string;
+  program : string;
+  variants : int;
+  failures : (Tmx_lang.Ast.program * Outcome.t) list;
+}
+
+let check_transformation ?config model (t : Transform.named) program =
+  let variants = t.generate program in
+  let failures =
+    List.filter_map
+      (fun transformed ->
+        match check ?config model ~original:program ~transformed with
+        | Sound -> None
+        | Unsound o -> Some (transformed, o))
+      variants
+  in
+  {
+    transformation = t.name;
+    program = program.Tmx_lang.Ast.name;
+    variants = List.length variants;
+    failures;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf "%s on %s: %d variants, %d unsound" r.transformation r.program
+    r.variants (List.length r.failures)

@@ -1,0 +1,35 @@
+(** Empirical soundness of program transformations: the transformed
+    program may not exhibit outcomes the original cannot.  Outcome-set
+    inclusion over the exhaustive enumerator is the litmus-scale
+    analogue of the paper's trace-set refinement. *)
+
+open Tmx_exec
+
+type verdict = Sound | Unsound of Outcome.t
+
+val pp_verdict : verdict Fmt.t
+
+val check :
+  ?config:Enumerate.config ->
+  Tmx_core.Model.t ->
+  original:Tmx_lang.Ast.program ->
+  transformed:Tmx_lang.Ast.program ->
+  verdict
+
+type report = {
+  transformation : string;
+  program : string;
+  variants : int;
+  failures : (Tmx_lang.Ast.program * Outcome.t) list;
+}
+
+val check_transformation :
+  ?config:Enumerate.config ->
+  Tmx_core.Model.t ->
+  Transform.named ->
+  Tmx_lang.Ast.program ->
+  report
+(** Check every single-step application of a transformation on a
+    program. *)
+
+val pp_report : report Fmt.t

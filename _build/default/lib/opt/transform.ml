@@ -1,0 +1,156 @@
+(* The program transformations of §5, as generators: each function
+   returns every program obtainable from the input by one application of
+   the transformation.  Soundness (the transformed program has no new
+   behaviours) is checked empirically by [Soundness].
+
+   Sound per the paper:
+     - swapping adjacent independent writes, or adjacent reads
+     - P; atomic{Q}  =>  atomic{Q}; P   (Q read-only, P write-only plain,
+       no conflicts)
+     - roach motel: P; atomic{R}; Q  =>  atomic{P; R; Q}
+     - fusion: atomic{P}; atomic{Q}  =>  atomic{P; Q}
+     - eliding empty transactions
+   Unsound (counterexamples exist; kept for negative testing):
+     - fission: atomic{P; Q}  =>  atomic{P}; atomic{Q}
+     - swapping a read past a later write or vice versa (either direction
+       of "x:=2; r:=z" — the (‡) example) *)
+
+open Tmx_lang
+
+(* Apply [rewrite] at every position of every thread; collect results. *)
+let per_thread (rewrite : Ast.stmt list -> Ast.stmt list list) (p : Ast.program) =
+  let rec positions prefix = function
+    | [] -> []
+    | s :: rest ->
+        List.map (fun rewritten -> List.rev_append prefix rewritten) (rewrite (s :: rest))
+        @ positions (s :: prefix) rest
+  in
+  List.concat
+    (List.mapi
+       (fun i th ->
+         List.map
+           (fun th' ->
+             {
+               p with
+               Ast.name = p.Ast.name ^ "'";
+               threads = List.mapi (fun j u -> if j = i then th' else u) p.threads;
+             })
+           (positions [] th))
+       p.threads)
+
+let plain_single (s : Ast.stmt) =
+  match s with
+  | Load _ | Store _ -> true
+  | Assign _ | Skip -> true
+  | _ -> false
+
+(* adjacent swap of independent plain statements: write/write on disjoint
+   locations, or read/read *)
+let swap_independent =
+  per_thread (function
+    | s1 :: s2 :: rest when plain_single s1 && plain_single s2 ->
+        let f1 = Footprint.of_stmt s1 and f2 = Footprint.of_stmt s2 in
+        let both_writes = Footprint.is_write_only f1 && Footprint.is_write_only f2 in
+        let both_reads = Footprint.is_read_only f1 && Footprint.is_read_only f2 in
+        (* register dependence: s2 must not use a register s1 defines and
+           vice versa; conservatively require disjoint register sets *)
+        let regs s = Ast.thread_regs [ s ] in
+        let reg_independent =
+          List.for_all (fun r -> not (List.mem r (regs s2))) (regs s1)
+        in
+        if
+          (not (Footprint.conflicts f1 f2))
+          && reg_independent
+          && (both_writes || both_reads)
+        then [ s2 :: s1 :: rest ]
+        else []
+    | _ -> [])
+
+(* P; atomic{Q} => atomic{Q}; P with Q read-only, P write-only plain *)
+let write_past_readonly_txn =
+  per_thread (function
+    | p :: Ast.Atomic q :: rest when plain_single p ->
+        let fp = Footprint.of_stmt p and fq = Footprint.of_stmts q in
+        let regs s = Ast.thread_regs [ s ] in
+        let reg_independent =
+          List.for_all (fun r -> not (List.mem r (Ast.thread_regs q))) (regs p)
+        in
+        if
+          Footprint.is_write_only fp
+          && Footprint.is_read_only fq
+          && (not (Footprint.conflicts fp fq))
+          && reg_independent
+        then [ Ast.Atomic q :: p :: rest ]
+        else []
+    | _ -> [])
+
+(* roach motel: absorb an adjacent plain statement into an atomic block,
+   from either side *)
+let roach_motel =
+  per_thread (function
+    | p :: Ast.Atomic r :: rest when plain_single p ->
+        [ Ast.Atomic (p :: r) :: rest ]
+    | Ast.Atomic r :: q :: rest when plain_single q ->
+        [ Ast.Atomic (r @ [ q ]) :: rest ]
+    | _ -> [])
+
+(* fusion of adjacent transactions *)
+let fuse =
+  per_thread (function
+    | Ast.Atomic p :: Ast.Atomic q :: rest
+      when (not (List.mem Ast.Abort p)) ->
+        (* an abort in the first block would abort the second's effects
+           after fusion; the paper's fusion is for abort-free blocks *)
+        [ Ast.Atomic (p @ q) :: rest ]
+    | _ -> [])
+
+(* the unsound converse *)
+let fission =
+  per_thread (function
+    | Ast.Atomic body :: rest when List.length body >= 2 ->
+        List.init
+          (List.length body - 1)
+          (fun k ->
+            let p = List.filteri (fun i _ -> i <= k) body in
+            let q = List.filteri (fun i _ -> i > k) body in
+            Ast.Atomic p :: Ast.Atomic q :: rest)
+    | _ -> [])
+
+(* eliding / introducing empty transactions *)
+let elide_empty =
+  per_thread (function Ast.Atomic [] :: rest -> [ rest ] | _ -> [])
+
+let introduce_empty =
+  per_thread (function
+    | s :: rest -> [ Ast.Atomic [] :: s :: rest ] | [] -> [])
+
+(* unsound: swap a plain read past a plain write (both directions) *)
+let swap_read_write =
+  per_thread (function
+    | s1 :: s2 :: rest when plain_single s1 && plain_single s2 ->
+        let f1 = Footprint.of_stmt s1 and f2 = Footprint.of_stmt s2 in
+        let rw =
+          (Footprint.is_read_only f1 && Footprint.is_write_only f2)
+          || (Footprint.is_write_only f1 && Footprint.is_read_only f2)
+        in
+        if rw && not (Footprint.conflicts f1 f2) then [ s2 :: s1 :: rest ]
+        else []
+    | _ -> [])
+
+type named = { name : string; sound : bool; generate : Ast.program -> Ast.program list }
+
+let all =
+  [
+    { name = "swap-independent"; sound = true; generate = swap_independent };
+    {
+      name = "write-past-readonly-txn";
+      sound = true;
+      generate = write_past_readonly_txn;
+    };
+    { name = "roach-motel"; sound = true; generate = roach_motel };
+    { name = "fuse"; sound = true; generate = fuse };
+    { name = "elide-empty"; sound = true; generate = elide_empty };
+    { name = "introduce-empty"; sound = true; generate = introduce_empty };
+    { name = "fission"; sound = false; generate = fission };
+    { name = "swap-read-write"; sound = false; generate = swap_read_write };
+  ]

@@ -1,0 +1,30 @@
+(** The program transformations of §5, as generators: each function
+    returns every program obtainable by one application of the
+    transformation.  Soundness is checked empirically by {!Soundness}.
+
+    Sound per the paper (in the implementation model): swapping adjacent
+    independent writes or adjacent reads; moving a write past a read-only
+    transaction; roach motel; fusion of adjacent transactions; eliding or
+    introducing empty transactions.  Deliberately unsound, for negative
+    testing: fission, and swapping a read past a write (which turns load
+    buffering into store buffering, and breaks the (‡) privatization
+    example in the programmer model). *)
+
+open Tmx_lang
+
+val swap_independent : Ast.program -> Ast.program list
+val write_past_readonly_txn : Ast.program -> Ast.program list
+val roach_motel : Ast.program -> Ast.program list
+val fuse : Ast.program -> Ast.program list
+val fission : Ast.program -> Ast.program list
+val elide_empty : Ast.program -> Ast.program list
+val introduce_empty : Ast.program -> Ast.program list
+val swap_read_write : Ast.program -> Ast.program list
+
+type named = {
+  name : string;
+  sound : bool;  (** the paper's claim *)
+  generate : Ast.program -> Ast.program list;
+}
+
+val all : named list

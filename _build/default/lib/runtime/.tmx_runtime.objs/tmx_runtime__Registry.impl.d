@@ -1,0 +1,1 @@
+lib/runtime/registry.ml: Array Atomic Domain List

@@ -1,0 +1,1 @@
+lib/runtime/stm.ml: Atomic Domain Fmt List Option Registry Tvar

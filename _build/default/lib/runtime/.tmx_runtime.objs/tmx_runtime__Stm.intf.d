@@ -1,0 +1,1 @@
+lib/runtime/stm.mli: Atomic Tvar

@@ -1,0 +1,1 @@
+lib/runtime/tarray.ml: Array Stm Tvar

@@ -1,0 +1,1 @@
+lib/runtime/tarray.mli: Stm Tvar

@@ -1,0 +1,1 @@
+lib/runtime/tmap.ml: Option Stm Tarray Tvar

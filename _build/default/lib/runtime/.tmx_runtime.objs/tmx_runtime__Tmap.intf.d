@@ -1,0 +1,1 @@
+lib/runtime/tmap.mli: Stm

@@ -1,0 +1,1 @@
+lib/runtime/tqueue.ml: Array Stm Tvar

@@ -1,0 +1,1 @@
+lib/runtime/tvar.ml: Atomic Fmt

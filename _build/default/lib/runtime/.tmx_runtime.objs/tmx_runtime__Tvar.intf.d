@@ -1,0 +1,1 @@
+lib/runtime/tvar.mli: Fmt

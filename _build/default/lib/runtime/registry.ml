@@ -1,0 +1,70 @@
+(* Active-transaction registry, the basis of quiescence (§5).
+
+   Each participating domain owns a slot recording whether a transaction
+   is in flight, a monotone sequence number bumped at every begin, and
+   the transaction's declared footprint (the TVar ids it may access), if
+   any.  A quiescence fence snapshots the slots and waits until every
+   relevant slot has either gone idle or moved on to a later transaction
+   — the RCU-style grace period: every relevant transaction concurrent
+   with the fence's start has resolved.
+
+   The paper's fence is per-location (hQxi).  A transaction's future
+   accesses are unknowable, so location-selective waiting is only sound
+   for transactions that declared a footprint up front; undeclared
+   transactions are always waited for. *)
+
+type slot = {
+  seq : int Atomic.t;
+  active : bool Atomic.t;
+  footprint : int list option Atomic.t; (* None: may touch anything *)
+}
+
+let max_slots = 128
+
+let slots =
+  Array.init max_slots (fun _ ->
+      { seq = Atomic.make 0; active = Atomic.make false; footprint = Atomic.make None })
+
+let next_slot = Atomic.make 0
+
+let key = Domain.DLS.new_key (fun () -> Atomic.fetch_and_add next_slot 1 mod max_slots)
+
+let my_slot () = slots.(Domain.DLS.get key)
+
+let enter ?footprint () =
+  let s = my_slot () in
+  Atomic.incr s.seq;
+  Atomic.set s.footprint footprint;
+  Atomic.set s.active true
+
+let exit () =
+  let s = my_slot () in
+  Atomic.set s.active false
+
+let relevant ~var footprint =
+  match (var, footprint) with
+  | None, _ -> true (* global fence waits for everything *)
+  | Some _, None -> true (* undeclared transactions may touch anything *)
+  | Some v, Some ids -> List.mem v ids
+
+(* Wait until every relevant transaction active at the call has
+   resolved.  [var] is the id of the fenced TVar, when fencing a single
+   location. *)
+let quiesce ?var () =
+  let snapshot =
+    Array.map
+      (fun s -> (Atomic.get s.seq, Atomic.get s.active, Atomic.get s.footprint))
+      slots
+  in
+  Array.iteri
+    (fun i (seq, active, footprint) ->
+      if active && relevant ~var footprint then
+        let rec wait () =
+          let s = slots.(i) in
+          if Atomic.get s.active && Atomic.get s.seq = seq then begin
+            Domain.cpu_relax ();
+            wait ()
+          end
+        in
+        wait ())
+    snapshot

@@ -1,0 +1,20 @@
+(** Active-transaction registry: the grace-period machinery behind the
+    quiescence fence (§5).
+
+    Each domain owns a slot recording whether a transaction is in flight,
+    a per-transaction sequence number, and the transaction's declared
+    footprint if any; {!quiesce} waits until every relevant transaction
+    active at the call has resolved (RCU-style). *)
+
+val enter : ?footprint:int list -> unit -> unit
+(** Mark this domain's transaction as in flight.  [footprint] is the set
+    of {!Tvar} ids the transaction promises to confine itself to; it
+    enables location-selective fences. *)
+
+val exit : unit -> unit
+(** Mark it resolved. *)
+
+val quiesce : ?var:int -> unit -> unit
+(** Return once every relevant in-flight transaction has resolved:
+    all of them for a global fence, or — when [var] is given — those
+    whose declared footprint contains [var] plus all undeclared ones. *)

@@ -1,0 +1,263 @@
+(* A software transactional memory for OCaml 5 realizing the paper's
+   implementation model (§5).
+
+   Two versioning strategies, matching §3's design-space discussion:
+
+   - [Lazy]: TL2-style.  A global version clock; reads validate against
+     the transaction's read version (giving opacity); writes are buffered
+     and published at commit under per-variable versioned locks.
+   - [Eager]: encounter-time locking with an undo log.  Writes lock the
+     variable and update in place; aborts roll back.
+
+   Both order transactions with a direct dependency (the publication
+   idiom) by construction — a reader validates against the writer's
+   commit — but neither orders transactions against later plain accesses
+   (the privatization idiom): that requires [quiesce], the quiescence
+   fence of §5, implemented as an RCU-style grace period over the
+   active-transaction registry. *)
+
+type mode = Lazy | Eager
+
+exception Retry_conflict
+exception User_abort
+
+let clock = Atomic.make 0
+
+type stats = {
+  commits : int Atomic.t;
+  conflicts : int Atomic.t;
+  user_aborts : int Atomic.t;
+}
+
+let stats =
+  { commits = Atomic.make 0; conflicts = Atomic.make 0; user_aborts = Atomic.make 0 }
+
+let stats_snapshot () =
+  ( Atomic.get stats.commits,
+    Atomic.get stats.conflicts,
+    Atomic.get stats.user_aborts )
+
+type tx = {
+  mode : mode;
+  rv : int; (* read version *)
+  footprint : int list option; (* declared TVar ids, for selective fences *)
+  mutable reads : (Tvar.t * int) list; (* variable, observed version *)
+  mutable writes : (Tvar.t * int) list; (* lazy write buffer *)
+  mutable undo : (Tvar.t * int * int option) list;
+      (* eager: var, overwritten value, and — on the first write to the
+         variable, which also takes its lock — the pre-lock version.
+         Every write is logged so [or_else] can roll back to a branch
+         point. *)
+}
+
+let abort _tx = raise User_abort
+
+(* a transaction that declared a footprint must stay inside it: a stray
+   access would defeat selective quiescence silently *)
+let check_footprint tx v =
+  match tx.footprint with
+  | Some ids when not (List.mem (Tvar.id v) ids) ->
+      invalid_arg
+        (Fmt.str "Stm: access to tvar#%d outside the declared footprint" (Tvar.id v))
+  | _ -> ()
+
+let eager_owns tx v = List.exists (fun (u, _, _) -> u == v) tx.undo
+
+let read_versioned tx v =
+  let s1 = Tvar.version_word v in
+  if Tvar.locked s1 || s1 > tx.rv then raise Retry_conflict;
+  let x = Tvar.unsafe_read v in
+  let s2 = Tvar.version_word v in
+  if s1 <> s2 then raise Retry_conflict;
+  tx.reads <- (v, s1) :: tx.reads;
+  x
+
+let read tx v =
+  check_footprint tx v;
+  match tx.mode with
+  | Lazy -> (
+      match List.find_opt (fun (u, _) -> u == v) tx.writes with
+      | Some (_, x) -> x
+      | None -> read_versioned tx v)
+  | Eager ->
+      if eager_owns tx v then Tvar.unsafe_read v else read_versioned tx v
+
+let write tx v x =
+  check_footprint tx v;
+  match tx.mode with
+  | Lazy -> tx.writes <- (v, x) :: List.filter (fun (u, _) -> u != v) tx.writes
+  | Eager ->
+      if eager_owns tx v then begin
+        tx.undo <- (v, Tvar.unsafe_read v, None) :: tx.undo;
+        Tvar.unsafe_write v x
+      end
+      else begin
+        match Tvar.try_lock v with
+        | None -> raise Retry_conflict
+        | Some prev ->
+            tx.undo <- (v, Tvar.unsafe_read v, Some prev) :: tx.undo;
+            Tvar.unsafe_write v x
+      end
+
+(* roll the undo log back (newest first) down to [until] (an earlier
+   value of [tx.undo], physically); locks are released at their
+   first-write entries *)
+let rec eager_rollback_to tx until =
+  if tx.undo != until then
+    match tx.undo with
+    | [] -> ()
+    | (v, old, prev) :: rest ->
+        Tvar.unsafe_write v old;
+        (match prev with Some p -> Tvar.unlock v ~version:p | None -> ());
+        tx.undo <- rest;
+        eager_rollback_to tx until
+
+let eager_rollback tx = eager_rollback_to tx []
+
+(* Validate the read set: each read variable must be at the observed
+   version and not locked by another transaction.  A variable locked by
+   the committing transaction itself validates against the version saved
+   when the lock was taken — anything newer means a concurrent commit
+   slipped between our read and our lock (a would-be lost update). *)
+let validate ?(own = []) tx =
+  List.for_all
+    (fun (v, s1) ->
+      match List.find_opt (fun (u, _) -> u == v) own with
+      | Some (_, prev) -> prev = s1
+      | None ->
+          let word = Tvar.version_word v in
+          (not (Tvar.locked word)) && word = s1)
+    tx.reads
+
+let lazy_commit tx =
+  if tx.writes = [] then begin
+    (* read-only transactions commit without locking *)
+    if not (validate tx) then raise Retry_conflict
+  end
+  else begin
+    let to_lock =
+      List.sort_uniq (fun (a, _) (b, _) -> compare (Tvar.id a) (Tvar.id b)) tx.writes
+    in
+    let locked = ref [] in
+    let release () =
+      List.iter (fun (v, prev) -> Tvar.unlock v ~version:prev) !locked
+    in
+    (try
+       List.iter
+         (fun (v, _) ->
+           match Tvar.try_lock v with
+           | Some prev -> locked := (v, prev) :: !locked
+           | None -> raise Retry_conflict)
+         to_lock
+     with Retry_conflict ->
+       release ();
+       raise Retry_conflict);
+    (* a write variable observed before being locked must still be at its
+       observed version *)
+    if not (validate ~own:!locked tx) then begin
+      release ();
+      raise Retry_conflict
+    end;
+    let wv = Atomic.fetch_and_add clock 2 + 2 in
+    List.iter (fun (v, x) -> Tvar.unsafe_write v x) (List.rev tx.writes);
+    List.iter (fun (v, _) -> Tvar.unlock v ~version:wv) !locked
+  end
+
+let eager_commit tx =
+  let own =
+    List.filter_map
+      (fun (v, _, prev) -> Option.map (fun p -> (v, p)) prev)
+      tx.undo
+  in
+  if not (validate ~own tx) then begin
+    eager_rollback tx;
+    raise Retry_conflict
+  end;
+  let wv = Atomic.fetch_and_add clock 2 + 2 in
+  List.iter (fun (v, _) -> Tvar.unlock v ~version:wv) own;
+  tx.undo <- []
+
+(* Composition: try [f1]; if it aborts, undo its effects and try [f2]
+   within the same transaction (the classic STM orElse). *)
+let or_else tx f1 f2 =
+  let saved_reads = tx.reads in
+  match tx.mode with
+  | Lazy ->
+      let saved_writes = tx.writes in
+      (try f1 tx
+       with User_abort ->
+         tx.reads <- saved_reads;
+         tx.writes <- saved_writes;
+         f2 tx)
+  | Eager -> (
+      let saved_undo = tx.undo in
+      try f1 tx
+      with User_abort ->
+        eager_rollback_to tx saved_undo;
+        tx.reads <- saved_reads;
+        f2 tx)
+
+let backoff n =
+  for _ = 0 to (1 lsl min n 10) - 1 do
+    Domain.cpu_relax ()
+  done
+
+(* Run one attempt; [Error `Conflict] means retry, [Error `Aborted] means
+   the user aborted. *)
+let attempt ?footprint mode f =
+  Registry.enter ?footprint ();
+  let tx =
+    { mode; rv = Atomic.get clock; footprint; reads = []; writes = []; undo = [] }
+  in
+  let result =
+    match f tx with
+    | x -> (
+        match (match mode with Lazy -> lazy_commit tx | Eager -> eager_commit tx) with
+        | () -> Ok x
+        | exception Retry_conflict -> Error `Conflict)
+    | exception Retry_conflict ->
+        if mode = Eager then eager_rollback tx;
+        Error `Conflict
+    | exception User_abort ->
+        if mode = Eager then eager_rollback tx;
+        Error `Aborted
+    | exception exn ->
+        if mode = Eager then eager_rollback tx;
+        Registry.exit ();
+        raise exn
+  in
+  Registry.exit ();
+  result
+
+(* Commit [f], retrying on conflicts; [Error `Aborted] if the user
+   aborted (the paper's explicit abort — not retried). *)
+let atomically_result ?(mode = Lazy) ?footprint f =
+  let footprint = Option.map (List.map Tvar.id) footprint in
+  let rec go n =
+    match attempt ?footprint mode f with
+    | Ok x ->
+        Atomic.incr stats.commits;
+        Ok x
+    | Error `Conflict ->
+        Atomic.incr stats.conflicts;
+        backoff n;
+        go (n + 1)
+    | Error `Aborted ->
+        Atomic.incr stats.user_aborts;
+        Error `Aborted
+  in
+  go 0
+
+let atomically ?mode ?footprint f =
+  match atomically_result ?mode ?footprint f with
+  | Ok x -> Some x
+  | Error `Aborted -> None
+
+(* The quiescence fence of §5: returns once every (relevant) transaction
+   that was in flight at the call has resolved, so subsequent plain
+   accesses cannot race with pre-fence transactions (privatization).
+   With [var], only transactions that might touch that TVar are waited
+   for — the per-location hQxi fence, sound because transactions with
+   declared footprints cannot stray (checked on every access). *)
+let quiesce ?var () =
+  Registry.quiesce ?var:(Option.map Tvar.id var) ()

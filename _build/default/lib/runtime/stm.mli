@@ -1,0 +1,69 @@
+(** A software transactional memory for OCaml 5 realizing the paper's
+    implementation model (§5).
+
+    Two versioning strategies, matching §3's design space:
+
+    - [Lazy] (the default): TL2-style — a global version clock, reads
+      validated against the transaction's read version (opacity), writes
+      buffered and published at commit under per-variable versioned
+      locks;
+    - [Eager]: encounter-time locking with an undo log — writes lock and
+      update in place, aborts roll back.
+
+    Both order transactions with a direct dependency (the publication
+    idiom needs no fence); neither orders transactions against later
+    plain accesses — privatization needs {!quiesce}, the quiescence fence
+    of §5.
+
+    {b Conflicts retry automatically; user aborts do not.}  Raising an
+    arbitrary exception inside a transaction aborts it and re-raises. *)
+
+type mode = Lazy | Eager
+
+type tx
+(** A transaction in progress.  Valid only during the [atomically]
+    callback that provided it. *)
+
+val read : tx -> Tvar.t -> int
+(** Transactional read (sees the transaction's own writes). *)
+
+val write : tx -> Tvar.t -> int -> unit
+
+val abort : tx -> 'a
+(** The paper's explicit [abort]: discard all effects, do not retry. *)
+
+val or_else : tx -> (tx -> 'a) -> (tx -> 'a) -> 'a
+(** [or_else tx f1 f2] runs [f1]; if it aborts, its effects are undone
+    and [f2] runs within the same transaction (the classic composable
+    alternative).  An abort in [f2] aborts the whole transaction. *)
+
+val atomically : ?mode:mode -> ?footprint:Tvar.t list -> (tx -> 'a) -> 'a option
+(** Run to commit, retrying on conflicts; [None] if the user aborted.
+
+    [footprint] declares the set of TVars the transaction may touch —
+    any access outside it raises — and lets per-location fences
+    ([quiesce ~var]) skip this transaction when the variable is not in
+    the set. *)
+
+val atomically_result :
+  ?mode:mode -> ?footprint:Tvar.t list -> (tx -> 'a) -> ('a, [ `Aborted ]) result
+
+val quiesce : ?var:Tvar.t -> unit -> unit
+(** The quiescence fence: returns once every relevant transaction in
+    flight at the call has resolved, making subsequent plain accesses
+    safe against pre-fence transactions (the privatization recipe of
+    §5).  With [var] this is the paper's per-location fence [Qx]: only
+    transactions whose declared footprint contains [var] — plus all
+    transactions without a declared footprint — are waited for. *)
+
+val stats_snapshot : unit -> int * int * int
+(** Global counters: commits, conflict retries, user aborts. *)
+
+(**/**)
+
+val clock : int Atomic.t
+
+val attempt :
+  ?footprint:int list -> mode -> (tx -> 'a) -> ('a, [ `Aborted | `Conflict ]) result
+
+(**/**)

@@ -1,0 +1,26 @@
+(* Transactional integer arrays: the aggregate the paper's array examples
+   (z[r] in §3.5, D.4) need, and the building block for the other
+   transactional structures (heap cells are array slots, indices play the
+   role of pointers). *)
+
+type t = Tvar.t array
+
+let make n v = Array.init n (fun _ -> Tvar.make v)
+let init n f = Array.init n (fun i -> Tvar.make (f i))
+let length = Array.length
+let get tx (a : t) i = Stm.read tx a.(i)
+let set tx (a : t) i v = Stm.write tx a.(i) v
+
+let update tx a i f = set tx a i (f (get tx a i))
+
+(* transactional snapshot: a consistent view of the whole array *)
+let snapshot ?mode a =
+  Stm.atomically ?mode (fun tx -> Array.map (fun v -> Stm.read tx v) a)
+
+(* plain snapshot: racy by design; safe only after privatization *)
+let unsafe_snapshot a = Array.map Tvar.unsafe_read a
+
+let swap tx a i j =
+  let vi = get tx a i and vj = get tx a j in
+  set tx a i vj;
+  set tx a j vi

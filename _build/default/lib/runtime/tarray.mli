@@ -1,0 +1,18 @@
+(** Transactional integer arrays: slots are {!Tvar}s; indices double as
+    pointers for the other transactional structures. *)
+
+type t = Tvar.t array
+
+val make : int -> int -> t
+val init : int -> (int -> int) -> t
+val length : t -> int
+val get : Stm.tx -> t -> int -> int
+val set : Stm.tx -> t -> int -> int -> unit
+val update : Stm.tx -> t -> int -> (int -> int) -> unit
+val swap : Stm.tx -> t -> int -> int -> unit
+
+val snapshot : ?mode:Stm.mode -> t -> int array option
+(** A transactionally consistent view of the whole array. *)
+
+val unsafe_snapshot : t -> int array
+(** Plain snapshot: racy by design; safe only after privatization. *)

@@ -1,0 +1,85 @@
+(* A fixed-capacity transactional hash map from positive integers to
+   integers, using open addressing with tombstones.  Keys must be
+   positive; slot states are encoded in the key array (0 = empty,
+   -1 = tombstone). *)
+
+type t = { keys : Tarray.t; values : Tarray.t; population : Tvar.t }
+
+let empty_key = 0
+let tombstone = -1
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Tmap.create: capacity must be positive";
+  {
+    keys = Tarray.make capacity empty_key;
+    values = Tarray.make capacity 0;
+    population = Tvar.make 0;
+  }
+
+let capacity m = Tarray.length m.keys
+
+let check_key k = if k <= 0 then invalid_arg "Tmap: keys must be positive"
+
+let hash m k = (k * 2654435761) land max_int mod capacity m
+
+(* probe for the slot holding [k]; [`Found i] or [`Free i] (first
+   insertable slot) or [`Full] *)
+let probe tx m k =
+  let cap = capacity m in
+  let start = hash m k in
+  let first_free = ref (-1) in
+  let rec go step =
+    if step >= cap then if !first_free >= 0 then `Free !first_free else `Full
+    else
+      let i = (start + step) mod cap in
+      let key = Tarray.get tx m.keys i in
+      if key = k then `Found i
+      else if key = empty_key then
+        if !first_free >= 0 then `Free !first_free else `Free i
+      else begin
+        if key = tombstone && !first_free < 0 then first_free := i;
+        go (step + 1)
+      end
+  in
+  go 0
+
+let find tx m k =
+  check_key k;
+  match probe tx m k with
+  | `Found i -> Some (Tarray.get tx m.values i)
+  | `Free _ | `Full -> None
+
+let mem tx m k = Option.is_some (find tx m k)
+
+let add tx m k v =
+  check_key k;
+  match probe tx m k with
+  | `Found i ->
+      Tarray.set tx m.values i v;
+      true
+  | `Free i ->
+      Tarray.set tx m.keys i k;
+      Tarray.set tx m.values i v;
+      Stm.write tx m.population (Stm.read tx m.population + 1);
+      true
+  | `Full -> false
+
+let remove tx m k =
+  check_key k;
+  match probe tx m k with
+  | `Found i ->
+      Tarray.set tx m.keys i tombstone;
+      Stm.write tx m.population (Stm.read tx m.population - 1);
+      true
+  | `Free _ | `Full -> false
+
+let cardinal tx m = Stm.read tx m.population
+
+let fold tx m f init =
+  let acc = ref init in
+  for i = 0 to capacity m - 1 do
+    let k = Tarray.get tx m.keys i in
+    if k <> empty_key && k <> tombstone then
+      acc := f k (Tarray.get tx m.values i) !acc
+  done;
+  !acc

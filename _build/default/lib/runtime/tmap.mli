@@ -1,0 +1,20 @@
+(** A fixed-capacity transactional hash map from positive integers to
+    integers (open addressing with tombstones). *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+
+val find : Stm.tx -> t -> int -> int option
+(** @raise Invalid_argument on non-positive keys (all operations). *)
+
+val mem : Stm.tx -> t -> int -> bool
+
+val add : Stm.tx -> t -> int -> int -> bool
+(** Insert or overwrite; [false] when the table is full and the key is
+    new. *)
+
+val remove : Stm.tx -> t -> int -> bool
+val cardinal : Stm.tx -> t -> int
+val fold : Stm.tx -> t -> (int -> int -> 'a -> 'a) -> 'a -> 'a

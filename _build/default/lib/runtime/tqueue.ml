@@ -1,0 +1,42 @@
+(* A bounded transactional FIFO queue: a ring buffer of TVars with
+   transactional head/tail counters.  Operations compose with any other
+   transactional code — a pop and a push on two queues can be one atomic
+   step. *)
+
+type t = { slots : Tvar.t array; head : Tvar.t; tail : Tvar.t }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Tqueue.create: capacity must be positive";
+  { slots = Array.init capacity (fun _ -> Tvar.make 0); head = Tvar.make 0; tail = Tvar.make 0 }
+
+let capacity q = Array.length q.slots
+
+let length tx q = Stm.read tx q.tail - Stm.read tx q.head
+let is_empty tx q = length tx q = 0
+let is_full tx q = length tx q = capacity q
+
+let push tx q v =
+  if is_full tx q then false
+  else begin
+    let t = Stm.read tx q.tail in
+    Stm.write tx q.slots.(t mod capacity q) v;
+    Stm.write tx q.tail (t + 1);
+    true
+  end
+
+let pop tx q =
+  if is_empty tx q then None
+  else begin
+    let h = Stm.read tx q.head in
+    let v = Stm.read tx q.slots.(h mod capacity q) in
+    Stm.write tx q.head (h + 1);
+    Some v
+  end
+
+let peek tx q =
+  if is_empty tx q then None
+  else Some (Stm.read tx q.slots.(Stm.read tx q.head mod capacity q))
+
+(* blocking-style helpers built on user abort + retry at the caller *)
+let push_exn tx q v = if not (push tx q v) then Stm.abort tx
+let pop_exn tx q = match pop tx q with Some v -> v | None -> Stm.abort tx

@@ -1,0 +1,24 @@
+(** A bounded transactional FIFO queue (ring buffer of {!Tvar}s).
+
+    Operations compose with any other transactional code: a pop from one
+    queue and a push to another can be a single atomic step. *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+val length : Stm.tx -> t -> int
+val is_empty : Stm.tx -> t -> bool
+val is_full : Stm.tx -> t -> bool
+
+val push : Stm.tx -> t -> int -> bool
+(** [false] when full. *)
+
+val pop : Stm.tx -> t -> int option
+val peek : Stm.tx -> t -> int option
+
+val push_exn : Stm.tx -> t -> int -> unit
+(** Aborts the transaction when full. *)
+
+val pop_exn : Stm.tx -> t -> int
+(** Aborts the transaction when empty. *)

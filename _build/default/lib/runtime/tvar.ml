@@ -1,0 +1,42 @@
+(* Transactional variables.
+
+   A TVar is an integer cell guarded by a versioned lock word: even values
+   are commit versions, odd values mark the cell as locked by a committing
+   (or, in eager mode, executing) transaction.  Values are integers —
+   matching the paper's model, whose locations hold integers — which keeps
+   the implementation free of unsafe casts; aggregate state is built from
+   arrays of TVars. *)
+
+type t = {
+  id : int;
+  mutable value : int; (* protected by [lock] in transactional code *)
+  lock : int Atomic.t; (* even: version; odd: locked *)
+}
+
+let next_id = Atomic.make 0
+
+let make value = { id = Atomic.fetch_and_add next_id 1; value; lock = Atomic.make 0 }
+
+let id v = v.id
+
+let locked word = word land 1 = 1
+
+(* Plain, non-transactional access: deliberately unsynchronized with the
+   STM — this is the mixed-mode access the paper is about.  Safe only
+   under the privatization/publication idioms (with [Stm.quiesce] where
+   the idiom requires a fence). *)
+let unsafe_read v = v.value
+let unsafe_write v x = v.value <- x
+
+(* try to lock; returns the previous version on success *)
+let try_lock v =
+  let word = Atomic.get v.lock in
+  if locked word then None
+  else if Atomic.compare_and_set v.lock word (word lor 1) then Some word
+  else None
+
+let unlock v ~version = Atomic.set v.lock version
+
+let version_word v = Atomic.get v.lock
+
+let pp ppf v = Fmt.pf ppf "tvar#%d=%d" v.id v.value

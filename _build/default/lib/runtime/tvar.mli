@@ -1,0 +1,30 @@
+(** Transactional variables: integer cells guarded by a versioned lock
+    word (even = commit version, odd = locked).
+
+    Values are integers, matching the paper's model; build aggregates
+    from arrays of TVars ({!Tarray}, {!Tqueue}, {!Tmap}). *)
+
+type t
+
+val make : int -> t
+val id : t -> int
+
+val unsafe_read : t -> int
+(** Plain, non-transactional access — deliberately unsynchronized with
+    the STM.  This is the mixed-mode access the paper is about: safe only
+    under the publication/privatization idioms (with {!Stm.quiesce} where
+    privatization requires a fence). *)
+
+val unsafe_write : t -> int -> unit
+
+(**/**)
+
+(* Internal: used by the STM implementation. *)
+val locked : int -> bool
+val try_lock : t -> int option
+val unlock : t -> version:int -> unit
+val version_word : t -> int
+
+(**/**)
+
+val pp : t Fmt.t

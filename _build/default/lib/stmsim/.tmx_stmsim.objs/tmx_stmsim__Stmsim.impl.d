@@ -1,0 +1,1 @@
+lib/stmsim/stmsim.ml: Ast Hashtbl List Option Outcome Proto Sc Tmx_exec Tmx_lang

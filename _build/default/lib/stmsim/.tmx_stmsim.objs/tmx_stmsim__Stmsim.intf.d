@@ -1,0 +1,1 @@
+lib/stmsim/stmsim.mli: Outcome Sc Tmx_exec Tmx_lang

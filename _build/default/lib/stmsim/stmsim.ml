@@ -1,0 +1,361 @@
+(* Operational STM simulator.
+
+   §3 of the paper discusses how real STM implementations — eager (undo
+   log, in-place writes) and lazy (redo log, commit-time write-back)
+   versioning — interact with mixed transactional/plain access.  This
+   module implements both strategies over a sequentially consistent host
+   memory with an exhaustively explored fine-grained scheduler, so the
+   classic anomalies can be *exhibited*, not just discussed:
+
+     - delayed write-back breaking privatization (lazy),
+     - speculative lost update and dirty reads via rollback (eager),
+     - overlapped commit write-back (lazy, D.4),
+
+   and so the quiescence fence of §5 — modelled as blocking until no
+   in-flight transaction has touched the fenced location — can be shown
+   to remove exactly the mixed-race anomalies.
+
+   Commit write-back and rollback are sequences of individually scheduled
+   steps: other threads' PLAIN accesses interleave with them (transactional
+   accesses are protected by validation/locking in real STMs; plain ones
+   are not — that is the whole point of §3). *)
+
+open Tmx_lang
+open Tmx_exec
+
+type strategy = Eager | Lazy
+
+type config = {
+  strategy : strategy;
+  fuel : int; (* loop unrolling bound *)
+  max_retries : int; (* lazy validation-failure retries *)
+  atomic_commit : bool; (* write-back in one indivisible step *)
+  max_paths : int;
+}
+
+let default_config =
+  { strategy = Lazy; fuel = 6; max_retries = 2; atomic_commit = false; max_paths = 2_000_000 }
+
+type item = S of Ast.stmt | End_atomic
+
+type txn = {
+  reads : (string * int) list; (* read set: location, observed value *)
+  buffer : (string * int) list; (* lazy: pending writes (newest first) *)
+  undo : (string * int) list; (* eager: old values, newest first *)
+  accessed : string list;
+  saved_items : item list; (* continuation at Begin, for retry *)
+  saved_env : Proto.env;
+}
+
+type phase =
+  | Ready
+  | In_txn of txn
+  | Write_back of txn * (string * int) list (* remaining writes, oldest first *)
+  | Roll_back of txn * (string * int) list * item list
+    (* remaining undo entries; continuation after the aborted block *)
+
+type tstate = { items : item list; env : Proto.env; phase : phase; fuel : int; retries : int }
+
+type state = { mem : (string * int) list; threads : tstate list }
+
+let mem_get mem x = Option.value (List.assoc_opt x mem) ~default:0
+let mem_set mem x v = (x, v) :: List.remove_assoc x mem
+
+(* Is a transaction of thread [t] in flight (running, publishing, or
+   rolling back)?  Quiescence must wait for every in-flight transaction,
+   not just those that have already touched the fenced location: a
+   transaction that has so far only read the flag may still write the
+   privatized location later (WF12 constrains the whole transaction
+   span).  This matches the grace-period implementation in the runtime's
+   registry. *)
+let in_flight t =
+  match t.phase with
+  | Ready -> false
+  | In_txn _ | Write_back _ | Roll_back _ -> true
+
+let skip_block items =
+  let rec go = function
+    | End_atomic :: rest -> rest
+    | _ :: rest -> go rest
+    | [] -> []
+  in
+  go items
+
+type result = {
+  outcomes : Outcome.t list;
+  paths : int;
+  truncated : bool; (* fuel or retry budget exhausted on some path *)
+  capped : bool;
+}
+
+let run ?(config = default_config) (program : Ast.program) =
+  (match Ast.validate program with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Stmsim.run: " ^ msg));
+  let outcomes : (Outcome.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let paths = ref 0 and truncated = ref false and capped = ref false in
+  let locs = ref program.locs in
+  let note_loc x = if not (List.mem x !locs) then locs := !locs @ [ x ] in
+
+  let finish (st : state) =
+    incr paths;
+    let outcome =
+      Outcome.make
+        ~envs:(List.map (fun t -> t.env) st.threads)
+        ~mem:(List.map (fun x -> (x, mem_get st.mem x)) !locs)
+    in
+    Hashtbl.replace outcomes outcome ()
+  in
+
+  (* one scheduled step of thread [i]; returns successor states *)
+  let step (st : state) i (t : tstate) : state list =
+    let set_thread t' =
+      { st with threads = List.mapi (fun j u -> if j = i then t' else u) st.threads }
+    in
+    let set_both mem t' =
+      { mem; threads = List.mapi (fun j u -> if j = i then t' else u) st.threads }
+    in
+    match t.phase with
+    | Write_back (txn, writes) -> (
+        match writes with
+        | [] -> [ set_thread { t with phase = Ready } ]
+        | (x, v) :: rest ->
+            [ set_both (mem_set st.mem x v) { t with phase = Write_back (txn, rest) } ])
+    | Roll_back (txn, undo, continuation) -> (
+        match undo with
+        | [] ->
+            [
+              set_thread
+                { t with phase = Ready; items = continuation; env = txn.saved_env };
+            ]
+        | (x, v) :: rest ->
+            [ set_both (mem_set st.mem x v) { t with phase = Roll_back (txn, rest, continuation) } ])
+    | Ready | In_txn _ -> (
+        match t.items with
+        | [] -> []
+        | End_atomic :: rest -> (
+            match t.phase with
+            | In_txn txn -> (
+                match config.strategy with
+                | Eager ->
+                    (* in-place writes already visible; commit is trivial *)
+                    [ set_thread { t with items = rest; phase = Ready } ]
+                | Lazy ->
+                    (* value-based validation of the read set *)
+                    let valid =
+                      List.for_all
+                        (fun (x, v) ->
+                          match List.assoc_opt x txn.buffer with
+                          | Some _ -> true (* own write dominates *)
+                          | None -> mem_get st.mem x = v)
+                        txn.reads
+                    in
+                    if valid then
+                      let writes = List.rev txn.buffer in
+                      if config.atomic_commit then
+                        [
+                          set_both
+                            (List.fold_left (fun m (x, v) -> mem_set m x v) st.mem writes)
+                            { t with items = rest; phase = Ready };
+                        ]
+                      else [ set_thread { t with items = rest; phase = Write_back (txn, writes) } ]
+                    else if t.retries <= 0 then begin
+                      truncated := true;
+                      []
+                    end
+                    else
+                      (* abort and re-execute the block *)
+                      [
+                        set_thread
+                          {
+                            t with
+                            items = txn.saved_items;
+                            env = txn.saved_env;
+                            phase = Ready;
+                            retries = t.retries - 1;
+                          };
+                      ])
+            | _ -> assert false)
+        | S s :: rest -> (
+            match (s : Ast.stmt) with
+            | Skip -> [ set_thread { t with items = rest } ]
+            | Assign (r, e) ->
+                [ set_thread { t with items = rest; env = Proto.env_set t.env r (Proto.eval t.env e) } ]
+            | If (c, tb, eb) ->
+                let branch = if Proto.eval t.env c <> 0 then tb else eb in
+                [ set_thread { t with items = List.map (fun s -> S s) branch @ rest } ]
+            | While (c, b) ->
+                if Proto.eval t.env c = 0 then [ set_thread { t with items = rest } ]
+                else if t.fuel <= 0 then begin
+                  truncated := true;
+                  []
+                end
+                else
+                  [
+                    set_thread
+                      {
+                        t with
+                        items = List.map (fun s -> S s) b @ (S (While (c, b)) :: rest);
+                        fuel = t.fuel - 1;
+                      };
+                  ]
+            | Atomic body -> (
+                match t.phase with
+                | Ready ->
+                    let items = List.map (fun s -> S s) body @ (End_atomic :: rest) in
+                    [
+                      set_thread
+                        {
+                          t with
+                          items;
+                          phase =
+                            In_txn
+                              {
+                                reads = [];
+                                buffer = [];
+                                undo = [];
+                                accessed = [];
+                                saved_items = S s :: rest;
+                                saved_env = t.env;
+                              };
+                        };
+                    ]
+                | _ -> assert false)
+            | Abort -> (
+                match t.phase with
+                | In_txn txn -> (
+                    let continuation = skip_block rest in
+                    match config.strategy with
+                    | Lazy ->
+                        (* discard the buffer and register effects *)
+                        [
+                          set_thread
+                            {
+                              t with
+                              items = continuation;
+                              phase = Ready;
+                              env = txn.saved_env;
+                            };
+                        ]
+                    | Eager ->
+                        (* roll back the undo log, one visible write at a
+                           time *)
+                        [ set_thread { t with phase = Roll_back (txn, txn.undo, continuation); items = [] } ])
+                | _ -> invalid_arg "Stmsim: abort outside transaction")
+            | Load (r, lv) -> (
+                let x = Proto.resolve t.env lv in
+                note_loc x;
+                match t.phase with
+                | In_txn txn ->
+                    let v =
+                      match
+                        (config.strategy, List.assoc_opt x txn.buffer)
+                      with
+                      | Lazy, Some v -> v
+                      | Lazy, None | Eager, _ -> mem_get st.mem x
+                    in
+                    let txn =
+                      {
+                        txn with
+                        reads = (if List.mem_assoc x txn.reads then txn.reads else (x, v) :: txn.reads);
+                        accessed = (if List.mem x txn.accessed then txn.accessed else x :: txn.accessed);
+                      }
+                    in
+                    [
+                      set_thread
+                        { t with items = rest; env = Proto.env_set t.env r v; phase = In_txn txn };
+                    ]
+                | Ready ->
+                    [
+                      set_thread
+                        { t with items = rest; env = Proto.env_set t.env r (mem_get st.mem x) };
+                    ]
+                | _ -> assert false)
+            | Store (lv, e) -> (
+                let x = Proto.resolve t.env lv in
+                note_loc x;
+                let v = Proto.eval t.env e in
+                match t.phase with
+                | In_txn txn -> (
+                    let accessed =
+                      if List.mem x txn.accessed then txn.accessed else x :: txn.accessed
+                    in
+                    match config.strategy with
+                    | Lazy ->
+                        let txn =
+                          { txn with buffer = (x, v) :: List.remove_assoc x txn.buffer; accessed }
+                        in
+                        [ set_thread { t with items = rest; phase = In_txn txn } ]
+                    | Eager ->
+                        let txn =
+                          { txn with undo = (x, mem_get st.mem x) :: txn.undo; accessed }
+                        in
+                        [ set_both (mem_set st.mem x v) { t with items = rest; phase = In_txn txn } ])
+                | Ready -> [ set_both (mem_set st.mem x v) { t with items = rest } ]
+                | _ -> assert false)
+            | Fence x ->
+                note_loc x;
+                (* quiescence: enabled only when no other thread has an
+                   in-flight transaction *)
+                let blocked =
+                  List.exists
+                    (fun (j, u) -> j <> i && in_flight u)
+                    (List.mapi (fun j u -> (j, u)) st.threads)
+                in
+                if blocked then [] else [ set_thread { t with items = rest } ]))
+  in
+
+  let rec explore (st : state) =
+    if !paths >= config.max_paths then capped := true
+    else begin
+      let successors =
+        List.concat
+          (List.mapi
+             (fun i t ->
+               match t.phase with
+               | Write_back _ | Roll_back _ -> step st i t
+               | _ -> if t.items = [] then [] else step st i t)
+             st.threads)
+      in
+      if successors = [] then begin
+        (* done, deadlocked on a fence, or dead (budget exhausted) *)
+        let all_done =
+          List.for_all
+            (fun t -> t.items = [] && t.phase = Ready)
+            st.threads
+        in
+        if all_done then finish st
+      end
+      else List.iter explore successors
+    end
+  in
+  explore
+    {
+      mem = [];
+      threads =
+        List.map
+          (fun th ->
+            {
+              items = List.map (fun s -> S s) th;
+              env = [];
+              phase = Ready;
+              fuel = config.fuel;
+              retries = config.max_retries;
+            })
+          program.threads;
+    };
+  {
+    outcomes = Outcome.dedup (Hashtbl.fold (fun o () acc -> o :: acc) outcomes []);
+    paths = !paths;
+    truncated = !truncated;
+    capped = !capped;
+  }
+
+(* Anomalies: outcomes the STM exhibits that the atomic reference
+   semantics (Sc) does not. *)
+let anomalies ?config ?sc_config program =
+  let stm = run ?config program in
+  let ref_outcomes = Sc.outcomes (Sc.run ?config:sc_config program) in
+  List.filter
+    (fun o -> not (List.exists (Outcome.equal o) ref_outcomes))
+    stm.outcomes

@@ -1,0 +1,39 @@
+(** Operational STM simulator (§3 made executable).
+
+    Eager (undo-log, in-place writes) and lazy (redo-log, commit-time
+    write-back) versioning over a sequentially consistent host memory,
+    with an exhaustively explored fine-grained scheduler.  Commit
+    write-back and rollback are sequences of individually scheduled
+    steps, so plain accesses interleave with them — exactly the
+    mixed-mode windows §3 discusses.  The quiescence fence blocks until
+    no other thread has an in-flight transaction (waiting only for
+    transactions that already touched the fenced location is unsound:
+    WF12 constrains the whole transaction span). *)
+
+open Tmx_exec
+
+type strategy = Eager | Lazy
+
+type config = {
+  strategy : strategy;
+  fuel : int;  (** loop unrolling bound *)
+  max_retries : int;  (** lazy validation-failure retries *)
+  atomic_commit : bool;  (** publish lazy buffers in one indivisible step *)
+  max_paths : int;
+}
+
+val default_config : config
+
+type result = {
+  outcomes : Outcome.t list;
+  paths : int;  (** complete schedules explored *)
+  truncated : bool;  (** fuel or retry budget exhausted on some path *)
+  capped : bool;
+}
+
+val run : ?config:config -> Tmx_lang.Ast.program -> result
+
+val anomalies :
+  ?config:config -> ?sc_config:Sc.config -> Tmx_lang.Ast.program -> Outcome.t list
+(** Outcomes the STM exhibits that the atomic reference semantics ({!Sc})
+    does not. *)

@@ -1,0 +1,8 @@
+  $ ../bin/tmx.exe litmus privatization | tail -1
+  $ ../bin/tmx.exe models | head -2
+  $ ../bin/tmx.exe outcomes sb -m pm | tail -4
+  $ ../bin/tmx.exe outcomes privatization -m im | grep 'x=1'
+  $ ../bin/tmx.exe check ../litmus/privatization.litmus | head -1
+  $ ../bin/tmx.exe export lb
+  $ ../bin/tmx.exe theorems publication
+  $ ../bin/tmx.exe litmus nosuch 2>&1 | head -1

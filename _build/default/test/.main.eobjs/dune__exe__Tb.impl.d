@@ -1,0 +1,1 @@
+test/tb.ml: Action Alcotest Consistency Fmt Model Rat Tmx_core Trace

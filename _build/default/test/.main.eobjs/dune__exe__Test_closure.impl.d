@@ -1,0 +1,1 @@
+test/test_closure.ml: Action Alcotest Array Closure Consistency Enumerate Fmt List Model Option Tb Tmx_core Tmx_exec Tmx_lang Tmx_litmus Trace Wellformed

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Consistency Model Tb Tmx_core Trace

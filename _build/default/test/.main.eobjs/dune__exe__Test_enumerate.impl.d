@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Ast Consistency Enumerate Infix List Model Option Outcome Tmx_core Tmx_exec Tmx_lang Tmx_litmus Wellformed

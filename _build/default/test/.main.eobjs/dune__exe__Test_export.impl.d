@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Catalog Enumerate Export Fmt List Litmus Model Outcome Parse Shapes Tmx_core Tmx_exec Tmx_litmus

@@ -1,0 +1,1 @@
+test/test_fenceify.ml: Alcotest Ast Fenceify Fmt List Option QCheck QCheck_alcotest Test_theorems Tmx_core Tmx_exec Tmx_lang Tmx_litmus Tmx_opt

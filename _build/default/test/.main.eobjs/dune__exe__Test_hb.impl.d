@@ -1,0 +1,1 @@
+test/test_hb.ml: Alcotest Hb Lift Model Rel Tb Tmx_core

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Enumerate Fmt Infix List Model Option Outcome Tmx_core Tmx_exec Tmx_harness Tmx_lang Tmx_litmus Tmx_runtime

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Fmt Infix Result String Tmx_lang

@@ -1,0 +1,1 @@
+test/test_lift.ml: Alcotest Lift Rel Tb Tmx_core

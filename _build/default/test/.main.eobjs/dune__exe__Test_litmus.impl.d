@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Fmt List Tmx_litmus

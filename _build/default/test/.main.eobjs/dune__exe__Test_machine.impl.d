@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Enumerate List Model Option Outcome QCheck QCheck_alcotest Test_theorems Tmx_core Tmx_exec Tmx_lang Tmx_litmus Tmx_machine

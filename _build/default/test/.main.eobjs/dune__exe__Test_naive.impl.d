@@ -1,0 +1,1 @@
+test/test_naive.ml: Alcotest Consistency Enumerate Fmt Hb Lift List Model Naive Option QCheck QCheck_alcotest Rel Tb Tmx_core Tmx_exec Tmx_litmus Trace

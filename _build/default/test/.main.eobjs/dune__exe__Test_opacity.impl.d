@@ -1,0 +1,1 @@
+test/test_opacity.ml: Alcotest Consistency Enumerate Fmt List Model Opacity QCheck QCheck_alcotest Tb Test_theorems Tmx_core Tmx_exec Tmx_litmus

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Ast Fmt List Model Option Soundness Tmx_core Tmx_exec Tmx_lang Tmx_litmus Tmx_opt Transform

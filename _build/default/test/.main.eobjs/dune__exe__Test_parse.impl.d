@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Catalog Enumerate List Litmus Option Parse String Tmx_core Tmx_exec Tmx_litmus

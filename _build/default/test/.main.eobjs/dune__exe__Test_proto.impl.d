@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Ast Enumerate Fmt Infix List Outcome Proto Tmx_core Tmx_exec Tmx_lang

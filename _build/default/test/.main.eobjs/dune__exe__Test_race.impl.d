@@ -1,0 +1,1 @@
+test/test_race.ml: Alcotest Hb Lift List Model Race Tb Tmx_core

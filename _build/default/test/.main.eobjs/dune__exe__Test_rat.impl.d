@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest QCheck QCheck_alcotest Rat Tmx_core

@@ -1,0 +1,1 @@
+test/test_rel.ml: Alcotest Array Fun List QCheck QCheck_alcotest Random Rel Tmx_core

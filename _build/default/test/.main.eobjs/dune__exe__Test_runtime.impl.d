@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Domain Fmt List Option Stm Tmx_runtime Tvar

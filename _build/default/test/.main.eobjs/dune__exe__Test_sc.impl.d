@@ -1,0 +1,1 @@
+test/test_sc.ml: Alcotest Ast Consistency Enumerate Fmt List Model Option Outcome Sc Sequentiality Tmx_core Tmx_exec Tmx_lang Tmx_litmus Wellformed

@@ -1,0 +1,1 @@
+test/test_sequentiality.ml: Action Alcotest Fmt Fun List Sequentiality Tb Tmx_core Trace

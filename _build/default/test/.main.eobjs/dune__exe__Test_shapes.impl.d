@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Ast Enumerate Fmt List Model Outcome QCheck QCheck_alcotest Sc Shapes Tmx_core Tmx_exec Tmx_lang Tmx_litmus

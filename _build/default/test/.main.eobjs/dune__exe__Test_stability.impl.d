@@ -1,0 +1,1 @@
+test/test_stability.ml: Alcotest Enumerate Fmt Hb Lift List Model Option QCheck QCheck_alcotest Stability Tb Test_theorems Tmx_core Tmx_exec Tmx_litmus Trace

@@ -1,0 +1,1 @@
+test/test_stmsim.ml: Alcotest Fmt List Option Outcome Stmsim Tmx_core Tmx_exec Tmx_litmus Tmx_stmsim

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Array Atomic Domain Fmt List Option Stm Tarray Tmap Tmx_runtime Tqueue Tvar

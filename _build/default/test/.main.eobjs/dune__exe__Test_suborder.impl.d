@@ -1,0 +1,1 @@
+test/test_suborder.ml: Alcotest Consistency Enumerate Fmt Hb Lift List Model Option Rel Suborder Tb Tmx_core Tmx_exec Tmx_litmus

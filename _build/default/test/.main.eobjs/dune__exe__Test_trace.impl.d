@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Fun Rel Tb Tmx_core Trace Wellformed

@@ -1,0 +1,1 @@
+test/test_volatile.ml: Alcotest Ast Fmt List Outcome QCheck QCheck_alcotest Tmx_exec Tmx_lang Tmx_machine

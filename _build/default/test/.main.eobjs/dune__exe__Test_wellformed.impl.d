@@ -1,0 +1,1 @@
+test/test_wellformed.ml: Alcotest List Tb Tmx_core Trace Wellformed

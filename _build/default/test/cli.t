@@ -1,0 +1,52 @@
+The litmus runner checks paper examples against their verdicts:
+
+  $ ../bin/tmx.exe litmus privatization | tail -1
+  1/1 litmus tests pass
+
+Models are listed with their switches:
+
+  $ ../bin/tmx.exe models | head -2
+  pm       hb: ww anti: ww fences:false
+  im       hb: anti: fences:true
+
+Outcome enumeration under a chosen model:
+
+  $ ../bin/tmx.exe outcomes sb -m pm | tail -4
+    mem:[x=1 y=1]
+    t1:[q=1] mem:[x=1 y=1]
+    t0:[r=1] mem:[x=1 y=1]
+    t0:[r=1] t1:[q=1] mem:[x=1 y=1]
+
+The implementation model without fences admits the privatization anomaly:
+
+  $ ../bin/tmx.exe outcomes privatization -m im | grep 'x=1'
+    mem:[x=1 y=1]
+
+User litmus files parse and check:
+
+  $ ../bin/tmx.exe check ../litmus/privatization.litmus | head -1
+  [PASS] privatization (user)
+
+Programs export to the text format:
+
+  $ ../bin/tmx.exe export lb
+  name lb
+  locs x y
+  
+  thread 0:
+    r := x
+    y := 1
+  
+  thread 1:
+    q := y
+    x := 1
+
+The theorem checks summarize SC-LTRF, Thm 4.2 and Lemma 5.1:
+
+  $ ../bin/tmx.exe theorems publication
+  publication                  SC-LTRF:ok (seq-racy:false weak:false contained:true)  Thm4.2:ok Lemma5.1:ok (2/2)
+
+Unknown names produce errors:
+
+  $ ../bin/tmx.exe litmus nosuch 2>&1 | head -1
+  tmx: unknown litmus test "nosuch"; try `tmx litmus --list'

@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "tmx"
+    [
+      ("rat", Test_rat.suite);
+      ("rel", Test_rel.suite);
+      ("trace", Test_trace.suite);
+      ("wellformed", Test_wellformed.suite);
+      ("lift", Test_lift.suite);
+      ("hb", Test_hb.suite);
+      ("consistency", Test_consistency.suite);
+      ("naive", Test_naive.suite);
+      ("opacity", Test_opacity.suite);
+      ("race", Test_race.suite);
+      ("sequentiality", Test_sequentiality.suite);
+      ("suborder", Test_suborder.suite);
+      ("closure", Test_closure.suite);
+      ("stability", Test_stability.suite);
+      ("lang", Test_lang.suite);
+      ("proto", Test_proto.suite);
+      ("enumerate", Test_enumerate.suite);
+      ("sc", Test_sc.suite);
+      ("litmus", Test_litmus.suite);
+      ("shapes", Test_shapes.suite);
+      ("parse", Test_parse.suite);
+      ("export", Test_export.suite);
+      ("theorems", Test_theorems.suite);
+      ("opt", Test_opt.suite);
+      ("fenceify", Test_fenceify.suite);
+      ("stmsim", Test_stmsim.suite);
+      ("runtime", Test_runtime.suite);
+      ("structures", Test_structures.suite);
+      ("interp", Test_interp.suite);
+      ("machine", Test_machine.suite);
+      ("volatile", Test_volatile.suite);
+    ]

@@ -1,0 +1,27 @@
+(* Shared builders for hand-written traces in the test suite. *)
+
+open Tmx_core
+
+let ev t act = { Action.thread = t; act }
+let w t loc value ts = ev t (Action.Write { loc; value; ts = Rat.of_int ts })
+
+let wq t loc value (num, den) =
+  ev t (Action.Write { loc; value; ts = Rat.make num den })
+
+let r t loc value ts = ev t (Action.Read { loc; value; ts = Rat.of_int ts })
+
+let rq t loc value (num, den) =
+  ev t (Action.Read { loc; value; ts = Rat.make num den })
+
+let b t = ev t Action.Begin
+let c t = ev t Action.Commit
+let a t = ev t Action.Abort
+let q t loc = ev t (Action.Qfence loc)
+let mk ~locs events = Trace.make ~locs events
+
+let check_consistent model trace expected =
+  let report = Consistency.check model trace in
+  Alcotest.(check bool)
+    (Fmt.str "consistent under %a (%a)" Model.pp model Consistency.pp_report
+       report)
+    expected (Consistency.ok report)

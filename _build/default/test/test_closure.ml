@@ -1,0 +1,127 @@
+open Tmx_core
+open Tmx_exec
+open Tb
+
+let pm = Model.programmer
+
+let test_causal_future () =
+  (* publication chain: Wx1 po Wy1(txn) cwr Ry1(txn) po Rx1 — everything
+     downstream of Wx1 is in its causal future *)
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [ w 0 "x" 1 1; b 0; w 0 "y" 1 1; c 0; b 1; r 1 "y" 1 1; c 1; r 1 "x" 1 1 ]
+  in
+  let future = Closure.causal_future pm t 4 in
+  (* positions: init 0..3; Wx1=4; B=5 Wy1=6 C=7; B=8 Ry1=9 C=10; Rx1=11 *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) (Fmt.str "%d in future" i) true (List.mem i future))
+    [ 6; 9; 11 ];
+  Alcotest.(check bool) "Wx1 not in own future" false (List.mem 4 future)
+
+let test_drop_causal_future () =
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [ w 0 "x" 1 1; b 0; w 0 "y" 1 1; c 0; b 1; r 1 "y" 1 1; c 1 ]
+  in
+  let t' = Closure.drop_causal_future pm t 4 in
+  (* dropping the future of Wx1 removes the flag transaction and its
+     reader, but keeps Wx1 and the initializing transaction *)
+  Alcotest.(check bool) "kept the write" true
+    (Array.exists
+       (fun (e : Action.event) ->
+         match e.act with Action.Write { loc = "x"; value = 1; _ } -> true | _ -> false)
+       (Trace.events t'));
+  Alcotest.(check bool) "dropped the reader" true (Trace.length t' < Trace.length t);
+  Alcotest.(check bool) "still well-formed" true (Wellformed.is_well_formed t');
+  Alcotest.(check bool) "still consistent" true (Consistency.consistent pm t')
+
+let test_contiguizer_succeeds () =
+  (* a consistent non-contiguous trace of committed transactions can be
+     permuted into a contiguous one *)
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [ b 0; w 0 "x" 1 1; w 1 "y" 7 1; w 0 "y" 1 2; c 0 ]
+  in
+  Alcotest.(check bool) "not contiguous initially" false (Trace.all_txns_contiguous t);
+  match Closure.contiguous_permutation pm t with
+  | None -> Alcotest.fail "expected a contiguity permutation"
+  | Some perm ->
+      let t' = Trace.permute t perm in
+      Alcotest.(check bool) "order preserving" true (Trace.is_order_preserving t perm);
+      Alcotest.(check bool) "contiguous" true (Trace.all_txns_contiguous t');
+      Alcotest.(check bool) "well-formed" true (Wellformed.is_well_formed t');
+      Alcotest.(check bool) "consistent" true (Consistency.consistent pm t')
+
+let test_contiguizer_on_enumerated () =
+  List.iter
+    (fun name ->
+      let p = (Option.get (Tmx_litmus.Catalog.find name)).program in
+      let r = Enumerate.run pm p in
+      List.iter
+        (fun (e : Enumerate.execution) ->
+          match Closure.contiguous_permutation pm e.trace with
+          | Some perm ->
+              let t' = Trace.permute e.trace perm in
+              Alcotest.(check bool) "contiguous" true (Trace.all_txns_contiguous t');
+              Alcotest.(check bool) "consistent" true (Consistency.consistent pm t')
+          | None ->
+              (* only acceptable for the aborted-transaction edge case *)
+              Alcotest.(check bool)
+                (Fmt.str "%s: only aborted txns can defeat contiguity" name)
+                true
+                (List.exists (Trace.is_aborted e.trace) (Trace.txns e.trace)))
+        r.executions)
+    [ "privatization"; "publication"; "iriw_z"; "ex3_4"; "aborted_pub" ]
+
+(* The counterexample to Lemma A.5's parenthetical claim: an aborted
+   transaction that writes a smaller timestamp than a committed
+   transaction it also reads from must interleave with it — WF9 forces
+   its write before the committed write, WF8 its read after.  The trace
+   is consistent, yet no order-preserving permutation has contiguous
+   transactions. *)
+let test_contiguizer_aborted_counterexample () =
+  let t =
+    mk ~locs:[ "x" ]
+      [
+        b 0; w 0 "x" 1 1;
+        b 1; w 1 "x" 2 2; c 1;
+        r 0 "x" 2 2; a 0;
+      ]
+  in
+  Alcotest.(check bool) "well-formed" true (Wellformed.is_well_formed t);
+  Alcotest.(check bool) "consistent" true (Consistency.consistent pm t);
+  Alcotest.(check bool) "not contiguous" false (Trace.all_txns_contiguous t);
+  Alcotest.(check (option (of_pp Fmt.(any "perm")))) "no contiguity permutation"
+    None
+    (Closure.contiguous_permutation pm t)
+
+(* the same scenario arises from an actual program *)
+let test_aborted_interleaving_from_program () =
+  let p =
+    Tmx_lang.Ast.(
+      program ~name:"a5-counterexample" ~locs:[ "x" ]
+        [
+          [ atomic [ store (loc "x") (int 1); load "r" (loc "x"); abort ] ];
+          [ atomic [ store (loc "x") (int 2) ] ];
+        ])
+  in
+  let r = Enumerate.run pm p in
+  Alcotest.(check bool) "aborted txn reads the committed overwrite" true
+    (List.exists
+       (fun (e : Enumerate.execution) ->
+         Tmx_litmus.Litmus.aborted_txn_with_reads [ ("x", 2) ] e.trace)
+       r.executions)
+
+let suite =
+  [
+    Alcotest.test_case "causal future" `Quick test_causal_future;
+    Alcotest.test_case "causal closure" `Quick test_drop_causal_future;
+    Alcotest.test_case "contiguizer on a hand trace" `Quick test_contiguizer_succeeds;
+    Alcotest.test_case "contiguizer on enumerated executions" `Slow
+      test_contiguizer_on_enumerated;
+    Alcotest.test_case "Lemma A.5 aborted counterexample" `Quick
+      test_contiguizer_aborted_counterexample;
+    Alcotest.test_case "counterexample reachable from a program" `Quick
+      test_aborted_interleaving_from_program;
+  ]

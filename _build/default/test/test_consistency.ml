@@ -1,0 +1,149 @@
+open Tmx_core
+open Tb
+
+let pm = Model.programmer
+let im = Model.implementation
+
+(* Load buffering (§2, forbidden): each thread reads the other's later
+   write. *)
+let test_load_buffering () =
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [ r 0 "x" 1 1; w 0 "y" 1 1; r 1 "y" 1 1; w 1 "x" 1 1 ]
+  in
+  (* WF8 already fails (reads see the future), and Causality fails too *)
+  let report = Consistency.check pm t in
+  Alcotest.(check bool) "lb inconsistent" false (Consistency.ok report);
+  Alcotest.(check bool) "causality violated" false report.causality
+
+let test_store_buffering () =
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [ w 0 "x" 1 1; w 1 "y" 1 1; r 0 "y" 0 0; r 1 "x" 0 0 ]
+  in
+  check_consistent pm t true
+
+(* §2 Example 2.2: the reversed-coherence privatization. *)
+let test_ex2_2_antiww () =
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [
+        b 0; r 0 "y" 0 0; w 0 "x" 2 2; c 0;
+        b 1; w 1 "y" 1 1; c 1;
+        w 1 "x" 1 1;
+      ]
+  in
+  check_consistent pm t false;
+  (* without AntiWW (implementation model) it is consistent *)
+  check_consistent im t true
+
+(* Aborted-read publication (§2, allowed). *)
+let test_aborted_read_publication () =
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [
+        b 0; w 0 "x" 1 1; w 0 "y" 1 1; c 0;
+        b 1; r 1 "y" 1 1; a 1;
+        r 1 "x" 0 0;
+      ]
+  in
+  check_consistent pm t true
+
+(* Opacity (§2, forbidden): IRIW with aborted readers. *)
+let test_opacity () =
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [
+        b 0; w 0 "x" 1 1; c 0;
+        b 1; w 1 "y" 1 1; c 1;
+        b 2; r 2 "x" 1 1; r 2 "y" 0 0; a 2;
+        b 3; r 3 "y" 1 1; r 3 "x" 0 0; a 3;
+      ]
+  in
+  check_consistent pm t false;
+  (* with plain writes instead, allowed *)
+  let t2 =
+    mk ~locs:[ "x"; "y" ]
+      [
+        w 0 "x" 1 1;
+        w 1 "y" 1 1;
+        b 2; r 2 "x" 1 1; r 2 "y" 0 0; a 2;
+        b 3; r 3 "y" 1 1; r 3 "x" 0 0; a 3;
+      ]
+  in
+  check_consistent pm t2 true
+
+(* §2 coherence figure (forbidden): stale read after synchronization. *)
+let test_coherence_figure () =
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [
+        w 0 "x" 1 1; b 0; w 0 "y" 1 1; c 0;
+        w 1 "x" 2 2; b 1; r 1 "y" 1 1; c 1;
+        r 1 "x" 2 2; r 1 "x" 1 1;
+      ]
+  in
+  check_consistent pm t false
+
+(* §2 CSE figure (allowed): new-old-new without synchronization. *)
+let test_cse_figure () =
+  let t =
+    mk ~locs:[ "x" ]
+      [
+        w 0 "x" 1 1; w 0 "x" 2 2;
+        r 1 "x" 2 2; r 1 "x" 1 1; r 1 "x" 2 2;
+      ]
+  in
+  check_consistent pm t true
+
+(* Theorem 4.2 on a hand trace with an aborted transaction. *)
+let test_drop_aborted_consistent () =
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [
+        b 0; w 0 "x" 1 1; w 0 "y" 1 1; c 0;
+        b 1; r 1 "y" 1 1; a 1;
+        r 1 "x" 0 0;
+      ]
+  in
+  Alcotest.(check bool) "original consistent" true (Consistency.consistent pm t);
+  Alcotest.(check bool) "aborted-free version consistent" true
+    (Consistency.consistent pm (Trace.drop_aborted t))
+
+(* The fenced privatization execution (§5): placing the transactional
+   write coherence-after the plain write violates Coherence through the
+   fence edges. *)
+let test_fence_restores_privatization () =
+  let bad =
+    mk ~locs:[ "x"; "y" ]
+      [
+        b 0; r 0 "y" 0 0; w 0 "x" 2 2; c 0;
+        b 1; w 1 "y" 1 1; c 1;
+        q 1 "x";
+        w 1 "x" 1 1;
+      ]
+  in
+  check_consistent im bad false;
+  let good =
+    mk ~locs:[ "x"; "y" ]
+      [
+        b 0; r 0 "y" 0 0; w 0 "x" 1 1; c 0;
+        b 1; w 1 "y" 1 1; c 1;
+        q 1 "x";
+        w 1 "x" 2 2;
+      ]
+  in
+  check_consistent im good true
+
+let suite =
+  [
+    Alcotest.test_case "load buffering forbidden" `Quick test_load_buffering;
+    Alcotest.test_case "store buffering allowed" `Quick test_store_buffering;
+    Alcotest.test_case "Ex 2.2 AntiWW" `Quick test_ex2_2_antiww;
+    Alcotest.test_case "aborted-read publication allowed" `Quick test_aborted_read_publication;
+    Alcotest.test_case "opacity of aborted transactions" `Quick test_opacity;
+    Alcotest.test_case "coherence figure forbidden" `Quick test_coherence_figure;
+    Alcotest.test_case "CSE figure allowed" `Quick test_cse_figure;
+    Alcotest.test_case "Thm 4.2 on a hand trace" `Quick test_drop_aborted_consistent;
+    Alcotest.test_case "fences restore privatization" `Quick test_fence_restores_privatization;
+  ]

@@ -1,0 +1,122 @@
+open Tmx_core
+open Tmx_lang
+open Tmx_exec
+
+let pm = Model.programmer
+
+let run ?(model = pm) p = Enumerate.run model p
+
+let test_single_write () =
+  let p = Ast.(program ~locs:[ "x" ] [ [ store (loc "x") (int 1) ] ]) in
+  let r = run p in
+  Alcotest.(check int) "one execution" 1 (List.length r.executions);
+  match Enumerate.outcomes r with
+  | [ o ] -> Alcotest.(check int) "final x" 1 (Outcome.mem o "x")
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_two_writes_coherence () =
+  let p =
+    Ast.(
+      program ~locs:[ "x" ]
+        [ [ store (loc "x") (int 1) ]; [ store (loc "x") (int 2) ] ])
+  in
+  let r = run p in
+  let finals =
+    List.sort_uniq compare (List.map (fun o -> Outcome.mem o "x") (Enumerate.outcomes r))
+  in
+  Alcotest.(check (list int)) "both coherence orders" [ 1; 2 ] finals
+
+let test_read_own_txn_write () =
+  let p =
+    Ast.(
+      program ~locs:[ "x" ]
+        [ [ atomic [ store (loc "x") (int 1); load "r" (loc "x") ] ] ])
+  in
+  let r = run p in
+  List.iter
+    (fun (e : Enumerate.execution) ->
+      Alcotest.(check int) "reads own write" 1 (Outcome.reg e.outcome 0 "r"))
+    r.executions;
+  Alcotest.(check bool) "some execution" true (r.executions <> [])
+
+let test_aborted_write_invisible () =
+  let p =
+    Ast.(
+      program ~locs:[ "x" ]
+        [ [ atomic [ store (loc "x") (int 1); abort ] ]; [ load "r" (loc "x") ] ])
+  in
+  let r = run p in
+  List.iter
+    (fun (e : Enumerate.execution) ->
+      Alcotest.(check int) "reads 0" 0 (Outcome.reg e.outcome 1 "r");
+      Alcotest.(check int) "final x 0" 0 (Outcome.mem e.outcome "x"))
+    r.executions
+
+let test_all_traces_well_formed () =
+  (* the enumerator raises internally if a linearization is ill-formed;
+     run a transaction-heavy program to exercise it and double-check *)
+  let p =
+    Ast.(
+      program ~locs:[ "x"; "y" ]
+        [
+          [ atomic [ load "r" (loc "y"); store (loc "x") (int 1) ] ];
+          [ atomic [ store (loc "y") (int 1) ]; store (loc "x") (int 2) ];
+          [ atomic [ load "q" (loc "x"); abort ] ];
+        ])
+  in
+  let r = run p in
+  List.iter
+    (fun (e : Enumerate.execution) ->
+      Alcotest.(check bool) "well-formed" true (Wellformed.is_well_formed e.trace))
+    r.executions;
+  Alcotest.(check bool) "nonempty" true (r.executions <> [])
+
+let test_all_traces_consistent () =
+  let p = (Option.get (Tmx_litmus.Catalog.find "iriw_z")).program in
+  let r = run p in
+  List.iter
+    (fun (e : Enumerate.execution) ->
+      Alcotest.(check bool) "consistent" true (Consistency.consistent pm e.trace))
+    r.executions
+
+let test_fence_partitions () =
+  (* with a fence, every execution orders the x-transaction entirely
+     before or after it (WF12) *)
+  let p = (Option.get (Tmx_litmus.Catalog.find "privatization_fence")).program in
+  let r = Enumerate.run Model.implementation p in
+  List.iter
+    (fun (e : Enumerate.execution) ->
+      Alcotest.(check bool) "WF12 holds" true (Wellformed.is_well_formed e.trace))
+    r.executions;
+  Alcotest.(check bool) "nonempty" true (r.executions <> [])
+
+let test_infeasible_read_pruned () =
+  (* reading a value nobody writes yields no executions on that branch *)
+  let p =
+    Ast.(
+      program ~locs:[ "x" ]
+        [ [ load "r" (loc "x"); when_ Infix.(reg "r" = int 5) [ store (loc "x") (int 9) ] ] ])
+  in
+  let r = run p in
+  List.iter
+    (fun (e : Enumerate.execution) ->
+      Alcotest.(check bool) "r is 0" true (Outcome.reg e.outcome 0 "r" = 0))
+    r.executions
+
+let test_graph_count_reported () =
+  let p = (Option.get (Tmx_litmus.Catalog.find "privatization")).program in
+  let r = run p in
+  Alcotest.(check bool) "graphs counted" true (r.graphs >= List.length r.executions)
+
+let suite =
+  [
+    Alcotest.test_case "single write" `Quick test_single_write;
+    Alcotest.test_case "coherence enumeration" `Quick test_two_writes_coherence;
+    Alcotest.test_case "read own transactional write" `Quick test_read_own_txn_write;
+    Alcotest.test_case "aborted writes invisible" `Quick test_aborted_write_invisible;
+    Alcotest.test_case "all traces well-formed" `Quick test_all_traces_well_formed;
+    Alcotest.test_case "all traces consistent" `Quick test_all_traces_consistent;
+    Alcotest.test_case "fences partition executions" `Quick test_fence_partitions;
+    Alcotest.test_case "infeasible reads pruned" `Quick test_infeasible_read_pruned;
+    Alcotest.test_case "graph accounting" `Quick test_graph_count_reported;
+  ]

@@ -1,0 +1,39 @@
+open Tmx_core
+open Tmx_exec
+open Tmx_litmus
+
+(* exported programs parse back with identical behaviour *)
+let test_roundtrip () =
+  List.iter
+    (fun (l : Litmus.t) ->
+      let text = Export.program_to_string l.program in
+      match Parse.parse text with
+      | exception Parse.Error msg ->
+          Alcotest.failf "%s: exported text does not parse: %s@.%s" l.name msg text
+      | parsed ->
+          let a = Enumerate.outcomes (Enumerate.run Model.programmer l.program) in
+          let b = Enumerate.outcomes (Enumerate.run Model.programmer parsed.program) in
+          if not (List.length a = List.length b && List.for_all2 Outcome.equal a b)
+          then Alcotest.failf "%s: behaviours changed across the round trip" l.name)
+    Catalog.all
+
+let test_shape_roundtrip () =
+  List.iter
+    (fun (c : Shapes.case) ->
+      let text = Export.program_to_string c.program in
+      match Parse.parse text with
+      | exception Parse.Error msg ->
+          Alcotest.failf "%s: exported text does not parse: %s" c.name msg
+      | parsed ->
+          let r = Enumerate.run Model.programmer parsed.program in
+          Alcotest.(check bool)
+            (Fmt.str "%s: verdict preserved" c.name)
+            c.forbidden
+            (not (Enumerate.allowed r c.cond)))
+    Shapes.mp
+
+let suite =
+  [
+    Alcotest.test_case "catalog round trip" `Slow test_roundtrip;
+    Alcotest.test_case "shape round trip" `Quick test_shape_roundtrip;
+  ]

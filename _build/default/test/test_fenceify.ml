@@ -1,0 +1,85 @@
+open Tmx_lang
+open Tmx_opt
+
+let program name = (Option.get (Tmx_litmus.Catalog.find name)).Tmx_litmus.Litmus.program
+
+let mixed_catalog =
+  (* fence-free catalog programs with mixed-mode access *)
+  [ "privatization"; "publication"; "ex2_2"; "ex3_1"; "ex3_3"; "doomed";
+    "impl_reorder"; "ldrf_example" ]
+
+let test_realizes policy () =
+  List.iter
+    (fun name ->
+      let r = Fenceify.realizes ~policy (program name) in
+      if not r.realizes then
+        Alcotest.failf "%s: fence insertion fails the criterion (race-free:%b \
+                        contained:%b, %d fences)"
+          name r.mixed_race_free r.outcomes_contained r.fences)
+    mixed_catalog
+
+let test_privatization_gets_fenced () =
+  let fenced = Fenceify.insert ~policy:`After_transactions (program "privatization") in
+  Alcotest.(check bool) "at least one fence" true (Fenceify.count_fences fenced >= 1);
+  (* and the fenced program no longer shows the anomaly in im *)
+  let x1 o = Tmx_exec.Outcome.mem o "x" = 1 in
+  Alcotest.(check bool) "anomaly gone" true
+    (Tmx_exec.Verdict.forbidden Tmx_core.Model.implementation fenced x1)
+
+let test_publication_needs_no_fences () =
+  (* publication-shaped code: the plain write precedes every transaction
+     in its thread, so the after-transactions policy inserts nothing *)
+  let fenced = Fenceify.insert ~policy:`After_transactions (program "publication") in
+  Alcotest.(check int) "no fences" 0 (Fenceify.count_fences fenced)
+
+let test_policy_economy () =
+  (* the targeted policy never inserts more fences than the conservative
+     one *)
+  List.iter
+    (fun name ->
+      let p = program name in
+      let all = Fenceify.count_fences (Fenceify.insert ~policy:`Every_mixed_access p) in
+      let targeted =
+        Fenceify.count_fences (Fenceify.insert ~policy:`After_transactions p)
+      in
+      Alcotest.(check bool)
+        (Fmt.str "%s: %d <= %d" name targeted all)
+        true (targeted <= all))
+    mixed_catalog
+
+let test_mixed_locations () =
+  Alcotest.(check (list string)) "privatization mixes x" [ "x" ]
+    (Fenceify.mixed_locations (program "privatization"));
+  let pure_txn =
+    Ast.(
+      program ~name:"pure" ~locs:[ "x" ]
+        [ [ atomic [ store (loc "x") (int 1) ] ]; [ atomic [ load "r" (loc "x") ] ] ])
+  in
+  Alcotest.(check (list string)) "no mixing" [] (Fenceify.mixed_locations pure_txn)
+
+let prop_random_realizes =
+  QCheck.Test.make ~name:"fence insertion realizes pm on random programs"
+    ~count:25 Test_theorems.arb_program (fun p ->
+      (* start from fence-free programs; the pass adds its own.  The
+         criterion is only achievable when the programmer model itself is
+         mixed-race free (privatization is, via HBww; an unconditional
+         transactional write racing a plain write is not — no fence
+         placement can order a plain write against a *later* transaction,
+         and SC-LTRF offers such programs nothing either). *)
+      let p = Test_theorems.strip_fences p in
+      QCheck.assume (not (Tmx_exec.Verdict.mixed_racy Tmx_core.Model.programmer p));
+      (Fenceify.realizes ~policy:`Every_mixed_access p).realizes)
+
+let suite =
+  [
+    Alcotest.test_case "criterion holds (conservative policy)" `Slow
+      (test_realizes `Every_mixed_access);
+    Alcotest.test_case "criterion holds (targeted policy)" `Slow
+      (test_realizes `After_transactions);
+    Alcotest.test_case "privatization gets fenced" `Quick test_privatization_gets_fenced;
+    Alcotest.test_case "publication needs no fences" `Quick
+      test_publication_needs_no_fences;
+    Alcotest.test_case "targeted policy is no worse" `Quick test_policy_economy;
+    Alcotest.test_case "mixed-location analysis" `Quick test_mixed_locations;
+    QCheck_alcotest.to_alcotest prop_random_realizes;
+  ]

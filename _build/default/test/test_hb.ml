@@ -1,0 +1,96 @@
+open Tmx_core
+open Tb
+
+(* Example 2.1's execution: a:(Ry0 Wx1) || b:(Wy1); c:Wx2 with
+   Wx1 ww Wx2. *)
+let privatization_trace () =
+  mk ~locs:[ "x"; "y" ]
+    [
+      b 0; r 0 "y" 0 0; w 0 "x" 1 1; c 0;
+      b 1; w 1 "y" 1 1; c 1;
+      w 1 "x" 2 2;
+    ]
+
+let test_hb_ww_rule () =
+  let t = privatization_trace () in
+  let ctx = Lift.make t in
+  let wx1 = 6 and wx2 = 11 in
+  let hb_pm = Hb.compute Model.programmer ctx in
+  let hb_im = Hb.compute Model.implementation ctx in
+  Alcotest.(check bool) "HBww orders the mixed writes (pm)" true
+    (Rel.mem hb_pm wx1 wx2);
+  Alcotest.(check bool) "no order without HBww (im)" false
+    (Rel.mem hb_im wx1 wx2);
+  (* the base edges are present in both *)
+  let ry0 = 5 and wy1 = 9 in
+  Alcotest.(check bool) "po in hb" true (Rel.mem hb_im 5 6);
+  Alcotest.(check bool) "crw not in hb" false (Rel.mem hb_im ry0 wy1)
+
+let test_hb_base_cwr () =
+  (* committed wr creates hb; plain wr does not *)
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [ b 0; w 0 "x" 1 1; c 0; b 1; r 1 "x" 1 1; c 1; w 0 "y" 1 1; r 1 "y" 1 1 ]
+  in
+  let ctx = Lift.make t in
+  let hb = Hb.compute Model.programmer ctx in
+  Alcotest.(check bool) "cwr in hb" true (Rel.mem hb 4 8);
+  Alcotest.(check bool) "plain wr not in hb" false (Rel.mem hb 10 11)
+
+let test_hb_cascade () =
+  (* the two-level privatization cascade from §2: order added by HBww
+     feeds another HBww application *)
+  let t =
+    mk ~locs:[ "x"; "y"; "x'"; "y'" ]
+      [
+        b 0; r 0 "y" 0 0; w 0 "x" 1 1; c 0;
+        b 1; w 1 "y" 1 1; c 1;
+        b 1; r 1 "y'" 0 0; w 1 "x'" 1 1; c 1;
+        b 2; w 2 "y'" 1 1; c 2;
+        w 2 "x'" 2 2;
+        w 2 "x" 2 2;
+      ]
+  in
+  let ctx = Lift.make t in
+  let hb = Hb.compute Model.programmer ctx in
+  (* positions: init 0..5; a=6..9 (Ry0@7, Wx1@8); b=10..12 (Wy1@11);
+     a'=13..16 (Ry'0@14, Wx'1@15); b'=17..19 (Wy'1@18); Wx'2@20; Wx2@21 *)
+  Alcotest.(check bool) "first level: Wx'1 hb Wx'2" true (Rel.mem hb 15 20);
+  Alcotest.(check bool) "cascaded: Wx1 hb Wx2" true (Rel.mem hb 8 21)
+
+let test_quiescence_edges () =
+  (* HBCQ: commit of an x-touching txn before the fence; HBQB: fence
+     before the begin of an x-touching txn *)
+  let t =
+    mk ~locs:[ "x" ]
+      [ b 0; w 0 "x" 1 1; c 0; q 1 "x"; b 2; r 2 "x" 1 1; c 2 ]
+  in
+  let ctx = Lift.make t in
+  let edges = Hb.quiescence_edges ctx in
+  let commit0 = 5 and fence = 6 and begin2 = 7 in
+  Alcotest.(check bool) "HBCQ commit->fence" true (Rel.mem edges commit0 fence);
+  Alcotest.(check bool) "HBQB fence->begin" true (Rel.mem edges fence begin2);
+  (* in the implementation model they are part of hb *)
+  let hb = Hb.compute Model.implementation ctx in
+  Alcotest.(check bool) "fence edges in im hb" true
+    (Rel.mem hb commit0 fence && Rel.mem hb fence begin2);
+  (* and transitively: the first txn's write hb the second txn's read *)
+  Alcotest.(check bool) "write hb read through fence" true (Rel.mem hb 4 8)
+
+let test_quiescence_ignores_untouched () =
+  let t = mk ~locs:[ "x"; "y" ] [ b 0; w 0 "y" 1 1; c 0; q 1 "x" ] in
+  let ctx = Lift.make t in
+  let edges = Hb.quiescence_edges ctx in
+  (* the initializing transaction writes x, so its commit (position 3) is
+     ordered before the fence; the y-only transaction is not *)
+  Alcotest.(check (list (pair int int))) "only the init edge" [ (3, 7) ]
+    (Rel.to_list edges)
+
+let suite =
+  [
+    Alcotest.test_case "HBww privatization rule" `Quick test_hb_ww_rule;
+    Alcotest.test_case "base hb uses committed wr only" `Quick test_hb_base_cwr;
+    Alcotest.test_case "HBww cascades" `Quick test_hb_cascade;
+    Alcotest.test_case "quiescence fence edges" `Quick test_quiescence_edges;
+    Alcotest.test_case "quiescence ignores untouched txns" `Quick test_quiescence_ignores_untouched;
+  ]

@@ -1,0 +1,83 @@
+(* Differential testing of the real runtime against the axiomatic model:
+   every outcome the multicore STM produces under real scheduling must be
+   admitted by the implementation model.  (The converse cannot hold — a
+   sample cannot cover all schedules, and the host memory model is
+   stronger than the paper's.) *)
+
+open Tmx_core
+open Tmx_exec
+
+let program name = (Option.get (Tmx_litmus.Catalog.find name)).Tmx_litmus.Litmus.program
+
+let differential ?(runs = 40) mode names () =
+  List.iter
+    (fun name ->
+      let p = program name in
+      let sampled = Tmx_harness.Interp.sample ~mode ~runs p in
+      let admitted = Enumerate.outcomes (Enumerate.run Model.implementation p) in
+      List.iter
+        (fun o ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: runtime outcome %a admitted by the model" name
+               Outcome.pp o)
+            true
+            (List.exists (Outcome.equal o) admitted))
+        sampled;
+      Alcotest.(check bool) (name ^ ": sampled something") true (sampled <> []))
+    names
+
+let catalog_subset =
+  [
+    "privatization"; "privatization_fence"; "publication"; "sb"; "lb";
+    "ex3_2"; "d1_opaque_writes"; "doomed";
+  ]
+
+let test_deterministic_program () =
+  (* a single-threaded program has exactly one outcome, and it matches the
+     model's *)
+  let p =
+    Tmx_lang.Ast.(
+      program ~name:"seq" ~locs:[ "x"; "y" ]
+        [
+          [
+            store (loc "x") (int 3);
+            atomic [ load "r" (loc "x"); store (loc "y") Infix.(reg "r" * int 2) ];
+            load "s" (loc "y");
+          ];
+        ])
+  in
+  match Tmx_harness.Interp.sample ~runs:3 p with
+  | [ o ] ->
+      Alcotest.(check int) "r" 3 (Outcome.reg o 0 "r");
+      Alcotest.(check int) "s" 6 (Outcome.reg o 0 "s");
+      Alcotest.(check int) "y" 6 (Outcome.mem o "y")
+  | os -> Alcotest.failf "expected one outcome, got %d" (List.length os)
+
+let test_abort_skips () =
+  let p =
+    Tmx_lang.Ast.(
+      program ~name:"abort-skip" ~locs:[ "x" ]
+        [
+          [
+            atomic [ store (loc "x") (int 1); abort ];
+            load "r" (loc "x");
+          ];
+        ])
+  in
+  match Tmx_harness.Interp.sample ~runs:3 p with
+  | [ o ] ->
+      Alcotest.(check int) "aborted write invisible" 0 (Outcome.reg o 0 "r");
+      Alcotest.(check int) "memory clean" 0 (Outcome.mem o "x")
+  | os -> Alcotest.failf "expected one outcome, got %d" (List.length os)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic program" `Quick test_deterministic_program;
+    Alcotest.test_case "abort skips and rolls back" `Quick test_abort_skips;
+    Alcotest.test_case "lazy runtime within the implementation model" `Slow
+      (differential Tmx_runtime.Stm.Lazy catalog_subset);
+    Alcotest.test_case "eager runtime within the implementation model (fenced \
+                        and dependency-ordered programs)" `Slow
+      (differential Tmx_runtime.Stm.Eager
+         [ "privatization_fence"; "publication"; "sb"; "d1_opaque_writes" ]);
+  ]

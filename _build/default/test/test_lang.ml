@@ -1,0 +1,71 @@
+open Tmx_lang
+
+let test_validate_ok () =
+  let p =
+    Ast.(
+      program ~locs:[ "x" ]
+        [ [ atomic [ store (loc "x") (int 1); abort ] ]; [ load "r" (loc "x") ] ])
+  in
+  Alcotest.(check bool) "valid program" true (Result.is_ok (Ast.validate p))
+
+let test_validate_nested () =
+  let p = Ast.(program ~locs:[] [ [ atomic [ atomic [ skip ] ] ] ]) in
+  Alcotest.(check bool) "nested atomic rejected" true (Result.is_error (Ast.validate p))
+
+let test_validate_abort_outside () =
+  let p = Ast.(program ~locs:[] [ [ abort ] ]) in
+  Alcotest.(check bool) "stray abort rejected" true (Result.is_error (Ast.validate p))
+
+let test_validate_fence_inside () =
+  let p = Ast.(program ~locs:[ "x" ] [ [ atomic [ fence "x" ] ] ]) in
+  Alcotest.(check bool) "fence in atomic rejected" true (Result.is_error (Ast.validate p))
+
+let test_validate_in_branches () =
+  let p =
+    Ast.(program ~locs:[] [ [ if_ (int 1) [ atomic [ atomic [] ] ] [] ] ])
+  in
+  Alcotest.(check bool) "nested atomic in branch rejected" true
+    (Result.is_error (Ast.validate p))
+
+let test_thread_regs () =
+  let th =
+    Ast.
+      [
+        load "r1" (loc "x");
+        atomic [ load "r2" (loc "y"); store (loc "x") Infix.(reg "r2" + int 1) ];
+        assign "r3" (reg "r1");
+      ]
+  in
+  Alcotest.(check (list string)) "registers collected" [ "r1"; "r2"; "r3" ]
+    (Ast.thread_regs th)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_pretty () =
+  let p =
+    Ast.(
+      program ~name:"demo" ~locs:[ "x" ]
+        [ [ atomic [ load "r" (loc "x"); when_ (reg "r") [ store (loc "x") (int 2) ] ] ] ])
+  in
+  let s = Fmt.str "%a" Ast.pp_program p in
+  Alcotest.(check bool) "mentions atomic" true (contains_sub s "atomic");
+  Alcotest.(check bool) "mentions the guard" true (contains_sub s "if")
+
+let test_cell_pretty () =
+  let s = Fmt.str "%a" Ast.pp_lval (Ast.cell "z" (Ast.reg "r")) in
+  Alcotest.(check string) "array cell" "z[r]" s
+
+let suite =
+  [
+    Alcotest.test_case "validate ok" `Quick test_validate_ok;
+    Alcotest.test_case "reject nested atomic" `Quick test_validate_nested;
+    Alcotest.test_case "reject stray abort" `Quick test_validate_abort_outside;
+    Alcotest.test_case "reject fence in atomic" `Quick test_validate_fence_inside;
+    Alcotest.test_case "reject nested in branches" `Quick test_validate_in_branches;
+    Alcotest.test_case "register collection" `Quick test_thread_regs;
+    Alcotest.test_case "pretty printing" `Quick test_pretty;
+    Alcotest.test_case "cell printing" `Quick test_cell_pretty;
+  ]

@@ -1,0 +1,60 @@
+open Tmx_core
+open Tb
+
+(* The lifting example of §2: b:(b1=Wy1, b2=Wx1); c: Ry1; d: Wx2 where c
+   and d are plain. *)
+let trace () =
+  mk ~locs:[ "x"; "y" ]
+    [ b 0; w 0 "y" 1 1; w 0 "x" 1 1; c 0; r 1 "y" 1 1; w 1 "x" 2 2 ]
+
+let test_lifting () =
+  let t = trace () in
+  let ctx = Lift.make t in
+  let base = 4 in
+  let b1 = base + 1 and b2 = base + 2 and cr = base + 4 and d = base + 5 in
+  Alcotest.(check bool) "b1 wr c" true (Rel.mem ctx.wr b1 cr);
+  Alcotest.(check bool) "not b2 wr c" false (Rel.mem ctx.wr b2 cr);
+  Alcotest.(check bool) "b2 lwr c (lifted)" true (Rel.mem ctx.lwr b2 cr);
+  Alcotest.(check bool) "b1 lww d (lifted)" true (Rel.mem ctx.lww b1 d);
+  Alcotest.(check bool) "not b1 ww d" false (Rel.mem ctx.ww b1 d);
+  (* x-variants exclude the plain d and c *)
+  Alcotest.(check bool) "not b1 xww d" false (Rel.mem ctx.xww b1 d);
+  Alcotest.(check bool) "not b2 xwr c" false (Rel.mem ctx.xwr b2 cr)
+
+let test_internal_not_lifted () =
+  (* lifting must not relate members of the same transaction beyond the
+     direct relation *)
+  let t = mk ~locs:[ "x" ] [ b 0; w 0 "x" 1 1; w 0 "x" 2 2; c 0 ] in
+  let ctx = Lift.make t in
+  (* direct: Wx1 ww Wx2 at 4,5... positions: init 0..2, b=3, w1=4, w2=5 *)
+  Alcotest.(check bool) "direct internal ww kept" true (Rel.mem ctx.lww 4 5);
+  Alcotest.(check bool) "no lifted internal reverse" false (Rel.mem ctx.lww 5 4);
+  Alcotest.(check bool) "begin not related internally" false (Rel.mem ctx.lww 3 5)
+
+let test_c_variant_excludes_aborted () =
+  (* aborted reader: cwr excludes it, lwr keeps it *)
+  let t =
+    mk ~locs:[ "x" ]
+      [ b 0; w 0 "x" 1 1; c 0; b 1; r 1 "x" 1 1; a 1 ]
+  in
+  let ctx = Lift.make t in
+  let wpos = 4 and rpos = 7 in
+  Alcotest.(check bool) "lwr keeps aborted reader" true (Rel.mem ctx.lwr wpos rpos);
+  Alcotest.(check bool) "xwr keeps aborted reader" true (Rel.mem ctx.xwr wpos rpos);
+  Alcotest.(check bool) "cwr drops aborted reader" false (Rel.mem ctx.cwr wpos rpos)
+
+let test_init_is_committed_txn () =
+  (* reads of the initial value get cwr edges from the initializing
+     transaction when the reader is a committed transaction *)
+  let t = mk ~locs:[ "x" ] [ b 0; r 0 "x" 0 0; c 0 ] in
+  let ctx = Lift.make t in
+  (* init write at 1, read at 4 *)
+  Alcotest.(check bool) "init cwr txn read" true (Rel.mem ctx.cwr 1 4)
+
+let suite =
+  [
+    Alcotest.test_case "paper lifting example" `Quick test_lifting;
+    Alcotest.test_case "no spurious internal lifting" `Quick test_internal_not_lifted;
+    Alcotest.test_case "c-variant excludes aborted" `Quick test_c_variant_excludes_aborted;
+    Alcotest.test_case "init transaction is committed" `Quick test_init_is_committed_txn;
+  ]

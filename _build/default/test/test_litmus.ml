@@ -1,0 +1,15 @@
+(* Run every catalog litmus test and assert all its expectations hold.
+   This is the machine-checked version of the paper's figures. *)
+
+let case (litmus : Tmx_litmus.Litmus.t) =
+  Alcotest.test_case
+    (Fmt.str "%s (%s)" litmus.name litmus.section)
+    `Quick
+    (fun () ->
+      let report = Tmx_litmus.Litmus.run litmus in
+      if not (Tmx_litmus.Litmus.passed report) then
+        Alcotest.failf "%a" Tmx_litmus.Litmus.pp_report report;
+      Alcotest.(check bool) "no truncation" false report.truncated;
+      Alcotest.(check bool) "no capping" false report.capped)
+
+let suite = List.map case Tmx_litmus.Catalog.all

@@ -1,0 +1,52 @@
+(* The operational/axiomatic equivalence: the timestamp machine's outcome
+   set coincides with the implementation model's, on the whole catalog,
+   on every shape-family case, and on random programs.  Two independent
+   implementations of the semantics checking each other. *)
+
+open Tmx_core
+open Tmx_exec
+
+let agree name (program : Tmx_lang.Ast.program) =
+  let m = Tmx_machine.Machine.run program in
+  let a = Enumerate.outcomes (Enumerate.run Model.implementation program) in
+  let missing = List.filter (fun o -> not (List.exists (Outcome.equal o) a)) m.outcomes in
+  let extra =
+    List.filter (fun o -> not (List.exists (Outcome.equal o) m.outcomes)) a
+  in
+  if missing <> [] then
+    Alcotest.failf "%s: machine-only outcome %a" name Outcome.pp (List.hd missing);
+  if extra <> [] then
+    Alcotest.failf "%s: axiomatic-only outcome %a" name Outcome.pp (List.hd extra)
+
+let test_catalog () =
+  List.iter
+    (fun (l : Tmx_litmus.Litmus.t) -> agree l.name l.program)
+    Tmx_litmus.Catalog.all
+
+let test_shapes () =
+  List.iter
+    (fun (c : Tmx_litmus.Shapes.case) -> agree c.name c.program)
+    Tmx_litmus.Shapes.all_cases
+
+let prop_random =
+  QCheck.Test.make ~name:"machine = implementation model on random programs"
+    ~count:80 Test_theorems.arb_program (fun p ->
+      let m = Tmx_machine.Machine.run p in
+      let a = Enumerate.outcomes (Enumerate.run Model.implementation p) in
+      List.for_all (fun o -> List.exists (Outcome.equal o) a) m.outcomes
+      && List.for_all (fun o -> List.exists (Outcome.equal o) m.outcomes) a)
+
+let test_accounting () =
+  let p = (Option.get (Tmx_litmus.Catalog.find "iriw_z")).program in
+  let m = Tmx_machine.Machine.run p in
+  Alcotest.(check bool) "explored states" true (m.states > 0);
+  Alcotest.(check bool) "nothing truncated" false m.truncated;
+  Alcotest.(check bool) "not capped" false m.capped
+
+let suite =
+  [
+    Alcotest.test_case "catalog equivalence" `Slow test_catalog;
+    Alcotest.test_case "shape-family equivalence" `Slow test_shapes;
+    QCheck_alcotest.to_alcotest prop_random;
+    Alcotest.test_case "exploration accounting" `Quick test_accounting;
+  ]

@@ -1,0 +1,75 @@
+open Tmx_core
+open Tmx_exec
+open Tb
+
+let pm = Model.programmer
+
+(* every consistent execution is opaque (the paper: SC-LTRF guarantees
+   opacity, including aborted transactions) *)
+let test_catalog_opaque () =
+  List.iter
+    (fun (l : Tmx_litmus.Litmus.t) ->
+      List.iter
+        (fun (e : Enumerate.execution) ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: execution opaque" l.name)
+            true
+            (Opacity.check ~model:pm e.trace))
+        (Enumerate.run pm l.program).executions)
+    Tmx_litmus.Catalog.all
+
+let prop_random_opaque =
+  QCheck.Test.make ~name:"random-program executions are opaque" ~count:60
+    Test_theorems.arb_program (fun p ->
+      List.for_all
+        (fun (e : Enumerate.execution) -> Opacity.check ~model:pm e.trace)
+        (Enumerate.run pm p).executions)
+
+(* the forbidden opacity-IRIW shape, as a hand-built trace: well-formed
+   but not serializable *)
+let test_non_opaque_rejected () =
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [
+        b 0; w 0 "x" 1 1; c 0;
+        b 1; w 1 "y" 1 1; c 1;
+        b 2; r 2 "x" 1 1; r 2 "y" 0 0; a 2;
+        b 3; r 3 "y" 1 1; r 3 "x" 0 0; a 3;
+      ]
+  in
+  (* the shape admits no well-formed linearization (WF10 fails whichever
+     way the stale reads are placed) — which is exactly why the model
+     forbids it; the opacity checker rejects it via the causality cycle *)
+  Alcotest.(check bool) "not opaque" false (Opacity.check ~model:pm t);
+  Alcotest.(check (option (list int))) "no serialization" None
+    (Opacity.serialization pm t)
+
+let test_aborted_reads_validated () =
+  (* a torn aborted read on transactional locations must fail the replay
+     even when a serialization exists *)
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [
+        b 0; w 0 "x" 1 1; w 0 "y" 1 1; c 0;
+        b 1; r 1 "x" 1 1; r 1 "y" 0 0; a 1;
+      ]
+  in
+  Alcotest.(check bool) "torn snapshot not opaque" false (Opacity.check ~model:pm t);
+  Alcotest.(check bool) "and indeed inconsistent" false (Consistency.consistent pm t)
+
+let test_mixed_locations_excluded () =
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [ w 0 "x" 1 1; b 1; w 1 "y" 1 1; c 1 ]
+  in
+  Alcotest.(check (list string)) "only y is purely transactional" [ "y" ]
+    (Opacity.transactional_only_locs t)
+
+let suite =
+  [
+    Alcotest.test_case "catalog executions opaque" `Slow test_catalog_opaque;
+    QCheck_alcotest.to_alcotest prop_random_opaque;
+    Alcotest.test_case "non-opaque rejected" `Quick test_non_opaque_rejected;
+    Alcotest.test_case "aborted reads validated" `Quick test_aborted_reads_validated;
+    Alcotest.test_case "mixed locations excluded" `Quick test_mixed_locations_excluded;
+  ]

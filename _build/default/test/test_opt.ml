@@ -1,0 +1,139 @@
+open Tmx_core
+open Tmx_lang
+open Tmx_opt
+
+(* §5's optimizations are stated for the implementation model. *)
+let im = Model.implementation
+
+let find t_name = List.find (fun (t : Transform.named) -> t.name = t_name) Transform.all
+
+(* programs where each transformation applies, with an observer thread so
+   unsoundness would be visible *)
+let swap_corpus =
+  [
+    Ast.(
+      program ~name:"swap-ww" ~locs:[ "x"; "y" ]
+        [
+          [ store (loc "x") (int 1); store (loc "y") (int 1) ];
+          [ load "a" (loc "y"); load "b" (loc "x") ];
+        ]);
+    Ast.(
+      program ~name:"swap-rr" ~locs:[ "x"; "y" ]
+        [
+          [ load "a" (loc "x"); load "b" (loc "y") ];
+          [ store (loc "y") (int 1); store (loc "x") (int 1) ];
+        ]);
+  ]
+
+let txn_swap_corpus =
+  [
+    Ast.(
+      program ~name:"w-past-ro-txn" ~locs:[ "x"; "y"; "z" ]
+        [
+          [ store (loc "z") (int 1); atomic [ load "a" (loc "y") ] ];
+          [ atomic [ store (loc "y") (int 1) ]; load "q" (loc "z") ];
+        ]);
+  ]
+
+let roach_corpus =
+  [
+    Ast.(
+      program ~name:"roach" ~locs:[ "x"; "y" ]
+        [
+          [ store (loc "x") (int 1); atomic [ store (loc "y") (int 1) ]; store (loc "x") (int 2) ];
+          [ atomic [ load "a" (loc "y") ]; load "b" (loc "x") ];
+        ]);
+    (Option.get (Tmx_litmus.Catalog.find "privatization")).program;
+  ]
+
+let fuse_corpus =
+  [
+    Ast.(
+      program ~name:"fuse" ~locs:[ "x"; "y" ]
+        [
+          [ atomic [ store (loc "x") (int 1) ]; atomic [ store (loc "y") (int 1) ] ];
+          [ atomic [ load "a" (loc "y"); load "b" (loc "x") ] ];
+        ]);
+  ]
+
+let empty_corpus =
+  [
+    Ast.(
+      program ~name:"empty" ~locs:[ "x" ]
+        [
+          [ store (loc "x") (int 1); atomic []; store (loc "x") (int 2) ];
+          [ load "a" (loc "x") ];
+        ]);
+  ]
+
+(* fission is unsound: the observer can see between the halves *)
+let fission_witness =
+  Ast.(
+    program ~name:"fission-witness" ~locs:[ "x"; "y" ]
+      [
+        [ atomic [ store (loc "x") (int 1); store (loc "y") (int 1) ] ];
+        [ atomic [ load "a" (loc "y"); load "b" (loc "x") ] ];
+      ])
+
+(* read/write swaps are unsound: they turn load buffering into store
+   buffering *)
+let rw_swap_witness =
+  Ast.(
+    program ~name:"rw-swap-witness" ~locs:[ "x"; "y" ]
+      [
+        [ load "r" (loc "x"); store (loc "y") (int 1) ];
+        [ load "q" (loc "y"); store (loc "x") (int 1) ];
+      ])
+
+let assert_all_sound t_name corpus () =
+  let t = find t_name in
+  List.iter
+    (fun p ->
+      let r = Soundness.check_transformation im t p in
+      Alcotest.(check bool)
+        (Fmt.str "%s applies on %s" t_name p.Ast.name)
+        true (r.variants > 0);
+      match r.failures with
+      | [] -> ()
+      | (bad, witness) :: _ ->
+          Alcotest.failf "%s unsound on %s:@ %a@ witness %a" t_name p.Ast.name
+            Ast.pp_program bad Tmx_exec.Outcome.pp witness)
+    corpus
+
+let assert_some_unsound t_name witness_program () =
+  let t = find t_name in
+  let r = Soundness.check_transformation im t witness_program in
+  Alcotest.(check bool) (t_name ^ " generates variants") true (r.variants > 0);
+  Alcotest.(check bool) (t_name ^ " caught unsound") true (r.failures <> [])
+
+(* the (‡) example: reordering a plain read earlier past a plain write is
+   additionally unsound in the *programmer* model because of HBww *)
+let test_reorder_unsound_in_pm () =
+  let original = (Option.get (Tmx_litmus.Catalog.find "impl_reorder")).program in
+  let transformed =
+    (Option.get (Tmx_litmus.Catalog.find "impl_reorder_swapped")).program
+  in
+  match Soundness.check Model.programmer ~original ~transformed with
+  | Soundness.Unsound _ -> ()
+  | Soundness.Sound -> Alcotest.fail "expected (‡) reordering to be unsound under pm"
+
+let suite =
+  [
+    Alcotest.test_case "swap independent accesses sound" `Slow
+      (assert_all_sound "swap-independent" swap_corpus);
+    Alcotest.test_case "write past read-only txn sound" `Slow
+      (assert_all_sound "write-past-readonly-txn" txn_swap_corpus);
+    Alcotest.test_case "roach motel sound" `Slow
+      (assert_all_sound "roach-motel" roach_corpus);
+    Alcotest.test_case "fusion sound" `Slow (assert_all_sound "fuse" fuse_corpus);
+    Alcotest.test_case "elide empty sound" `Quick
+      (assert_all_sound "elide-empty" empty_corpus);
+    Alcotest.test_case "introduce empty sound" `Quick
+      (assert_all_sound "introduce-empty" empty_corpus);
+    Alcotest.test_case "fission unsound" `Quick
+      (assert_some_unsound "fission" fission_witness);
+    Alcotest.test_case "read/write swap unsound" `Quick
+      (assert_some_unsound "swap-read-write" rw_swap_witness);
+    Alcotest.test_case "(‡) reordering unsound under pm" `Quick
+      test_reorder_unsound_in_pm;
+  ]

@@ -1,0 +1,89 @@
+open Tmx_litmus
+
+let privatization_src =
+  {|
+# the privatization idiom, as a user litmus file
+name user_privatization
+locs x y
+
+thread 0:
+  atomic { ry := y; if !ry { x := 1 } }
+
+thread 1:
+  atomic { y := 1 }
+  x := 2
+
+check pm forbidden mem x = 1
+check im allowed   mem x = 1
+check pm allowed   reg 0 ry = 0 && mem x = 2
+check pm forbidden mem x != 1 && mem x != 2
+|}
+
+let test_parse_and_run () =
+  let litmus = Parse.parse privatization_src in
+  Alcotest.(check string) "name" "user_privatization" litmus.name;
+  Alcotest.(check int) "threads" 2 (List.length litmus.program.threads);
+  Alcotest.(check int) "checks" 4 (List.length litmus.checks);
+  let report = Litmus.run litmus in
+  if not (Litmus.passed report) then Alcotest.failf "%a" Litmus.pp_report report
+
+let test_parse_features () =
+  let src =
+    {|
+name features
+locs x z[0] z[1]
+
+thread 0:
+  r := x
+  z[r] := r + 1
+  while 0 { skip }
+  fence(x)
+
+thread 1:
+  atomic { x := 1; abort }
+  q := z[0]
+
+check pm allowed reg 1 q = 1
+check pm forbidden mem z[1] = 2
+|}
+  in
+  let litmus = Parse.parse src in
+  let report = Litmus.run litmus in
+  if not (Litmus.passed report) then Alcotest.failf "%a" Litmus.pp_report report
+
+let expect_error src fragment =
+  match Parse.parse src with
+  | exception Parse.Error msg ->
+      if
+        not
+          (let n = String.length msg and m = String.length fragment in
+           let rec go i = i + m <= n && (String.sub msg i m = fragment || go (i + 1)) in
+           go 0)
+      then Alcotest.failf "error %S does not mention %S" msg fragment
+  | _ -> Alcotest.failf "expected a parse error mentioning %S" fragment
+
+let test_errors () =
+  expect_error "thread 0:\n  atomic { atomic { skip } }\n" "nested atomic";
+  expect_error "locs x\nthread 0:\n  if { skip }\n" "in expression";
+  expect_error "locs x\nthread 1:\n  x := 1\n" "consecutive";
+  expect_error "locs x\nthread 0:\n  x := 1\ncheck nosuch allowed mem x = 1\n"
+    "unknown model";
+  expect_error "locs x\nthread 0:\n  r := x + 1\n" "location";
+  expect_error "thread 0:\n  abort\n" "abort outside atomic"
+
+let test_roundtrip_verdicts () =
+  (* the parsed program agrees with the hand-built catalog entry *)
+  let parsed = Parse.parse privatization_src in
+  let builtin = Option.get (Catalog.find "privatization") in
+  let open Tmx_exec in
+  let a = Enumerate.outcomes (Enumerate.run Tmx_core.Model.programmer parsed.program) in
+  let b = Enumerate.outcomes (Enumerate.run Tmx_core.Model.programmer builtin.program) in
+  Alcotest.(check int) "same number of outcomes" (List.length b) (List.length a)
+
+let suite =
+  [
+    Alcotest.test_case "parse and run" `Quick test_parse_and_run;
+    Alcotest.test_case "language features" `Quick test_parse_features;
+    Alcotest.test_case "error reporting" `Quick test_errors;
+    Alcotest.test_case "matches the catalog" `Quick test_roundtrip_verdicts;
+  ]

@@ -1,0 +1,128 @@
+open Tmx_lang
+open Tmx_exec
+
+let unfold ?(fuel = 6) p = Proto.unfold ~fuel p
+
+let test_straightline () =
+  let p = Ast.(program ~locs:[ "x" ] [ [ store (loc "x") (int 1) ] ]) in
+  let _, paths = unfold p in
+  match paths with
+  | [ [ path ] ] ->
+      Alcotest.(check int) "one write" 1 (List.length path.Proto.protos);
+      Alcotest.(check bool) "not truncated" false path.truncated
+  | _ -> Alcotest.fail "expected a single path"
+
+let test_load_branches () =
+  (* a load branches over the value domain: {0} plus values written *)
+  let p =
+    Ast.(
+      program ~locs:[ "x" ]
+        [ [ load "r" (loc "x") ]; [ store (loc "x") (int 7) ] ])
+  in
+  let _, paths = unfold p in
+  Alcotest.(check int) "two assumed values" 2 (List.length (List.nth paths 0))
+
+let test_domain_fixpoint () =
+  (* the increment chain makes F's domain {0,1,2} *)
+  let p =
+    Ast.(
+      program ~locs:[ "F" ]
+        [
+          [ atomic [ load "f" (loc "F"); store (loc "F") Infix.(reg "f" + int 1) ] ];
+          [ atomic [ load "f" (loc "F"); store (loc "F") Infix.(reg "f" + int 1) ] ];
+        ])
+  in
+  let d, _ = unfold p in
+  (* the fixpoint overapproximates under its iteration cap; it must cover
+     the reachable values {0,1,2} and stay finite.  Infeasible extras die
+     at the reads-from stage: the enumerator yields exactly F=2. *)
+  let values = Proto.Domain.values d "F" in
+  List.iter
+    (fun v -> Alcotest.(check bool) (Fmt.str "domain has %d" v) true (List.mem v values))
+    [ 0; 1; 2 ];
+  Alcotest.(check bool) "domain finite" true (List.length values <= 12);
+  let r = Enumerate.run Tmx_core.Model.programmer p in
+  let finals =
+    List.sort_uniq compare
+      (List.map (fun o -> Outcome.mem o "F") (Enumerate.outcomes r))
+  in
+  Alcotest.(check (list int)) "final F exactly 2" [ 2 ] finals
+
+let test_abort_skips_block_tail () =
+  let p =
+    Ast.(
+      program ~locs:[ "x" ]
+        [ [ atomic [ abort; store (loc "x") (int 1) ]; store (loc "x") (int 2) ] ])
+  in
+  let _, paths = unfold p in
+  match paths with
+  | [ [ path ] ] ->
+      let shown = Fmt.str "%a" Fmt.(list ~sep:(any " ") Proto.pp_proto) path.protos in
+      Alcotest.(check string) "abort skips the tail" "B A Wx2" shown
+  | _ -> Alcotest.fail "expected a single path"
+
+let test_branch_resolution () =
+  let p =
+    Ast.(
+      program ~locs:[ "x"; "y" ]
+        [
+          [
+            load "r" (loc "x");
+            if_ (reg "r") [ store (loc "y") (int 1) ] [ store (loc "y") (int 2) ];
+          ];
+          [ store (loc "x") (int 1) ];
+        ])
+  in
+  let _, paths = unfold p in
+  let t0 = List.nth paths 0 in
+  Alcotest.(check int) "two paths" 2 (List.length t0);
+  let writes =
+    List.map
+      (fun (p : Proto.path) ->
+        List.filter_map
+          (function Proto.PWrite (_, v) -> Some v | _ -> None)
+          p.protos)
+      t0
+  in
+  Alcotest.(check bool) "branches write different values" true
+    (List.mem [ 1 ] writes && List.mem [ 2 ] writes)
+
+let test_fuel_truncation () =
+  let p =
+    Ast.(program ~locs:[ "x" ] [ [ while_ (int 1) [ store (loc "x") (int 1) ] ] ])
+  in
+  let _, paths = Proto.unfold ~fuel:3 p in
+  Alcotest.(check bool) "all truncated" true
+    (List.for_all (fun (p : Proto.path) -> p.truncated) (List.nth paths 0))
+
+let test_cell_resolution () =
+  let p =
+    Ast.(
+      program ~locs:[ "x"; "z[0]"; "z[7]" ]
+        [
+          [ load "r" (loc "x"); store (cell "z" (reg "r")) (int 1) ];
+          [ store (loc "x") (int 7) ];
+        ])
+  in
+  let _, paths = unfold p in
+  let cells =
+    List.concat_map
+      (fun (p : Proto.path) ->
+        List.filter_map
+          (function Proto.PWrite (x, _) -> Some x | _ -> None)
+          p.protos)
+      (List.nth paths 0)
+  in
+  Alcotest.(check bool) "resolves z[0] and z[7]" true
+    (List.mem "z[0]" cells && List.mem "z[7]" cells)
+
+let suite =
+  [
+    Alcotest.test_case "straightline unfolding" `Quick test_straightline;
+    Alcotest.test_case "loads branch over domains" `Quick test_load_branches;
+    Alcotest.test_case "domain fixpoint" `Quick test_domain_fixpoint;
+    Alcotest.test_case "abort skips block tail" `Quick test_abort_skips_block_tail;
+    Alcotest.test_case "branch resolution" `Quick test_branch_resolution;
+    Alcotest.test_case "fuel truncation" `Quick test_fuel_truncation;
+    Alcotest.test_case "array cell resolution" `Quick test_cell_resolution;
+  ]

@@ -1,0 +1,68 @@
+open Tmx_core
+open Tb
+
+let pm = Model.programmer
+let im = Model.implementation
+
+let priv_trace () =
+  mk ~locs:[ "x"; "y" ]
+    [
+      b 0; r 0 "y" 0 0; w 0 "x" 1 1; c 0;
+      b 1; w 1 "y" 1 1; c 1;
+      w 1 "x" 2 2;
+    ]
+
+let test_privatization_race () =
+  let t = priv_trace () in
+  Alcotest.(check int) "race-free under pm (HBww)" 0
+    (List.length (Race.races_of_model pm t));
+  let races = Race.races_of_model im t in
+  Alcotest.(check bool) "racy under im" true (races <> []);
+  let ctx = Lift.make t in
+  let hb = Hb.compute im ctx in
+  Alcotest.(check bool) "the race is mixed (txn write vs plain write)" true
+    (Race.has_mixed_race t hb)
+
+let test_l_restriction () =
+  let t = priv_trace () in
+  let ctx = Lift.make t in
+  let hb = Hb.compute im ctx in
+  Alcotest.(check bool) "L={x} sees the race" true (Race.races ~l:[ "x" ] t hb <> []);
+  Alcotest.(check bool) "L={y} does not" true (Race.races ~l:[ "y" ] t hb = [])
+
+let test_txn_txn_never_race () =
+  (* two unsynchronized transactions on the same location: conflicting but
+     never racing *)
+  let t =
+    mk ~locs:[ "x" ] [ b 0; w 0 "x" 1 1; c 0; b 1; w 1 "x" 2 2; c 1 ]
+  in
+  Alcotest.(check int) "no transactional races" 0
+    (List.length (Race.races_of_model im t))
+
+let test_aborted_never_race () =
+  let t = mk ~locs:[ "x" ] [ b 0; w 0 "x" 1 1; a 0; w 1 "x" 2 2 ] in
+  Alcotest.(check int) "aborted actions do not race" 0
+    (List.length (Race.races_of_model im t))
+
+let test_read_read_never_race () =
+  let t = mk ~locs:[ "x" ] [ r 0 "x" 0 0; b 1; r 1 "x" 0 0; c 1 ] in
+  Alcotest.(check int) "two reads never race" 0
+    (List.length (Race.races_of_model im t))
+
+let test_plain_race_detected () =
+  let t = mk ~locs:[ "x" ] [ w 0 "x" 1 1; r 1 "x" 1 1 ] in
+  Alcotest.(check bool) "plain write/read race" true
+    (Race.races_of_model pm t <> []);
+  let ctx = Lift.make t in
+  let hb = Hb.compute pm ctx in
+  Alcotest.(check bool) "but it is not mixed" false (Race.has_mixed_race t hb)
+
+let suite =
+  [
+    Alcotest.test_case "privatization race pm vs im" `Quick test_privatization_race;
+    Alcotest.test_case "spatial restriction" `Quick test_l_restriction;
+    Alcotest.test_case "transactions never race" `Quick test_txn_txn_never_race;
+    Alcotest.test_case "aborted actions never race" `Quick test_aborted_never_race;
+    Alcotest.test_case "reads never race" `Quick test_read_read_never_race;
+    Alcotest.test_case "plain races detected" `Quick test_plain_race_detected;
+  ]

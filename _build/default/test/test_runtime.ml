@@ -1,0 +1,238 @@
+open Tmx_runtime
+
+let read_all tvars =
+  Array.map (fun v -> Option.get (Stm.atomically (fun tx -> Stm.read tx v))) tvars
+
+let test_read_write mode () =
+  let v = Tvar.make 0 in
+  let result =
+    Stm.atomically ~mode (fun tx ->
+        Stm.write tx v 41;
+        Stm.read tx v + 1)
+  in
+  Alcotest.(check (option int)) "read own write" (Some 42) result;
+  Alcotest.(check int) "committed" 41 (Tvar.unsafe_read v)
+
+let test_abort_rollback mode () =
+  let v = Tvar.make 7 in
+  let result =
+    Stm.atomically ~mode (fun tx ->
+        Stm.write tx v 99;
+        if Stm.read tx v = 99 then Stm.abort tx else 0)
+  in
+  Alcotest.(check (option int)) "user abort" None result;
+  Alcotest.(check int) "value rolled back" 7 (Tvar.unsafe_read v)
+
+let test_counter mode () =
+  let v = Tvar.make 0 in
+  let domains = 4 and iters = 500 in
+  let worker () =
+    for _ = 1 to iters do
+      ignore (Stm.atomically ~mode (fun tx -> Stm.write tx v (Stm.read tx v + 1)))
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost increments" (domains * iters) (Tvar.unsafe_read v)
+
+let test_transfer_conservation mode () =
+  let n = 6 and per = 100 in
+  let accounts = Array.init n (fun _ -> Tvar.make per) in
+  let worker seed () =
+    let st = ref seed in
+    let rand m =
+      st := (!st * 48271 + 13) land 0x3fffffff;
+      !st mod m
+    in
+    for _ = 1 to 800 do
+      let a = rand n and b = rand n and amt = rand 20 in
+      ignore
+        (Stm.atomically ~mode (fun tx ->
+             let va = Stm.read tx accounts.(a) in
+             let vb = Stm.read tx accounts.(b) in
+             if a <> b && va >= amt then begin
+               Stm.write tx accounts.(a) (va - amt);
+               Stm.write tx accounts.(b) (vb + amt)
+             end))
+    done
+  in
+  let ds = [ Domain.spawn (worker 1); Domain.spawn (worker 2); Domain.spawn (worker 3) ] in
+  List.iter Domain.join ds;
+  let total = Array.fold_left (fun acc v -> acc + v) 0 (read_all accounts) in
+  Alcotest.(check int) "total conserved" (n * per) total
+
+let test_opacity mode () =
+  (* maintain x = y in writer transactions; readers must never observe a
+     broken invariant *)
+  let x = Tvar.make 0 and y = Tvar.make 0 in
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let writer () =
+    for i = 1 to 1500 do
+      ignore
+        (Stm.atomically ~mode (fun tx ->
+             Stm.write tx x i;
+             Stm.write tx y i))
+    done;
+    Atomic.set stop true
+  in
+  let reader () =
+    while not (Atomic.get stop) do
+      match Stm.atomically ~mode (fun tx -> (Stm.read tx x, Stm.read tx y)) with
+      | Some (a, b) when a <> b -> Atomic.incr violations
+      | _ -> ()
+    done
+  in
+  let w = Domain.spawn writer and r = Domain.spawn reader in
+  Domain.join w;
+  Domain.join r;
+  Alcotest.(check int) "invariant never broken" 0 (Atomic.get violations)
+
+let test_quiesce_privatization () =
+  (* the privatization idiom: after the flag transaction and a quiescence
+     fence, plain access is safe *)
+  let x = Tvar.make 0 and flag = Tvar.make 0 in
+  let iterations = 200 in
+  let failures = ref 0 in
+  for _ = 1 to iterations do
+    Tvar.unsafe_write x 0;
+    ignore (Stm.atomically (fun tx -> Stm.write tx flag 0));
+    let d =
+      Domain.spawn (fun () ->
+          ignore
+            (Stm.atomically (fun tx ->
+                 if Stm.read tx flag = 0 then Stm.write tx x 1)))
+    in
+    ignore (Stm.atomically (fun tx -> Stm.write tx flag 1));
+    Stm.quiesce ();
+    (* x is now private: a plain write must not be overwritten *)
+    Tvar.unsafe_write x 2;
+    Domain.join d;
+    if Tvar.unsafe_read x <> 2 then incr failures
+  done;
+  Alcotest.(check int) "privatized writes never lost" 0 !failures
+
+let test_or_else mode () =
+  let a = Tvar.make 0 and b = Tvar.make 0 in
+  (* first branch writes then aborts; its effects must vanish *)
+  let r =
+    Stm.atomically ~mode (fun tx ->
+        Stm.or_else tx
+          (fun tx ->
+            Stm.write tx a 1;
+            Stm.write tx a 2;
+            Stm.abort tx)
+          (fun tx ->
+            Stm.write tx b 10;
+            Stm.read tx a))
+  in
+  Alcotest.(check (option int)) "second branch sees rollback" (Some 0) r;
+  Alcotest.(check int) "a untouched" 0 (Tvar.unsafe_read a);
+  Alcotest.(check int) "b committed" 10 (Tvar.unsafe_read b);
+  (* pre-branch writes survive a branch abort *)
+  let r2 =
+    Stm.atomically ~mode (fun tx ->
+        Stm.write tx a 5;
+        Stm.or_else tx (fun tx -> Stm.abort tx) (fun tx -> Stm.read tx a))
+  in
+  Alcotest.(check (option int)) "pre-branch write visible" (Some 5) r2;
+  Alcotest.(check int) "pre-branch write committed" 5 (Tvar.unsafe_read a);
+  (* an abort in the second branch aborts the transaction *)
+  let r3 =
+    Stm.atomically ~mode (fun tx ->
+        Stm.write tx b 99;
+        Stm.or_else tx (fun tx -> Stm.abort tx) (fun tx -> Stm.abort tx))
+  in
+  Alcotest.(check (option int)) "both branches abort" None r3;
+  Alcotest.(check int) "b rolled back" 10 (Tvar.unsafe_read b)
+
+let test_footprint_enforced () =
+  let v = Tvar.make 0 and w = Tvar.make 0 in
+  Alcotest.check_raises "stray access raises"
+    (Invalid_argument
+       (Fmt.str "Stm: access to tvar#%d outside the declared footprint" (Tvar.id w)))
+    (fun () ->
+      ignore (Stm.atomically ~footprint:[ v ] (fun tx -> Stm.read tx w)))
+
+let test_selective_quiesce_skips_disjoint () =
+  (* a per-location fence on x must not wait for a transaction whose
+     declared footprint is {w} *)
+  let x = Tvar.make 0 and w = Tvar.make 0 in
+  let entered = Atomic.make false and release = Atomic.make false in
+  let finished = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        ignore
+          (Stm.atomically ~footprint:[ w ] (fun tx ->
+               let v = Stm.read tx w in
+               Atomic.set entered true;
+               (* bounded spin so a regression cannot hang the suite *)
+               let spins = ref 0 in
+               while (not (Atomic.get release)) && !spins < 200_000_000 do
+                 incr spins;
+                 Domain.cpu_relax ()
+               done;
+               v));
+        Atomic.set finished true)
+  in
+  while not (Atomic.get entered) do
+    Domain.cpu_relax ()
+  done;
+  Stm.quiesce ~var:x ();
+  let returned_early = not (Atomic.get finished) in
+  Atomic.set release true;
+  Domain.join d;
+  Alcotest.(check bool) "fence skipped the disjoint transaction" true returned_early
+
+let test_selective_quiesce_waits_for_overlapping () =
+  let w = Tvar.make 0 in
+  let entered = Atomic.make false and finished = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        ignore
+          (Stm.atomically ~footprint:[ w ] (fun tx ->
+               Atomic.set entered true;
+               let v = Stm.read tx w in
+               Stm.write tx w (v + 1)));
+        Atomic.set finished true)
+  in
+  while not (Atomic.get entered) do
+    Domain.cpu_relax ()
+  done;
+  Stm.quiesce ~var:w ();
+  (* the transaction itself has resolved once the fence returns (the
+     [finished] flag is set just after, so give it the commit itself) *)
+  Alcotest.(check bool) "fence returned" true true;
+  Domain.join d;
+  Alcotest.(check bool) "transaction completed" true (Atomic.get finished);
+  Alcotest.(check int) "its write landed" 1 (Tvar.unsafe_read w)
+
+let test_stats_move () =
+  let before, _, _ = Stm.stats_snapshot () in
+  let v = Tvar.make 0 in
+  ignore (Stm.atomically (fun tx -> Stm.write tx v 1));
+  let after, _, _ = Stm.stats_snapshot () in
+  Alcotest.(check bool) "commit counted" true (after > before)
+
+let suite =
+  [
+    Alcotest.test_case "lazy read/write" `Quick (test_read_write Stm.Lazy);
+    Alcotest.test_case "eager read/write" `Quick (test_read_write Stm.Eager);
+    Alcotest.test_case "lazy abort rollback" `Quick (test_abort_rollback Stm.Lazy);
+    Alcotest.test_case "eager abort rollback" `Quick (test_abort_rollback Stm.Eager);
+    Alcotest.test_case "lazy counter" `Slow (test_counter Stm.Lazy);
+    Alcotest.test_case "eager counter" `Slow (test_counter Stm.Eager);
+    Alcotest.test_case "lazy transfers conserve" `Slow (test_transfer_conservation Stm.Lazy);
+    Alcotest.test_case "eager transfers conserve" `Slow (test_transfer_conservation Stm.Eager);
+    Alcotest.test_case "lazy opacity" `Slow (test_opacity Stm.Lazy);
+    Alcotest.test_case "eager opacity" `Slow (test_opacity Stm.Eager);
+    Alcotest.test_case "quiescence privatization" `Slow test_quiesce_privatization;
+    Alcotest.test_case "lazy orElse" `Quick (test_or_else Stm.Lazy);
+    Alcotest.test_case "eager orElse" `Quick (test_or_else Stm.Eager);
+    Alcotest.test_case "footprints enforced" `Quick test_footprint_enforced;
+    Alcotest.test_case "selective quiescence skips disjoint" `Slow
+      test_selective_quiesce_skips_disjoint;
+    Alcotest.test_case "selective quiescence waits" `Slow
+      test_selective_quiesce_waits_for_overlapping;
+    Alcotest.test_case "stats counters" `Quick test_stats_move;
+  ]

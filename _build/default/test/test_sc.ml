@@ -1,0 +1,95 @@
+open Tmx_core
+open Tmx_lang
+open Tmx_exec
+
+let test_atomic_blocks_atomic () =
+  (* under the sequential reference semantics a transaction's intermediate
+     states are invisible: the observer sees x=y always *)
+  let p =
+    Ast.(
+      program ~locs:[ "x"; "y" ]
+        [
+          [ atomic [ store (loc "x") (int 1); store (loc "y") (int 1) ] ];
+          [ atomic [ load "a" (loc "x"); load "b" (loc "y") ] ];
+        ])
+  in
+  let r = Sc.run p in
+  List.iter
+    (fun (e : Sc.execution) ->
+      Alcotest.(check bool) "snapshot consistent" true
+        (Outcome.reg e.outcome 1 "a" = Outcome.reg e.outcome 1 "b"))
+    r.executions
+
+let test_abort_rolls_back () =
+  let p =
+    Ast.(
+      program ~locs:[ "x" ]
+        [ [ atomic [ store (loc "x") (int 5); abort ]; load "r" (loc "x") ] ])
+  in
+  let r = Sc.run p in
+  match r.executions with
+  | [ e ] ->
+      Alcotest.(check int) "rolled back" 0 (Outcome.reg e.outcome 0 "r");
+      Alcotest.(check int) "memory clean" 0 (Outcome.mem e.outcome "x")
+  | _ -> Alcotest.fail "expected one execution"
+
+let test_traces_transactionally_sequential () =
+  let p = (Option.get (Tmx_litmus.Catalog.find "privatization")).program in
+  let r = Sc.run p in
+  Alcotest.(check bool) "nonempty" true (r.executions <> []);
+  List.iter
+    (fun (e : Sc.execution) ->
+      Alcotest.(check bool) "well-formed" true (Wellformed.is_well_formed e.trace);
+      Alcotest.(check bool) "transactionally sequential" true
+        (Sequentiality.transactionally_l_sequential e.trace);
+      Alcotest.(check bool) "consistent" true
+        (Consistency.consistent Model.programmer e.trace))
+    r.executions
+
+let test_sc_outcomes_subset_of_model () =
+  List.iter
+    (fun name ->
+      let p = (Option.get (Tmx_litmus.Catalog.find name)).program in
+      let sc = Sc.outcomes (Sc.run p) in
+      let model = Enumerate.outcomes (Enumerate.run Model.programmer p) in
+      List.iter
+        (fun o ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: sc outcome in model (%a)" name Outcome.pp o)
+            true
+            (List.exists (Outcome.equal o) model))
+        sc)
+    [ "privatization"; "publication"; "sb"; "ex3_4"; "doomed" ]
+
+let test_interleaving_coverage () =
+  (* both orders of two independent writers are explored *)
+  let p =
+    Ast.(
+      program ~locs:[ "x" ]
+        [ [ store (loc "x") (int 1) ]; [ store (loc "x") (int 2) ] ])
+  in
+  let finals =
+    List.sort_uniq compare
+      (List.map (fun o -> Outcome.mem o "x") (Sc.outcomes (Sc.run p)))
+  in
+  Alcotest.(check (list int)) "both final values" [ 1; 2 ] finals
+
+let test_fuel () =
+  let p =
+    Ast.(program ~locs:[ "x" ] [ [ while_ (int 1) [ store (loc "x") (int 1) ] ] ])
+  in
+  let r = Sc.run ~config:{ fuel = 2 } p in
+  Alcotest.(check bool) "truncated" true r.truncated;
+  Alcotest.(check int) "no complete executions" 0 (List.length r.executions)
+
+let suite =
+  [
+    Alcotest.test_case "atomic blocks are atomic" `Quick test_atomic_blocks_atomic;
+    Alcotest.test_case "abort rolls back" `Quick test_abort_rolls_back;
+    Alcotest.test_case "traces transactionally sequential" `Quick
+      test_traces_transactionally_sequential;
+    Alcotest.test_case "sc outcomes within model outcomes" `Quick
+      test_sc_outcomes_subset_of_model;
+    Alcotest.test_case "interleaving coverage" `Quick test_interleaving_coverage;
+    Alcotest.test_case "fuel bounds loops" `Quick test_fuel;
+  ]

@@ -1,0 +1,67 @@
+open Tmx_core
+open Tb
+
+let test_sequential_trace () =
+  let t =
+    mk ~locs:[ "x" ] [ w 0 "x" 1 1; r 1 "x" 1 1; w 1 "x" 2 2; r 0 "x" 2 2 ]
+  in
+  Alcotest.(check bool) "monotone trace sequential" true (Sequentiality.l_sequential t);
+  Alcotest.(check bool) "transactionally sequential" true
+    (Sequentiality.transactionally_l_sequential t)
+
+let test_weak_write () =
+  (* a write inserted below an existing timestamp is weak *)
+  let t = mk ~locs:[ "x" ] [ w 0 "x" 2 2; w 1 "x" 1 1 ] in
+  Alcotest.(check bool) "out-of-order write weak" false (Sequentiality.l_sequential t);
+  Alcotest.(check (list int)) "weak position" [ 4 ] (Sequentiality.weak_positions t)
+
+let test_weak_read () =
+  (* a stale read is weak *)
+  let t = mk ~locs:[ "x" ] [ w 0 "x" 1 1; w 0 "x" 2 2; r 1 "x" 1 1 ] in
+  Alcotest.(check (list int)) "stale read weak" [ 5 ] (Sequentiality.weak_positions t)
+
+let test_l_scoping () =
+  let t = mk ~locs:[ "x"; "y" ] [ w 0 "x" 2 2; w 1 "x" 1 1; w 1 "y" 1 1 ] in
+  Alcotest.(check bool) "weak on {x}" false (Sequentiality.l_sequential ~l:[ "x" ] t);
+  Alcotest.(check bool) "sequential on {y}" true (Sequentiality.l_sequential ~l:[ "y" ] t)
+
+let test_aborted_writes_ignored () =
+  (* an aborted write with the maximal timestamp does not make a later
+     read weak (the rollback intuition; see the Sequentiality comment) *)
+  let t =
+    mk ~locs:[ "x" ] [ b 0; w 0 "x" 1 1; a 0; r 1 "x" 0 0 ]
+  in
+  Alcotest.(check bool) "read after aborted write sequential" true
+    (Sequentiality.l_sequential t)
+
+let test_boundaries_always_sequential () =
+  let t = mk ~locs:[ "x" ] [ b 0; w 0 "x" 1 1; c 0; q 1 "x" ] in
+  List.iter
+    (fun i ->
+      if not (Action.is_memory (Trace.act t i)) then
+        Alcotest.(check bool)
+          (Fmt.str "position %d sequential" i)
+          true
+          (Sequentiality.l_sequential_action t i))
+    (List.init (Trace.length t) Fun.id)
+
+let test_contiguity_required () =
+  (* sequential actions but an interleaved transaction *)
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [ b 0; w 0 "x" 1 1; w 1 "y" 1 1; w 0 "x" 2 2; c 0; w 1 "y" 2 2 ]
+  in
+  Alcotest.(check bool) "actions sequential" true (Sequentiality.l_sequential t);
+  Alcotest.(check bool) "but not transactionally sequential" false
+    (Sequentiality.transactionally_l_sequential t)
+
+let suite =
+  [
+    Alcotest.test_case "sequential trace" `Quick test_sequential_trace;
+    Alcotest.test_case "weak writes" `Quick test_weak_write;
+    Alcotest.test_case "weak reads" `Quick test_weak_read;
+    Alcotest.test_case "spatial scoping" `Quick test_l_scoping;
+    Alcotest.test_case "aborted writes ignored" `Quick test_aborted_writes_ignored;
+    Alcotest.test_case "boundaries sequential" `Quick test_boundaries_always_sequential;
+    Alcotest.test_case "contiguity required" `Quick test_contiguity_required;
+  ]

@@ -1,0 +1,67 @@
+open Tmx_core
+open Tmx_lang
+open Tmx_exec
+open Tmx_litmus
+
+let test_family family () =
+  List.iter
+    (fun (r : Shapes.result) ->
+      if not r.ok then
+        Alcotest.failf "%s: expected %s, observed %s" r.case.name
+          (if r.case.forbidden then "forbidden" else "allowed")
+          (if r.observed_forbidden then "forbidden" else "allowed"))
+    (List.map Shapes.run_case
+       (List.filter (fun (c : Shapes.case) -> c.family = family) Shapes.all_cases))
+
+(* serializability: fully transactional programs behave atomically — the
+   model admits only outcomes of the sequential reference semantics *)
+let gen_txn_program : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let locs = [ "x"; "y" ] in
+  let gen_loc = oneofl locs in
+  let gen_inner =
+    frequency
+      [
+        (3, map2 (fun x v -> Ast.store (Ast.loc x) (Ast.int v)) gen_loc (int_range 1 2));
+        (3, map (fun x -> Ast.load "_r" (Ast.loc x)) gen_loc);
+      ]
+  in
+  let gen_stmt =
+    map (fun body -> Ast.atomic body) (list_size (int_range 1 3) gen_inner)
+  in
+  let rename counter th =
+    let rec rename_stmt (s : Ast.stmt) =
+      match s with
+      | Load (_, lv) ->
+          incr counter;
+          Ast.Load (Fmt.str "r%d" !counter, lv)
+      | Atomic body -> Ast.Atomic (List.map rename_stmt body)
+      | s -> s
+    in
+    List.map rename_stmt th
+  in
+  map
+    (fun threads ->
+      let counter = ref 0 in
+      Ast.program ~name:"txn-only" ~locs (List.map (rename counter) threads))
+    (list_size (int_range 2 3) (list_size (int_range 1 2) gen_stmt))
+
+let prop_serializability =
+  QCheck.Test.make ~name:"transactional programs are serializable" ~count:100
+    (QCheck.make ~print:(Fmt.str "%a" Ast.pp_program) gen_txn_program)
+    (fun p ->
+      let model = Enumerate.outcomes (Enumerate.run Model.programmer p) in
+      let sc = Sc.outcomes (Sc.run p) in
+      List.for_all (fun o -> List.exists (Outcome.equal o) sc) model)
+
+let suite =
+  [
+    Alcotest.test_case "message passing family" `Quick (test_family "mp");
+    Alcotest.test_case "store buffering family" `Quick (test_family "sb");
+    Alcotest.test_case "load buffering family" `Quick (test_family "lb");
+    Alcotest.test_case "IRIW family" `Slow (test_family "iriw");
+    Alcotest.test_case "coherence family" `Quick (test_family "corr");
+    Alcotest.test_case "2+2W family" `Quick (test_family "2+2w");
+    Alcotest.test_case "WRC family" `Slow (test_family "wrc");
+    QCheck_alcotest.to_alcotest prop_serializability;
+  ]

@@ -1,0 +1,91 @@
+open Tmx_core
+open Tmx_exec
+open Tb
+
+let pm = Model.programmer
+
+let test_stable_points () =
+  (* two racing writes, then a synchronized read: stability begins after
+     the races *)
+  let t =
+    mk ~locs:[ "x" ] [ w 0 "x" 1 1; w 1 "x" 2 2; r 0 "x" 2 2 ]
+  in
+  let ctx = Lift.make t in
+  let hb = Hb.compute pm ctx in
+  (* positions: init 0..2; Wx1=3 (t0), Wx2=4 (t1), Rx2=5 (t0) —
+     races: (Wx1,Wx2), (Wx2,Rx2) wait: Rx2 is by t0, Wx2 by t1, unordered
+     — so the last race reaches position 5 and only 6 is stable *)
+  Alcotest.(check bool) "position 3 unstable" false (Stability.is_stable t hb 3);
+  Alcotest.(check bool) "end stable" true
+    (Stability.is_stable t hb (Trace.length t));
+  match Stability.stable_points t hb with
+  | p :: _ -> Alcotest.(check bool) "first stable point after all races" true (p >= 5)
+  | [] -> Alcotest.fail "expected a stable point"
+
+let test_race_free_trace_stable_everywhere () =
+  let t = mk ~locs:[ "x" ] [ b 0; w 0 "x" 1 1; c 0; b 1; r 1 "x" 1 1; c 1 ] in
+  let ctx = Lift.make t in
+  let hb = Hb.compute pm ctx in
+  Alcotest.(check int) "stable from position 0"
+    (Trace.length t + 1)
+    (List.length (Stability.stable_points t hb))
+
+let test_temporal_catalog () =
+  List.iter
+    (fun (l : Tmx_litmus.Litmus.t) ->
+      Alcotest.(check bool)
+        (Fmt.str "temporal SC-LTRF on %s" l.name)
+        true
+        (Stability.temporal_holds pm l.program))
+    Tmx_litmus.Catalog.all
+
+let test_temporal_example () =
+  (* the §1 temporal-locality program: races on x, then stabilization
+     through F; its executions have stable points, and after them no weak
+     action occurs *)
+  let p = (Option.get (Tmx_litmus.Catalog.find "temporal")).program in
+  let r = Enumerate.run pm p in
+  let some_stable = ref false in
+  List.iter
+    (fun (e : Enumerate.execution) ->
+      let ctx = Lift.make e.trace in
+      let hb = Hb.compute pm ctx in
+      match Stability.stable_points e.trace hb with
+      | p0 :: _ when p0 < Trace.length e.trace -> some_stable := true
+      | _ -> ())
+    r.executions;
+  Alcotest.(check bool) "some execution stabilizes before its end" true !some_stable;
+  Alcotest.(check bool) "no weak action after stabilization" true
+    (Stability.temporal_holds pm p)
+
+let test_spatial_restriction () =
+  (* restricting L can only enlarge the stable region *)
+  let p = (Option.get (Tmx_litmus.Catalog.find "iriw_z")).program in
+  let r = Enumerate.run pm p in
+  List.iter
+    (fun (e : Enumerate.execution) ->
+      let ctx = Lift.make e.trace in
+      let hb = Hb.compute pm ctx in
+      let all = Stability.stable_points e.trace hb in
+      let xy = Stability.stable_points ~l:[ "x"; "y" ] e.trace hb in
+      Alcotest.(check bool) "L={x,y} stable everywhere" true
+        (List.length xy = Trace.length e.trace + 1);
+      Alcotest.(check bool) "smaller L has at least as many stable points" true
+        (List.length xy >= List.length all))
+    r.executions
+
+let prop_temporal_random =
+  QCheck.Test.make ~name:"temporal SC-LTRF on random programs" ~count:80
+    Test_theorems.arb_program (fun p -> Stability.temporal_holds pm p)
+
+let suite =
+  [
+    Alcotest.test_case "stable points" `Quick test_stable_points;
+    Alcotest.test_case "race-free is stable everywhere" `Quick
+      test_race_free_trace_stable_everywhere;
+    Alcotest.test_case "temporal SC-LTRF on the catalog" `Slow test_temporal_catalog;
+    Alcotest.test_case "the §1 temporal example" `Quick test_temporal_example;
+    Alcotest.test_case "spatial restriction of stability" `Quick
+      test_spatial_restriction;
+    QCheck_alcotest.to_alcotest prop_temporal_random;
+  ]

@@ -1,0 +1,128 @@
+open Tmx_exec
+open Tmx_stmsim
+
+let lazy_cfg = Stmsim.default_config
+let eager_cfg = { lazy_cfg with Stmsim.strategy = Stmsim.Eager }
+let program name = (Option.get (Tmx_litmus.Catalog.find name)).Tmx_litmus.Litmus.program
+
+let has_outcome outcomes cond = List.exists cond outcomes
+
+let test_lazy_privatization_anomaly () =
+  let r = Stmsim.run ~config:lazy_cfg (program "privatization") in
+  Alcotest.(check bool) "delayed write-back loses the plain write" true
+    (has_outcome r.outcomes (fun o -> Outcome.mem o "x" = 1))
+
+let test_fence_repairs_privatization () =
+  let r = Stmsim.run ~config:lazy_cfg (program "privatization_fence") in
+  Alcotest.(check bool) "no x=1 with the quiescence fence" false
+    (has_outcome r.outcomes (fun o -> Outcome.mem o "x" = 1));
+  Alcotest.(check bool) "still completes" true (r.outcomes <> [])
+
+let test_atomic_commit_repairs_privatization () =
+  let cfg = { lazy_cfg with Stmsim.atomic_commit = true } in
+  let r = Stmsim.run ~config:cfg (program "privatization") in
+  Alcotest.(check bool) "indivisible commit avoids the anomaly" false
+    (has_outcome r.outcomes (fun o -> Outcome.mem o "x" = 1))
+
+let test_fence_repairs_eager_privatization () =
+  (* quiescence must cover in-flight transactions that have not yet
+     touched the fenced location: an eager transaction that has read the
+     flag may still write x later *)
+  let r = Stmsim.run ~config:eager_cfg (program "privatization_fence") in
+  Alcotest.(check bool) "no x=1 under eager with the fence" false
+    (has_outcome r.outcomes (fun o -> Outcome.mem o "x" = 1))
+
+let test_eager_speculative_lost_update () =
+  (* Ex 3.4 / Shpeisman Fig 3a: the rollback of the aborted eager
+     transaction loses the plain write x:=2 (q=0), which the paper's
+     model forbids — naive eager versioning does not implement it *)
+  let r = Stmsim.run ~config:eager_cfg (program "ex3_4") in
+  Alcotest.(check bool) "speculative lost update exhibited" true
+    (has_outcome r.outcomes (fun o -> Outcome.reg o 1 "q" = 0))
+
+let test_lazy_no_lost_update () =
+  let r = Stmsim.run ~config:lazy_cfg (program "ex3_4") in
+  Alcotest.(check bool) "lazy versioning never loses the plain write" false
+    (has_outcome r.outcomes (fun o -> Outcome.reg o 1 "q" = 0))
+
+let test_eager_dirty_read () =
+  (* App D.3: a plain reader observes the eager transaction's in-place
+     write before the rollback *)
+  let r = Stmsim.run ~config:eager_cfg (program "d3_dirty_reads") in
+  Alcotest.(check bool) "dirty read exhibited" true
+    (has_outcome r.outcomes (fun o -> Outcome.mem o "x" = 0 && Outcome.mem o "w" = 1))
+
+let test_lazy_serializable_on_txn_only () =
+  (* on fully transactional programs the lazy STM is serializable: its
+     outcomes are within the atomic reference semantics *)
+  List.iter
+    (fun name ->
+      let anomalies = Stmsim.anomalies ~config:lazy_cfg (program name) in
+      Alcotest.(check int) (name ^ " anomaly-free") 0 (List.length anomalies))
+    [ "opacity_iriw"; "d1_opaque_writes" ]
+
+let test_publication_needs_no_fence () =
+  (* the publication idiom works on the lazy STM as-is (§5: direct
+     dependencies are ordered by the transactional machinery) *)
+  let anomalies = Stmsim.anomalies ~config:lazy_cfg (program "publication") in
+  Alcotest.(check int) "publication anomaly-free" 0 (List.length anomalies)
+
+(* Cross-validation of two independently built components: every outcome
+   the lazy STM exhibits is admitted by the axiomatic implementation
+   model (the sense in which TL2-style STMs "realize the implementation
+   model", §5/§7) — while naive eager versioning escapes even that model
+   on ex3_4 (the §3.4 anomaly). *)
+let test_lazy_realizes_implementation_model () =
+  List.iter
+    (fun name ->
+      let p = program name in
+      let stm = Stmsim.run ~config:lazy_cfg p in
+      let model =
+        Tmx_exec.Enumerate.outcomes
+          (Tmx_exec.Enumerate.run Tmx_core.Model.implementation p)
+      in
+      List.iter
+        (fun o ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: stm outcome %a admitted by im" name Outcome.pp o)
+            true
+            (List.exists (Outcome.equal o) model))
+        stm.outcomes)
+    [ "privatization"; "publication"; "sb"; "ex3_4"; "ex3_5"; "d1_opaque_writes";
+      "d3_dirty_reads" ]
+
+let test_eager_escapes_implementation_model () =
+  let p = program "ex3_4" in
+  let stm = Stmsim.run ~config:eager_cfg p in
+  let model =
+    Tmx_exec.Enumerate.outcomes
+      (Tmx_exec.Enumerate.run Tmx_core.Model.implementation p)
+  in
+  Alcotest.(check bool) "naive eager exhibits model-forbidden outcomes" true
+    (List.exists
+       (fun o -> not (List.exists (Outcome.equal o) model))
+       stm.outcomes)
+
+let test_paths_explored () =
+  let r = Stmsim.run ~config:lazy_cfg (program "privatization") in
+  Alcotest.(check bool) "explores many schedules" true (r.paths > 100);
+  Alcotest.(check bool) "not capped" false r.capped
+
+let suite =
+  [
+    Alcotest.test_case "lazy privatization anomaly" `Quick test_lazy_privatization_anomaly;
+    Alcotest.test_case "quiescence fence repairs it" `Quick test_fence_repairs_privatization;
+    Alcotest.test_case "fence repairs eager too" `Quick test_fence_repairs_eager_privatization;
+    Alcotest.test_case "atomic commit repairs it" `Quick test_atomic_commit_repairs_privatization;
+    Alcotest.test_case "eager speculative lost update" `Quick test_eager_speculative_lost_update;
+    Alcotest.test_case "lazy has no lost update" `Quick test_lazy_no_lost_update;
+    Alcotest.test_case "eager dirty reads" `Quick test_eager_dirty_read;
+    Alcotest.test_case "lazy serializable when transactional-only" `Slow
+      test_lazy_serializable_on_txn_only;
+    Alcotest.test_case "publication needs no fence" `Quick test_publication_needs_no_fence;
+    Alcotest.test_case "lazy STM realizes the implementation model" `Slow
+      test_lazy_realizes_implementation_model;
+    Alcotest.test_case "naive eager escapes the implementation model" `Quick
+      test_eager_escapes_implementation_model;
+    Alcotest.test_case "schedule coverage" `Quick test_paths_explored;
+  ]

@@ -1,0 +1,178 @@
+open Tmx_runtime
+
+let atomically f = Option.get (Stm.atomically f)
+
+let test_tarray_basics () =
+  let a = Tarray.init 8 (fun i -> i) in
+  let sum = atomically (fun tx ->
+      let s = ref 0 in
+      for i = 0 to 7 do s := !s + Tarray.get tx a i done;
+      !s)
+  in
+  Alcotest.(check int) "sum" 28 sum;
+  atomically (fun tx -> Tarray.swap tx a 0 7);
+  Alcotest.(check int) "swapped" 7 (Tvar.unsafe_read a.(0));
+  let snap = Option.get (Tarray.snapshot a) in
+  Alcotest.(check int) "snapshot length" 8 (Array.length snap);
+  Alcotest.(check int) "snapshot content" 0 snap.(7)
+
+let test_tarray_snapshot_consistent () =
+  (* writers keep all slots equal; transactional snapshots never see a
+     torn state *)
+  let a = Tarray.make 4 0 in
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let writer () =
+    for v = 1 to 800 do
+      atomically (fun tx ->
+          for i = 0 to 3 do Tarray.set tx a i v done)
+    done;
+    Atomic.set stop true
+  in
+  let reader () =
+    while not (Atomic.get stop) do
+      let snap = Option.get (Tarray.snapshot a) in
+      if Array.exists (fun v -> v <> snap.(0)) snap then Atomic.incr torn
+    done
+  in
+  let w = Domain.spawn writer and r = Domain.spawn reader in
+  Domain.join w;
+  Domain.join r;
+  Alcotest.(check int) "no torn snapshots" 0 (Atomic.get torn)
+
+let test_tqueue_fifo () =
+  let q = Tqueue.create ~capacity:4 in
+  atomically (fun tx ->
+      Alcotest.(check bool) "push 1" true (Tqueue.push tx q 1);
+      Alcotest.(check bool) "push 2" true (Tqueue.push tx q 2);
+      Alcotest.(check bool) "push 3" true (Tqueue.push tx q 3));
+  Alcotest.(check (option int)) "peek" (Some 1)
+    (atomically (fun tx -> Tqueue.peek tx q));
+  Alcotest.(check (option int)) "pop 1" (Some 1)
+    (atomically (fun tx -> Tqueue.pop tx q));
+  Alcotest.(check (option int)) "pop 2" (Some 2)
+    (atomically (fun tx -> Tqueue.pop tx q));
+  Alcotest.(check int) "length" 1 (atomically (fun tx -> Tqueue.length tx q))
+
+let test_tqueue_bounds () =
+  let q = Tqueue.create ~capacity:2 in
+  atomically (fun tx ->
+      ignore (Tqueue.push tx q 1);
+      ignore (Tqueue.push tx q 2));
+  Alcotest.(check bool) "full rejects" false
+    (atomically (fun tx -> Tqueue.push tx q 3));
+  atomically (fun tx -> ignore (Tqueue.pop tx q); ignore (Tqueue.pop tx q));
+  Alcotest.(check (option int)) "empty pop" None
+    (atomically (fun tx -> Tqueue.pop tx q));
+  (* the abort-style helpers roll the transaction back *)
+  Alcotest.(check (option int)) "pop_exn aborts on empty" None
+    (Stm.atomically (fun tx -> Tqueue.pop_exn tx q))
+
+let test_tqueue_pipeline () =
+  (* producer -> queue -> consumer, counting everything through *)
+  let q = Tqueue.create ~capacity:8 in
+  let items = 2000 in
+  let received = ref 0 and sum = ref 0 in
+  let producer () =
+    for v = 1 to items do
+      let rec retry () =
+        if not (atomically (fun tx -> Tqueue.push tx q v)) then begin
+          Domain.cpu_relax ();
+          retry ()
+        end
+      in
+      retry ()
+    done
+  in
+  let consumer () =
+    while !received < items do
+      match atomically (fun tx -> Tqueue.pop tx q) with
+      | Some v ->
+          incr received;
+          sum := !sum + v
+      | None -> Domain.cpu_relax ()
+    done
+  in
+  let p = Domain.spawn producer in
+  consumer ();
+  Domain.join p;
+  Alcotest.(check int) "all items received" items !received;
+  Alcotest.(check int) "sum preserved" (items * (items + 1) / 2) !sum
+
+let test_tmap_basics () =
+  let m = Tmap.create ~capacity:16 in
+  atomically (fun tx ->
+      Alcotest.(check bool) "add" true (Tmap.add tx m 7 70);
+      Alcotest.(check bool) "add" true (Tmap.add tx m 23 230);
+      Alcotest.(check bool) "overwrite" true (Tmap.add tx m 7 71));
+  Alcotest.(check (option int)) "find 7" (Some 71)
+    (atomically (fun tx -> Tmap.find tx m 7));
+  Alcotest.(check (option int)) "find 23" (Some 230)
+    (atomically (fun tx -> Tmap.find tx m 23));
+  Alcotest.(check (option int)) "find missing" None
+    (atomically (fun tx -> Tmap.find tx m 99));
+  Alcotest.(check int) "cardinal" 2 (atomically (fun tx -> Tmap.cardinal tx m));
+  Alcotest.(check bool) "remove" true (atomically (fun tx -> Tmap.remove tx m 7));
+  Alcotest.(check (option int)) "removed" None
+    (atomically (fun tx -> Tmap.find tx m 7));
+  (* reinsertion reuses the tombstone *)
+  atomically (fun tx -> ignore (Tmap.add tx m 7 700));
+  Alcotest.(check (option int)) "reinserted" (Some 700)
+    (atomically (fun tx -> Tmap.find tx m 7))
+
+let test_tmap_collisions () =
+  (* capacity 4 forces probing; fill completely *)
+  let m = Tmap.create ~capacity:4 in
+  atomically (fun tx ->
+      List.iter (fun k -> ignore (Tmap.add tx m k (k * 10))) [ 1; 2; 3; 4 ]);
+  List.iter
+    (fun k ->
+      Alcotest.(check (option int)) (Fmt.str "find %d" k) (Some (k * 10))
+        (atomically (fun tx -> Tmap.find tx m k)))
+    [ 1; 2; 3; 4 ];
+  Alcotest.(check bool) "full rejects new key" false
+    (atomically (fun tx -> Tmap.add tx m 5 50));
+  Alcotest.(check bool) "full accepts overwrite" true
+    (atomically (fun tx -> Tmap.add tx m 4 41))
+
+let test_tmap_concurrent () =
+  let m = Tmap.create ~capacity:128 in
+  let per_domain = 40 in
+  let worker base () =
+    for i = 1 to per_domain do
+      ignore (atomically (fun tx -> Tmap.add tx m (base + i) i))
+    done
+  in
+  let ds = [ Domain.spawn (worker 0); Domain.spawn (worker 100); Domain.spawn (worker 200) ] in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "all inserted" (3 * per_domain)
+    (atomically (fun tx -> Tmap.cardinal tx m));
+  let total = atomically (fun tx -> Tmap.fold tx m (fun _ v acc -> acc + v) 0) in
+  Alcotest.(check int) "values preserved" (3 * (per_domain * (per_domain + 1) / 2)) total
+
+let test_compose_structures () =
+  (* a queue move and a map update in one atomic step *)
+  let q1 = Tqueue.create ~capacity:4 and q2 = Tqueue.create ~capacity:4 in
+  let m = Tmap.create ~capacity:8 in
+  atomically (fun tx -> ignore (Tqueue.push tx q1 5));
+  atomically (fun tx ->
+      let v = Tqueue.pop_exn tx q1 in
+      Tqueue.push_exn tx q2 v;
+      ignore (Tmap.add tx m v 1));
+  Alcotest.(check (option int)) "moved" (Some 5)
+    (atomically (fun tx -> Tqueue.pop tx q2));
+  Alcotest.(check (option int)) "recorded" (Some 1)
+    (atomically (fun tx -> Tmap.find tx m 5))
+
+let suite =
+  [
+    Alcotest.test_case "tarray basics" `Quick test_tarray_basics;
+    Alcotest.test_case "tarray snapshot consistency" `Slow test_tarray_snapshot_consistent;
+    Alcotest.test_case "tqueue fifo" `Quick test_tqueue_fifo;
+    Alcotest.test_case "tqueue bounds and aborts" `Quick test_tqueue_bounds;
+    Alcotest.test_case "tqueue pipeline" `Slow test_tqueue_pipeline;
+    Alcotest.test_case "tmap basics" `Quick test_tmap_basics;
+    Alcotest.test_case "tmap collisions" `Quick test_tmap_collisions;
+    Alcotest.test_case "tmap concurrent" `Slow test_tmap_concurrent;
+    Alcotest.test_case "composed structures" `Quick test_compose_structures;
+  ]

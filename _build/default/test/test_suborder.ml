@@ -1,0 +1,76 @@
+open Tmx_core
+open Tmx_exec
+open Tb
+
+let im = Model.implementation
+
+let fenceless_names =
+  [ "privatization"; "publication"; "sb"; "ex3_1"; "ex3_2"; "aborted_pub"; "doomed" ]
+
+let executions_of name =
+  let p = (Option.get (Tmx_litmus.Catalog.find name)).program in
+  (Enumerate.run im p).executions
+
+let test_lemma_c1 () =
+  List.iter
+    (fun name ->
+      List.iter
+        (fun (e : Enumerate.execution) ->
+          let ctx = Lift.make e.trace in
+          let hb = Hb.compute im ctx in
+          Alcotest.(check bool)
+            (Fmt.str "%s: hb = init ∪ hbe ∪ po" name)
+            true
+            (Suborder.lemma_c1_holds ctx hb))
+        (executions_of name))
+    fenceless_names
+
+let test_lemma_c2_positive () =
+  List.iter
+    (fun name ->
+      List.iter
+        (fun (e : Enumerate.execution) ->
+          let ctx = Lift.make e.trace in
+          Alcotest.(check bool)
+            (Fmt.str "%s: Lemma C.2 accepts consistent executions" name)
+            true (Suborder.lemma_c2_consistent ctx))
+        (executions_of name))
+    fenceless_names
+
+let test_lemma_c2_negative () =
+  (* the §2 coherence figure is inconsistent; Lemma C.2's characterization
+     must reject it too *)
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [
+        w 0 "x" 1 1; b 0; w 0 "y" 1 1; c 0;
+        w 1 "x" 2 2; b 1; r 1 "y" 1 1; c 1;
+        r 1 "x" 2 2; r 1 "x" 1 1;
+      ]
+  in
+  Alcotest.(check bool) "axioms reject" false (Consistency.consistent im t);
+  Alcotest.(check bool) "C.2 rejects" false (Suborder.lemma_c2_consistent (Lift.make t))
+
+let test_suborders_shape () =
+  (* po-T targets only writing transactions; poT- sources transactions *)
+  let t =
+    mk ~locs:[ "x"; "y" ]
+      [ w 0 "y" 1 1; b 0; r 0 "x" 0 0; c 0; b 0; w 0 "x" 1 1; c 0; w 0 "y" 2 2 ]
+  in
+  let ctx = Lift.make t in
+  let po_to_t = Suborder.po_to_t ctx and po_t_from = Suborder.po_t_from ctx in
+  (* positions: init 0..3; Wy1@4; read-only txn 5..7 (Rx@6); writing txn
+     8..10 (Wx@9); Wy2@11 *)
+  Alcotest.(check bool) "plain -> read-only txn not in po-T" false
+    (Rel.mem po_to_t 4 6);
+  Alcotest.(check bool) "plain -> writing txn in po-T" true (Rel.mem po_to_t 4 9);
+  Alcotest.(check bool) "txn read -> plain in poT-" true (Rel.mem po_t_from 6 11);
+  Alcotest.(check bool) "plain -> plain not in poT-" false (Rel.mem po_t_from 4 11)
+
+let suite =
+  [
+    Alcotest.test_case "Lemma C.1 hb decomposition" `Quick test_lemma_c1;
+    Alcotest.test_case "Lemma C.2 accepts consistent" `Quick test_lemma_c2_positive;
+    Alcotest.test_case "Lemma C.2 rejects inconsistent" `Quick test_lemma_c2_negative;
+    Alcotest.test_case "suborder shapes" `Quick test_suborders_shape;
+  ]

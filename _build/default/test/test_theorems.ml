@@ -1,0 +1,297 @@
+(* Empirical validation of the paper's theorems over both the litmus
+   catalog and randomly generated programs. *)
+
+open Tmx_core
+open Tmx_lang
+open Tmx_exec
+
+let pm = Model.programmer
+
+let catalog_programs =
+  List.map (fun (l : Tmx_litmus.Litmus.t) -> l.program) Tmx_litmus.Catalog.all
+
+(* -- random program generation ------------------------------------------- *)
+
+let gen_program : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let locs = [ "x"; "y" ] in
+  let gen_loc = oneofl locs in
+  let gen_value = int_range 1 2 in
+  let gen_inner =
+    frequency
+      [
+        (4, map2 (fun x v -> Ast.store (Ast.loc x) (Ast.int v)) gen_loc gen_value);
+        (4, map (fun x -> Ast.load "_r" (Ast.loc x)) gen_loc);
+        (1, return Ast.abort);
+      ]
+  in
+  let gen_stmt =
+    frequency
+      [
+        (3, map2 (fun x v -> Ast.store (Ast.loc x) (Ast.int v)) gen_loc gen_value);
+        (3, map (fun x -> Ast.load "_r" (Ast.loc x)) gen_loc);
+        (2, map (fun body -> Ast.atomic body) (list_size (int_range 1 2) gen_inner));
+        (1, map (fun x -> Ast.fence x) gen_loc);
+      ]
+  in
+  let gen_thread = list_size (int_range 1 3) gen_stmt in
+  let rename_thread th =
+    (* give each load a unique register so outcomes are observable *)
+    let counter = ref 0 in
+    let rec rename_stmt (s : Ast.stmt) =
+      match s with
+      | Load (_, lv) ->
+          incr counter;
+          Ast.Load (Fmt.str "r%d" !counter, lv)
+      | Atomic body -> Ast.Atomic (List.map rename_stmt body)
+      | If (c, t, e) -> Ast.If (c, List.map rename_stmt t, List.map rename_stmt e)
+      | While (c, b) -> Ast.While (c, List.map rename_stmt b)
+      | s -> s
+    in
+    List.map rename_stmt th
+  in
+  map
+    (fun threads ->
+      Ast.program ~name:"random" ~locs (List.map rename_thread threads))
+    (list_size (int_range 2 3) gen_thread)
+
+let arb_program =
+  QCheck.make ~print:(Fmt.str "%a" Ast.pp_program) gen_program
+
+(* -- SC-LTRF (Theorem 4.1, global corollary) ------------------------------ *)
+
+let sc_ltrf_holds p =
+  let report = Verdict.check_sc_ltrf pm p in
+  report.theorem_holds
+
+let test_sc_ltrf_catalog () =
+  List.iter
+    (fun (p : Ast.program) ->
+      Alcotest.(check bool) (Fmt.str "SC-LTRF on %s" p.name) true (sc_ltrf_holds p))
+    catalog_programs
+
+let prop_sc_ltrf_random =
+  QCheck.Test.make ~name:"SC-LTRF on random programs" ~count:120 arb_program
+    sc_ltrf_holds
+
+(* race-free programs behave sequentially, spelled out on the two
+   headline idioms *)
+let test_race_free_sequential () =
+  List.iter
+    (fun name ->
+      let p = (Option.get (Tmx_litmus.Catalog.find name)).program in
+      let report = Verdict.check_sc_ltrf pm p in
+      Alcotest.(check bool) (name ^ " sequential races") false report.sc_racy;
+      Alcotest.(check bool) (name ^ " no weak actions") false report.weak_exists;
+      Alcotest.(check bool) (name ^ " outcomes sequential") true
+        report.outcomes_contained)
+    [ "privatization"; "publication" ]
+
+(* -- Theorem 4.2 ----------------------------------------------------------- *)
+
+let test_theorem_4_2_catalog () =
+  List.iter
+    (fun (p : Ast.program) ->
+      Alcotest.(check bool)
+        (Fmt.str "Thm 4.2 on %s" p.name)
+        true
+        (Verdict.check_theorem_4_2 pm p))
+    catalog_programs
+
+let prop_theorem_4_2_random =
+  QCheck.Test.make ~name:"Thm 4.2 on random programs" ~count:80 arb_program
+    (fun p -> Verdict.check_theorem_4_2 pm p)
+
+(* -- Lemma 5.1 -------------------------------------------------------------- *)
+
+let test_lemma_5_1_catalog () =
+  List.iter
+    (fun (p : Ast.program) ->
+      let r = Verdict.check_lemma_5_1 p in
+      Alcotest.(check bool) (Fmt.str "Lemma 5.1 on %s" p.name) true r.holds)
+    catalog_programs
+
+let prop_lemma_5_1_random =
+  QCheck.Test.make ~name:"Lemma 5.1 on random programs" ~count:60 arb_program
+    (fun p -> (Verdict.check_lemma_5_1 p).holds)
+
+(* -- §6: the strongest (x86) variant refines the programmer model ---------- *)
+
+let test_strongest_refines_pm () =
+  List.iter
+    (fun (p : Ast.program) ->
+      let strong = Enumerate.outcomes (Enumerate.run Model.strongest p) in
+      let weak = Enumerate.outcomes (Enumerate.run pm p) in
+      List.iter
+        (fun o ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: strongest outcome admitted by pm" p.name)
+            true
+            (List.exists (Outcome.equal o) weak))
+        strong)
+    catalog_programs
+
+(* -- model-lattice monotonicity --------------------------------------------- *)
+
+(* Adding happens-before rules and antidependency axioms can only remove
+   behaviours: outcomes(stronger) ⊆ outcomes(weaker).  And on fence-free
+   programs the implementation model coincides with the bare model. *)
+let refines stronger weaker p =
+  let s = Enumerate.outcomes (Enumerate.run stronger p) in
+  let w = Enumerate.outcomes (Enumerate.run weaker p) in
+  List.for_all (fun o -> List.exists (Outcome.equal o) w) s
+
+let strength_pairs =
+  [
+    (Model.programmer, Model.bare);
+    (Model.variant_rw, Model.bare);
+    (Model.variant_ww', Model.bare);
+    (Model.strongest, Model.programmer);
+    (Model.strongest, Model.variant_rw);
+    (Model.strongest, Model.variant_wr');
+  ]
+
+let test_monotonicity_catalog () =
+  List.iter
+    (fun (p : Ast.program) ->
+      List.iter
+        (fun (stronger, weaker) ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: %s refines %s" p.name stronger.Model.name
+               weaker.Model.name)
+            true (refines stronger weaker p))
+        strength_pairs)
+    catalog_programs
+
+let prop_monotonicity_random =
+  QCheck.Test.make ~name:"model lattice monotone on random programs" ~count:60
+    arb_program (fun p ->
+      List.for_all (fun (s, w) -> refines s w p) strength_pairs)
+
+let strip_fences (p : Ast.program) =
+  let rec strip (s : Ast.stmt) =
+    match s with
+    | Fence _ -> Ast.Skip
+    | Atomic b -> Atomic (List.map strip b)
+    | If (c, t, e) -> If (c, List.map strip t, List.map strip e)
+    | While (c, b) -> While (c, List.map strip b)
+    | s -> s
+  in
+  { p with Ast.threads = List.map (List.map strip) p.threads }
+
+let prop_im_equals_bare_fence_free =
+  QCheck.Test.make ~name:"im = bare on fence-free programs" ~count:60
+    arb_program (fun p ->
+      let p = strip_fences p in
+      refines Model.implementation Model.bare p
+      && refines Model.bare Model.implementation p)
+
+(* -- prefix closure ---------------------------------------------------------- *)
+
+(* the §4 machinery (stability, causal closure) quantifies over prefixes;
+   consistency is indeed closed under well-formed prefixes *)
+let prefix_closed model trace =
+  let n = Trace.length trace in
+  let ok = ref true in
+  for p = 1 to n - 1 do
+    let prefix = Trace.sub trace (fun i -> i < p) in
+    if Wellformed.is_well_formed prefix && not (Consistency.consistent model prefix)
+    then ok := false
+  done;
+  !ok
+
+let test_prefix_closure_catalog () =
+  List.iter
+    (fun (p : Ast.program) ->
+      List.iter
+        (fun (e : Enumerate.execution) ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: prefixes consistent" p.name)
+            true
+            (prefix_closed pm e.trace))
+        (Enumerate.run pm p).executions)
+    catalog_programs
+
+let prop_prefix_closure_random =
+  QCheck.Test.make ~name:"prefix closure on random programs" ~count:40
+    arb_program (fun p ->
+      List.for_all
+        (fun (e : Enumerate.execution) -> prefix_closed pm e.trace)
+        (Enumerate.run pm p).executions)
+
+(* -- consistency invariant under order-preserving permutation -------------- *)
+
+let random_merge st (trace : Trace.t) =
+  let n = Trace.length trace in
+  let by_thread = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let th = Trace.thread trace i in
+    Hashtbl.replace by_thread th (i :: Option.value (Hashtbl.find_opt by_thread th) ~default:[])
+  done;
+  let queues =
+    Hashtbl.fold (fun th evs acc -> (th, ref (List.rev evs)) :: acc) by_thread []
+  in
+  (* keep the initializing thread first *)
+  let perm = ref [] in
+  (match List.assoc_opt Action.init_thread (List.map (fun (t, q) -> (t, q)) queues) with
+  | Some q ->
+      perm := List.rev !q;
+      q := []
+  | None -> ());
+  let rec go () =
+    let nonempty = List.filter (fun (_, q) -> !q <> []) queues in
+    if nonempty <> [] then begin
+      let _, q = List.nth nonempty (Random.State.int st (List.length nonempty)) in
+      (match !q with
+      | i :: rest ->
+          perm := i :: !perm;
+          q := rest
+      | [] -> ());
+      go ()
+    end
+  in
+  go ();
+  Array.of_list (List.rev !perm)
+
+let test_permutation_invariance () =
+  let st = Random.State.make [| 42 |] in
+  List.iter
+    (fun name ->
+      let p = (Option.get (Tmx_litmus.Catalog.find name)).program in
+      let result = Enumerate.run pm p in
+      List.iter
+        (fun (e : Enumerate.execution) ->
+          let perm = random_merge st e.trace in
+          Alcotest.(check bool) "order preserving" true
+            (Trace.is_order_preserving e.trace perm);
+          let permuted = Trace.permute e.trace perm in
+          if Wellformed.is_well_formed permuted then begin
+            let verdict t =
+              let ctx = Lift.make t in
+              Consistency.consistent_axioms pm ctx (Hb.compute pm ctx)
+            in
+            Alcotest.(check bool) "axioms invariant" (verdict e.trace) (verdict permuted)
+          end)
+        result.executions)
+    [ "privatization"; "publication"; "sb"; "aborted_pub" ]
+
+let suite =
+  [
+    Alcotest.test_case "SC-LTRF on the catalog" `Slow test_sc_ltrf_catalog;
+    QCheck_alcotest.to_alcotest prop_sc_ltrf_random;
+    Alcotest.test_case "race-free programs behave sequentially" `Quick
+      test_race_free_sequential;
+    Alcotest.test_case "Thm 4.2 on the catalog" `Slow test_theorem_4_2_catalog;
+    QCheck_alcotest.to_alcotest prop_theorem_4_2_random;
+    Alcotest.test_case "Lemma 5.1 on the catalog" `Slow test_lemma_5_1_catalog;
+    QCheck_alcotest.to_alcotest prop_lemma_5_1_random;
+    Alcotest.test_case "strongest variant refines pm" `Slow test_strongest_refines_pm;
+    Alcotest.test_case "model lattice monotone on the catalog" `Slow
+      test_monotonicity_catalog;
+    QCheck_alcotest.to_alcotest prop_monotonicity_random;
+    QCheck_alcotest.to_alcotest prop_im_equals_bare_fence_free;
+    Alcotest.test_case "prefix closure on the catalog" `Slow
+      test_prefix_closure_catalog;
+    QCheck_alcotest.to_alcotest prop_prefix_closure_random;
+    Alcotest.test_case "permutation invariance" `Quick test_permutation_invariance;
+  ]

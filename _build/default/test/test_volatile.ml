@@ -1,0 +1,131 @@
+(* The §2 degeneracy claim: "transactions behave exactly like the
+   volatiles of [9] for degenerate traces in which each transaction
+   contains a single read or write action ... and each transaction is
+   committed and contiguous."
+
+   Machine-checked: programs whose designated locations are accessed only
+   through singleton atomic blocks produce the same outcomes as their
+   desugared versions running under the machine's *native* volatile
+   semantics (a separate implementation: one value + one frontier per
+   location, no history). *)
+
+open Tmx_lang
+open Tmx_exec
+
+(* replace singleton atomic accesses with bare accesses *)
+let rec desugar_stmt (s : Ast.stmt) =
+  match s with
+  | Atomic [ (Load _ as inner) ] | Atomic [ (Store _ as inner) ] -> inner
+  | Atomic body -> Ast.Atomic body
+  | If (c, t, e) -> If (c, List.map desugar_stmt t, List.map desugar_stmt e)
+  | While (c, b) -> While (c, List.map desugar_stmt b)
+  | s -> s
+
+let desugar (p : Ast.program) =
+  { p with Ast.threads = List.map (List.map desugar_stmt) p.threads }
+
+let agree ?(volatile = [ "x"; "y" ]) name (p : Ast.program) =
+  let txn = Tmx_machine.Machine.run p in
+  let vol = Tmx_machine.Machine.run ~volatile (desugar p) in
+  let only_in a b =
+    List.filter (fun o -> not (List.exists (Outcome.equal o) b)) a
+  in
+  (match only_in txn.outcomes vol.outcomes with
+  | [] -> ()
+  | o :: _ -> Alcotest.failf "%s: transactional-only outcome %a" name Outcome.pp o);
+  match only_in vol.outcomes txn.outcomes with
+  | [] -> ()
+  | o :: _ -> Alcotest.failf "%s: volatile-only outcome %a" name Outcome.pp o
+
+(* classic shapes written with singleton transactions *)
+let sb_singleton =
+  Ast.(
+    program ~name:"sb-singleton" ~locs:[ "x"; "y" ]
+      [
+        [ atomic [ store (loc "x") (int 1) ]; atomic [ load "r" (loc "y") ] ];
+        [ atomic [ store (loc "y") (int 1) ]; atomic [ load "q" (loc "x") ] ];
+      ])
+
+let mp_singleton =
+  Ast.(
+    program ~name:"mp-singleton" ~locs:[ "x"; "y" ]
+      [
+        [ atomic [ store (loc "x") (int 1) ]; atomic [ store (loc "y") (int 1) ] ];
+        [ atomic [ load "r1" (loc "y") ]; atomic [ load "r2" (loc "x") ] ];
+      ])
+
+let iriw_singleton =
+  Ast.(
+    program ~name:"iriw-singleton" ~locs:[ "x"; "y" ]
+      [
+        [ atomic [ store (loc "x") (int 1) ] ];
+        [ atomic [ store (loc "y") (int 1) ] ];
+        [ atomic [ load "r1" (loc "x") ]; atomic [ load "r2" (loc "y") ] ];
+        [ atomic [ load "q1" (loc "y") ]; atomic [ load "q2" (loc "x") ] ];
+      ])
+
+let corr_singleton =
+  Ast.(
+    program ~name:"corr-singleton" ~locs:[ "x" ]
+      [
+        [ atomic [ store (loc "x") (int 1) ]; atomic [ store (loc "x") (int 2) ] ];
+        [ atomic [ load "r1" (loc "x") ]; atomic [ load "r2" (loc "x") ] ];
+      ])
+
+let test_shapes () =
+  agree "sb" sb_singleton;
+  agree "mp" mp_singleton;
+  agree "iriw" iriw_singleton;
+  agree ~volatile:[ "x" ] "corr" corr_singleton
+
+(* random programs over singleton transactional accesses to x, y plus
+   plain accesses to a third location *)
+let gen_singleton_program =
+  let open QCheck.Gen in
+  let gen_stmt =
+    frequency
+      [
+        ( 3,
+          map2
+            (fun x v -> Ast.atomic [ Ast.store (Ast.loc x) (Ast.int v) ])
+            (oneofl [ "x"; "y" ]) (int_range 1 2) );
+        (3, map (fun x -> Ast.atomic [ Ast.load "_r" (Ast.loc x) ]) (oneofl [ "x"; "y" ]));
+        (2, map (fun v -> Ast.store (Ast.loc "z") (Ast.int v)) (int_range 1 2));
+        (1, return (Ast.load "_r" (Ast.loc "z")));
+      ]
+  in
+  let rename counter th =
+    List.map
+      (fun (s : Ast.stmt) ->
+        let rec go (s : Ast.stmt) =
+          match s with
+          | Load (_, lv) ->
+              incr counter;
+              Ast.Load (Fmt.str "r%d" !counter, lv)
+          | Atomic body -> Atomic (List.map go body)
+          | s -> s
+        in
+        go s)
+      th
+  in
+  map
+    (fun threads ->
+      let counter = ref 0 in
+      Ast.program ~name:"singleton" ~locs:[ "x"; "y"; "z" ]
+        (List.map (rename counter) threads))
+    (list_size (int_range 2 3) (list_size (int_range 1 3) gen_stmt))
+
+let prop_random =
+  QCheck.Test.make ~name:"degeneracy on random singleton programs" ~count:60
+    (QCheck.make ~print:(Fmt.str "%a" Ast.pp_program) gen_singleton_program)
+    (fun p ->
+      let txn = Tmx_machine.Machine.run p in
+      let vol = Tmx_machine.Machine.run ~volatile:[ "x"; "y" ] (desugar p) in
+      List.for_all (fun o -> List.exists (Outcome.equal o) vol.outcomes) txn.outcomes
+      && List.for_all (fun o -> List.exists (Outcome.equal o) txn.outcomes) vol.outcomes)
+
+let suite =
+  [
+    Alcotest.test_case "degenerate shapes" `Quick test_shapes;
+    QCheck_alcotest.to_alcotest prop_random;
+  ]
