@@ -26,10 +26,9 @@ let catalog name = (Option.get (Tmx_litmus.Catalog.find name)).Tmx_litmus.Litmus
 (* part 1: verdict matrix                                              *)
 (* ------------------------------------------------------------------ *)
 
-let verdict_matrix () =
-  Fmt.pr "@.=== part 1: verdict matrix (paper figures, all models) ===@.@.";
-  let probes =
-    [
+(* The part-1 probe list, shared with the part-4 parallel-speedup run. *)
+let matrix_probes : (string * string * (Outcome.t -> bool)) list =
+  [
       ("privatization", "x=1", fun o -> Outcome.mem o "x" = 1);
       ("publication", "z=0", fun o -> Outcome.mem o "z" = 0);
       ("ex2_2", "x=2", fun o -> Outcome.mem o "x" = 2);
@@ -47,7 +46,9 @@ let verdict_matrix () =
       ("d3_dirty_reads", "x=0,w=1", fun o -> Outcome.mem o "x" = 0 && Outcome.mem o "w" = 1);
       ("d4_no_overlapped_writes", "r=0", fun o -> Outcome.mem o "r" = 0);
     ]
-  in
+
+let verdict_matrix () =
+  Fmt.pr "@.=== part 1: verdict matrix (paper figures, all models) ===@.@.";
   Fmt.pr "%-26s %-9s" "program" "outcome";
   List.iter (fun (m : Model.t) -> Fmt.pr " %-6s" m.name) Model.all;
   Fmt.pr "@.";
@@ -60,7 +61,7 @@ let verdict_matrix () =
           Fmt.pr " %-6s" (if allowed then "yes" else "no"))
         Model.all;
       Fmt.pr "@.")
-    probes
+    matrix_probes
 
 let shapes_summary () =
   Fmt.pr "@.=== shape families (plain/transactional site matrix) ===@.@.";
@@ -334,12 +335,122 @@ let run_benchmarks () =
       else Fmt.pr "%-34s %10.1f ns/run@." name ns)
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* part 4d: sequential vs parallel enumeration                         *)
+(* ------------------------------------------------------------------ *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* A synthetic enumeration-heavy program (one location, four competing
+   writers, a three-read observer): thousands of candidate graphs, so
+   the intra-run task split has something to chew on. *)
+let stress_program =
+  let open Tmx_lang.Ast in
+  let x = loc "x" in
+  program ~name:"stress" ~locs:[ "x" ]
+    [
+      [ store x (int 1) ];
+      [ store x (int 2) ];
+      [ atomic [ store x (int 3) ] ];
+      [ store x (int 4) ];
+      [ load "r1" x; load "r2" x; load "r3" x ];
+    ]
+
+(* The --jobs 4 vs --jobs 1 wall-clock comparison, with outcome sets
+   verified identical, recorded in BENCH_parallel.json so the perf
+   trajectory is tracked across PRs.
+
+   Two measurements: the full part-1 verdict matrix, with its 144
+   (program, model) enumerations dispatched as tasks on one shared
+   domain pool (each cell is too small to amortize a pool of its own —
+   Enumerate's estimator would fall back to sequential — so the matrix
+   scales with cores at the cell level, the way a catalog sweep is
+   actually served); and one enumeration-heavy program run through
+   Enumerate's intra-run linearization-prefix split.  [jobs] defaults
+   to 4 (the acceptance target) and follows the machine above that. *)
+let parallel_speedup () =
+  Fmt.pr "@.=== part 4d: domain-parallel enumeration speedup ===@.@.";
+  let cores = Tmx_exec.Pool.available_cores () in
+  let jobs = max 4 cores in
+  (* the verdict matrix, cells as pool tasks *)
+  let cells =
+    List.concat_map
+      (fun (name, _, _) -> List.map (fun m -> (catalog name, m)) Model.all)
+      matrix_probes
+    |> Array.of_list
+  in
+  let run_matrix jobs =
+    Tmx_exec.Pool.run_tasks ~jobs ~tasks:(Array.length cells) (fun i ->
+        let program, model = cells.(i) in
+        Enumerate.outcomes (Enumerate.run model program))
+  in
+  let seq, t_seq = wall (fun () -> run_matrix 1) in
+  let par, t_par = wall (fun () -> run_matrix jobs) in
+  let identical =
+    Array.for_all2 (fun a b -> List.for_all2 Outcome.equal a b) seq par
+  in
+  (* one heavy program, intra-run split *)
+  let run_stress jobs =
+    let config = { Enumerate.default_config with jobs } in
+    Enumerate.run ~config Model.programmer stress_program
+  in
+  let sseq, st_seq = wall (fun () -> run_stress 1) in
+  let spar, st_par = wall (fun () -> run_stress jobs) in
+  let s_identical =
+    sseq.Enumerate.graphs = spar.Enumerate.graphs
+    && List.for_all2 Outcome.equal (Enumerate.outcomes sseq)
+         (Enumerate.outcomes spar)
+  in
+  let speedup = t_seq /. t_par and s_speedup = st_seq /. st_par in
+  Fmt.pr
+    "verdict matrix (%d cells): jobs=1 %.3fs   jobs=%d %.3fs   speedup %.2fx \
+     \  outcome sets identical: %b@."
+    (Array.length cells) t_seq jobs t_par speedup identical;
+  Fmt.pr
+    "stress program (%d graphs): jobs=1 %.3fs   jobs=%d %.3fs   speedup \
+     %.2fx   outcome sets identical: %b   (%d cores available)@."
+    sseq.Enumerate.graphs st_seq jobs st_par s_speedup s_identical cores;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    {|{
+  "experiment": "parallel_enumeration_speedup",
+  "jobs": %d,
+  "cores_available": %d,
+  "verdict_matrix": {
+    "cells": %d,
+    "seconds_sequential": %.6f,
+    "seconds_parallel": %.6f,
+    "speedup": %.3f,
+    "outcomes_identical": %b
+  },
+  "stress_intra_run": {
+    "candidate_graphs": %d,
+    "seconds_sequential": %.6f,
+    "seconds_parallel": %.6f,
+    "speedup": %.3f,
+    "outcomes_identical": %b
+  }
+}
+|}
+    jobs cores (Array.length cells) t_seq t_par speedup identical
+    sseq.Enumerate.graphs st_seq st_par s_speedup s_identical;
+  close_out oc;
+  if not (identical && s_identical) then
+    failwith "parallel enumeration diverged from sequential"
+
 let () =
-  verdict_matrix ();
-  shapes_summary ();
-  litmus_summary ();
-  theorem_table ();
-  stm_design_table ();
-  fence_table ();
-  run_benchmarks ();
+  (match Sys.getenv_opt "TMX_BENCH_ONLY" with
+  | Some "parallel" -> parallel_speedup ()
+  | _ ->
+      verdict_matrix ();
+      shapes_summary ();
+      litmus_summary ();
+      theorem_table ();
+      stm_design_table ();
+      fence_table ();
+      run_benchmarks ();
+      parallel_speedup ());
   Fmt.pr "@.done.@."

@@ -46,13 +46,26 @@ let model_arg =
 let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Litmus test names.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Enumerate on $(docv) domains (0 = all cores).  Verdicts are \
+           bit-identical to -j 1; only the wall clock changes.")
+
+let config_of_jobs jobs =
+  let jobs = if jobs <= 0 then Tmx_exec.Pool.available_cores () else jobs in
+  { Enumerate.default_config with jobs }
+
 let list_flag =
   Arg.(value & flag & info [ "list" ] ~doc:"List available litmus tests.")
 
 (* -- litmus ---------------------------------------------------------------- *)
 
 let litmus_cmd =
-  let run list names =
+  let run jobs list names =
+    let config = config_of_jobs jobs in
     if list then begin
       List.iter
         (fun (l : Tmx_litmus.Litmus.t) -> Fmt.pr "%-28s %s@." l.name l.section)
@@ -75,7 +88,7 @@ let litmus_cmd =
           let failures = ref 0 in
           List.iter
             (fun l ->
-              let report = Tmx_litmus.Litmus.run l in
+              let report = Tmx_litmus.Litmus.run ~config l in
               if not (Tmx_litmus.Litmus.passed report) then incr failures;
               Fmt.pr "%a@." Tmx_litmus.Litmus.pp_report report)
             tests;
@@ -85,7 +98,7 @@ let litmus_cmd =
           if !failures > 0 then exit 1)
         tests
   in
-  let term = Term.(term_result' (const run $ list_flag $ names_arg)) in
+  let term = Term.(term_result' (const run $ jobs_arg $ list_flag $ names_arg)) in
   Cmd.v
     (Cmd.info "litmus" ~doc:"Check the paper's examples against their verdicts.")
     term
@@ -96,10 +109,10 @@ let one_name =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
 
 let outcomes_cmd =
-  let run model name =
+  let run jobs model name =
     Result.map
       (fun (l : Tmx_litmus.Litmus.t) ->
-        let r = Enumerate.run model l.program in
+        let r = Enumerate.run ~config:(config_of_jobs jobs) model l.program in
         Fmt.pr "%a@.%d candidate graphs, %d consistent executions under %a@."
           Tmx_lang.Ast.pp_program l.program r.graphs
           (List.length r.executions)
@@ -107,7 +120,7 @@ let outcomes_cmd =
         List.iter (fun o -> Fmt.pr "  %a@." Outcome.pp o) (Enumerate.outcomes r))
       (find_litmus name)
   in
-  let term = Term.(term_result' (const run $ model_arg $ one_name)) in
+  let term = Term.(term_result' (const run $ jobs_arg $ model_arg $ one_name)) in
   Cmd.v
     (Cmd.info "outcomes" ~doc:"Enumerate the consistent outcomes of a program.")
     term
@@ -115,10 +128,10 @@ let outcomes_cmd =
 (* -- races ------------------------------------------------------------------ *)
 
 let races_cmd =
-  let run model name =
+  let run jobs model name =
     Result.map
       (fun (l : Tmx_litmus.Litmus.t) ->
-        let r = Enumerate.run model l.program in
+        let r = Enumerate.run ~config:(config_of_jobs jobs) model l.program in
         let racy = ref 0 in
         List.iter
           (fun (e : Enumerate.execution) ->
@@ -138,7 +151,7 @@ let races_cmd =
           Model.pp model)
       (find_litmus name)
   in
-  let term = Term.(term_result' (const run $ model_arg $ one_name)) in
+  let term = Term.(term_result' (const run $ jobs_arg $ model_arg $ one_name)) in
   Cmd.v (Cmd.info "races" ~doc:"List the races of every consistent execution.") term
 
 (* -- stm --------------------------------------------------------------------- *)
@@ -244,7 +257,8 @@ let fence_cmd =
     term
 
 let theorems_cmd =
-  let run names =
+  let run jobs names =
+    let config = config_of_jobs jobs in
     let tests =
       if names = [] then Ok Tmx_litmus.Catalog.all
       else
@@ -258,9 +272,9 @@ let theorems_cmd =
       (fun tests ->
         List.iter
           (fun (l : Tmx_litmus.Litmus.t) ->
-            let sc = Verdict.check_sc_ltrf Model.programmer l.program in
-            let t42 = Verdict.check_theorem_4_2 Model.programmer l.program in
-            let l51 = Verdict.check_lemma_5_1 l.program in
+            let sc = Verdict.check_sc_ltrf ~config Model.programmer l.program in
+            let t42 = Verdict.check_theorem_4_2 ~config Model.programmer l.program in
+            let l51 = Verdict.check_lemma_5_1 ~config l.program in
             Fmt.pr
               "%-28s SC-LTRF:%s (seq-racy:%b weak:%b contained:%b)  Thm4.2:%s \
                Lemma5.1:%s (%d/%d)@."
@@ -273,7 +287,7 @@ let theorems_cmd =
           tests)
       tests
   in
-  let term = Term.(term_result' (const run $ names_arg)) in
+  let term = Term.(term_result' (const run $ jobs_arg $ names_arg)) in
   Cmd.v
     (Cmd.info "theorems"
        ~doc:"Empirically check SC-LTRF, Theorem 4.2 and Lemma 5.1 on programs.")
@@ -305,15 +319,15 @@ let check_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Litmus file.")
   in
-  let run file =
+  let run jobs file =
     match Tmx_litmus.Parse.parse_file file with
     | exception Tmx_litmus.Parse.Error msg -> Error (Fmt.str "%s: %s" file msg)
     | litmus ->
-        let report = Tmx_litmus.Litmus.run litmus in
+        let report = Tmx_litmus.Litmus.run ~config:(config_of_jobs jobs) litmus in
         Fmt.pr "%a@." Tmx_litmus.Litmus.pp_report report;
         if Tmx_litmus.Litmus.passed report then Ok () else exit 1
   in
-  let term = Term.(term_result' (const run $ file_arg)) in
+  let term = Term.(term_result' (const run $ jobs_arg $ file_arg)) in
   Cmd.v
     (Cmd.info "check"
        ~doc:

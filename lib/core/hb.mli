@@ -6,6 +6,15 @@
     HBww/HBwr/HBrw rules and their primed variants [model] enables. *)
 
 val compute : Model.t -> Lift.ctx -> Rel.t
+(** The fixpoint maintains the transitive closure incrementally: the
+    base relation is closed once and every rule-derived edge extends the
+    closed relation in place ([Rel.union_into_closed]), instead of
+    re-running a full closure per round.  [compute_reference] is the
+    unoptimized equivalent. *)
+
+val compute_reference : Model.t -> Lift.ctx -> Rel.t
+(** The pre-cache fixpoint (full re-closure every round), kept as an
+    oracle: tests assert [compute] and [compute_reference] coincide. *)
 
 val quiescence_edges : Lift.ctx -> Rel.t
 (** The HBCQ and HBQB edges of the implementation model, exposed for

@@ -84,6 +84,43 @@ let transitive_closure_in_place r =
     done
   done
 
+(* Incremental closure maintenance.  [r] must already be transitively
+   closed; adding u->v creates exactly the paths i ~> u -> v ~> j, so the
+   rows of u and of everything reaching u gain v's row plus the bit for v
+   itself.  v's own row is snapshotted first: if v reaches u the update
+   makes the relation cyclic through v, and the snapshot keeps the loop
+   from reading its own partial writes.  O(n·w) per new edge, against
+   O(n²·w + n³/w) for a from-scratch Warshall. *)
+let add_edge_closed r u v =
+  if mem r u v then false
+  else begin
+    let row_v = Array.copy r.rows.(v) in
+    let wv = v / bits_per_word and bv = v mod bits_per_word in
+    row_v.(wv) <- row_v.(wv) lor (1 lsl bv);
+    for i = 0 to r.n - 1 do
+      if i = u || mem r i u then ignore (or_row r.rows.(i) row_v)
+    done;
+    true
+  end
+
+(* Union a delta into a closed relation, restoring closure edge by edge.
+   Returns [true] if anything was added. *)
+let union_into_closed ~into delta =
+  if into.n <> delta.n then invalid_arg "Rel.union_into_closed: size mismatch";
+  let changed = ref false in
+  for i = 0 to delta.n - 1 do
+    for w = 0 to delta.words - 1 do
+      let fresh = delta.rows.(i).(w) land lnot into.rows.(i).(w) in
+      if fresh <> 0 then
+        for b = 0 to bits_per_word - 1 do
+          if fresh land (1 lsl b) <> 0 then
+            if add_edge_closed into i ((w * bits_per_word) + b) then
+              changed := true
+        done
+    done
+  done;
+  !changed
+
 let transitive_closure r =
   let c = copy r in
   transitive_closure_in_place c;

@@ -30,6 +30,21 @@ val is_empty : t -> bool
 val transitive_closure : t -> t
 val transitive_closure_in_place : t -> unit
 
+val add_edge_closed : t -> int -> int -> bool
+(** [add_edge_closed r u v] adds the edge [u -> v] to a relation that is
+    already transitively closed, restoring closure incrementally
+    (O(n·w) per edge instead of a fresh Warshall pass).  Returns [true]
+    if the edge was new.  The result is unspecified if [r] was not
+    closed. *)
+
+val union_into_closed : into:t -> t -> bool
+(** [union_into_closed ~into delta] adds every edge of [delta] into the
+    transitively closed [into], maintaining closure per added edge;
+    returns [true] if anything changed.  This is the closure cache the
+    happens-before fixpoint leans on: rule-derived edges extend the
+    closed relation instead of triggering a from-scratch closure per
+    round. *)
+
 val compose : t -> t -> t
 (** Relational composition [a ; b]. *)
 

@@ -20,9 +20,9 @@
 
 open Tmx_core
 
-type config = { fuel : int; domain_iters : int; max_graphs : int }
+type config = { fuel : int; domain_iters : int; max_graphs : int; jobs : int }
 
-let default_config = { fuel = 6; domain_iters = 4; max_graphs = 500_000 }
+let default_config = { fuel = 6; domain_iters = 4; max_graphs = 500_000; jobs = 1 }
 
 type execution = { trace : Trace.t; outcome : Outcome.t }
 
@@ -120,96 +120,148 @@ let txn_touches_loc (ev : gevent array) b x =
 
 type fence_choice = Commit_before | Fence_before
 
-let run ?(config = default_config) (model : Model.t) (program : Tmx_lang.Ast.program) =
-  (match Tmx_lang.Ast.validate program with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Enumerate.run: " ^ msg));
-  let domain, thread_paths =
-    Proto.unfold ~iters:config.domain_iters ~fuel:config.fuel program
-  in
-  let locs = Proto.Domain.locs domain in
-  let truncated =
-    List.exists (List.exists (fun (p : Proto.path) -> p.truncated)) thread_paths
-  in
-  let thread_paths =
-    List.map (List.filter (fun (p : Proto.path) -> not p.truncated)) thread_paths
-  in
-  let executions = ref [] in
-  let graphs = ref 0 in
-  let capped = ref false in
+(* -- per-combo preparation ------------------------------------------------ *)
 
-  let process_paths (paths : Proto.path list) =
-    let ev = build_events paths in
-    let n = Array.length ev in
-    (* indices *)
-    let reads = ref [] and fences = ref [] in
-    let writes_to = Hashtbl.create 8 in
-    for i = n - 1 downto 0 do
-      match ev.(i).proto with
-      | Proto.PRead _ -> reads := i :: !reads
-      | Proto.PWrite (x, _) ->
-          Hashtbl.replace writes_to x (i :: Option.value (Hashtbl.find_opt writes_to x) ~default:[])
-      | Proto.PQfence _ -> fences := i :: !fences
-      | _ -> ()
-    done;
-    let writes_of x = Option.value (Hashtbl.find_opt writes_to x) ~default:[] in
-    (* reads-from candidates: same location and value; an aborted source
-       must be in the reader's own transaction; a same-thread source must
-       precede the read in program order (else no linearization can put it
-       before the read). [-1] encodes reading the initial value 0. *)
-    let rf_candidates i =
-      match ev.(i).proto with
-      | Proto.PRead (x, v) ->
-          let from_writes =
-            List.filter
-              (fun j ->
-                (match ev.(j).proto with
-                | Proto.PWrite (_, w) -> w = v
-                | _ -> false)
-                && (not (ev.(j).aborted && not (same_txn ev i j)))
-                && not (ev.(j).thread = ev.(i).thread && j > i))
-              (writes_of x)
-          in
-          if v = 0 then -1 :: from_writes else from_writes
-      | _ -> assert false
-    in
-    let read_choices = List.map rf_candidates !reads in
-    if List.exists (fun c -> c = []) read_choices then ()
-    else begin
+(* One choice of thread paths, with its event list and candidate
+   indices: the fixed inputs of the graph product below. *)
+type combo = {
+  paths : Proto.path list;
+  ev : gevent array;
+  reads : int list;
+  fences : int list;
+  writes_to : (string, int list) Hashtbl.t;
+}
+
+let prepare (paths : Proto.path list) =
+  let ev = build_events paths in
+  let n = Array.length ev in
+  let reads = ref [] and fences = ref [] in
+  let writes_to = Hashtbl.create 8 in
+  for i = n - 1 downto 0 do
+    match ev.(i).proto with
+    | Proto.PRead _ -> reads := i :: !reads
+    | Proto.PWrite (x, _) ->
+        Hashtbl.replace writes_to x (i :: Option.value (Hashtbl.find_opt writes_to x) ~default:[])
+    | Proto.PQfence _ -> fences := i :: !fences
+    | _ -> ()
+  done;
+  { paths; ev; reads = !reads; fences = !fences; writes_to }
+
+let writes_of combo x = Option.value (Hashtbl.find_opt combo.writes_to x) ~default:[]
+
+(* reads-from candidates: same location and value; an aborted source
+   must be in the reader's own transaction; a same-thread source must
+   precede the read in program order (else no linearization can put it
+   before the read). [-1] encodes reading the initial value 0. *)
+let rf_candidates combo i =
+  let ev = combo.ev in
+  match ev.(i).proto with
+  | Proto.PRead (x, v) ->
+      let from_writes =
+        List.filter
+          (fun j ->
+            (match ev.(j).proto with
+            | Proto.PWrite (_, w) -> w = v
+            | _ -> false)
+            && (not (ev.(j).aborted && not (same_txn ev i j)))
+            && not (ev.(j).thread = ev.(i).thread && j > i))
+          (writes_of combo x)
+      in
+      if v = 0 then -1 :: from_writes else from_writes
+  | _ -> assert false
+
+(* Reads-from candidates of the combo's first read — the top level of
+   the linearization prefix tree, which the parallel driver fans tasks
+   over.  [None] when the combo has no reads. *)
+let first_read_width combo =
+  match combo.reads with
+  | [] -> None
+  | r :: _ -> Some (List.length (rf_candidates combo r))
+
+(* fence ordering choices per (fence, transaction touching its
+   location): same-thread pairs are forced by program order. *)
+let fence_pairs combo =
+  let ev = combo.ev in
+  let n = Array.length ev in
+  List.concat_map
+    (fun q ->
+      let x = match ev.(q).proto with Proto.PQfence x -> x | _ -> assert false in
+      List.filter_map
+        (fun b ->
+          if ev.(b).proto = Proto.PBegin && txn_touches_loc ev b x then
+            if ev.(b).thread = ev.(q).thread then
+              (* forced: the side matching program order *)
+              if b < q then Some ((q, b), [ Commit_before ])
+              else Some ((q, b), [ Fence_before ])
+            else Some ((q, b), [ Commit_before; Fence_before ])
+          else None)
+        (List.init n Fun.id))
+    combo.fences
+
+(* Saturating upper estimate of a combo's candidate-graph count:
+   Π |rf candidates| × Π |coherence permutations| × Π |fence sides|.
+   Cheap arithmetic over the prepared indices, used to decide whether a
+   run is worth a domain pool at all. *)
+let estimated_graphs combo =
+  let cap = 1_000_000_000 in
+  let sat a b = if a = 0 || b = 0 then 0 else if a > cap / b then cap else a * b in
+  let rec fact k = if k <= 1 then 1 else sat k (fact (k - 1)) in
+  let rf =
+    List.fold_left
+      (fun acc r -> sat acc (List.length (rf_candidates combo r)))
+      1 combo.reads
+  in
+  let ww =
+    Hashtbl.fold (fun _x ws acc -> sat acc (fact (List.length ws))) combo.writes_to 1
+  in
+  let fences =
+    List.fold_left (fun acc (_, opts) -> sat acc (List.length opts)) 1 (fence_pairs combo)
+  in
+  sat (sat rf ww) fences
+
+(* Below this many estimated candidates, a parallel run falls back to
+   the sequential path: domain spawn and merge cost more than the
+   enumeration itself.  Verdicts are unaffected either way. *)
+let parallel_threshold = 64
+
+(* Enumerate the candidate graphs of [combo], optionally pinning the
+   first read's reads-from choice to candidate index [pin] (the parallel
+   task split: pinning choice k and iterating k in order visits the
+   candidates in exactly the sequential order).  [claim] is called once
+   per candidate graph, in enumeration order, and returns [Some ordinal]
+   to process it or [None] to count-and-skip it — graph-cap policy lives
+   in the caller; [emit] receives each consistent execution with its
+   candidate ordinal. *)
+let enumerate_combo ~model ~locs ?pin ~claim ~emit combo =
+  let ev = combo.ev in
+  let n = Array.length ev in
+  let writes_of = writes_of combo in
+  let read_choices = List.map (rf_candidates combo) combo.reads in
+  let read_choices =
+    match (pin, read_choices) with
+    | None, cs -> cs
+    | Some k, c :: rest -> [ List.nth c k ] :: rest
+    | Some _, [] -> assert false
+  in
+  if List.exists (fun c -> c = []) read_choices then ()
+  else begin
       (* coherence choices: per location, a permutation of its non-init
          writes; the initializing write is first (anything below it is
          inconsistent by Coherence). *)
       let locs_written =
         List.sort_uniq compare
-          (Hashtbl.fold (fun x _ acc -> x :: acc) writes_to [])
+          (Hashtbl.fold (fun x _ acc -> x :: acc) combo.writes_to [])
       in
       let ww_choices = List.map (fun x -> permutations (writes_of x)) locs_written in
-      (* fence ordering choices per (fence, transaction touching its
-         location): same-thread pairs are forced by program order. *)
-      let fence_pairs =
-        List.concat_map
-          (fun q ->
-            let x = match ev.(q).proto with Proto.PQfence x -> x | _ -> assert false in
-            List.filter_map
-              (fun b ->
-                if ev.(b).proto = Proto.PBegin && txn_touches_loc ev b x then
-                  if ev.(b).thread = ev.(q).thread then
-                    (* forced: the side matching program order *)
-                    if b < q then Some ((q, b), [ Commit_before ])
-                    else Some ((q, b), [ Fence_before ])
-                  else Some ((q, b), [ Commit_before; Fence_before ])
-                else None)
-              (List.init n Fun.id))
-          !fences
-      in
+      let fence_pairs = fence_pairs combo in
       let fence_keys = List.map fst fence_pairs in
       let fence_opts = List.map snd fence_pairs in
       product read_choices (fun rf_sel ->
           product ww_choices (fun ww_sel ->
               product fence_opts (fun fence_sel ->
-                  if !graphs >= config.max_graphs then capped := true
-                  else begin
-                    incr graphs;
+                  match claim () with
+                  | None -> ()
+                  | Some ordinal ->
                     (* timestamps: position in the chosen coherence order *)
                     let ts_of_write = Hashtbl.create 16 in
                     List.iter2
@@ -219,7 +271,7 @@ let run ?(config = default_config) (model : Model.t) (program : Tmx_lang.Ast.pro
                           perm)
                       locs_written ww_sel;
                     let rf = Hashtbl.create 16 in
-                    List.iter2 (fun r w -> Hashtbl.replace rf r w) !reads rf_sel;
+                    List.iter2 (fun r w -> Hashtbl.replace rf r w) combo.reads rf_sel;
                     let ts_of_read r =
                       match Hashtbl.find rf r with
                       | -1 -> Rat.zero
@@ -243,7 +295,7 @@ let run ?(config = default_config) (model : Model.t) (program : Tmx_lang.Ast.pro
                     (* reads-from (WF8) *)
                     List.iter
                       (fun r -> match Hashtbl.find rf r with -1 -> () | w -> edge w r)
-                      !reads;
+                      combo.reads;
                     (* WF9: transactional write before any coherence-later
                        committed transactional write *)
                     List.iter
@@ -288,7 +340,7 @@ let run ?(config = default_config) (model : Model.t) (program : Tmx_lang.Ast.pro
                                 if same_txn ev r c then edge r c
                               end)
                             (writes_of x))
-                      !reads;
+                      combo.reads;
                     (* fence choices (WF12) *)
                     List.iter2
                       (fun (q, b) choice ->
@@ -376,26 +428,137 @@ let run ?(config = default_config) (model : Model.t) (program : Tmx_lang.Ast.pro
                       if Consistency.consistent_axioms model ctx hb then begin
                         let outcome =
                           Outcome.make
-                            ~envs:(List.map (fun (p : Proto.path) -> p.env) paths)
+                            ~envs:
+                              (List.map
+                                 (fun (p : Proto.path) -> p.env)
+                                 combo.paths)
                             ~mem:
                               (List.map
                                  (fun x ->
                                    (x, Option.value (Trace.final_value trace x) ~default:0))
                                  locs)
                         in
-                        executions := { trace; outcome } :: !executions
+                        emit ordinal { trace; outcome }
                       end
-                    end
-                  end)))
+                    end)))
+    end
+
+(* -- the drivers ---------------------------------------------------------- *)
+
+let collect_combos thread_paths =
+  let acc = ref [] in
+  product thread_paths (fun sel -> acc := sel :: !acc);
+  List.rev_map prepare !acc
+
+(* Sequential reference path: one global candidate counter, cap applied
+   as candidates are claimed. *)
+let run_sequential ~config ~model ~locs ~truncated combos =
+  let executions = ref [] and graphs = ref 0 and capped = ref false in
+  let claim () =
+    if !graphs >= config.max_graphs then begin
+      capped := true;
+      None
+    end
+    else begin
+      incr graphs;
+      Some (!graphs - 1)
     end
   in
-  product thread_paths process_paths;
+  let emit _ordinal e = executions := e :: !executions in
+  List.iter (fun combo -> enumerate_combo ~model ~locs ~claim ~emit combo) combos;
   {
     executions = List.rev !executions;
     truncated;
     capped = !capped;
     graphs = !graphs;
   }
+
+(* Parallel path: fan tasks — (combo, first-read choice) pairs in
+   sequential enumeration order — over a domain pool, then merge the
+   per-task results in task order.
+
+   Determinism argument.  Each task enumerates its own candidate
+   sub-tree in the sequential order and records results against local
+   candidate ordinals; pinning the first read's choice to k and ranging
+   k over the candidates in order partitions the sequential candidate
+   sequence into contiguous runs, so the global ordinal of a task's
+   candidate is the task's prefix sum plus its local ordinal.  The merge
+   walks tasks in index order, reconstructing exactly the sequential
+   execution list, graph count and cap verdict no matter how the
+   domains interleaved.  A task processes a candidate only when its
+   local ordinal is below the cap (a deterministic over-approximation of
+   "global ordinal below the cap": prefix sums are nonnegative); the
+   merge then drops the few over-approximated ones. *)
+let run_parallel ~config ~model ~locs ~truncated combos =
+  let tasks =
+    List.concat_map
+      (fun combo ->
+        match first_read_width combo with
+        | None -> [ (combo, None) ]
+        | Some w -> List.init w (fun k -> (combo, Some k)))
+      combos
+    |> Array.of_list
+  in
+  let results =
+    Pool.run_tasks ~jobs:config.jobs ~tasks:(Array.length tasks) (fun ti ->
+        let combo, pin = tasks.(ti) in
+        (* re-prepare so every mutable index table is domain-local *)
+        let combo = prepare combo.paths in
+        let count = ref 0 and execs = ref [] in
+        let claim () =
+          let ordinal = !count in
+          incr count;
+          if ordinal < config.max_graphs then Some ordinal else None
+        in
+        let emit ordinal e = execs := (ordinal, e) :: !execs in
+        enumerate_combo ~model ~locs ?pin ~claim ~emit combo;
+        (!count, List.rev !execs))
+  in
+  let total = Array.fold_left (fun acc (c, _) -> acc + c) 0 results in
+  let executions = ref [] and prefix = ref 0 in
+  Array.iter
+    (fun (count, execs) ->
+      List.iter
+        (fun (ordinal, e) ->
+          if !prefix + ordinal < config.max_graphs then
+            executions := e :: !executions)
+        execs;
+      prefix := !prefix + count)
+    results;
+  {
+    executions = List.rev !executions;
+    truncated;
+    capped = total > config.max_graphs;
+    graphs = min total config.max_graphs;
+  }
+
+let run ?(config = default_config) (model : Model.t) (program : Tmx_lang.Ast.program) =
+  (match Tmx_lang.Ast.validate program with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Enumerate.run: " ^ msg));
+  let domain, thread_paths =
+    Proto.unfold ~iters:config.domain_iters ~fuel:config.fuel program
+  in
+  let locs = Proto.Domain.locs domain in
+  let truncated =
+    List.exists (List.exists (fun (p : Proto.path) -> p.truncated)) thread_paths
+  in
+  let thread_paths =
+    List.map (List.filter (fun (p : Proto.path) -> not p.truncated)) thread_paths
+  in
+  let combos = collect_combos thread_paths in
+  let small () =
+    (* saturating sum; stop adding once clearly past the threshold *)
+    let rec go acc = function
+      | [] -> acc < parallel_threshold
+      | _ when acc >= parallel_threshold -> false
+      | c :: rest -> go (acc + estimated_graphs c) rest
+    in
+    go 0 combos
+  in
+  if config.jobs <= 1 || small () then
+    run_sequential ~config ~model ~locs ~truncated combos
+  else run_parallel ~config ~model ~locs ~truncated combos
 
 let outcomes result = Outcome.dedup (List.map (fun e -> e.outcome) result.executions)
 

@@ -16,6 +16,16 @@ type config = {
   fuel : int;  (** loop unrollings per thread *)
   domain_iters : int;  (** value-domain fixpoint rounds *)
   max_graphs : int;  (** cap on candidate graphs *)
+  jobs : int;
+      (** domains to enumerate on (default 1 = sequential).  With
+          [jobs > 1] the candidate space is split into tasks — one per
+          (thread-path combination, first reads-from choice), the top of
+          the linearization prefix tree — dispatched to a work-stealing
+          domain pool and merged deterministically: the result
+          (executions, their order, [graphs], [capped]) is bit-identical
+          to the sequential run for every [jobs].  Runs whose estimated
+          candidate space is too small to amortize a domain pool fall
+          back to the sequential path automatically. *)
 }
 
 val default_config : config

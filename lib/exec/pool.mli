@@ -1,0 +1,17 @@
+(** A small work-stealing domain pool (OCaml 5 domains).
+
+    [run_tasks ~jobs ~tasks f] evaluates [f i] for every
+    [i ∈ [0, tasks)] on up to [jobs] domains (the caller's included)
+    and returns the results indexed by task.  Task claiming is a shared
+    fetch-and-add cursor, so domains steal whatever task is next the
+    moment they go idle; result slots are per-task, so the output array
+    is independent of domain scheduling.  With [jobs <= 1] (or a single
+    task) everything runs in the calling domain and no domain is
+    spawned.  If a task raises, the first exception is re-raised in the
+    caller after the pool drains. *)
+
+val run_tasks : jobs:int -> tasks:int -> (int -> 'a) -> 'a array
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()], exposed for [--jobs 0]-style
+    "use every core" defaults. *)

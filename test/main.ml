@@ -1,5 +1,11 @@
+(* The suites below marked as exhaustive run full execution-graph
+   enumerations over the litmus catalog; `dune build @quick` sets
+   TMX_QUICK=1 to skip them for fast iteration. *)
+let exhaustive =
+  [ "naive"; "enumerate"; "sc"; "litmus"; "shapes"; "theorems"; "parallel" ]
+
 let () =
-  Alcotest.run "tmx"
+  let suites =
     [
       ("rat", Test_rat.suite);
       ("rel", Test_rel.suite);
@@ -21,6 +27,7 @@ let () =
       ("sc", Test_sc.suite);
       ("litmus", Test_litmus.suite);
       ("shapes", Test_shapes.suite);
+      ("parallel", Test_parallel.suite);
       ("parse", Test_parse.suite);
       ("export", Test_export.suite);
       ("theorems", Test_theorems.suite);
@@ -33,3 +40,10 @@ let () =
       ("machine", Test_machine.suite);
       ("volatile", Test_volatile.suite);
     ]
+  in
+  let suites =
+    if Sys.getenv_opt "TMX_QUICK" <> None then
+      List.filter (fun (name, _) -> not (List.mem name exhaustive)) suites
+    else suites
+  in
+  Alcotest.run "tmx" suites
