@@ -5,6 +5,7 @@
      tmx outcomes NAME -m MODEL  enumerate the consistent outcomes
      tmx races NAME -m MODEL     list races of every consistent execution
      tmx stm NAME                explore a program under the STM simulator
+     tmx stm-bench               drive multi-domain workloads over the runtime STM
      tmx theorems [NAME ...]     run the theorem checks
      tmx models                  list the model configurations
      tmx show NAME               print a catalog program *)
@@ -193,6 +194,104 @@ let stm_cmd =
        ~doc:
          "Exhaustively explore a program under the operational STM simulator \
           and report anomalies against the atomic reference semantics.")
+    term
+
+(* -- stm-bench --------------------------------------------------------------- *)
+
+let stm_bench_cmd =
+  let open Tmx_runtime in
+  let domains_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "d"; "domains" ] ~docv:"N" ~doc:"Worker domains per stage.")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "n"; "iters" ] ~docv:"N"
+          ~doc:"Transactions per domain per stage.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_stm.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("both", `Both); ("lazy", `Lazy); ("eager", `Eager) ]) `Both
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Versioning: both, lazy or eager.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("all", `All); ("spin", `Spin); ("jittered", `Jittered);
+               ("budget", `Budget);
+             ])
+          `All
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Contention management: all, spin (legacy capped exponential), \
+             jittered (per-domain jitter), or budget (escalate to a \
+             serialized slow path after 8 retries).")
+  in
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Enable the per-domain event rings during the run and print the \
+             tail of the merged trace.")
+  in
+  let run domains iters out mode policy trace =
+    let domains = max 1 domains and iters = max 1 iters in
+    let modes =
+      match mode with
+      | `Both -> [ Stm.Lazy; Stm.Eager ]
+      | `Lazy -> [ Stm.Lazy ]
+      | `Eager -> [ Stm.Eager ]
+    in
+    let policies =
+      match policy with
+      | `All -> Stm_bench.default_policies
+      | `Spin -> [ ("spin", Contention.Spin) ]
+      | `Jittered -> [ ("jittered", Contention.Jittered) ]
+      | `Budget -> [ ("budget8", Contention.Budget 8) ]
+    in
+    let config =
+      { Stm_bench.default_config with domains; iters; modes; policies }
+    in
+    if trace then Stm.Trace.enable ();
+    let results = Stm_bench.run config in
+    List.iter (fun r -> Fmt.pr "%a@." Stm_bench.pp_result r) results;
+    if trace then begin
+      Stm.Trace.disable ();
+      let events = Stm.Trace.snapshot () in
+      let n = List.length events in
+      Fmt.pr "--- trace tail (%d events buffered, %d dropped) ---@." n
+        (Stm.Trace.dropped ());
+      List.iteri
+        (fun i e -> if i >= n - 20 then Fmt.pr "%a@." Stm.Trace.pp_event e)
+        events
+    end;
+    Stm_bench.write_json ~file:out config results;
+    Fmt.pr "wrote %s (%d runs)@." out (List.length results)
+  in
+  let term =
+    Term.(
+      const run $ domains_arg $ iters_arg $ out_arg $ mode_arg $ policy_arg
+      $ trace_flag)
+  in
+  Cmd.v
+    (Cmd.info "stm-bench"
+       ~doc:
+         "Drive multi-domain workloads (read-heavy, write-heavy, \
+          privatization-heavy) over the runtime STM for each versioning \
+          mode and contention policy; print per-stage commit/abort/retry \
+          metrics and write BENCH_stm.json.")
     term
 
 (* -- theorems ----------------------------------------------------------------- *)
@@ -414,7 +513,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            litmus_cmd; outcomes_cmd; races_cmd; stm_cmd; machine_cmd;
-            theorems_cmd; models_cmd; show_cmd; dot_cmd; check_cmd;
-            export_cmd; shapes_cmd; fence_cmd;
+            litmus_cmd; outcomes_cmd; races_cmd; stm_cmd; stm_bench_cmd;
+            machine_cmd; theorems_cmd; models_cmd; show_cmd; dot_cmd;
+            check_cmd; export_cmd; shapes_cmd; fence_cmd;
           ]))

@@ -10,13 +10,22 @@
 
    Results land in a per-task slot, so the caller can merge them in
    task-index order and stay bit-identical to a sequential run no
-   matter how the domains interleaved. *)
+   matter how the domains interleaved.
+
+   Pathological arguments are normalized up front: [jobs] is clamped to
+   at least 1 (a negative or zero request means "no parallelism", not
+   an error), and a negative [tasks] raises [Invalid_argument] instead
+   of leaking whatever [Array] would have said.  Both the sequential
+   and the parallel paths deliver a task's exception through the same
+   capture-and-reraise machinery, so the caller sees identical
+   exceptions with identical backtraces whatever [jobs] was. *)
 
 let available_cores () = Domain.recommended_domain_count ()
 
 let run_tasks ~jobs ~tasks (f : int -> 'a) : 'a array =
+  if tasks < 0 then invalid_arg "Pool.run_tasks: negative tasks";
+  let jobs = max 1 jobs in
   if tasks = 0 then [||]
-  else if jobs <= 1 || tasks = 1 then Array.init tasks f
   else begin
     let results : 'a option array = Array.make tasks None in
     let next = Atomic.make 0 in

@@ -5,10 +5,16 @@
     and returns the results indexed by task.  Task claiming is a shared
     fetch-and-add cursor, so domains steal whatever task is next the
     moment they go idle; result slots are per-task, so the output array
-    is independent of domain scheduling.  With [jobs <= 1] (or a single
-    task) everything runs in the calling domain and no domain is
-    spawned.  If a task raises, the first exception is re-raised in the
-    caller after the pool drains. *)
+    is independent of domain scheduling.
+
+    [jobs] is clamped to at least 1; with [jobs = 1] (or a single task)
+    everything runs in the calling domain and no domain is spawned.  A
+    negative [tasks] raises [Invalid_argument].
+
+    If a task raises, the pool drains (no further tasks start) and the
+    first exception is re-raised in the caller with the raising task's
+    backtrace — through the same capture-and-reraise path whatever
+    [jobs] was, so error behaviour does not depend on parallelism. *)
 
 val run_tasks : jobs:int -> tasks:int -> (int -> 'a) -> 'a array
 

@@ -1,0 +1,92 @@
+(* Contention management for the runtime STM.
+
+   A conflicted transaction must wait before retrying, and *how* it
+   waits decides whether the system makes progress under load:
+
+   - [Spin] is the classic capped exponential backoff
+     (2^min(retry, 10) cpu_relax iterations).  It is deterministic and
+     identical on every domain, so transactions that conflicted once
+     tend to wake simultaneously and conflict again — a retry convoy.
+     Kept for comparison and for exactly reproducing old behaviour.
+
+   - [Jittered] (the default) draws the spin length uniformly from
+     [1, 2^min(retry, 10)] using a per-domain deterministic PRNG: no
+     shared RNG state (a shared one would itself be a contention
+     point), no dependence on wall time, and a fixed seed per domain id
+     so runs are reproducible domain-for-domain.
+
+   - [Budget n] behaves like [Jittered] until a transaction has
+     retried [n] times, then escalates it to a serialized slow path: the
+     starved transaction takes a global mutex, raises a flag that stalls
+     *new* attempts on every other domain, and retries with the field to
+     itself.  In-flight attempts drain (they either commit or conflict),
+     so the escalated transaction completes after bounded interference
+     instead of spinning forever — progress degrades gracefully to
+     one-at-a-time instead of livelocking.
+
+   The PRNG is a 48-bit LCG (the classic drand48 multiplier) stepped in
+   domain-local storage; constants fit comfortably in OCaml's 63-bit
+   ints. *)
+
+type policy =
+  | Spin  (** capped exponential backoff, deterministic (legacy) *)
+  | Jittered  (** capped exponential with per-domain jitter (default) *)
+  | Budget of int
+      (** jittered up to [n] retries, then serialized slow path *)
+
+let default_policy = Jittered
+
+let pp_policy ppf = function
+  | Spin -> Fmt.string ppf "spin"
+  | Jittered -> Fmt.string ppf "jittered"
+  | Budget n -> Fmt.pf ppf "budget:%d" n
+
+(* --- per-domain deterministic jitter ------------------------------- *)
+
+let rng_key =
+  Domain.DLS.new_key (fun () ->
+      (* distinct, fixed seed per domain id; never zero *)
+      ref ((((Domain.self () :> int) + 1) * 0x9E3779B9) land 0xFFFF_FFFF_FFFF))
+
+let rand_bits () =
+  let st = Domain.DLS.get rng_key in
+  st := ((!st * 0x5DEECE66D) + 0xB) land 0xFFFF_FFFF_FFFF;
+  !st lsr 17 (* the high bits are the well-mixed ones *)
+
+let relax_for spins =
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done
+
+let cap = 10
+
+let exp_spins retry = 1 lsl min retry cap
+
+(* --- serialized slow path ------------------------------------------ *)
+
+let serial_mutex = Mutex.create ()
+let serial_active = Atomic.make false
+
+let stall_if_serialized () =
+  while Atomic.get serial_active do
+    Domain.cpu_relax ()
+  done
+
+let serialized f =
+  Mutex.lock serial_mutex;
+  Atomic.set serial_active true;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set serial_active false;
+      Mutex.unlock serial_mutex)
+    f
+
+(* --- the wait itself ----------------------------------------------- *)
+
+let backoff policy ~retry =
+  match policy with
+  | Spin -> relax_for (exp_spins retry)
+  | Jittered | Budget _ -> relax_for (1 + (rand_bits () mod exp_spins retry))
+
+let escalates policy ~retry =
+  match policy with Budget n -> retry >= n | Spin | Jittered -> false

@@ -1,0 +1,48 @@
+(** Pluggable contention management for the runtime STM.
+
+    A policy decides how a conflicted transaction waits before retrying
+    (and whether it eventually stops retrying optimistically at all):
+
+    - {!Spin}: capped exponential backoff, deterministic and identical
+      on every domain — the legacy behaviour, prone to retry convoys;
+    - {!Jittered} (the default): capped exponential with the spin length
+      drawn from a per-domain deterministic PRNG (no shared RNG, no
+      wall-clock dependence), which breaks convoys;
+    - {!Budget}[ n]: jittered for the first [n] retries, then the
+      transaction escalates to a serialized slow path — it takes a
+      global lock, stalls new attempts on other domains, and runs with
+      the field to itself, so a starved transaction finishes instead of
+      spinning forever. *)
+
+type policy =
+  | Spin
+  | Jittered
+  | Budget of int
+
+val default_policy : policy
+(** {!Jittered}. *)
+
+val pp_policy : Format.formatter -> policy -> unit
+
+val backoff : policy -> retry:int -> unit
+(** Wait as the policy prescribes before retry number [retry]
+    (0-based: the wait after the first conflict has [retry = 0]). *)
+
+val escalates : policy -> retry:int -> bool
+(** Should this retry run on the serialized slow path instead? *)
+
+val serialized : (unit -> 'a) -> 'a
+(** Run [f] with the serialization gate held: one escalated transaction
+    at a time, all other domains' {e new} attempts stalled via
+    {!stall_if_serialized} until [f] returns. *)
+
+val stall_if_serialized : unit -> unit
+(** Spin while some escalated transaction holds the gate.  Called by the
+    STM at the top of every optimistic attempt. *)
+
+(**/**)
+
+val rand_bits : unit -> int
+(** The per-domain PRNG, exposed for tests and benchmarks. *)
+
+(**/**)

@@ -1,45 +1,83 @@
 (* Active-transaction registry, the basis of quiescence (§5).
 
-   Each participating domain owns a slot recording whether a transaction
-   is in flight, a monotone sequence number bumped at every begin, and
-   the transaction's declared footprint (the TVar ids it may access), if
-   any.  A quiescence fence snapshots the slots and waits until every
-   relevant slot has either gone idle or moved on to a later transaction
-   — the RCU-style grace period: every relevant transaction concurrent
-   with the fence's start has resolved.
+   Each participating domain owns a slot recording a generation word and
+   the in-flight transaction's declared footprint (the TVar ids it may
+   access), if any.  A quiescence fence snapshots the slots and waits
+   until every relevant in-flight transaction has resolved — the
+   RCU-style grace period: every relevant transaction concurrent with
+   the fence's start has resolved before the fence returns.
 
    The paper's fence is per-location (hQxi).  A transaction's future
    accesses are unknowable, so location-selective waiting is only sound
    for transactions that declared a footprint up front; undeclared
-   transactions are always waited for. *)
+   transactions are always waited for.
+
+   Two correctness points, both once bugs (see the regression tests in
+   test/test_runtime.ml):
+
+   - Slots are allocated per domain, never shared.  An earlier fixed
+     table of 128 slots indexed by [domain mod 128] let a 129th domain
+     alias an existing slot, so one domain's [exit] could clear
+     another's in-flight state and a concurrent [quiesce] would return
+     before that transaction resolved.  The table now grows without
+     bound (copy-on-append under an atomic, so [quiesce] still
+     snapshots it wait-free); a domain's slot outlives the domain,
+     which is a deliberate small leak — dead domains are permanently
+     idle and cost one array cell each.
+
+   - A slot's state is a single generation word, so [quiesce] never
+     pairs one transaction's liveness with another's footprint.  An
+     earlier three-field slot ([seq]/[active]/[footprint], each its own
+     atomic) published a new transaction in three steps, and a snapshot
+     landing mid-[enter] could combine the new [active = true] with the
+     previous transaction's footprint — wrongly *skipping* a
+     transaction about to touch the fenced variable.  Now [state] is a
+     counter whose parity is the liveness bit (odd = in flight;
+     [state / 2] counts transactions begun on the slot).  [enter]
+     writes the footprint while the word is even — no fence can
+     attribute it to a live transaction yet — and then increments the
+     word; [quiesce] re-reads the word after reading the footprint and
+     trusts the pair only if the word did not move. *)
 
 type slot = {
-  seq : int Atomic.t;
-  active : bool Atomic.t;
+  state : int Atomic.t; (* generation word: odd = transaction in flight *)
   footprint : int list option Atomic.t; (* None: may touch anything *)
 }
 
-let max_slots = 128
+(* Every slot ever allocated, one per domain that has entered a
+   transaction.  Copy-on-append keeps the array immutable so [quiesce]
+   snapshots it with a single atomic read. *)
+let slots : slot array Atomic.t = Atomic.make [||]
 
-let slots =
-  Array.init max_slots (fun _ ->
-      { seq = Atomic.make 0; active = Atomic.make false; footprint = Atomic.make None })
+let register s =
+  let rec go () =
+    let old = Atomic.get slots in
+    let arr = Array.make (Array.length old + 1) s in
+    Array.blit old 0 arr 0 (Array.length old);
+    if not (Atomic.compare_and_set slots old arr) then go ()
+  in
+  go ()
 
-let next_slot = Atomic.make 0
+let key =
+  Domain.DLS.new_key (fun () ->
+      let s = { state = Atomic.make 0; footprint = Atomic.make None } in
+      register s;
+      s)
 
-let key = Domain.DLS.new_key (fun () -> Atomic.fetch_and_add next_slot 1 mod max_slots)
+let my_slot () = Domain.DLS.get key
 
-let my_slot () = slots.(Domain.DLS.get key)
+let registered_domains () = Array.length (Atomic.get slots)
 
 let enter ?footprint () =
   let s = my_slot () in
-  Atomic.incr s.seq;
+  (* the word is even here, so no fence attributes this footprint to a
+     live transaction until the increment below publishes both at once *)
   Atomic.set s.footprint footprint;
-  Atomic.set s.active true
+  Atomic.incr s.state
 
 let exit () =
   let s = my_slot () in
-  Atomic.set s.active false
+  Atomic.incr s.state
 
 let relevant ~var footprint =
   match (var, footprint) with
@@ -49,22 +87,22 @@ let relevant ~var footprint =
 
 (* Wait until every relevant transaction active at the call has
    resolved.  [var] is the id of the fenced TVar, when fencing a single
-   location. *)
+   location.  Domains registering after the snapshot began their
+   transactions after the fence started, so the grace period rightly
+   ignores them. *)
 let quiesce ?var () =
-  let snapshot =
-    Array.map
-      (fun s -> (Atomic.get s.seq, Atomic.get s.active, Atomic.get s.footprint))
-      slots
-  in
-  Array.iteri
-    (fun i (seq, active, footprint) ->
-      if active && relevant ~var footprint then
-        let rec wait () =
-          let s = slots.(i) in
-          if Atomic.get s.active && Atomic.get s.seq = seq then begin
-            Domain.cpu_relax ();
-            wait ()
-          end
-        in
-        wait ())
+  let snapshot = Atomic.get slots in
+  Array.iter
+    (fun s ->
+      let g = Atomic.get s.state in
+      if g land 1 = 1 then begin
+        let footprint = Atomic.get s.footprint in
+        (* the footprint belongs to generation [g] only while the word
+           still reads [g]; if it moved, generation [g] has resolved and
+           there is nothing to wait for *)
+        if Atomic.get s.state = g && relevant ~var footprint then
+          while Atomic.get s.state = g do
+            Domain.cpu_relax ()
+          done
+      end)
     snapshot

@@ -1,10 +1,13 @@
 (** Active-transaction registry: the grace-period machinery behind the
     quiescence fence (§5).
 
-    Each domain owns a slot recording whether a transaction is in flight,
-    a per-transaction sequence number, and the transaction's declared
-    footprint if any; {!quiesce} waits until every relevant transaction
-    active at the call has resolved (RCU-style). *)
+    Each domain owns a private slot (allocated on first use, never
+    shared or recycled) holding a single generation word — odd while a
+    transaction is in flight — and the transaction's declared footprint
+    if any; {!quiesce} waits until every relevant transaction active at
+    the call has resolved (RCU-style).  The single-word state makes the
+    fence's snapshot consistent: a footprint is only trusted if the
+    generation word is unchanged across its read. *)
 
 val enter : ?footprint:int list -> unit -> unit
 (** Mark this domain's transaction as in flight.  [footprint] is the set
@@ -18,3 +21,7 @@ val quiesce : ?var:int -> unit -> unit
 (** Return once every relevant in-flight transaction has resolved:
     all of them for a global fence, or — when [var] is given — those
     whose declared footprint contains [var] plus all undeclared ones. *)
+
+val registered_domains : unit -> int
+(** How many domains have ever allocated a slot (diagnostics; grows
+    monotonically, one per domain that ran a transaction). *)

@@ -14,28 +14,140 @@
    commit — but neither orders transactions against later plain accesses
    (the privatization idiom): that requires [quiesce], the quiescence
    fence of §5, implemented as an RCU-style grace period over the
-   active-transaction registry. *)
+   active-transaction registry.
+
+   Around the core protocol sit three operational layers:
+
+   - contention management ([Contention], pluggable per call): how a
+     conflicted transaction waits before retrying, including a
+     retry-budget policy that escalates starved transactions to a
+     serialized slow path;
+   - statistics: per-mode commit/abort counters split by abort reason,
+     plus retry-count and commit-latency histograms, all read through
+     pure snapshots ([stats]); the legacy three-counter
+     [stats_snapshot] is kept as a projection;
+   - tracing ([Stm_trace], off by default): per-domain ring buffers of
+     structured begin/abort/commit/quiesce events. *)
+
+module Trace = Stm_trace
+module Contention = Contention
 
 type mode = Lazy | Eager
 
-exception Retry_conflict
+let mode_name = function Lazy -> "lazy" | Eager -> "eager"
+
+(* why an optimistic attempt failed *)
+type conflict =
+  | Validation (* a read (or the commit-time read-set check) saw a torn version *)
+  | Lock (* a lock acquisition lost to a concurrent writer *)
+
+exception Retry_conflict of conflict
 exception User_abort
 
 let clock = Atomic.make 0
 
-type stats = {
-  commits : int Atomic.t;
-  conflicts : int Atomic.t;
-  user_aborts : int Atomic.t;
+(* --- statistics ----------------------------------------------------- *)
+
+(* counters are per mode (index 0 = Lazy, 1 = Eager) and, for aborts,
+   per reason; histograms are global.  Everything is an atomic cell so
+   [stats] is a pure read. *)
+
+let mode_index = function Lazy -> 0 | Eager -> 1
+
+let acell_array n = Array.init n (fun _ -> Atomic.make 0)
+
+let commit_counts = acell_array 2
+let validation_counts = acell_array 2
+let lock_counts = acell_array 2
+let user_abort_counts = acell_array 2
+let quiesce_count = Atomic.make 0
+let escalation_count = Atomic.make 0
+
+(* histogram buckets: value v lands in the first bucket with
+   v <= bounds.(i); the extra last bucket is the overflow *)
+let retry_bounds = [| 0; 1; 2; 4; 8; 16; 32 |]
+let latency_bounds_ns = [| 1_000; 10_000; 100_000; 1_000_000; 10_000_000 |]
+let retry_counts = acell_array (Array.length retry_bounds + 1)
+let latency_counts = acell_array (Array.length latency_bounds_ns + 1)
+
+let observe bounds counts v =
+  let n = Array.length bounds in
+  let rec bucket i = if i >= n || v <= bounds.(i) then i else bucket (i + 1) in
+  Atomic.incr counts.(bucket 0)
+
+type mode_stats = {
+  commits : int;
+  validation_aborts : int;
+  lock_aborts : int;
+  user_aborts : int;
 }
 
-let stats =
-  { commits = Atomic.make 0; conflicts = Atomic.make 0; user_aborts = Atomic.make 0 }
+type histogram = { bounds : int array; counts : int array }
 
+type snapshot = {
+  lazy_stats : mode_stats;
+  eager_stats : mode_stats;
+  retry_hist : histogram; (* retries per committed transaction *)
+  latency_hist_ns : histogram; (* first-attempt-to-commit latency *)
+  quiesces : int;
+  escalations : int; (* transactions that took the serialized slow path *)
+}
+
+let stats () =
+  let mode_stats i =
+    {
+      commits = Atomic.get commit_counts.(i);
+      validation_aborts = Atomic.get validation_counts.(i);
+      lock_aborts = Atomic.get lock_counts.(i);
+      user_aborts = Atomic.get user_abort_counts.(i);
+    }
+  in
+  let hist bounds counts =
+    { bounds = Array.copy bounds; counts = Array.map Atomic.get counts }
+  in
+  {
+    lazy_stats = mode_stats 0;
+    eager_stats = mode_stats 1;
+    retry_hist = hist retry_bounds retry_counts;
+    latency_hist_ns = hist latency_bounds_ns latency_counts;
+    quiesces = Atomic.get quiesce_count;
+    escalations = Atomic.get escalation_count;
+  }
+
+let reset_stats () =
+  let zero = Array.iter (fun c -> Atomic.set c 0) in
+  zero commit_counts;
+  zero validation_counts;
+  zero lock_counts;
+  zero user_abort_counts;
+  zero retry_counts;
+  zero latency_counts;
+  Atomic.set quiesce_count 0;
+  Atomic.set escalation_count 0
+
+(* the legacy triple (commits, conflicts, user aborts), a projection of
+   the per-mode counters so existing callers keep working unchanged *)
 let stats_snapshot () =
-  ( Atomic.get stats.commits,
-    Atomic.get stats.conflicts,
-    Atomic.get stats.user_aborts )
+  let s = stats () in
+  let total f = f s.lazy_stats + f s.eager_stats in
+  ( total (fun m -> m.commits),
+    total (fun m -> m.validation_aborts + m.lock_aborts),
+    total (fun m -> m.user_aborts) )
+
+let pp_mode_stats ppf m =
+  Fmt.pf ppf "commits:%d aborts:{validation:%d lock:%d user:%d}" m.commits
+    m.validation_aborts m.lock_aborts m.user_aborts
+
+let pp_histogram ppf h =
+  let n = Array.length h.bounds in
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Fmt.sp ppf ();
+      if i < n then Fmt.pf ppf "<=%d:%d" h.bounds.(i) c
+      else Fmt.pf ppf ">%d:%d" h.bounds.(n - 1) c)
+    h.counts
+
+(* --- transactions ---------------------------------------------------- *)
 
 type tx = {
   mode : mode;
@@ -63,12 +175,20 @@ let check_footprint tx v =
 
 let eager_owns tx v = List.exists (fun (u, _, _) -> u == v) tx.undo
 
+let validation_fail v =
+  Stm_trace.record Stm_trace.Read_validate_fail ~detail:(Tvar.id v) ();
+  raise (Retry_conflict Validation)
+
+let lock_fail v =
+  Stm_trace.record Stm_trace.Lock_fail ~detail:(Tvar.id v) ();
+  raise (Retry_conflict Lock)
+
 let read_versioned tx v =
   let s1 = Tvar.version_word v in
-  if Tvar.locked s1 || s1 > tx.rv then raise Retry_conflict;
+  if Tvar.locked s1 || s1 > tx.rv then validation_fail v;
   let x = Tvar.unsafe_read v in
   let s2 = Tvar.version_word v in
-  if s1 <> s2 then raise Retry_conflict;
+  if s1 <> s2 then validation_fail v;
   tx.reads <- (v, s1) :: tx.reads;
   x
 
@@ -93,7 +213,7 @@ let write tx v x =
       end
       else begin
         match Tvar.try_lock v with
-        | None -> raise Retry_conflict
+        | None -> lock_fail v
         | Some prev ->
             tx.undo <- (v, Tvar.unsafe_read v, Some prev) :: tx.undo;
             Tvar.unsafe_write v x
@@ -129,10 +249,14 @@ let validate ?(own = []) tx =
           (not (Tvar.locked word)) && word = s1)
     tx.reads
 
+let commit_validation_fail () =
+  Stm_trace.record Stm_trace.Read_validate_fail ();
+  raise (Retry_conflict Validation)
+
 let lazy_commit tx =
   if tx.writes = [] then begin
     (* read-only transactions commit without locking *)
-    if not (validate tx) then raise Retry_conflict
+    if not (validate tx) then commit_validation_fail ()
   end
   else begin
     let to_lock =
@@ -147,16 +271,16 @@ let lazy_commit tx =
          (fun (v, _) ->
            match Tvar.try_lock v with
            | Some prev -> locked := (v, prev) :: !locked
-           | None -> raise Retry_conflict)
+           | None -> lock_fail v)
          to_lock
-     with Retry_conflict ->
+     with Retry_conflict _ as e ->
        release ();
-       raise Retry_conflict);
+       raise e);
     (* a write variable observed before being locked must still be at its
        observed version *)
     if not (validate ~own:!locked tx) then begin
       release ();
-      raise Retry_conflict
+      commit_validation_fail ()
     end;
     let wv = Atomic.fetch_and_add clock 2 + 2 in
     List.iter (fun (v, x) -> Tvar.unsafe_write v x) (List.rev tx.writes);
@@ -171,7 +295,7 @@ let eager_commit tx =
   in
   if not (validate ~own tx) then begin
     eager_rollback tx;
-    raise Retry_conflict
+    commit_validation_fail ()
   end;
   let wv = Atomic.fetch_and_add clock 2 + 2 in
   List.iter (fun (v, _) -> Tvar.unlock v ~version:wv) own;
@@ -197,13 +321,8 @@ let or_else tx f1 f2 =
         tx.reads <- saved_reads;
         f2 tx)
 
-let backoff n =
-  for _ = 0 to (1 lsl min n 10) - 1 do
-    Domain.cpu_relax ()
-  done
-
-(* Run one attempt; [Error `Conflict] means retry, [Error `Aborted] means
-   the user aborted. *)
+(* Run one attempt; [Error (`Conflict _)] means retry, [Error `Aborted]
+   means the user aborted. *)
 let attempt ?footprint mode f =
   Registry.enter ?footprint ();
   let tx =
@@ -214,10 +333,10 @@ let attempt ?footprint mode f =
     | x -> (
         match (match mode with Lazy -> lazy_commit tx | Eager -> eager_commit tx) with
         | () -> Ok x
-        | exception Retry_conflict -> Error `Conflict)
-    | exception Retry_conflict ->
+        | exception Retry_conflict c -> Error (`Conflict c))
+    | exception Retry_conflict c ->
         if mode = Eager then eager_rollback tx;
-        Error `Conflict
+        Error (`Conflict c)
     | exception User_abort ->
         if mode = Eager then eager_rollback tx;
         Error `Aborted
@@ -229,27 +348,71 @@ let attempt ?footprint mode f =
   Registry.exit ();
   result
 
-(* Commit [f], retrying on conflicts; [Error `Aborted] if the user
-   aborted (the paper's explicit abort — not retried). *)
-let atomically_result ?(mode = Lazy) ?footprint f =
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Commit [f], retrying on conflicts under the contention policy;
+   [Error `Aborted] if the user aborted (the paper's explicit abort —
+   not retried). *)
+let atomically_result ?(mode = Lazy) ?(policy = Contention.default_policy)
+    ?footprint f =
   let footprint = Option.map (List.map Tvar.id) footprint in
+  let mi = mode_index mode in
+  let t0 = now_ns () in
+  let committed retries x =
+    Atomic.incr commit_counts.(mi);
+    observe retry_bounds retry_counts retries;
+    observe latency_bounds_ns latency_counts (now_ns () - t0);
+    Stm_trace.record Stm_trace.Commit ~detail:retries ();
+    Ok x
+  in
+  let conflicted = function
+    | Validation -> Atomic.incr validation_counts.(mi)
+    | Lock -> Atomic.incr lock_counts.(mi)
+  in
+  let aborted () =
+    Atomic.incr user_abort_counts.(mi);
+    Stm_trace.record Stm_trace.User_abort ();
+    Error `Aborted
+  in
+  let one_attempt n =
+    Stm_trace.record Stm_trace.Begin ~detail:n ();
+    attempt ?footprint mode f
+  in
+  (* the serialized slow path: the gate stalls new optimistic attempts
+     on every other domain, so the in-flight ones drain and this
+     transaction commits after bounded interference *)
+  let escalate n =
+    Atomic.incr escalation_count;
+    Stm_trace.record Stm_trace.Escalate ~detail:n ();
+    Contention.serialized (fun () ->
+        let rec again n =
+          match one_attempt n with
+          | Ok x -> committed n x
+          | Error (`Conflict c) ->
+              conflicted c;
+              Domain.cpu_relax ();
+              again (n + 1)
+          | Error `Aborted -> aborted ()
+        in
+        again n)
+  in
   let rec go n =
-    match attempt ?footprint mode f with
-    | Ok x ->
-        Atomic.incr stats.commits;
-        Ok x
-    | Error `Conflict ->
-        Atomic.incr stats.conflicts;
-        backoff n;
-        go (n + 1)
-    | Error `Aborted ->
-        Atomic.incr stats.user_aborts;
-        Error `Aborted
+    Contention.stall_if_serialized ();
+    match one_attempt n with
+    | Ok x -> committed n x
+    | Error (`Conflict c) ->
+        conflicted c;
+        if Contention.escalates policy ~retry:n then escalate (n + 1)
+        else begin
+          Contention.backoff policy ~retry:n;
+          go (n + 1)
+        end
+    | Error `Aborted -> aborted ()
   in
   go 0
 
-let atomically ?mode ?footprint f =
-  match atomically_result ?mode ?footprint f with
+let atomically ?mode ?policy ?footprint f =
+  match atomically_result ?mode ?policy ?footprint f with
   | Ok x -> Some x
   | Error `Aborted -> None
 
@@ -260,4 +423,9 @@ let atomically ?mode ?footprint f =
    for — the per-location hQxi fence, sound because transactions with
    declared footprints cannot stray (checked on every access). *)
 let quiesce ?var () =
-  Registry.quiesce ?var:(Option.map Tvar.id var) ()
+  let vid = Option.map Tvar.id var in
+  let detail = Option.value vid ~default:(-1) in
+  Stm_trace.record Stm_trace.Quiesce_start ~detail ();
+  Atomic.incr quiesce_count;
+  Registry.quiesce ?var:vid ();
+  Stm_trace.record Stm_trace.Quiesce_end ~detail ()

@@ -16,9 +16,21 @@
     of §5.
 
     {b Conflicts retry automatically; user aborts do not.}  Raising an
-    arbitrary exception inside a transaction aborts it and re-raises. *)
+    arbitrary exception inside a transaction aborts it and re-raises.
+
+    How a conflicted transaction waits is a pluggable
+    {!Contention.policy} (default: jittered exponential backoff; a
+    retry-budget policy escalates starved transactions to a serialized
+    slow path).  Commit/abort behaviour is observable through {!stats}
+    (per-mode, per-reason counters and retry/latency histograms) and,
+    when enabled, through the {!Trace} event ring buffers. *)
+
+module Trace = Stm_trace
+module Contention = Contention
 
 type mode = Lazy | Eager
+
+val mode_name : mode -> string
 
 type tx
 (** A transaction in progress.  Valid only during the [atomically]
@@ -37,8 +49,16 @@ val or_else : tx -> (tx -> 'a) -> (tx -> 'a) -> 'a
     and [f2] runs within the same transaction (the classic composable
     alternative).  An abort in [f2] aborts the whole transaction. *)
 
-val atomically : ?mode:mode -> ?footprint:Tvar.t list -> (tx -> 'a) -> 'a option
+val atomically :
+  ?mode:mode ->
+  ?policy:Contention.policy ->
+  ?footprint:Tvar.t list ->
+  (tx -> 'a) ->
+  'a option
 (** Run to commit, retrying on conflicts; [None] if the user aborted.
+
+    [policy] selects the contention-management strategy for this call
+    (default {!Contention.default_policy}).
 
     [footprint] declares the set of TVars the transaction may touch —
     any access outside it raises — and lets per-location fences
@@ -46,7 +66,11 @@ val atomically : ?mode:mode -> ?footprint:Tvar.t list -> (tx -> 'a) -> 'a option
     the set. *)
 
 val atomically_result :
-  ?mode:mode -> ?footprint:Tvar.t list -> (tx -> 'a) -> ('a, [ `Aborted ]) result
+  ?mode:mode ->
+  ?policy:Contention.policy ->
+  ?footprint:Tvar.t list ->
+  (tx -> 'a) ->
+  ('a, [ `Aborted ]) result
 
 val quiesce : ?var:Tvar.t -> unit -> unit
 (** The quiescence fence: returns once every relevant transaction in
@@ -56,14 +80,63 @@ val quiesce : ?var:Tvar.t -> unit -> unit
     transactions whose declared footprint contains [var] — plus all
     transactions without a declared footprint — are waited for. *)
 
+(** {1 Observability} *)
+
+type conflict =
+  | Validation
+      (** a read, or the commit-time read-set check, saw a version newer
+          than the transaction's read version (or a locked variable) *)
+  | Lock  (** a lock acquisition lost to a concurrent writer *)
+
+type mode_stats = {
+  commits : int;
+  validation_aborts : int;
+  lock_aborts : int;
+  user_aborts : int;
+}
+
+type histogram = {
+  bounds : int array;
+      (** inclusive upper bounds; a value [v] lands in the first bucket
+          with [v <= bounds.(i)] *)
+  counts : int array;  (** [Array.length bounds + 1] buckets; the last
+          is the overflow bucket *)
+}
+
+type snapshot = {
+  lazy_stats : mode_stats;
+  eager_stats : mode_stats;
+  retry_hist : histogram;  (** retries per {e committed} transaction *)
+  latency_hist_ns : histogram;
+      (** first-attempt-to-commit wall latency, nanoseconds *)
+  quiesces : int;
+  escalations : int;
+      (** transactions that took the serialized slow path *)
+}
+
+val stats : unit -> snapshot
+(** A pure, consistent-enough view of the global counters (each cell is
+    read atomically; the cells are independent). *)
+
+val reset_stats : unit -> unit
+(** Zero every counter and histogram (benchmark staging; do not call
+    concurrently with transactions you intend to count). *)
+
 val stats_snapshot : unit -> int * int * int
-(** Global counters: commits, conflict retries, user aborts. *)
+(** Legacy projection: total (commits, conflict aborts, user aborts)
+    summed over both modes. *)
+
+val pp_mode_stats : Format.formatter -> mode_stats -> unit
+val pp_histogram : Format.formatter -> histogram -> unit
 
 (**/**)
 
 val clock : int Atomic.t
 
 val attempt :
-  ?footprint:int list -> mode -> (tx -> 'a) -> ('a, [ `Aborted | `Conflict ]) result
+  ?footprint:int list ->
+  mode ->
+  (tx -> 'a) ->
+  ('a, [ `Aborted | `Conflict of conflict ]) result
 
 (**/**)

@@ -1,0 +1,250 @@
+(* Multi-domain workload driver for the runtime STM.
+
+   Three mixes, chosen to stress the three behaviours the runtime layers
+   are about:
+
+   - [Read_heavy]: 90% read-only transactions over a Tarray and a Tmap,
+     10% single-slot writes — read-only commits (which take no locks)
+     and validation traffic dominate;
+   - [Write_heavy]: every transaction updates a small counter bank,
+     cycles a Tqueue and swaps Tarray slots — lock acquisition and
+     conflict retries dominate, which is what contention policies exist
+     to manage;
+   - [Privatization_heavy]: worker domains transact over a region under
+     a declared footprint while one domain repeatedly privatizes it
+     (flag flip, quiescence fence — alternating global and
+     per-location — plain sweep, republish): the §5 fence under load.
+
+   Each (workload, mode, policy) stage runs on fresh transactional
+   state with the statistics reset, so the reported snapshot is exactly
+   that stage's behaviour.  Workload decisions are drawn from small
+   per-worker deterministic LCGs, so two runs of the same configuration
+   issue the same transaction mix. *)
+
+type workload = Read_heavy | Write_heavy | Privatization_heavy
+
+let workload_name = function
+  | Read_heavy -> "read-heavy"
+  | Write_heavy -> "write-heavy"
+  | Privatization_heavy -> "privatization-heavy"
+
+let all_workloads = [ Read_heavy; Write_heavy; Privatization_heavy ]
+
+type config = {
+  domains : int;
+  iters : int; (* transactions per domain per stage *)
+  modes : Stm.mode list;
+  policies : (string * Contention.policy) list;
+  workloads : workload list;
+}
+
+let default_policies =
+  [
+    ("spin", Contention.Spin);
+    ("jittered", Contention.Jittered);
+    ("budget8", Contention.Budget 8);
+  ]
+
+let default_config =
+  {
+    domains = 4;
+    iters = 1000;
+    modes = [ Stm.Lazy; Stm.Eager ];
+    policies = default_policies;
+    workloads = all_workloads;
+  }
+
+type result = {
+  workload : string;
+  mode : string;
+  policy : string;
+  domains : int;
+  ops : int; (* transactions issued (committed or user-aborted) *)
+  seconds : float;
+  snapshot : Stm.snapshot;
+}
+
+(* a tiny deterministic per-worker PRNG for workload choices *)
+let mk_rand seed =
+  let st = ref (((seed + 1) * 0x9E3779B9) land 0xFFFF_FFFF_FFFF) in
+  fun bound ->
+    st := ((!st * 0x5DEECE66D) + 0xB) land 0xFFFF_FFFF_FFFF;
+    !st lsr 17 mod bound
+
+(* --- the workloads -------------------------------------------------- *)
+
+(* each builder allocates the stage's shared structures once and returns
+   one worker closure per domain, all contending on the same state *)
+
+let read_heavy ~mode ~policy ~iters ~domains =
+  let arr = Tarray.init 64 (fun i -> i) in
+  let map = Tmap.create ~capacity:256 in
+  for k = 1 to 64 do
+    ignore (Stm.atomically (fun tx -> ignore (Tmap.add tx map k (k * k))))
+  done;
+  List.init domains (fun me () ->
+      let rand = mk_rand me in
+      for _ = 1 to iters do
+        if rand 10 < 9 then
+          ignore
+            (Stm.atomically ~mode ~policy (fun tx ->
+                 let a = Tarray.get tx arr (rand 64) in
+                 let b = Tarray.get tx arr (rand 64) in
+                 let c = Tarray.get tx arr (rand 64) in
+                 let d = Tarray.get tx arr (rand 64) in
+                 let m =
+                   Option.value ~default:0 (Tmap.find tx map (1 + rand 64))
+                 in
+                 a + b + c + d + m))
+        else
+          ignore
+            (Stm.atomically ~mode ~policy (fun tx ->
+                 Tarray.update tx arr (rand 64) (fun v -> v + 1)))
+      done)
+
+let write_heavy ~mode ~policy ~iters ~domains =
+  let counters = Tarray.make 8 0 in
+  let q = Tqueue.create ~capacity:1024 in
+  ignore (Stm.atomically (fun tx -> ignore (Tqueue.push tx q 0)));
+  List.init domains (fun me () ->
+      let rand = mk_rand (me + 1000) in
+      for _ = 1 to iters do
+        ignore
+          (Stm.atomically ~mode ~policy (fun tx ->
+               Tarray.update tx counters (rand 8) (fun v -> v + 1);
+               (match Tqueue.pop tx q with
+               | Some v -> ignore (Tqueue.push tx q (v + 1))
+               | None -> ignore (Tqueue.push tx q 0));
+               Tarray.swap tx counters (rand 8) (rand 8)))
+      done)
+
+(* worker domains transact over [region] under a declared footprint;
+   worker 0 is the privatizer: flag flip, quiescence fence (alternating
+   global and per-location), plain sweep, republish. *)
+let privatization_heavy ~mode ~policy ~iters ~domains =
+  let region = Tarray.make 16 0 in
+  let flag = Tvar.make 0 in
+  let n = Tarray.length region in
+  let footprint = flag :: Array.to_list region in
+  List.init domains (fun me () ->
+      let rand = mk_rand (me + 2000) in
+      if me = 0 then
+        for i = 1 to iters do
+          (* privatize: flip the flag, fence, sweep plainly, republish *)
+          ignore
+            (Stm.atomically ~mode ~policy ~footprint:[ flag ] (fun tx ->
+                 Stm.write tx flag 1));
+          (if i land 1 = 0 then Stm.quiesce ()
+           else Stm.quiesce ~var:region.(rand n) ());
+          for j = 0 to n - 1 do
+            Tvar.unsafe_write region.(j) (Tvar.unsafe_read region.(j) + 1)
+          done;
+          ignore
+            (Stm.atomically ~mode ~policy ~footprint:[ flag ] (fun tx ->
+                 Stm.write tx flag 0))
+        done
+      else
+        for _ = 1 to iters do
+          ignore
+            (Stm.atomically ~mode ~policy ~footprint (fun tx ->
+                 if Stm.read tx flag = 0 then
+                   Tarray.update tx region (rand n) (fun v -> v + 1)))
+        done)
+
+(* --- the harness ----------------------------------------------------- *)
+
+let stage ~workload ~mode ~policy_name ~policy ~domains ~iters =
+  let workers =
+    match workload with
+    | Read_heavy -> read_heavy ~mode ~policy ~iters ~domains
+    | Write_heavy -> write_heavy ~mode ~policy ~iters ~domains
+    | Privatization_heavy -> privatization_heavy ~mode ~policy ~iters ~domains
+  in
+  Stm.reset_stats ();
+  let t0 = Unix.gettimeofday () in
+  let ds = List.map (fun w -> Domain.spawn w) workers in
+  List.iter Domain.join ds;
+  let seconds = Unix.gettimeofday () -. t0 in
+  {
+    workload = workload_name workload;
+    mode = Stm.mode_name mode;
+    policy = policy_name;
+    domains;
+    ops = domains * iters;
+    seconds;
+    snapshot = Stm.stats ();
+  }
+
+let run (config : config) =
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun mode ->
+          List.map
+            (fun (policy_name, policy) ->
+              stage ~workload ~mode ~policy_name ~policy
+                ~domains:config.domains ~iters:config.iters)
+            config.policies)
+        config.modes)
+    config.workloads
+
+(* --- reporting ------------------------------------------------------- *)
+
+let totals (s : Stm.snapshot) =
+  let add f = f s.lazy_stats + f s.eager_stats in
+  ( add (fun (m : Stm.mode_stats) -> m.commits),
+    add (fun (m : Stm.mode_stats) -> m.validation_aborts),
+    add (fun (m : Stm.mode_stats) -> m.lock_aborts),
+    add (fun (m : Stm.mode_stats) -> m.user_aborts) )
+
+let pp_result ppf r =
+  let commits, v, l, u = totals r.snapshot in
+  Fmt.pf ppf
+    "%-20s %-5s %-9s d=%d ops=%d commits=%d aborts={validation:%d lock:%d \
+     user:%d} quiesces=%d esc=%d %.3fs (%.0f tx/s)"
+    r.workload r.mode r.policy r.domains r.ops commits v l u
+    r.snapshot.quiesces r.snapshot.escalations r.seconds
+    (float_of_int commits /. Float.max r.seconds 1e-9)
+
+let json_histogram buf name (h : Stm.histogram) =
+  let ints a =
+    String.concat ", " (Array.to_list (Array.map string_of_int a))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf {|"%s": {"bounds": [%s], "counts": [%s]}|} name
+       (ints h.bounds) (ints h.counts))
+
+let to_json (config : config) results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"experiment\": \"stm_runtime_contention\",\n  \"domains\": %d,\n\
+       \  \"iters_per_domain\": %d,\n  \"runs\": [\n" config.domains
+       config.iters);
+  List.iteri
+    (fun i r ->
+      let commits, v, l, u = totals r.snapshot in
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": %S, \"mode\": %S, \"policy\": %S,\n\
+           \     \"ops\": %d, \"seconds\": %.6f, \"commits_per_sec\": %.1f,\n\
+           \     \"commits\": %d, \"aborts\": {\"validation\": %d, \"lock\": \
+            %d, \"user\": %d},\n\
+           \     \"quiesces\": %d, \"escalations\": %d,\n     " r.workload
+           r.mode r.policy r.ops r.seconds
+           (float_of_int commits /. Float.max r.seconds 1e-9)
+           commits v l u r.snapshot.quiesces r.snapshot.escalations);
+      json_histogram buf "retry_histogram" r.snapshot.retry_hist;
+      Buffer.add_string buf ",\n     ";
+      json_histogram buf "commit_latency_ns_histogram"
+        r.snapshot.latency_hist_ns;
+      Buffer.add_string buf "}")
+    results;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let write_json ~file config results =
+  let oc = open_out file in
+  output_string oc (to_json config results);
+  close_out oc

@@ -1,0 +1,45 @@
+(** Multi-domain workload driver for the runtime STM (the engine behind
+    [tmx stm-bench]).
+
+    Runs a grid of (workload × mode × contention policy) stages, each on
+    fresh transactional state with the statistics reset, and reports the
+    per-stage {!Stm.snapshot} alongside wall time.  Workload decisions
+    come from per-worker deterministic PRNGs, so a configuration always
+    issues the same transaction mix. *)
+
+type workload = Read_heavy | Write_heavy | Privatization_heavy
+
+val workload_name : workload -> string
+val all_workloads : workload list
+
+type config = {
+  domains : int;  (** worker domains per stage *)
+  iters : int;  (** transactions per domain per stage *)
+  modes : Stm.mode list;
+  policies : (string * Contention.policy) list;
+  workloads : workload list;
+}
+
+val default_policies : (string * Contention.policy) list
+(** spin, jittered, budget8. *)
+
+val default_config : config
+(** 4 domains, 1000 iters, both modes, all policies, all workloads. *)
+
+type result = {
+  workload : string;
+  mode : string;
+  policy : string;
+  domains : int;
+  ops : int;  (** transactions issued (committed or user-aborted) *)
+  seconds : float;
+  snapshot : Stm.snapshot;
+}
+
+val run : config -> result list
+val pp_result : Format.formatter -> result -> unit
+
+val to_json : config -> result list -> string
+(** The BENCH_stm.json document (schema in EXPERIMENTS.md). *)
+
+val write_json : file:string -> config -> result list -> unit

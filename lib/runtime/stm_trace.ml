@@ -1,0 +1,161 @@
+(* Structured event tracing for the runtime STM.
+
+   Each domain records into its own ring buffer, so tracing adds no
+   shared-memory contention to the hot path: a record is one atomic
+   flag read (the enabled check), a timestamp, and three plain stores
+   into a domain-local int array.  Events are packed as int triples
+   (time, kind, detail) in a flat array rather than as records so that
+   [snapshot] — which reads other domains' rings while they may still
+   be writing — races only on plain integers: it can observe a stale or
+   half-written *event*, never a torn pointer.  Tracing is diagnostics;
+   a snapshot is a best-effort consistent view, exact whenever the
+   traced domains are quiescent (as in tests and at the end of a bench
+   stage).
+
+   The ring keeps the most recent [capacity] events per domain;
+   [dropped] counts what the ring overwrote, so a consumer knows when a
+   trace is a suffix rather than the whole history. *)
+
+type kind =
+  | Begin  (** an optimistic attempt starts; detail = retry number *)
+  | Read_validate_fail  (** a read (or commit-time validation) failed; detail = tvar id, -1 at commit *)
+  | Lock_fail  (** a lock acquisition failed; detail = tvar id *)
+  | Commit  (** detail = retry count the transaction needed *)
+  | User_abort  (** detail = -1 *)
+  | Escalate  (** the transaction took the serialized slow path; detail = retry count *)
+  | Quiesce_start  (** detail = fenced tvar id, -1 for a global fence *)
+  | Quiesce_end  (** detail = fenced tvar id, -1 for a global fence *)
+
+type event = {
+  time_ns : int;  (** wall clock, nanoseconds *)
+  domain : int;  (** recording domain's id *)
+  kind : kind;
+  detail : int;
+}
+
+let kind_to_int = function
+  | Begin -> 0
+  | Read_validate_fail -> 1
+  | Lock_fail -> 2
+  | Commit -> 3
+  | User_abort -> 4
+  | Escalate -> 5
+  | Quiesce_start -> 6
+  | Quiesce_end -> 7
+
+let kind_of_int = function
+  | 0 -> Begin
+  | 1 -> Read_validate_fail
+  | 2 -> Lock_fail
+  | 3 -> Commit
+  | 4 -> User_abort
+  | 5 -> Escalate
+  | 6 -> Quiesce_start
+  | _ -> Quiesce_end
+
+let kind_name = function
+  | Begin -> "begin"
+  | Read_validate_fail -> "read-validate-fail"
+  | Lock_fail -> "lock-fail"
+  | Commit -> "commit"
+  | User_abort -> "user-abort"
+  | Escalate -> "escalate"
+  | Quiesce_start -> "quiesce-start"
+  | Quiesce_end -> "quiesce-end"
+
+let stride = 3 (* time, kind, detail *)
+
+type ring = {
+  dom : int;
+  buf : int array; (* capacity * stride *)
+  capacity : int;
+  mutable n : int; (* events ever recorded; cursor = n mod capacity *)
+}
+
+let enabled_flag = Atomic.make false
+let default_capacity = Atomic.make 1024
+
+(* every ring ever allocated; copy-on-append, like Registry.slots *)
+let rings : ring array Atomic.t = Atomic.make [||]
+
+let register r =
+  let rec go () =
+    let old = Atomic.get rings in
+    let arr = Array.make (Array.length old + 1) r in
+    Array.blit old 0 arr 0 (Array.length old);
+    if not (Atomic.compare_and_set rings old arr) then go ()
+  in
+  go ()
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let capacity = max 1 (Atomic.get default_capacity) in
+      let r =
+        {
+          dom = (Domain.self () :> int);
+          buf = Array.make (capacity * stride) 0;
+          capacity;
+          n = 0;
+        }
+      in
+      register r;
+      r)
+
+let enabled () = Atomic.get enabled_flag
+
+let clear () =
+  Array.iter (fun r -> r.n <- 0) (Atomic.get rings)
+
+let enable ?capacity () =
+  (match capacity with
+  | Some c ->
+      if c <= 0 then invalid_arg "Stm_trace.enable: capacity must be positive";
+      Atomic.set default_capacity c
+  | None -> ());
+  clear ();
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let record kind ?(detail = -1) () =
+  if Atomic.get enabled_flag then begin
+    let r = Domain.DLS.get ring_key in
+    let i = r.n mod r.capacity * stride in
+    r.buf.(i) <- now_ns ();
+    r.buf.(i + 1) <- kind_to_int kind;
+    r.buf.(i + 2) <- detail;
+    r.n <- r.n + 1
+  end
+
+let dropped () =
+  Array.fold_left
+    (fun acc r -> acc + max 0 (r.n - r.capacity))
+    0 (Atomic.get rings)
+
+let snapshot () =
+  let events = ref [] in
+  Array.iter
+    (fun r ->
+      let n = r.n in
+      let kept = min n r.capacity in
+      for j = n - kept to n - 1 do
+        let i = j mod r.capacity * stride in
+        events :=
+          {
+            time_ns = r.buf.(i);
+            domain = r.dom;
+            kind = kind_of_int r.buf.(i + 1);
+            detail = r.buf.(i + 2);
+          }
+          :: !events
+      done)
+    (Atomic.get rings);
+  List.sort (fun a b -> compare (a.time_ns, a.domain) (b.time_ns, b.domain)) !events
+
+let pp_event ppf e =
+  Fmt.pf ppf "[%d.%09d] dom%d %s%s" (e.time_ns / 1_000_000_000)
+    (e.time_ns mod 1_000_000_000)
+    e.domain (kind_name e.kind)
+    (if e.detail >= 0 then Fmt.str " #%d" e.detail else "")

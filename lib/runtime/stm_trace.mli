@@ -1,0 +1,48 @@
+(** Structured event tracing for the runtime STM (off by default).
+
+    Each domain records into a private ring buffer of the most recent
+    [capacity] events, so tracing adds no cross-domain contention; a
+    disabled trace costs one atomic read per would-be event.  Use
+    {!enable}/{!disable} around the region of interest and {!snapshot}
+    to collect a time-sorted view.  Snapshots taken while other domains
+    are still transacting are best-effort (per-domain rings are read
+    without synchronization); snapshots of a quiescent system are
+    exact. *)
+
+type kind =
+  | Begin  (** optimistic attempt starts; detail = retry number *)
+  | Read_validate_fail
+      (** a read or commit-time validation failed; detail = tvar id
+          (-1 for commit-time validation of the whole read set) *)
+  | Lock_fail  (** lock acquisition failed; detail = tvar id *)
+  | Commit  (** detail = retries the transaction needed *)
+  | User_abort
+  | Escalate  (** took the serialized slow path; detail = retry count *)
+  | Quiesce_start  (** detail = fenced tvar id, -1 for a global fence *)
+  | Quiesce_end
+
+type event = { time_ns : int; domain : int; kind : kind; detail : int }
+
+val enable : ?capacity:int -> unit -> unit
+(** Clear all rings and start recording.  [capacity] (default 1024,
+    persists across calls) sizes rings allocated from now on; rings
+    already allocated keep their size. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val record : kind -> ?detail:int -> unit -> unit
+(** Append an event to the calling domain's ring (no-op when
+    disabled).  [detail] defaults to [-1] ("none"). *)
+
+val snapshot : unit -> event list
+(** All retained events from every domain, sorted by timestamp. *)
+
+val clear : unit -> unit
+
+val dropped : unit -> int
+(** Events overwritten by ring wrap-around since the last {!clear},
+    summed over domains. *)
+
+val kind_name : kind -> string
+val pp_event : Format.formatter -> event -> unit

@@ -46,6 +46,15 @@ The theorem checks summarize SC-LTRF, Thm 4.2 and Lemma 5.1:
   $ ../bin/tmx.exe theorems publication
   publication                  SC-LTRF:ok (seq-racy:false weak:false contained:true)  Thm4.2:ok Lemma5.1:ok (2/2)
 
+The STM bench drives multi-domain workloads and writes a JSON report
+(counts are workload-dependent, so only the stable summary is checked):
+
+  $ ../bin/tmx.exe stm-bench -d 2 -n 20 --mode lazy --policy jittered -o BENCH_stm.json | tail -1
+  wrote BENCH_stm.json (3 runs)
+
+  $ test -s BENCH_stm.json && echo report-written
+  report-written
+
 Unknown names produce errors:
 
   $ ../bin/tmx.exe litmus nosuch 2>&1 | head -1

@@ -2,7 +2,16 @@
    enumerations over the litmus catalog; `dune build @quick` sets
    TMX_QUICK=1 to skip them for fast iteration. *)
 let exhaustive =
-  [ "naive"; "enumerate"; "sc"; "litmus"; "shapes"; "theorems"; "parallel" ]
+  [
+    "naive";
+    "enumerate";
+    "sc";
+    "litmus";
+    "shapes";
+    "theorems";
+    "parallel";
+    "stm_stress";
+  ]
 
 let () =
   let suites =
@@ -35,6 +44,7 @@ let () =
       ("fenceify", Test_fenceify.suite);
       ("stmsim", Test_stmsim.suite);
       ("runtime", Test_runtime.suite);
+      ("stm_stress", Test_stm_stress.suite);
       ("structures", Test_structures.suite);
       ("interp", Test_interp.suite);
       ("machine", Test_machine.suite);

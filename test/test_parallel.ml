@@ -75,6 +75,39 @@ let test_stress_jobs () =
   Alcotest.(check bool) "cap exercised" true capped.capped;
   check_same_result "stress capped" capped (run ~max_graphs:100 4)
 
+(* --- the pool itself: argument normalization and error parity --- *)
+
+exception Task_failed of int
+
+let test_pool_exception_parity () =
+  let run jobs =
+    match
+      Pool.run_tasks ~jobs ~tasks:8 (fun i ->
+          if i = 3 then raise (Task_failed i) else i)
+    with
+    | _ -> None
+    | exception Task_failed i -> Some i
+  in
+  (* the sequential fallback and the parallel pool must surface the same
+     exception through the same capture-and-reraise path *)
+  Alcotest.(check (option int)) "jobs=1 raises the task's exception" (Some 3)
+    (run 1);
+  Alcotest.(check (option int)) "jobs=4 raises the task's exception" (Some 3)
+    (run 4);
+  Alcotest.(check (option int)) "jobs=8 raises the task's exception" (Some 3)
+    (run 8)
+
+let test_pool_jobs_clamped () =
+  let expected = Array.init 5 (fun i -> i * i) in
+  let run jobs = Pool.run_tasks ~jobs ~tasks:5 (fun i -> i * i) in
+  Alcotest.(check bool) "jobs=0 clamps to sequential" true (run 0 = expected);
+  Alcotest.(check bool) "jobs=-3 clamps to sequential" true (run (-3) = expected);
+  Alcotest.(check bool) "tasks=0 yields empty" true
+    (Pool.run_tasks ~jobs:4 ~tasks:0 (fun i -> i) = [||]);
+  Alcotest.check_raises "negative tasks rejected"
+    (Invalid_argument "Pool.run_tasks: negative tasks") (fun () ->
+      ignore (Pool.run_tasks ~jobs:2 ~tasks:(-1) (fun i -> i)))
+
 (* --- incremental closure vs Warshall --- *)
 
 let arb_rel n density =
@@ -139,6 +172,10 @@ let suite =
       test_catalog_jobs;
     Alcotest.test_case "jobs split and cap merge deterministically" `Quick
       test_stress_jobs;
+    Alcotest.test_case "pool raises identically whatever jobs" `Quick
+      test_pool_exception_parity;
+    Alcotest.test_case "pool clamps pathological arguments" `Quick
+      test_pool_jobs_clamped;
     QCheck_alcotest.to_alcotest prop_add_edge_closed;
     QCheck_alcotest.to_alcotest prop_union_into_closed;
     QCheck_alcotest.to_alcotest prop_hb_incremental;

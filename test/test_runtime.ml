@@ -214,6 +214,216 @@ let test_stats_move () =
   let after, _, _ = Stm.stats_snapshot () in
   Alcotest.(check bool) "commit counted" true (after > before)
 
+(* --- registry regressions ------------------------------------------- *)
+
+let test_registry_growth () =
+  let before = Registry.registered_domains () in
+  let ds =
+    List.init 5 (fun _ ->
+        Domain.spawn (fun () -> ignore (Stm.atomically (fun _tx -> 0))))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check bool)
+    "each domain got its own slot" true
+    (Registry.registered_domains () >= before + 5)
+
+(* Regression for the fixed-table aliasing bug: with 128 shared slots
+   indexed by [domain mod 128], the 129th domain after A reused A's
+   slot, so its [exit] cleared A's in-flight state and a fence returned
+   while A's transaction was still running.  Per-domain slots make the
+   fence wait however many domains came and went in between. *)
+let test_registry_no_slot_aliasing () =
+  let release = Atomic.make false and entered = Atomic.make false in
+  let a =
+    Domain.spawn (fun () ->
+        Registry.enter ();
+        Atomic.set entered true;
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        Registry.exit ())
+  in
+  while not (Atomic.get entered) do
+    Domain.cpu_relax ()
+  done;
+  (* burn through a full table's worth of short-lived domains; under the
+     old registry the 128th reuses A's slot and clears it *)
+  for _ = 1 to 128 do
+    Domain.join
+      (Domain.spawn (fun () ->
+           Registry.enter ();
+           Registry.exit ()))
+  done;
+  let fence_done = Atomic.make false in
+  let w =
+    Domain.spawn (fun () ->
+        Registry.quiesce ();
+        Atomic.set fence_done true)
+  in
+  Unix.sleepf 0.05;
+  let early = Atomic.get fence_done in
+  Atomic.set release true;
+  Domain.join a;
+  Domain.join w;
+  Alcotest.(check bool) "fence did not return while A was in flight" false early;
+  Alcotest.(check bool) "fence returned once A resolved" true
+    (Atomic.get fence_done)
+
+(* Stress for the snapshot-consistency fix: a worker churns footprints
+   (decoy / target alternation, the exact traffic that made the old
+   three-field slot pair one transaction's liveness with another's
+   footprint), while the checker pins the fence contract — once a
+   target-footprint generation is observed fully entered, a fence on
+   the target must not return until that generation has resolved.  The
+   single-word state makes this hold by construction; the test runs the
+   enter/fence race thousands of times to keep it that way. *)
+let test_registry_snapshot_consistency () =
+  let target = Tvar.make 0 and decoy = Tvar.make 0 in
+  let tid = Tvar.id target and did = Tvar.id decoy in
+  let stop = Atomic.make false in
+  let phase = Atomic.make 0 in
+  (* odd: a target-footprint generation is in flight *)
+  let worker =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Registry.enter ~footprint:[ did ] ();
+          Registry.exit ();
+          Registry.enter ~footprint:[ tid ] ();
+          Atomic.incr phase;
+          for _ = 1 to 20 do
+            Domain.cpu_relax ()
+          done;
+          Atomic.incr phase;
+          Registry.exit ()
+        done)
+  in
+  let violations = ref 0 in
+  for _ = 1 to 300 do
+    let p1 = Atomic.get phase in
+    Registry.quiesce ~var:tid ();
+    if p1 land 1 = 1 && Atomic.get phase = p1 then incr violations;
+    for _ = 1 to 30 do
+      Domain.cpu_relax ()
+    done
+  done;
+  Atomic.set stop true;
+  Domain.join worker;
+  Alcotest.(check int) "fence never skipped an entered target transaction" 0
+    !violations
+
+(* --- contention policies -------------------------------------------- *)
+
+let test_policy_correctness (name, policy, mode) () =
+  let v = Tvar.make 0 in
+  let domains = 3 and iters = 300 in
+  let worker () =
+    for _ = 1 to iters do
+      ignore
+        (Stm.atomically ~mode ~policy (fun tx -> Stm.write tx v (Stm.read tx v + 1)))
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  Alcotest.(check int)
+    (name ^ ": no lost increments")
+    (domains * iters) (Tvar.unsafe_read v)
+
+(* Budget escalation: lock a variable from outside so the transaction's
+   first attempts conflict, exceed the budget, and take the serialized
+   slow path; it must still commit once the lock is released. *)
+let test_budget_escalation () =
+  let v = Tvar.make 0 in
+  let before = (Stm.stats ()).escalations in
+  let prev =
+    match Tvar.try_lock v with Some p -> p | None -> Alcotest.fail "lock"
+  in
+  let d =
+    Domain.spawn (fun () ->
+        ignore
+          (Stm.atomically ~mode:Stm.Eager
+             ~policy:(Stm.Contention.Budget 1)
+             (fun tx -> Stm.write tx v 7)))
+  in
+  Unix.sleepf 0.02;
+  Tvar.unlock v ~version:prev;
+  Domain.join d;
+  Alcotest.(check bool) "took the slow path" true
+    ((Stm.stats ()).escalations > before);
+  Alcotest.(check int) "still committed" 7 (Tvar.unsafe_read v)
+
+(* --- extended statistics -------------------------------------------- *)
+
+let test_stats_extended () =
+  Stm.reset_stats ();
+  let v = Tvar.make 0 in
+  ignore (Stm.atomically (fun tx -> Stm.write tx v 1));
+  ignore (Stm.atomically ~mode:Stm.Eager (fun tx -> Stm.write tx v 2));
+  ignore (Stm.atomically (fun tx -> Stm.abort tx));
+  Stm.quiesce ();
+  let s = Stm.stats () in
+  Alcotest.(check int) "lazy commits" 1 s.lazy_stats.commits;
+  Alcotest.(check int) "eager commits" 1 s.eager_stats.commits;
+  Alcotest.(check int) "lazy user aborts" 1 s.lazy_stats.user_aborts;
+  Alcotest.(check int) "eager user aborts" 0 s.eager_stats.user_aborts;
+  Alcotest.(check int) "quiesces" 1 s.quiesces;
+  let total a = Array.fold_left ( + ) 0 a in
+  Alcotest.(check int) "retry histogram counts every commit" 2
+    (total s.retry_hist.counts);
+  Alcotest.(check int) "uncontended commits in the zero-retry bucket" 2
+    s.retry_hist.counts.(0);
+  Alcotest.(check int) "latency histogram counts every commit" 2
+    (total s.latency_hist_ns.counts);
+  (* the legacy triple is a projection of the same counters *)
+  let c, conflicts, ua = Stm.stats_snapshot () in
+  Alcotest.(check int) "legacy commits" 2 c;
+  Alcotest.(check int) "legacy conflicts" 0 conflicts;
+  Alcotest.(check int) "legacy user aborts" 1 ua
+
+(* --- tracing --------------------------------------------------------- *)
+
+let test_trace_events () =
+  Stm.Trace.enable ~capacity:64 ();
+  let v = Tvar.make 0 in
+  ignore (Stm.atomically (fun tx -> Stm.write tx v 1));
+  ignore (Stm.atomically (fun tx -> Stm.abort tx));
+  Stm.quiesce ~var:v ();
+  Stm.Trace.disable ();
+  let evs = Stm.Trace.snapshot () in
+  let count k =
+    List.length (List.filter (fun e -> e.Stm.Trace.kind = k) evs)
+  in
+  Alcotest.(check int) "begins" 2 (count Stm.Trace.Begin);
+  Alcotest.(check int) "commits" 1 (count Stm.Trace.Commit);
+  Alcotest.(check int) "user aborts" 1 (count Stm.Trace.User_abort);
+  Alcotest.(check int) "quiesce starts" 1 (count Stm.Trace.Quiesce_start);
+  Alcotest.(check int) "quiesce ends" 1 (count Stm.Trace.Quiesce_end);
+  (match
+     List.find_opt (fun e -> e.Stm.Trace.kind = Stm.Trace.Quiesce_start) evs
+   with
+  | Some e -> Alcotest.(check int) "fenced var id recorded" (Tvar.id v) e.detail
+  | None -> Alcotest.fail "no quiesce-start event");
+  (* timestamps are sorted *)
+  let ts = List.map (fun e -> e.Stm.Trace.time_ns) evs in
+  Alcotest.(check bool) "sorted" true (List.sort compare ts = ts);
+  Stm.Trace.clear ()
+
+let test_trace_ring_wrap () =
+  Stm.Trace.enable ~capacity:4 ();
+  let d =
+    Domain.spawn (fun () ->
+        let v = Tvar.make 0 in
+        for i = 1 to 10 do
+          ignore (Stm.atomically (fun tx -> Stm.write tx v i))
+        done)
+  in
+  Domain.join d;
+  Stm.Trace.disable ();
+  (* 20 events (10 begin + 10 commit) through a 4-slot ring *)
+  Alcotest.(check int) "overwritten events counted" 16 (Stm.Trace.dropped ());
+  Alcotest.(check int) "ring retains its capacity" 4
+    (List.length (Stm.Trace.snapshot ()));
+  Stm.Trace.clear ()
+
 let suite =
   [
     Alcotest.test_case "lazy read/write" `Quick (test_read_write Stm.Lazy);
@@ -235,4 +445,19 @@ let suite =
     Alcotest.test_case "selective quiescence waits" `Slow
       test_selective_quiesce_waits_for_overlapping;
     Alcotest.test_case "stats counters" `Quick test_stats_move;
+    Alcotest.test_case "registry grows per domain" `Slow test_registry_growth;
+    Alcotest.test_case "registry slot aliasing (regression)" `Slow
+      test_registry_no_slot_aliasing;
+    Alcotest.test_case "registry snapshot consistency (stress)" `Slow
+      test_registry_snapshot_consistency;
+    Alcotest.test_case "spin policy preserves correctness" `Slow
+      (test_policy_correctness ("spin", Stm.Contention.Spin, Stm.Lazy));
+    Alcotest.test_case "jittered policy preserves correctness" `Slow
+      (test_policy_correctness ("jittered", Stm.Contention.Jittered, Stm.Eager));
+    Alcotest.test_case "budget policy preserves correctness" `Slow
+      (test_policy_correctness ("budget", Stm.Contention.Budget 2, Stm.Lazy));
+    Alcotest.test_case "budget escalation commits" `Slow test_budget_escalation;
+    Alcotest.test_case "extended stats" `Quick test_stats_extended;
+    Alcotest.test_case "trace events" `Quick test_trace_events;
+    Alcotest.test_case "trace ring wrap" `Slow test_trace_ring_wrap;
   ]

@@ -1,0 +1,152 @@
+(* Multi-domain quiescence stress: the privatization and per-location
+   fence idioms from the paper, run under sustained transactional load
+   across domains and both STM modes.  These suites take seconds, so
+   they sit on the TMX_QUICK (exhaustive) switch like the enumeration
+   suites — `dune build @quick` skips them.
+
+   The invariant in every test is the mixed-race bound the fence is
+   supposed to provide: once the privatizing transaction has committed
+   and [Stm.quiesce] has returned, plain (non-transactional) reads and
+   writes of the privatized region must not race with any transactional
+   access — concretely, a plain write can never be clobbered by a
+   leftover transactional write-back or an eager rollback. *)
+
+open Tmx_runtime
+
+(* Privatization of a whole region under load: three workers (one eager,
+   two lazy) hammer a region behind a flag; the main domain repeatedly
+   flips the flag, fences — alternating the global fence with a sweep of
+   per-location fences — and then mutates the region with plain writes
+   that must survive. *)
+let test_privatization_under_load () =
+  let n = 4 in
+  let region = Array.init n (fun _ -> Tvar.make 0) in
+  let flag = Tvar.make 0 in
+  let footprint = flag :: Array.to_list region in
+  let stop = Atomic.make false in
+  let workers =
+    List.init 3 (fun w ->
+        let mode = if w = 0 then Stm.Eager else Stm.Lazy in
+        Domain.spawn (fun () ->
+            let i = ref w in
+            while not (Atomic.get stop) do
+              incr i;
+              ignore
+                (Stm.atomically ~mode ~footprint (fun tx ->
+                     if Stm.read tx flag = 0 then begin
+                       let k = !i mod n in
+                       Stm.write tx region.(k) (Stm.read tx region.(k) + 1)
+                     end))
+            done))
+  in
+  let failures = ref 0 in
+  let rounds = 80 in
+  for r = 1 to rounds do
+    ignore (Stm.atomically ~footprint:[ flag ] (fun tx -> Stm.write tx flag 1));
+    if r land 1 = 0 then Stm.quiesce ()
+    else Array.iter (fun v -> Stm.quiesce ~var:v ()) region;
+    (* the region is private now: plain writes must stick *)
+    Array.iter (fun v -> Tvar.unsafe_write v 1_000_000) region;
+    for _ = 1 to 200 do
+      Domain.cpu_relax ()
+    done;
+    Array.iter
+      (fun v -> if Tvar.unsafe_read v <> 1_000_000 then incr failures)
+      region;
+    (* republish *)
+    Array.iter (fun v -> Tvar.unsafe_write v 0) region;
+    ignore (Stm.atomically ~footprint:[ flag ] (fun tx -> Stm.write tx flag 0))
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join workers;
+  Alcotest.(check int) "privatized plain writes never clobbered" 0 !failures
+
+(* Per-location fences under load: workers churn transactions over a
+   *disjoint* variable with a declared footprint while the main domain
+   runs a steady stream of fences on the target.  The fences must keep
+   completing (they may not inherit the unrelated load), and a final
+   overlapping fence must still provide the full privatization
+   guarantee. *)
+let test_selective_fence_under_load () =
+  let x = Tvar.make 0 and busy = Tvar.make 0 in
+  let stop = Atomic.make false in
+  let workers =
+    List.init 2 (fun w ->
+        let mode = if w = 0 then Stm.Eager else Stm.Lazy in
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              ignore
+                (Stm.atomically ~mode ~footprint:[ busy ] (fun tx ->
+                     Stm.write tx busy (Stm.read tx busy + 1)))
+            done))
+  in
+  (* a fence on x only ever waits for x-transactions; 500 of them must
+     clear in bounded time while the busy-var churn continues *)
+  for _ = 1 to 500 do
+    Stm.quiesce ~var:x ()
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join workers;
+  Alcotest.(check bool) "fences completed under disjoint load" true
+    (Tvar.unsafe_read busy > 0)
+
+(* Privatization where the racing transaction declares its footprint and
+   the privatizer fences only the locations it is about to touch —
+   the paper's per-location Qx fence rather than the global fence. *)
+let test_footprint_fence_privatization () =
+  let x = Tvar.make 0 and flag = Tvar.make 0 in
+  let failures = ref 0 in
+  for _ = 1 to 120 do
+    Tvar.unsafe_write x 0;
+    ignore (Stm.atomically ~footprint:[ flag ] (fun tx -> Stm.write tx flag 0));
+    let d =
+      Domain.spawn (fun () ->
+          ignore
+            (Stm.atomically ~footprint:[ flag; x ] (fun tx ->
+                 if Stm.read tx flag = 0 then Stm.write tx x 1)))
+    in
+    ignore (Stm.atomically ~footprint:[ flag ] (fun tx -> Stm.write tx flag 1));
+    Stm.quiesce ~var:x ();
+    Tvar.unsafe_write x 2;
+    Domain.join d;
+    if Tvar.unsafe_read x <> 2 then incr failures
+  done;
+  Alcotest.(check int) "per-location fence privatizes" 0 !failures
+
+(* Concurrent fences: two domains quiesce while two more transact; the
+   registry must neither deadlock nor corrupt the counter. *)
+let test_concurrent_fences () =
+  let v = Tvar.make 0 in
+  let iters = 200 in
+  let txer () =
+    for _ = 1 to iters do
+      ignore (Stm.atomically (fun tx -> Stm.write tx v (Stm.read tx v + 1)))
+    done
+  in
+  let fencer () =
+    for i = 1 to 50 do
+      if i land 1 = 0 then Stm.quiesce () else Stm.quiesce ~var:v ()
+    done
+  in
+  let ds =
+    [
+      Domain.spawn txer;
+      Domain.spawn txer;
+      Domain.spawn fencer;
+      Domain.spawn fencer;
+    ]
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "counter intact across concurrent fences"
+    (2 * iters) (Tvar.unsafe_read v)
+
+let suite =
+  [
+    Alcotest.test_case "privatization under load" `Slow
+      test_privatization_under_load;
+    Alcotest.test_case "selective fence under disjoint load" `Slow
+      test_selective_fence_under_load;
+    Alcotest.test_case "footprint fence privatization" `Slow
+      test_footprint_fence_privatization;
+    Alcotest.test_case "concurrent fences" `Slow test_concurrent_fences;
+  ]
