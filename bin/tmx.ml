@@ -4,6 +4,9 @@
      tmx litmus [NAME ...]       run litmus tests (default: all)
      tmx outcomes NAME -m MODEL  enumerate the consistent outcomes
      tmx races NAME -m MODEL     list races of every consistent execution
+                                 (exit 1 when any execution races)
+     tmx lint [NAME|FILE ...]    static race analysis, no enumeration
+                                 (exit 1 on findings)
      tmx stm NAME                explore a program under the STM simulator
      tmx stm-bench               drive multi-domain workloads over the runtime STM
      tmx theorems [NAME ...]     run the theorem checks
@@ -149,11 +152,117 @@ let races_cmd =
           r.executions;
         Fmt.pr "%d/%d executions racy under %a@." !racy
           (List.length r.executions)
-          Model.pp model)
+          Model.pp model;
+        if !racy > 0 then exit 1)
       (find_litmus name)
   in
   let term = Term.(term_result' (const run $ jobs_arg $ model_arg $ one_name)) in
-  Cmd.v (Cmd.info "races" ~doc:"List the races of every consistent execution.") term
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:
+         "List the races of every consistent execution.  Exits 1 when any \
+          execution races, so the command is usable as a CI gate.")
+    term
+
+(* -- lint -------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the reports as a JSON array.")
+  in
+  let all_flag =
+    Arg.(value & flag & info [ "all" ] ~doc:"Lint every catalog program.")
+  in
+  let fenced_flag =
+    Arg.(
+      value & flag
+      & info [ "fenced" ]
+          ~doc:
+            "After each report with findings, print the program with \
+             quiescence fences inserted (the Fenceify transformation the \
+             fence fixes refer to).")
+  in
+  let find_program name =
+    if Sys.file_exists name then
+      match Tmx_litmus.Parse.parse_file name with
+      | exception Tmx_litmus.Parse.Error msg -> Error (Fmt.str "%s: %s" name msg)
+      | litmus -> Ok litmus.Tmx_litmus.Litmus.program
+    else
+      Result.map
+        (fun (l : Tmx_litmus.Litmus.t) -> l.program)
+        (find_litmus name)
+  in
+  let run json all fenced names =
+    let programs =
+      if all then
+        Ok (List.map (fun (l : Tmx_litmus.Litmus.t) -> l.program) Tmx_litmus.Catalog.all)
+      else if names = [] then
+        Error "nothing to lint: give catalog names, litmus files, or --all"
+      else
+        List.fold_left
+          (fun acc n ->
+            Result.bind acc (fun ps ->
+                Result.map (fun p -> p :: ps) (find_program n)))
+          (Ok []) names
+        |> Result.map List.rev
+    in
+    Result.map
+      (fun programs ->
+        let reports =
+          List.map
+            (fun (p : Tmx_lang.Ast.program) ->
+              match Tmx_lang.Ast.validate p with
+              | Error msg ->
+                  Fmt.epr "tmx: %s: %s@." p.name msg;
+                  exit 2
+              | Ok () -> Tmx_analysis.Lint.lint p)
+            programs
+        in
+        if json then begin
+          print_string "[";
+          List.iteri
+            (fun i r ->
+              if i > 0 then print_string ",\n";
+              print_string (Tmx_analysis.Lint.to_json r))
+            reports;
+          print_string "]\n"
+        end
+        else
+          List.iter
+            (fun (r : Tmx_analysis.Lint.report) ->
+              Fmt.pr "%a@." Tmx_analysis.Lint.pp_report r;
+              if fenced && not (Tmx_analysis.Lint.race_free r) then
+                Fmt.pr "fenced: %a@." Tmx_lang.Ast.pp_program
+                  (Tmx_opt.Fenceify.insert r.program))
+            reports;
+        let findings =
+          List.fold_left
+            (fun n (r : Tmx_analysis.Lint.report) ->
+              n + List.length r.findings)
+            0 reports
+        in
+        if not json then
+          Fmt.pr "%d/%d programs statically race-free@."
+            (List.length
+               (List.filter Tmx_analysis.Lint.race_free reports))
+            (List.length reports);
+        if findings > 0 then exit 1)
+      programs
+  in
+  let term =
+    Term.(term_result' (const run $ json_flag $ all_flag $ fenced_flag $ names_arg))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically classify every location (tx-only / plain-only / mixed) \
+          and report candidate L-races and mixed races with fix \
+          suggestions, without enumerating executions.  Sound: a \
+          race-free verdict implies no consistent execution races under \
+          any model; findings are conservative candidates to confirm \
+          with `tmx races'.  Exits 1 when there are findings, so the \
+          command is usable as a CI gate.")
+    term
 
 (* -- stm --------------------------------------------------------------------- *)
 
@@ -513,7 +622,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            litmus_cmd; outcomes_cmd; races_cmd; stm_cmd; stm_bench_cmd;
-            machine_cmd; theorems_cmd; models_cmd; show_cmd; dot_cmd;
-            check_cmd; export_cmd; shapes_cmd; fence_cmd;
+            litmus_cmd; outcomes_cmd; races_cmd; lint_cmd; stm_cmd;
+            stm_bench_cmd; machine_cmd; theorems_cmd; models_cmd; show_cmd;
+            dot_cmd; check_cmd; export_cmd; shapes_cmd; fence_cmd;
           ]))

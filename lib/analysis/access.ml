@@ -1,0 +1,334 @@
+(* Static access summaries: every load/store of a program, with its
+   thread, mode (plain vs transactional), footprint location name
+   (computed-index cells become the "base[*]" wildcard, as in
+   [Tmx_opt.Footprint]), a human-readable source path, and the
+   conservative facts the race analysis needs:
+
+   - [must_abort]: the enclosing transaction aborts on every control
+     path, so no dynamic instance of the access is ever nonaborted;
+   - [fences_before]/[fences_after]: quiescence fences that dominate /
+     postdominate the access in its thread (every path from the thread
+     start to the access crosses the fence, resp. every path from the
+     access to the thread end does);
+   - [after_atomic]: some atomic block precedes the access in its thread
+     (the privatization-shaped suffix of [Tmx_opt.Fenceify]);
+   - [txn_reads]: locations read by the enclosing transaction (empty for
+     plain accesses), and [prior_atomic_writes]: locations written by
+     atomic blocks preceding the access in its thread.  Together these
+     recognize guarded-publication / privatization idioms.
+
+   Dominance is computed over branch scopes: a fence dominates an access
+   iff it occurs earlier in the walk and its chain of enclosing
+   If/While constructs is a prefix of the access's chain. *)
+
+open Tmx_lang
+
+type mode = Plain | Transactional
+type kind = Read | Write
+
+let pp_mode ppf = function
+  | Plain -> Fmt.string ppf "plain"
+  | Transactional -> Fmt.string ppf "tx"
+
+let pp_kind ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+
+type t = {
+  thread : int;
+  kind : kind;
+  mode : mode;
+  loc : string;
+  path : string;
+  stmt : Ast.stmt;
+  must_abort : bool;
+  fences_before : string list;
+  fences_after : string list;
+  after_atomic : bool;
+  txn_reads : string list;
+  txn_writes : string list;
+  prior_atomic_writes : string list;
+  prior_atomic_reads : string list;
+  later_atomic_writes : string list;
+}
+
+let pp ppf a =
+  Fmt.pf ppf "t%d %a %a %s (%s: %a)" a.thread pp_mode a.mode pp_kind a.kind
+    a.loc a.path Ast.pp_stmt a.stmt
+
+(* -- must-abort ------------------------------------------------------------- *)
+
+(* Does every control path from the start of [body] hit an [abort],
+   given that paths falling off its end abort iff [cont]?  Loops are a
+   conservative stop: a while body may run zero times or forever, and
+   anything after a loop is not examined (sound: we only ever claim
+   must-abort when it provably holds). *)
+let rec tail_aborts body cont =
+  match body with
+  | [] -> cont
+  | Ast.Abort :: _ -> true
+  | Ast.If (_, t, e) :: rest ->
+      let k = tail_aborts rest cont in
+      tail_aborts t k && tail_aborts e k
+  | Ast.While _ :: _ -> false
+  | _ :: rest -> tail_aborts rest cont
+
+let body_must_abort body = tail_aborts body false
+
+(* -- location reads/writes of a statement list ------------------------------ *)
+
+let rec body_reads acc = function
+  | [] -> acc
+  | s :: rest ->
+      let acc =
+        match (s : Ast.stmt) with
+        | Load (_, lv) -> Tmx_opt.Footprint.lval_name lv :: acc
+        | Atomic b | While (_, b) -> body_reads acc b
+        | If (_, t, e) -> body_reads (body_reads acc t) e
+        | Store _ | Assign _ | Abort | Fence _ | Skip -> acc
+      in
+      body_reads acc rest
+
+let rec body_writes acc = function
+  | [] -> acc
+  | s :: rest ->
+      let acc =
+        match (s : Ast.stmt) with
+        | Store (lv, _) -> Tmx_opt.Footprint.lval_name lv :: acc
+        | Atomic b | While (_, b) -> body_writes acc b
+        | If (_, t, e) -> body_writes (body_writes acc t) e
+        | Load _ | Assign _ | Abort | Fence _ | Skip -> acc
+      in
+      body_writes acc rest
+
+(* -- extraction ------------------------------------------------------------- *)
+
+type raw_item = Racc of t | Rfence of string | Ratomic of string list
+(* [Ratomic ws]: an atomic block writing [ws] ended at this walk position *)
+
+type raw = { walk : int; scope : int list; item : raw_item }
+
+let is_scope_prefix pre full =
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | p :: ps, f :: fs -> p = f && go (ps, fs)
+  in
+  go (pre, full)
+
+let of_thread thread stmts =
+  let items = ref [] in
+  let walk = ref 0 in
+  let scope_id = ref 0 in
+  let after_atomic = ref false in
+  let atomic_writes = ref [] in
+  let atomic_reads = ref [] in
+  let emit scope item =
+    items := { walk = !walk; scope = List.rev scope; item } :: !items;
+    incr walk
+  in
+  (* [txn] is [None] outside transactions, [Some (reads, writes)] inside.  [cont]
+     is the must-abort continuation: does every control path from just
+     after the current statement to the end of the transaction body hit
+     an [abort]?  Per-access rather than per-body, so a write in an
+     always-aborting branch (D.2's speculation) is recognized even when
+     the transaction can also commit. *)
+  let rec stmt ~scope ~path ~txn ~cont (s : Ast.stmt) =
+    let access kind lv =
+      let mode, must_abort, txn_reads, txn_writes =
+        match txn with
+        | None -> (Plain, false, [], [])
+        | Some (reads, writes) -> (Transactional, cont, reads, writes)
+      in
+      emit scope
+        (Racc
+           {
+             thread;
+             kind;
+             mode;
+             loc = Tmx_opt.Footprint.lval_name lv;
+             path;
+             stmt = s;
+             must_abort;
+             fences_before = [];
+             fences_after = [];
+             after_atomic = !after_atomic;
+             txn_reads;
+             txn_writes;
+             prior_atomic_writes = !atomic_writes;
+             prior_atomic_reads = !atomic_reads;
+             later_atomic_writes = [];
+           })
+    in
+    match s with
+    | Load (_, lv) -> access Read lv
+    | Store (lv, _) -> access Write lv
+    | Fence x -> emit scope (Rfence x)
+    | Atomic b ->
+        let writes = List.sort_uniq compare (body_writes [] b) in
+        let txn = Some (List.sort_uniq compare (body_reads [] b), writes) in
+        (* falling off the end of the body commits, so cont restarts *)
+        body ~scope ~path:(path ^ ".atomic") ~txn ~cont:false b;
+        emit scope (Ratomic writes);
+        after_atomic := true;
+        atomic_writes := List.sort_uniq compare (body_writes !atomic_writes b);
+        atomic_reads := List.sort_uniq compare (body_reads !atomic_reads b)
+    | If (_, t, e) ->
+        let fresh () = incr scope_id; !scope_id in
+        body ~scope:(fresh () :: scope) ~path:(path ^ ".then") ~txn ~cont t;
+        body ~scope:(fresh () :: scope) ~path:(path ^ ".else") ~txn ~cont e
+    | While (_, b) ->
+        incr scope_id;
+        (* the loop may exit or re-run: no continuation claim inside *)
+        body ~scope:(!scope_id :: scope) ~path:(path ^ ".do") ~txn ~cont:false b
+    | Assign _ | Abort | Skip -> ()
+  and body ~scope ~path ~txn ~cont stmts =
+    let rec go i = function
+      | [] -> ()
+      | s :: rest ->
+          stmt ~scope
+            ~path:(Fmt.str "%s.%d" path i)
+            ~txn
+            ~cont:(tail_aborts rest cont)
+            s;
+          go (i + 1) rest
+    in
+    go 0 stmts
+  in
+  body ~scope:[] ~path:(Fmt.str "t%d" thread) ~txn:None ~cont:false stmts;
+  let raws = List.rev !items in
+  (* dominating / postdominating fences *)
+  let fences =
+    List.filter
+      (fun r -> match r.item with Rfence _ -> true | Racc _ | Ratomic _ -> false)
+      raws
+  in
+  let atomics =
+    List.filter
+      (fun r -> match r.item with Ratomic _ -> true | Racc _ | Rfence _ -> false)
+      raws
+  in
+  List.filter_map
+    (fun r ->
+      match r.item with
+      | Rfence _ | Ratomic _ -> None
+      | Racc a ->
+          let before, after =
+            List.fold_left
+              (fun (bs, afs) f ->
+                match f.item with
+                | Rfence x when is_scope_prefix f.scope r.scope ->
+                    if f.walk < r.walk then (x :: bs, afs)
+                    else (bs, x :: afs)
+                | _ -> (bs, afs))
+              ([], []) fences
+          in
+          let later =
+            List.concat_map
+              (fun m ->
+                match m.item with
+                | Ratomic ws
+                  when m.walk > r.walk && is_scope_prefix m.scope r.scope ->
+                    ws
+                | _ -> [])
+              atomics
+          in
+          Some
+            {
+              a with
+              fences_before = List.sort_uniq compare before;
+              fences_after = List.sort_uniq compare after;
+              later_atomic_writes = List.sort_uniq compare later;
+            })
+    raws
+
+let of_program (p : Ast.program) =
+  List.concat (List.mapi of_thread p.threads)
+
+(* -- per-location classification -------------------------------------------- *)
+
+type counts = {
+  plain_reads : int;
+  plain_writes : int;
+  tx_reads : int;
+  tx_writes : int;
+}
+
+let no_counts = { plain_reads = 0; plain_writes = 0; tx_reads = 0; tx_writes = 0 }
+
+type class_ = Unused | Plain_only | Tx_only | Mixed
+
+let pp_class ppf = function
+  | Unused -> Fmt.string ppf "unused"
+  | Plain_only -> Fmt.string ppf "plain-only"
+  | Tx_only -> Fmt.string ppf "tx-only"
+  | Mixed -> Fmt.string ppf "mixed"
+
+type summary = {
+  loc : string;
+  class_ : class_;
+  counts : counts;
+  threads : int list;
+}
+
+let class_of_counts c =
+  let plain = c.plain_reads + c.plain_writes > 0 in
+  let tx = c.tx_reads + c.tx_writes > 0 in
+  match (plain, tx) with
+  | false, false -> Unused
+  | true, false -> Plain_only
+  | false, true -> Tx_only
+  | true, true -> Mixed
+
+let summarize_loc accesses loc =
+  let touching =
+    List.filter (fun (a : t) -> Tmx_opt.Footprint.name_clash a.loc loc) accesses
+  in
+  let counts =
+    List.fold_left
+      (fun c a ->
+        match (a.mode, a.kind) with
+        | Plain, Read -> { c with plain_reads = c.plain_reads + 1 }
+        | Plain, Write -> { c with plain_writes = c.plain_writes + 1 }
+        | Transactional, Read -> { c with tx_reads = c.tx_reads + 1 }
+        | Transactional, Write -> { c with tx_writes = c.tx_writes + 1 })
+      no_counts touching
+  in
+  {
+    loc;
+    class_ = class_of_counts counts;
+    counts;
+    threads = List.sort_uniq compare (List.map (fun a -> a.thread) touching);
+  }
+
+let summaries (p : Ast.program) =
+  let accesses = of_program p in
+  (* declared locations first, then any undeclared footprint names the
+     program mentions (typos; Ast.validate rejects them, but the summary
+     stays total for diagnostics) *)
+  let declared = p.locs in
+  let extra =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (a : t) ->
+           let covered =
+             List.exists (fun l -> Tmx_opt.Footprint.name_clash a.loc l) declared
+           in
+           if covered then None else Some a.loc)
+         accesses)
+  in
+  List.map (summarize_loc accesses) (declared @ extra)
+
+(* per-thread, per-location counts — the raw summary table *)
+let thread_summaries (p : Ast.program) =
+  let accesses = of_program p in
+  List.concat
+    (List.mapi
+       (fun i _ ->
+         let mine = List.filter (fun a -> a.thread = i) accesses in
+         List.filter_map
+           (fun loc ->
+             let s = summarize_loc mine loc in
+             if s.class_ = Unused then None else Some (i, s))
+           p.locs)
+       p.threads)

@@ -1,0 +1,93 @@
+(** Static access summaries: every load/store of a program, per thread
+    and per location, with the conservative facts the static race
+    analysis needs.
+
+    Computed-index cells ([z\[r\]]) are summarized by the wildcard
+    footprint name [z\[*\]], as in {!Tmx_opt.Footprint}: the wildcard
+    clashes with every declared cell of the array. *)
+
+open Tmx_lang
+
+type mode = Plain | Transactional
+type kind = Read | Write
+
+val pp_mode : mode Fmt.t
+val pp_kind : kind Fmt.t
+
+type t = {
+  thread : int;
+  kind : kind;
+  mode : mode;
+  loc : string;  (** footprint name; ["z[*]"] for computed cells *)
+  path : string;  (** source path, e.g. ["t1.0.atomic.1.then.0"] *)
+  stmt : Ast.stmt;  (** the load/store itself *)
+  must_abort : bool;
+      (** every control path from this access to the end of its
+          enclosing transaction hits an [abort], so no dynamic instance
+          of the access is ever nonaborted — per-access, so a write in
+          an always-aborting branch qualifies even when the transaction
+          can also commit *)
+  fences_before : string list;
+      (** fence locations crossed on every path from the thread start to
+          this access *)
+  fences_after : string list;
+      (** fence locations crossed on every path from this access to the
+          thread end *)
+  after_atomic : bool;
+      (** some atomic block precedes this access in its thread (the
+          privatization-shaped suffix of {!Tmx_opt.Fenceify}) *)
+  txn_reads : string list;
+      (** locations read by the enclosing transaction; empty when plain *)
+  txn_writes : string list;
+      (** locations written by the enclosing transaction; empty when
+          plain *)
+  prior_atomic_writes : string list;
+      (** locations written by atomic blocks preceding this access in
+          its thread *)
+  prior_atomic_reads : string list;
+      (** locations read by atomic blocks preceding this access in its
+          thread *)
+  later_atomic_writes : string list;
+      (** locations written by atomic blocks following this access in
+          its thread (publication-shaped prefix) *)
+}
+
+val pp : t Fmt.t
+
+val body_must_abort : Ast.stmt list -> bool
+(** Does every control path through a transaction body hit an [abort]?
+    Conservative: loops stop the scan, so [false] may be returned for
+    bodies that do always abort, never the converse. *)
+
+val of_thread : int -> Ast.thread -> t list
+val of_program : Ast.program -> t list
+
+(** {1 Per-location classification} *)
+
+type counts = {
+  plain_reads : int;
+  plain_writes : int;
+  tx_reads : int;
+  tx_writes : int;
+}
+
+val no_counts : counts
+
+type class_ = Unused | Plain_only | Tx_only | Mixed
+
+val pp_class : class_ Fmt.t
+val class_of_counts : counts -> class_
+
+type summary = {
+  loc : string;
+  class_ : class_;
+  counts : counts;
+  threads : int list;  (** threads touching the location *)
+}
+
+val summaries : Ast.program -> summary list
+(** One summary per declared location (in declaration order), followed
+    by any undeclared footprint names the program mentions. *)
+
+val thread_summaries : Ast.program -> (int * summary) list
+(** The per-thread, per-location table; unused rows omitted. *)

@@ -1,0 +1,251 @@
+(* The static mixed-race analyzer behind `tmx lint`.
+
+   The analysis is a conservative over-approximation of the paper's race
+   definitions: every pair of static accesses that clashes on a location,
+   involves a write and a plain access, and is not ordered by the static
+   happens-before abstraction ([Order.pair]) becomes a finding.  The
+   soundness direction is the valuable one — if [race_free] holds, no
+   consistent execution of the program has an L-race or a mixed race,
+   under any model (pinned by the enumeration-backed property suite in
+   test/test_analysis.ml).  The converse direction is measured, not
+   promised: the precision report counts findings the exhaustive
+   enumerator does not confirm.
+
+   Each finding carries the paper-shaped fix: wrap the plain access in
+   an atomic block (making the pair transactional, hence race-free by
+   definition), or — for privatization-shaped accesses that follow an
+   atomic block in their thread — insert a quiescence fence, the same
+   transformation `tmx fence` ([Tmx_opt.Fenceify]) applies wholesale. *)
+
+open Tmx_lang
+
+type severity = High | Medium | Low
+
+let pp_severity ppf = function
+  | High -> Fmt.string ppf "high"
+  | Medium -> Fmt.string ppf "medium"
+  | Low -> Fmt.string ppf "low"
+
+let severity_rank = function High -> 0 | Medium -> 1 | Low -> 2
+
+type kind = Mixed_race | L_race
+
+let pp_kind ppf = function
+  | Mixed_race -> Fmt.string ppf "mixed race"
+  | L_race -> Fmt.string ppf "L-race"
+
+type fix =
+  | Insert_fence of { fence_loc : string; before : string }
+  | Wrap_atomic of string list
+
+let pp_fix ppf = function
+  | Insert_fence { fence_loc; before } ->
+      Fmt.pf ppf "insert fence(%s) before %s (cf. `tmx fence')" fence_loc before
+  | Wrap_atomic [ p ] -> Fmt.pf ppf "wrap %s in atomic { }" p
+  | Wrap_atomic ps ->
+      Fmt.pf ppf "wrap %a in atomic { }" Fmt.(list ~sep:(any " and ") string) ps
+
+type finding = {
+  kind : kind;
+  loc : string;
+  a : Access.t;
+  b : Access.t;
+  protections : Order.protection list;
+  severity : severity;
+  fix : fix;
+}
+
+type report = {
+  program : Ast.program;
+  summaries : Access.summary list;
+  findings : finding list;
+}
+
+let race_free r = r.findings = []
+
+(* the more specific of the two clashing names: prefer a concrete cell
+   over its wildcard *)
+let specific_loc a b =
+  let is_wild n =
+    match Tmx_opt.Footprint.base_of n with
+    | Some base -> String.equal n (base ^ "[*]")
+    | None -> false
+  in
+  if is_wild a && not (is_wild b) then b else a
+
+let severity_of protections =
+  if protections = [] then High
+  else if
+    List.exists
+      (function
+        | Order.Guarded_publication _ | Order.Published_flag _
+        | Order.Consumed_flag _ ->
+            true
+        | Order.Fence_commit_side _ | Order.Fence_begin_side _ -> false)
+      protections
+  then Low
+  else Medium
+
+let fix_of loc (a : Access.t) (b : Access.t) =
+  match (a.mode, b.mode) with
+  | Access.Plain, Access.Plain -> Wrap_atomic [ a.path; b.path ]
+  | _ ->
+      let plain = if a.mode = Access.Plain then a else b in
+      if plain.after_atomic then
+        Insert_fence { fence_loc = loc; before = plain.path }
+      else Wrap_atomic [ plain.path ]
+
+let finding_of_pair (a : Access.t) (b : Access.t) protections =
+  let loc = specific_loc a.Access.loc b.Access.loc in
+  let kind =
+    if
+      a.Access.kind = Access.Write
+      && b.Access.kind = Access.Write
+      && a.Access.mode <> b.Access.mode
+    then Mixed_race
+    else L_race
+  in
+  {
+    kind;
+    loc;
+    a;
+    b;
+    protections;
+    severity = severity_of protections;
+    fix = fix_of loc a b;
+  }
+
+let lint (p : Ast.program) =
+  let accesses = Array.of_list (Access.of_program p) in
+  let findings = ref [] in
+  let n = Array.length accesses in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = accesses.(i) and b = accesses.(j) in
+      if
+        Tmx_opt.Footprint.name_clash a.Access.loc b.Access.loc
+        && (a.Access.kind = Access.Write || b.Access.kind = Access.Write)
+      then
+        match Order.pair a b with
+        | Order.Ordered _ -> ()
+        | Order.Unordered protections ->
+            findings := finding_of_pair a b protections :: !findings
+    done
+  done;
+  let findings =
+    List.stable_sort
+      (fun f g ->
+        match compare (severity_rank f.severity) (severity_rank g.severity) with
+        | 0 -> compare (f.loc, f.a.Access.path) (g.loc, g.a.Access.path)
+        | c -> c)
+      (List.rev !findings)
+  in
+  { program = p; summaries = Access.summaries p; findings }
+
+let mixed_count r =
+  List.length (List.filter (fun f -> f.kind = Mixed_race) r.findings)
+
+(* -- rendering --------------------------------------------------------------- *)
+
+let pp_verdict ppf r =
+  if race_free r then Fmt.string ppf "race-free"
+  else
+    Fmt.pf ppf "%d candidate race%s (%d mixed)"
+      (List.length r.findings)
+      (if List.length r.findings = 1 then "" else "s")
+      (mixed_count r)
+
+let pp_finding ppf f =
+  Fmt.pf ppf "@[<v2>[%a] %a on %s:@,%a@,vs %a%a@,fix: %a@]" pp_severity
+    f.severity pp_kind f.kind f.loc Access.pp f.a Access.pp f.b
+    (fun ppf -> function
+      | [] -> ()
+      | ps ->
+          Fmt.pf ppf "@,protections: %a"
+            Fmt.(list ~sep:(any "; ") Order.pp_protection)
+            ps)
+    f.protections pp_fix f.fix
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>program %s: %a@," r.program.Ast.name
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (s : Access.summary) ->
+          Fmt.pf ppf "%s %a" s.loc Access.pp_class s.class_))
+    r.summaries;
+  if race_free r then Fmt.pf ppf "statically race-free@]"
+  else
+    Fmt.pf ppf "%a@,verdict: %a (conservative; confirm with `tmx races')@]"
+      Fmt.(list ~sep:cut pp_finding)
+      r.findings pp_verdict r
+
+(* -- JSON -------------------------------------------------------------------- *)
+
+let json_escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let json_access buf (a : Access.t) =
+  Buffer.add_string buf
+    (Fmt.str "{\"thread\": %d, \"mode\": \"%a\", \"kind\": \"%a\", " a.thread
+       Access.pp_mode a.mode Access.pp_kind a.kind);
+  Buffer.add_string buf "\"loc\": ";
+  json_escape buf a.loc;
+  Buffer.add_string buf ", \"path\": ";
+  json_escape buf a.path;
+  Buffer.add_string buf ", \"stmt\": ";
+  json_escape buf (Fmt.str "%a" Ast.pp_stmt a.stmt);
+  Buffer.add_string buf "}"
+
+let to_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"program\": ";
+  json_escape buf r.program.Ast.name;
+  Buffer.add_string buf
+    (Fmt.str ",\n \"race_free\": %b,\n \"locations\": [" (race_free r));
+  List.iteri
+    (fun i (s : Access.summary) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf "\n  {\"name\": ";
+      json_escape buf s.loc;
+      Buffer.add_string buf
+        (Fmt.str
+           ", \"class\": \"%a\", \"plain_reads\": %d, \"plain_writes\": %d, \
+            \"tx_reads\": %d, \"tx_writes\": %d, \"threads\": [%a]}"
+           Access.pp_class s.class_ s.counts.plain_reads s.counts.plain_writes
+           s.counts.tx_reads s.counts.tx_writes
+           Fmt.(list ~sep:comma int)
+           s.threads))
+    r.summaries;
+  Buffer.add_string buf "],\n \"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Fmt.str "\n  {\"kind\": \"%s\", \"severity\": \"%a\", \"loc\": "
+           (match f.kind with Mixed_race -> "mixed" | L_race -> "l-race")
+           pp_severity f.severity);
+      json_escape buf f.loc;
+      Buffer.add_string buf ", \"a\": ";
+      json_access buf f.a;
+      Buffer.add_string buf ", \"b\": ";
+      json_access buf f.b;
+      Buffer.add_string buf ", \"protections\": [";
+      List.iteri
+        (fun j pr ->
+          if j > 0 then Buffer.add_string buf ", ";
+          json_escape buf (Fmt.str "%a" Order.pp_protection pr))
+        f.protections;
+      Buffer.add_string buf "], \"fix\": ";
+      json_escape buf (Fmt.str "%a" pp_fix f.fix);
+      Buffer.add_string buf "}")
+    r.findings;
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,113 @@
+(* The conservative static happens-before abstraction.
+
+   A pair of static accesses is declared [Ordered] only when EVERY pair
+   of their dynamic instances is happens-before-ordered (or excluded
+   from racing outright) in every well-formed trace, under every model:
+
+   - [Same_thread]: program order is in the happens-before base (HBdef),
+     and a trace linearizes program order, so same-thread instances can
+     never race.  Transaction boundaries need no separate case: Begin
+     and Commit are po-ordered with their transaction's accesses.
+   - [Both_transactional]: an L-race requires at least one plain access,
+     so two transactional accesses never race by definition.
+   - [Both_reads]: an L-conflict requires at least one write.
+   - [Must_abort]: every instance of the access is in an aborted
+     transaction, and aborted actions never conflict.
+
+   Nothing else is sound.  In particular the quiescence-fence rules
+   WF12/HBCQ/HBQB order a fence against transactions on ONE side of it
+   in the trace — a transaction that begins after the fence (HBQB) is
+   unordered with plain accesses that follow the fence, and one that
+   commits before it (HBCQ) is unordered with plain accesses that
+   precede it — and which side a transaction lands on is resolved only
+   dynamically.  Likewise HBww-style privatization ordering depends on
+   the guard's reads-from choice.  These one-sided facts are reported as
+   [protection]s: they downgrade a finding's severity and shape its fix
+   suggestion, but never suppress it, preserving soundness. *)
+
+type reason = Same_thread | Both_transactional | Both_reads | Must_abort
+
+let pp_reason ppf = function
+  | Same_thread -> Fmt.string ppf "same thread (program order)"
+  | Both_transactional -> Fmt.string ppf "both transactional"
+  | Both_reads -> Fmt.string ppf "both reads"
+  | Must_abort -> Fmt.string ppf "always-aborted transaction"
+
+type protection =
+  | Fence_commit_side of string
+      (* the plain access is dominated by fence(x): transactions on x
+         that commit before the fence are ordered before it (HBCQ) *)
+  | Fence_begin_side of string
+      (* the plain access is postdominated by fence(x): transactions on
+         x that begin after the fence are ordered after it (HBQB) *)
+  | Guarded_publication of string
+      (* the transactional side reads flag x, and the plain side's
+         thread writes x in an atomic block before the plain access —
+         the privatization idiom that HBww orders when the guard reads
+         the pre-publication value *)
+  | Published_flag of string
+      (* the plain access precedes an atomic block that writes flag x,
+         which the transactional side reads — the publication idiom:
+         cwr serializes the publishing transaction before the reading
+         one whenever the guard value is observed *)
+  | Consumed_flag of string
+      (* the transactional side writes flag x, which the plain side's
+         thread read in an atomic block before the plain access — the
+         dual handoff: cwr serializes the writing transaction before
+         the reader's atomic whenever its value is observed *)
+
+let pp_protection ppf = function
+  | Fence_commit_side x -> Fmt.pf ppf "fence(%s) before the plain access (HBCQ)" x
+  | Fence_begin_side x -> Fmt.pf ppf "fence(%s) after the plain access (HBQB)" x
+  | Guarded_publication x -> Fmt.pf ppf "guarded publication via %s (HBww)" x
+  | Published_flag x -> Fmt.pf ppf "flag %s published after the plain access (cwr)" x
+  | Consumed_flag x -> Fmt.pf ppf "flag %s consumed before the plain access (cwr)" x
+
+type verdict = Ordered of reason | Unordered of protection list
+
+(* Protections for an (access, access) pair known to clash on a
+   location.  Only tx-vs-plain pairs have any. *)
+let protections (a : Access.t) (b : Access.t) =
+  match (a.mode, b.mode) with
+  | Access.Plain, Access.Plain | Access.Transactional, Access.Transactional -> []
+  | _ ->
+      let tx, plain =
+        if a.mode = Access.Transactional then (a, b) else (b, a)
+      in
+      let fence_hits fences =
+        List.filter
+          (fun x ->
+            Tmx_opt.Footprint.name_clash x tx.loc
+            || Tmx_opt.Footprint.name_clash x plain.loc)
+          fences
+      in
+      let flag_of ok mk flag =
+        if ok flag && not (Tmx_opt.Footprint.name_clash flag tx.loc) then
+          Some (mk flag)
+        else None
+      in
+      List.map (fun x -> Fence_commit_side x) (fence_hits plain.fences_before)
+      @ List.map (fun x -> Fence_begin_side x) (fence_hits plain.fences_after)
+      @ List.filter_map
+          (flag_of
+             (fun f -> List.mem f plain.prior_atomic_writes)
+             (fun f -> Guarded_publication f))
+          tx.txn_reads
+      @ List.filter_map
+          (flag_of
+             (fun f -> List.mem f plain.later_atomic_writes)
+             (fun f -> Published_flag f))
+          tx.txn_reads
+      @ List.filter_map
+          (flag_of
+             (fun f -> List.mem f plain.prior_atomic_reads)
+             (fun f -> Consumed_flag f))
+          tx.txn_writes
+
+let pair (a : Access.t) (b : Access.t) =
+  if a.thread = b.thread then Ordered Same_thread
+  else if a.mode = Access.Transactional && b.mode = Access.Transactional then
+    Ordered Both_transactional
+  else if a.kind = Access.Read && b.kind = Access.Read then Ordered Both_reads
+  else if a.must_abort || b.must_abort then Ordered Must_abort
+  else Unordered (protections a b)

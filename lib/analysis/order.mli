@@ -1,0 +1,53 @@
+(** The conservative static happens-before abstraction over static
+    accesses.
+
+    A pair is declared [Ordered] only when every pair of its dynamic
+    instances is happens-before-ordered, or excluded from racing by the
+    race definition itself, in every well-formed trace under every
+    model: same thread (program order, which subsumes transaction
+    boundaries), both transactional, both reads, or an always-aborting
+    transaction.
+
+    The quiescence-fence rules (WF12/HBCQ/HBQB) and the HBww
+    privatization ordering are one-sided or data-dependent, so they are
+    reported as {!protection}s — severity hints that never suppress a
+    finding. *)
+
+type reason = Same_thread | Both_transactional | Both_reads | Must_abort
+
+val pp_reason : reason Fmt.t
+
+type protection =
+  | Fence_commit_side of string
+      (** the plain access is dominated by a fence on the raced
+          location: HBCQ orders transactions that commit before the
+          fence ahead of it *)
+  | Fence_begin_side of string
+      (** the plain access is postdominated by such a fence: HBQB
+          orders transactions that begin after the fence behind it *)
+  | Guarded_publication of string
+      (** privatization idiom: the transactional side reads this flag,
+          which the plain side's thread publishes in an earlier atomic
+          block; HBww orders the pair when the guard reads the
+          pre-publication value *)
+  | Published_flag of string
+      (** publication idiom: the plain access precedes an atomic block
+          writing this flag, which the transactional side reads; cwr
+          orders the publisher before the reader when the value is
+          observed *)
+  | Consumed_flag of string
+      (** dual handoff: the transactional side writes this flag, which
+          the plain side's thread read in an earlier atomic block; cwr
+          orders the writer before the reader when the value is
+          observed *)
+
+val pp_protection : protection Fmt.t
+
+type verdict = Ordered of reason | Unordered of protection list
+
+val protections : Access.t -> Access.t -> protection list
+(** Protections for a pair known to clash on a location; only
+    transactional-vs-plain pairs have any. *)
+
+val pair : Access.t -> Access.t -> verdict
+(** The static verdict for a clashing pair of accesses. *)

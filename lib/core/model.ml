@@ -66,7 +66,7 @@ let strongest =
   }
 
 let all = [ programmer; implementation; strongest; variant_ww; variant_rw;
-            variant_wr; variant_ww'; variant_rw'; variant_wr' ]
+            variant_wr; variant_ww'; variant_rw'; variant_wr'; bare ]
 
 let by_name name = List.find_opt (fun m -> String.equal m.name name) all
 

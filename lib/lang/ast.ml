@@ -107,35 +107,70 @@ let rec stmt_has_atomic = function
   | _ -> false
 
 (* Static sanity: aborts only inside atomic, no nested atomics, no fences
-   inside atomic. *)
+   inside atomic, and every load/store/fence names a declared location
+   (typos otherwise silently create fresh, never-initialized locations). *)
 let validate p =
-  let rec check_stmt ~in_txn s =
+  let declared_exactly x = List.mem x p.locs in
+  (* "z" is a declared array base when some cell "z[...]" is declared *)
+  let declared_base x =
+    let prefix = x ^ "[" in
+    let plen = String.length prefix in
+    List.exists
+      (fun l -> String.length l >= plen && String.equal (String.sub l 0 plen) prefix)
+      p.locs
+  in
+  let check_lval ~thread { base; index } =
+    match index with
+    | None ->
+        if declared_exactly base then Ok ()
+        else
+          Error
+            (Fmt.str "thread %d: undeclared location %S%s" thread base
+               (if declared_base base then
+                  " (only cells of this array are declared; index it)"
+                else ""))
+    | Some _ ->
+        if declared_base base then Ok ()
+        else
+          Error
+            (Fmt.str "thread %d: undeclared array %S (no cell %s[...] in locs)"
+               thread base base)
+  in
+  let rec check_stmt ~thread ~in_txn s =
     match s with
     | Atomic body ->
         if in_txn then Error "nested atomic block"
         else
           List.fold_left
-            (fun acc s -> Result.bind acc (fun () -> check_stmt ~in_txn:true s))
+            (fun acc s ->
+              Result.bind acc (fun () -> check_stmt ~thread ~in_txn:true s))
             (Ok ()) body
     | Abort -> if in_txn then Ok () else Error "abort outside atomic"
-    | Fence _ -> if in_txn then Error "fence inside atomic" else Ok ()
+    | Fence x ->
+        if in_txn then Error "fence inside atomic"
+        else if declared_exactly x || declared_base x then Ok ()
+        else Error (Fmt.str "thread %d: fence on undeclared location %S" thread x)
     | If (_, t, e) ->
         List.fold_left
-          (fun acc s -> Result.bind acc (fun () -> check_stmt ~in_txn s))
+          (fun acc s -> Result.bind acc (fun () -> check_stmt ~thread ~in_txn s))
           (Ok ()) (t @ e)
     | While (_, b) ->
         List.fold_left
-          (fun acc s -> Result.bind acc (fun () -> check_stmt ~in_txn s))
+          (fun acc s -> Result.bind acc (fun () -> check_stmt ~thread ~in_txn s))
           (Ok ()) b
-    | Load _ | Store _ | Assign _ | Skip -> Ok ()
+    | Load (_, lv) -> check_lval ~thread lv
+    | Store (lv, _) -> check_lval ~thread lv
+    | Assign _ | Skip -> Ok ()
   in
   List.fold_left
-    (fun acc th ->
+    (fun acc (thread, th) ->
       Result.bind acc (fun () ->
           List.fold_left
-            (fun acc s -> Result.bind acc (fun () -> check_stmt ~in_txn:false s))
+            (fun acc s ->
+              Result.bind acc (fun () -> check_stmt ~thread ~in_txn:false s))
             (Ok ()) th))
-    (Ok ()) p.threads
+    (Ok ())
+    (List.mapi (fun i th -> (i, th)) p.threads)
 
 (* -- pretty printing ------------------------------------------------------- *)
 

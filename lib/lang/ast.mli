@@ -85,7 +85,11 @@ val stmt_has_atomic : stmt -> bool
 
 val validate : program -> (unit, string) result
 (** Static sanity: no nested atomic blocks, no abort outside a block, no
-    fence inside a block. *)
+    fence inside a block, and every load, store and fence names a
+    declared location — a bare name must be in [locs], an indexed access
+    [z\[e\]] needs some declared cell [z\[...\]], and a fence may name
+    either.  Undeclared names are typos that would otherwise silently
+    create fresh, never-initialized locations. *)
 
 (** {1 Printing} *)
 

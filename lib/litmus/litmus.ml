@@ -105,6 +105,9 @@ type report = {
   results : check_result list;
   truncated : bool;
   capped : bool;
+  lint : Tmx_analysis.Lint.report;
+      (* the static verdict, recorded next to the exhaustive one; no
+         enumeration happens on this path *)
 }
 
 let passed report = List.for_all (fun r -> r.ok) report.results
@@ -194,12 +197,18 @@ let run ?config litmus =
   let capped =
     Hashtbl.fold (fun _ (r : Enumerate.result) acc -> acc || r.capped) cache false
   in
-  { litmus; results; truncated; capped }
+  {
+    litmus;
+    results;
+    truncated;
+    capped;
+    lint = Tmx_analysis.Lint.lint litmus.program;
+  }
 
 let pp_report ppf report =
   let status = if passed report then "PASS" else "FAIL" in
-  Fmt.pf ppf "@[<v>[%s] %s (%s)%s%s@,%a@]" status report.litmus.name
-    report.litmus.section
+  Fmt.pf ppf "@[<v>[%s] %s (%s)%s%s@,%a@,  static: %a@]" status
+    report.litmus.name report.litmus.section
     (if report.truncated then " [truncated]" else "")
     (if report.capped then " [capped]" else "")
     Fmt.(
@@ -208,4 +217,4 @@ let pp_report ppf report =
             (if r.ok then "ok  " else "FAIL")
             (model_of_check r.check).Model.name (descr_of_check r.check)
             r.detail))
-    report.results
+    report.results Tmx_analysis.Lint.pp_verdict report.lint

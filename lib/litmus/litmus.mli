@@ -61,6 +61,9 @@ type report = {
   results : check_result list;
   truncated : bool;
   capped : bool;
+  lint : Tmx_analysis.Lint.report;
+      (** the static analyzer's verdict, recorded next to the exhaustive
+          one (computed without enumeration) *)
 }
 
 val passed : report -> bool

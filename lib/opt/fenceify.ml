@@ -46,19 +46,7 @@ let mixed_locations (p : Ast.program) =
     (fun x () acc -> if Hashtbl.mem plain x then x :: acc else acc)
     txn []
 
-(* a wildcard footprint name refers to every declared cell of its base *)
-let expand_name locs name =
-  match String.index_opt name '[' with
-  | Some i when String.length name > i && String.sub name i (String.length name - i) = "[*]"
-    ->
-      let base = String.sub name 0 i in
-      List.filter
-        (fun l ->
-          let prefix = base ^ "[" in
-          String.length l >= String.length prefix
-          && String.equal (String.sub l 0 (String.length prefix)) prefix)
-        locs
-  | _ -> [ name ]
+let expand_name locs name = Footprint.expand_name ~locs name
 
 let insert ?(policy = `After_transactions) (p : Ast.program) =
   let mixed = List.concat_map (expand_name p.locs) (mixed_locations p) in

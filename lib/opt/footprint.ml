@@ -31,19 +31,33 @@ let rec of_stmt (s : Ast.stmt) =
 
 and of_stmts body = List.fold_left (fun acc s -> merge acc (of_stmt s)) empty body
 
+(* The array base of a cell name ("z" for "z[0]" or "z[*]"), if any. *)
+let base_of n =
+  match String.index_opt n '[' with
+  | Some i -> Some (String.sub n 0 i)
+  | None -> None
+
 (* Two footprint names clash when equal, or when one is a wildcard cell of
    the other's array. *)
 let name_clash a b =
   String.equal a b
   ||
-  let base n =
-    match String.index_opt n '[' with
-    | Some i -> Some (String.sub n 0 i)
-    | None -> None
-  in
-  match (base a, base b) with
+  match (base_of a, base_of b) with
   | Some ba, Some bb -> String.equal ba bb && (String.equal a (ba ^ "[*]") || String.equal b (bb ^ "[*]"))
   | _ -> false
+
+(* A wildcard footprint name refers to every declared cell of its base;
+   any other name refers to itself. *)
+let expand_name ~locs name =
+  match base_of name with
+  | Some base when String.equal name (base ^ "[*]") ->
+      let prefix = base ^ "[" in
+      let plen = String.length prefix in
+      List.filter
+        (fun l ->
+          String.length l >= plen && String.equal (String.sub l 0 plen) prefix)
+        locs
+  | _ -> [ name ]
 
 let sets_clash xs ys = List.exists (fun x -> List.exists (name_clash x) ys) xs
 

@@ -15,6 +15,17 @@ val lval_name : Tmx_lang.Ast.lval -> string
 val of_stmt : Tmx_lang.Ast.stmt -> t
 val of_stmts : Tmx_lang.Ast.stmt list -> t
 
+val base_of : string -> string option
+(** The array base of a cell name ([Some "z"] for ["z[0]"] or ["z[*]"]),
+    [None] for plain names. *)
+
+val name_clash : string -> string -> bool
+(** Equal names, or one is the wildcard cell of the other's array. *)
+
+val expand_name : locs:string list -> string -> string list
+(** The declared locations a footprint name may denote: every declared
+    cell of the base for a wildcard ["z[*]"], the name itself otherwise. *)
+
 val conflicts : t -> t -> bool
 (** Same location, at least one write (conservatively, via wildcards). *)
 

@@ -55,6 +55,40 @@ The STM bench drives multi-domain workloads and writes a JSON report
   $ test -s BENCH_stm.json && echo report-written
   report-written
 
+The static analyzer reports candidate races without enumerating, and
+exits 1 on findings so it can gate CI:
+
+  $ ../bin/tmx.exe lint privatization
+  program privatization: x mixed, y tx-only
+  [low] mixed race on x:
+    t0 tx write x (t0.0.atomic.1.then.0: x := 1)
+    vs t1 plain write x (t1.1: x := 2)
+    protections: guarded publication via y (HBww)
+    fix: insert fence(x) before t1.1 (cf. `tmx fence')
+  verdict: 1 candidate race (1 mixed) (conservative; confirm with `tmx races')
+  0/1 programs statically race-free
+  [1]
+
+A statically race-free program exits 0:
+
+  $ ../bin/tmx.exe lint opacity_iriw
+  program opacity_iriw: x tx-only, y tx-only
+  statically race-free
+  1/1 programs statically race-free
+
+The litmus runner records the static verdict next to the exhaustive one:
+
+  $ ../bin/tmx.exe litmus opacity_iriw | grep static
+    static: race-free
+
+`tmx races` also exits 1 when any execution races:
+
+  $ ../bin/tmx.exe races sb -m pm > /dev/null
+  [1]
+
+  $ ../bin/tmx.exe races opacity_iriw -m pm
+  0/14 executions racy under pm
+
 Unknown names produce errors:
 
   $ ../bin/tmx.exe litmus nosuch 2>&1 | head -1

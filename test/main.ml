@@ -11,6 +11,7 @@ let exhaustive =
     "theorems";
     "parallel";
     "stm_stress";
+    "analysis_oracle";
   ]
 
 let () =
@@ -49,6 +50,8 @@ let () =
       ("interp", Test_interp.suite);
       ("machine", Test_machine.suite);
       ("volatile", Test_volatile.suite);
+      ("analysis", Test_analysis.suite);
+      ("analysis_oracle", Test_analysis.oracle_suite);
     ]
   in
   let suites =

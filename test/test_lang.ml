@@ -27,6 +27,52 @@ let test_validate_in_branches () =
   Alcotest.(check bool) "nested atomic in branch rejected" true
     (Result.is_error (Ast.validate p))
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let error_of p = match Ast.validate p with Ok () -> "" | Error e -> e
+
+let test_validate_undeclared_store () =
+  let p = Ast.(program ~locs:[ "x" ] [ [ store (loc "y") (int 1) ] ]) in
+  let e = error_of p in
+  Alcotest.(check bool) "undeclared store rejected" true (e <> "");
+  Alcotest.(check bool) "error names the thread and location" true
+    (contains_sub e "thread 0" && contains_sub e "\"y\"")
+
+let test_validate_undeclared_load () =
+  let p =
+    Ast.(
+      program ~locs:[ "x" ]
+        [ [ skip ]; [ atomic [ load "r" (loc "z") ] ] ])
+  in
+  Alcotest.(check bool) "undeclared load rejected" true
+    (contains_sub (error_of p) "thread 1")
+
+let test_validate_cells () =
+  let p =
+    Ast.(
+      program ~locs:[ "z[0]"; "z[1]" ]
+        [ [ store (cell "z" (reg "r")) (int 1); fence "z" ] ])
+  in
+  Alcotest.(check bool) "cells + array fence ok" true
+    (Result.is_ok (Ast.validate p));
+  let bad =
+    Ast.(program ~locs:[ "z[0]" ] [ [ store (cell "w" (reg "r")) (int 1) ] ])
+  in
+  Alcotest.(check bool) "undeclared array rejected" true
+    (Result.is_error (Ast.validate bad));
+  (* a bare reference to an array base is a likely bug: say so *)
+  let bare = Ast.(program ~locs:[ "z[0]" ] [ [ load "r" (loc "z") ] ]) in
+  Alcotest.(check bool) "bare array base gets a hint" true
+    (contains_sub (error_of bare) "index it")
+
+let test_validate_undeclared_fence () =
+  let p = Ast.(program ~locs:[ "x" ] [ [ fence "y" ] ]) in
+  Alcotest.(check bool) "fence on undeclared location rejected" true
+    (Result.is_error (Ast.validate p))
+
 let test_thread_regs () =
   let th =
     Ast.
@@ -38,11 +84,6 @@ let test_thread_regs () =
   in
   Alcotest.(check (list string)) "registers collected" [ "r1"; "r2"; "r3" ]
     (Ast.thread_regs th)
-
-let contains_sub s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  go 0
 
 let test_pretty () =
   let p =
@@ -65,6 +106,13 @@ let suite =
     Alcotest.test_case "reject stray abort" `Quick test_validate_abort_outside;
     Alcotest.test_case "reject fence in atomic" `Quick test_validate_fence_inside;
     Alcotest.test_case "reject nested in branches" `Quick test_validate_in_branches;
+    Alcotest.test_case "reject undeclared store" `Quick
+      test_validate_undeclared_store;
+    Alcotest.test_case "reject undeclared load" `Quick
+      test_validate_undeclared_load;
+    Alcotest.test_case "array cells validate" `Quick test_validate_cells;
+    Alcotest.test_case "reject undeclared fence" `Quick
+      test_validate_undeclared_fence;
     Alcotest.test_case "register collection" `Quick test_thread_regs;
     Alcotest.test_case "pretty printing" `Quick test_pretty;
     Alcotest.test_case "cell printing" `Quick test_cell_pretty;

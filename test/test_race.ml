@@ -57,6 +57,51 @@ let test_plain_race_detected () =
   let hb = Hb.compute pm ctx in
   Alcotest.(check bool) "but it is not mixed" false (Race.has_mixed_race t hb)
 
+let test_aborted_mixed_excluded () =
+  (* a §5-shaped pair — transactional write vs plain write — is not a
+     mixed race when the transaction aborted *)
+  let t = mk ~locs:[ "x" ] [ b 0; w 0 "x" 1 1; a 0; w 1 "x" 2 2 ] in
+  let ctx = Lift.make t in
+  let hb = Hb.compute im ctx in
+  Alcotest.(check int) "aborted txn: no mixed races" 0
+    (List.length (Race.mixed_races t hb));
+  (* the committed variant is the anomaly *)
+  let t' = mk ~locs:[ "x" ] [ b 0; w 0 "x" 1 1; c 0; w 1 "x" 2 2 ] in
+  let ctx' = Lift.make t' in
+  let hb' = Hb.compute im ctx' in
+  Alcotest.(check bool) "committed variant mixed-races" true
+    (Race.has_mixed_race t' hb')
+
+let test_fence_commit_side_orders () =
+  (* HBCQ: the transaction commits before the fence, so the fence — and
+     the plain write po-after it — is ordered after the commit *)
+  let t =
+    mk ~locs:[ "x" ] [ b 0; w 0 "x" 1 1; c 0; q 1 "x"; w 1 "x" 2 2 ]
+  in
+  Alcotest.(check int) "fence quiesces the committed txn" 0
+    (List.length (Race.races_of_model im t));
+  (* without the fence the same trace races *)
+  let t' = mk ~locs:[ "x" ] [ b 0; w 0 "x" 1 1; c 0; w 1 "x" 2 2 ] in
+  Alcotest.(check bool) "unfenced variant races" true
+    (Race.races_of_model im t' <> [])
+
+let test_fence_begin_side_orders () =
+  (* HBQB: the transaction begins after the fence, so the plain write
+     po-before the fence is ordered ahead of it *)
+  let t =
+    mk ~locs:[ "x" ] [ w 1 "x" 1 1; q 1 "x"; b 0; w 0 "x" 2 2; c 0 ]
+  in
+  Alcotest.(check int) "fence orders the later txn" 0
+    (List.length (Race.races_of_model im t))
+
+let test_fence_wrong_location () =
+  (* a fence on an unrelated location protects nothing *)
+  let t =
+    mk ~locs:[ "x"; "y" ] [ b 0; w 0 "x" 1 1; c 0; q 1 "y"; w 1 "x" 2 2 ]
+  in
+  Alcotest.(check bool) "y-fence does not quiesce x" true
+    (Race.races_of_model im t <> [])
+
 let suite =
   [
     Alcotest.test_case "privatization race pm vs im" `Quick test_privatization_race;
@@ -65,4 +110,12 @@ let suite =
     Alcotest.test_case "aborted actions never race" `Quick test_aborted_never_race;
     Alcotest.test_case "reads never race" `Quick test_read_read_never_race;
     Alcotest.test_case "plain races detected" `Quick test_plain_race_detected;
+    Alcotest.test_case "aborted txns excluded from mixed races" `Quick
+      test_aborted_mixed_excluded;
+    Alcotest.test_case "commit-side fence orders (HBCQ)" `Quick
+      test_fence_commit_side_orders;
+    Alcotest.test_case "begin-side fence orders (HBQB)" `Quick
+      test_fence_begin_side_orders;
+    Alcotest.test_case "fences are per-location" `Quick
+      test_fence_wrong_location;
   ]
