@@ -1,0 +1,27 @@
+(** Benchmark-regression guard behind [tmx bench-compare].
+
+    Reads two benchmark witnesses of the same schema
+    ([BENCH_stm.json] or [BENCH_parallel.json], auto-detected via their
+    ["experiment"] field), normalizes every measurement to a throughput
+    (higher is better), and reports the pairs where the new value fell
+    more than {!default_threshold} below the old one. *)
+
+val default_threshold : float
+(** 0.25 — the one place the 25% regression threshold is defined. *)
+
+type metric = { key : string; old_value : float; new_value : float }
+
+type verdict = {
+  threshold : float;
+  metrics : metric list;
+  regressions : metric list;
+  missing : string list;
+}
+
+val compare_files :
+  ?threshold:float -> string -> string -> (verdict, string) result
+(** [compare_files old new] — [Error] on unreadable or unrecognized
+    files. *)
+
+val passed : verdict -> bool
+val pp_verdict : verdict Fmt.t

@@ -403,6 +403,201 @@ let stm_bench_cmd =
           metrics and write BENCH_stm.json.")
     term
 
+(* -- fuzz --------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let open Tmx_fuzz in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Campaign seed.  Program $(i,i) of a run is generated from \
+             (seed, i) alone, so any failure is reproducible from the \
+             report's seed and index.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Fresh programs to generate.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "time-budget" ] ~docv:"S"
+          ~doc:
+            "Stop generating after $(docv) seconds (0 = no budget).  The \
+             crash and corpus replays always run first.")
+  in
+  let oracle_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:
+            "Oracle(s) to run (repeatable; default all): enum-naive, \
+             machine-enum, stmsim-enum, lint-sound, jobs-det.  See \
+             --list-oracles.")
+  in
+  let list_oracles_flag =
+    Arg.(
+      value & flag
+      & info [ "list-oracles" ] ~doc:"List the differential oracles and exit.")
+  in
+  let minimize_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "minimize" ] ~docv:"FILE"
+          ~doc:
+            "Skip the campaign: parse the litmus $(docv), check it against \
+             the selected oracle (exactly one --oracle required), and print \
+             the minimized failing program.")
+  in
+  let no_corpus_flag =
+    Arg.(
+      value & flag
+      & info [ "no-corpus" ]
+          ~doc:"Skip corpus/crash replay and do not persist failures.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt string Corpus.default_corpus_dir
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Seed-corpus directory.")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt string Corpus.default_crashes_dir
+      & info [ "crashes" ] ~docv:"DIR"
+          ~doc:"Crash-corpus directory (replayed first, minimized failures \
+                are saved here).")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let run jobs seed count budget oracle_names list_oracles minimize no_corpus
+      corpus crashes json =
+    if list_oracles then begin
+      List.iter
+        (fun (o : Oracle.t) -> Fmt.pr "%-14s %s@." o.name o.descr)
+        Oracle.stock;
+      if Oracle.by_name "broken" <> None then
+        Fmt.pr "%-14s %s@." "broken" Oracle.broken.descr;
+      Ok ()
+    end
+    else
+      let oracles =
+        match oracle_names with
+        | [] -> Ok Oracle.stock
+        | names ->
+            List.fold_left
+              (fun acc n ->
+                Result.bind acc (fun os ->
+                    match Oracle.by_name n with
+                    | Some o -> Ok (o :: os)
+                    | None ->
+                        Error
+                          (Fmt.str "unknown oracle %S (known: %s)" n
+                             (String.concat ", " (Oracle.names ())))))
+              (Ok []) names
+            |> Result.map List.rev
+      in
+      Result.bind oracles (fun oracles ->
+          let jobs = if jobs <= 0 then Tmx_exec.Pool.available_cores () else jobs in
+          let opts =
+            {
+              Runner.default_options with
+              seed;
+              count;
+              time_budget = budget;
+              oracles;
+              jobs = max 2 jobs;
+              corpus_dir = (if no_corpus then None else Some corpus);
+              crashes_dir = (if no_corpus then None else Some crashes);
+            }
+          in
+          match minimize with
+          | Some file -> (
+              match oracles with
+              | [ oracle ] -> (
+                  match Tmx_litmus.Parse.parse_file file with
+                  | exception Tmx_litmus.Parse.Error msg ->
+                      Error (Fmt.str "%s: %s" file msg)
+                  | litmus -> (
+                      let p = litmus.Tmx_litmus.Litmus.program in
+                      match Runner.minimize_program opts oracle p with
+                      | Error msg -> Error msg
+                      | Ok f ->
+                          let m = Option.value f.minimized ~default:p in
+                          Fmt.pr
+                            "%s fails %s: %s@.minimized (%d shrink steps, %d \
+                             statements):@.%a@.%s"
+                            file oracle.name f.detail f.shrink_steps
+                            (Shrink.size m) Tmx_lang.Ast.pp_program m
+                            (Tmx_litmus.Export.program_to_string m);
+                          Ok ()))
+              | _ -> Error "--minimize needs exactly one --oracle")
+          | None ->
+              let report = Runner.run opts in
+              if json then print_string (Runner.report_to_json report)
+              else Fmt.pr "%a@." Runner.pp_report report;
+              if not (Runner.ok report) then exit 1;
+              Ok ())
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ jobs_arg $ seed_arg $ count_arg $ budget_arg $ oracle_arg
+        $ list_oracles_flag $ minimize_arg $ no_corpus_flag $ corpus_arg
+        $ crashes_arg $ json_flag))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the five semantic layers against each other: \
+          generate seeded random programs (plus the persisted corpus and \
+          previously minimized crashes, replayed first), run every \
+          selected oracle on each, and minimize any failure with the \
+          structure-aware shrinker.  Exits 1 when an oracle fails.")
+    term
+
+(* -- bench-compare ------------------------------------------------------------ *)
+
+let bench_compare_cmd =
+  let open Tmx_bench_compare in
+  let old_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Committed benchmark witness.")
+  in
+  let new_arg =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Freshly generated benchmark report.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float Compare.default_threshold
+      & info [ "threshold" ] ~docv:"F"
+          ~doc:"Relative throughput-regression threshold (default 0.25).")
+  in
+  let run threshold old_file new_file =
+    Result.map
+      (fun v ->
+        Fmt.pr "%a" Compare.pp_verdict v;
+        if not (Compare.passed v) then exit 1)
+      (Compare.compare_files ~threshold old_file new_file)
+  in
+  let term =
+    Term.(term_result' (const run $ threshold_arg $ old_arg $ new_arg))
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Diff two benchmark witnesses (BENCH_stm.json or \
+          BENCH_parallel.json) and exit 1 on a throughput regression \
+          beyond the threshold.  CI runs this warn-only against the \
+          committed witnesses.")
+    term
+
 (* -- theorems ----------------------------------------------------------------- *)
 
 let machine_cmd =
@@ -624,5 +819,6 @@ let () =
           [
             litmus_cmd; outcomes_cmd; races_cmd; lint_cmd; stm_cmd;
             stm_bench_cmd; machine_cmd; theorems_cmd; models_cmd; show_cmd;
-            dot_cmd; check_cmd; export_cmd; shapes_cmd; fence_cmd;
+            dot_cmd; check_cmd; export_cmd; shapes_cmd; fence_cmd; fuzz_cmd;
+            bench_compare_cmd;
           ]))

@@ -145,6 +145,11 @@ let lint (p : Ast.program) =
 let mixed_count r =
   List.length (List.filter (fun f -> f.kind = Mixed_race) r.findings)
 
+(* the soundness oracles ask: is this dynamic race location covered by
+   some finding?  Wildcard findings ("z[*]") cover every cell. *)
+let covers r loc =
+  List.exists (fun f -> Tmx_opt.Footprint.name_clash f.loc loc) r.findings
+
 (* -- rendering --------------------------------------------------------------- *)
 
 let pp_verdict ppf r =

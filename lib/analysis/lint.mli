@@ -60,6 +60,12 @@ val lint : Ast.program -> report
 val race_free : report -> bool
 val mixed_count : report -> int
 
+val covers : report -> string -> bool
+(** Is the location covered by some finding?  Wildcard findings
+    ([z\[*\]]) cover every cell of the array; used by the
+    enumeration-backed soundness oracles (the fuzzer's and the test
+    suite's) to tie dynamic races back to static findings. *)
+
 val pp_finding : finding Fmt.t
 val pp_report : report Fmt.t
 

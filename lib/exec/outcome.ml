@@ -26,6 +26,11 @@ let equal a b = compare_t a b = 0
 
 let dedup outcomes = List.sort_uniq compare_t outcomes
 
+(* differential-testing hooks: containment of one engine's observable
+   outcome set in another's, and the offending witnesses when not *)
+let diff xs ys = List.filter (fun x -> not (List.exists (equal x) ys)) xs
+let subset xs ys = diff xs ys = []
+
 let pp ppf o =
   let pp_binding ppf (k, v) = Fmt.pf ppf "%s=%d" k v in
   Array.iteri

@@ -22,4 +22,12 @@ val equal : t -> t -> bool
 val dedup : t list -> t list
 (** Sort and deduplicate. *)
 
+val diff : t list -> t list -> t list
+(** [diff xs ys] is the outcomes of [xs] not admitted by [ys] — the
+    witnesses a differential oracle reports when one semantic engine
+    escapes another. *)
+
+val subset : t list -> t list -> bool
+(** [diff xs ys = []]. *)
+
 val pp : t Fmt.t

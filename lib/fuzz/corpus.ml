@@ -1,0 +1,48 @@
+open Tmx_lang
+
+let default_corpus_dir = "fuzz/corpus"
+let default_crashes_dir = "fuzz/crashes"
+
+let litmus_files dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".litmus")
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+
+let classify dir =
+  List.map
+    (fun file ->
+      match Tmx_litmus.Parse.parse_file file with
+      | exception Tmx_litmus.Parse.Error msg -> Error (file, msg)
+      | exception Sys_error msg -> Error (file, msg)
+      | litmus -> (
+          let p = litmus.Tmx_litmus.Litmus.program in
+          match Ast.validate p with
+          | Ok () -> Ok (file, p)
+          | Error msg -> Error (file, msg)))
+    (litmus_files dir)
+
+let load ~dir = List.filter_map Result.to_option (classify dir)
+
+let load_errors ~dir =
+  List.filter_map (function Error e -> Some e | Ok _ -> None) (classify dir)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let save ~dir ~prefix p =
+  mkdir_p dir;
+  let text = Tmx_litmus.Export.program_to_string p in
+  let digest = String.sub (Digest.to_hex (Digest.string text)) 0 12 in
+  let path = Filename.concat dir (Fmt.str "%s-%s.litmus" prefix digest) in
+  if not (Sys.file_exists path) then begin
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+  end;
+  path

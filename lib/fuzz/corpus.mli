@@ -1,0 +1,27 @@
+(** The persisted corpus: interesting seed programs under
+    [fuzz/corpus/*.litmus] and minimized failures under [fuzz/crashes/],
+    both in the {!Tmx_litmus.Parse} text format so they are readable,
+    diffable, and replayable with [tmx check].
+
+    Every fuzz run replays [crashes] first (a fixed bug must stay
+    fixed), then [corpus], then generates fresh programs.  Minimized
+    failures are written back to [crashes] under a content-digest
+    filename, so replays are idempotent. *)
+
+open Tmx_lang
+
+val default_corpus_dir : string
+val default_crashes_dir : string
+
+val load : dir:string -> (string * Ast.program) list
+(** All parseable [*.litmus] files of [dir], sorted by filename;
+    missing directories load as empty.  Files that fail to parse or
+    validate are skipped (the runner reports how many). *)
+
+val load_errors : dir:string -> (string * string) list
+(** The [(file, message)] pairs {!load} skipped. *)
+
+val save : dir:string -> prefix:string -> Ast.program -> string
+(** Export the program into [dir] (created if missing) as
+    [<prefix>-<digest>.litmus]; returns the path.  Saving the same
+    program twice is a no-op with the same path. *)

@@ -1,0 +1,223 @@
+open Tmx_lang
+
+type config = {
+  locs : string list;
+  values : int * int;
+  threads : int * int;
+  stmts : int * int;
+  inner : int * int;
+  abort_weight : int;
+  atomic_weight : int;
+  fence_weight : int;
+  branch_weight : int;
+  template_weight : int;
+}
+
+let theorems =
+  {
+    locs = [ "x"; "y" ];
+    values = (1, 2);
+    threads = (2, 3);
+    stmts = (1, 3);
+    inner = (1, 2);
+    abort_weight = 1;
+    atomic_weight = 2;
+    fence_weight = 1;
+    branch_weight = 0;
+    template_weight = 0;
+  }
+
+let analysis =
+  {
+    theorems with
+    locs = [ "x"; "y"; "z" ];
+    inner = (1, 3);
+    atomic_weight = 3;
+    branch_weight = 1;
+  }
+
+let mixed = { analysis with template_weight = 3 }
+
+(* -- primitives ------------------------------------------------------------- *)
+
+let int_range st (lo, hi) = lo + Random.State.int st (hi - lo + 1)
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+
+(* [frequency st [(w, f); ...]] picks one thunk with probability
+   proportional to its weight; zero-weight entries never fire. *)
+let frequency st choices =
+  let choices = List.filter (fun (w, _) -> w > 0) choices in
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  let rec go n = function
+    | [] -> assert false
+    | [ (_, f) ] -> f ()
+    | (w, f) :: rest -> if n < w then f () else go (n - w) rest
+  in
+  go (Random.State.int st total) choices
+
+(* -- random threads --------------------------------------------------------- *)
+
+let gen_store cfg st =
+  Ast.store (Ast.loc (pick st cfg.locs)) (Ast.int (int_range st cfg.values))
+
+let gen_load cfg st = Ast.load "_r" (Ast.loc (pick st cfg.locs))
+
+let gen_inner cfg st =
+  frequency st
+    [
+      (4, fun () -> gen_store cfg st);
+      (4, fun () -> gen_load cfg st);
+      (cfg.abort_weight, fun () -> Ast.abort);
+    ]
+
+let gen_flat cfg st =
+  frequency st
+    [
+      (3, fun () -> gen_store cfg st);
+      (3, fun () -> gen_load cfg st);
+      ( cfg.atomic_weight,
+        fun () ->
+          Ast.atomic
+            (List.init (int_range st cfg.inner) (fun _ -> gen_inner cfg st)) );
+      (cfg.fence_weight, fun () -> Ast.fence (pick st cfg.locs));
+    ]
+
+let gen_stmt cfg st =
+  frequency st
+    [
+      (8, fun () -> gen_flat cfg st);
+      ( cfg.branch_weight,
+        fun () ->
+          let cond = Ast.int (int_range st (0, 1)) in
+          let then_ = List.init (int_range st (1, 2)) (fun _ -> gen_flat cfg st) in
+          let else_ = List.init (int_range st (0, 1)) (fun _ -> gen_flat cfg st) in
+          Ast.if_ cond then_ else_ );
+    ]
+
+let gen_thread cfg st =
+  List.init (int_range st cfg.stmts) (fun _ -> gen_stmt cfg st)
+
+(* -- idiom templates --------------------------------------------------------- *)
+
+(* Each template is a whole-program shape over one or two randomly chosen
+   locations, biased toward the mixed (transactional + plain on the same
+   location) corner the oracles exist to police. *)
+
+let template_plain_race cfg st =
+  (* sb-shaped plain L-race: two threads store and load crosswise *)
+  let x = pick st cfg.locs and y = pick st cfg.locs in
+  let v = int_range st cfg.values in
+  [
+    [ Ast.store (Ast.loc x) (Ast.int v); Ast.load "_r" (Ast.loc y) ];
+    [ Ast.store (Ast.loc y) (Ast.int v); Ast.load "_r" (Ast.loc x) ];
+  ]
+
+let template_tx_only cfg st =
+  (* fully transactional: both threads update under atomic *)
+  let x = pick st cfg.locs and y = pick st cfg.locs in
+  let v = int_range st cfg.values in
+  [
+    [ Ast.atomic [ Ast.load "_r" (Ast.loc x); Ast.store (Ast.loc y) (Ast.int v) ] ];
+    [ Ast.atomic [ Ast.load "_r" (Ast.loc y); Ast.store (Ast.loc x) (Ast.int v) ] ];
+  ]
+
+let template_mixed cfg st =
+  (* the raw mixed shape: a transactional writer against a plain
+     reader/writer on the same location *)
+  let x = pick st cfg.locs in
+  let v = int_range st cfg.values in
+  let plain =
+    if Random.State.bool st then [ Ast.load "_r" (Ast.loc x) ]
+    else [ Ast.store (Ast.loc x) (Ast.int (int_range st cfg.values)) ]
+  in
+  [ [ Ast.atomic [ Ast.store (Ast.loc x) (Ast.int v) ] ]; plain ]
+
+let template_fence cfg st =
+  (* privatization repaired by a quiescence fence: the plain access is
+     preceded by [Q x] *)
+  let x = pick st cfg.locs in
+  let v = int_range st cfg.values in
+  [
+    [ Ast.atomic [ Ast.load "_r" (Ast.loc x); Ast.store (Ast.loc x) (Ast.int v) ] ];
+    [ Ast.fence x; Ast.store (Ast.loc x) (Ast.int (int_range st cfg.values)) ];
+  ]
+
+let template_guard cfg st =
+  (* guarded publication: plain init, transactional flag publish, and a
+     transactional consumer branching on the flag *)
+  let x = pick st cfg.locs in
+  let y = pick st (List.filter (fun l -> l <> x) cfg.locs @ [ x ]) in
+  let v = int_range st cfg.values in
+  [
+    [
+      Ast.store (Ast.loc x) (Ast.int v);
+      Ast.atomic [ Ast.store (Ast.loc y) (Ast.int 1) ];
+    ];
+    [
+      Ast.atomic [ Ast.load "_r" (Ast.loc y) ];
+      Ast.when_ (Ast.reg "_r") [ Ast.load "_r" (Ast.loc x) ];
+    ];
+  ]
+
+let templates =
+  [
+    template_plain_race; template_tx_only; template_mixed; template_fence;
+    template_guard;
+  ]
+
+(* -- assembly --------------------------------------------------------------- *)
+
+(* give each load a unique register so outcomes are observable; guard
+   registers referenced by a later branch keep their binding *)
+let rename_thread th =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Fmt.str "r%d" !counter
+  in
+  let rename_expr last (e : Ast.expr) =
+    match e with
+    | Reg _ -> Ast.Reg last
+    | e -> e
+  in
+  let rec rename_stmt last (s : Ast.stmt) =
+    match s with
+    | Load (_, lv) ->
+        let r = fresh () in
+        (r, Ast.Load (r, lv))
+    | Atomic body ->
+        let last, body = rename_body last body in
+        (last, Ast.Atomic body)
+    | If (c, t, e) ->
+        let c = rename_expr last c in
+        let _, t = rename_body last t in
+        let _, e = rename_body last e in
+        (last, Ast.If (c, t, e))
+    | While (c, b) ->
+        let c = rename_expr last c in
+        let _, b = rename_body last b in
+        (last, Ast.While (c, b))
+    | s -> (last, s)
+  and rename_body last body =
+    List.fold_left
+      (fun (last, acc) s ->
+        let last, s = rename_stmt last s in
+        (last, s :: acc))
+      (last, []) body
+    |> fun (last, acc) -> (last, List.rev acc)
+  in
+  snd (rename_body "_r" th)
+
+let program ?(name = "fuzz") cfg st =
+  let threads =
+    frequency st
+      [
+        ( 10,
+          fun () ->
+            List.init (int_range st cfg.threads) (fun _ -> gen_thread cfg st) );
+        (cfg.template_weight, fun () -> (pick st templates) cfg st);
+      ]
+  in
+  Ast.program ~name ~locs:cfg.locs (List.map rename_thread threads)
+
+let state_of_seed ~seed ~index = Random.State.make [| 0x7f4a7c15; seed; index |]

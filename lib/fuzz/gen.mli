@@ -1,0 +1,54 @@
+(** Seeded, size-targeted random program generation for the differential
+    fuzzer — one generator for the whole repo.
+
+    The two QCheck generators that used to live privately in
+    [test/test_theorems.ml] and [test/test_analysis.ml] are the
+    {!theorems} and {!analysis} presets of the same engine; the fuzzer
+    default ({!mixed}) additionally seeds whole idiom templates (plain
+    L-race shapes, transactional-only, fence-repaired privatization,
+    guarded publication) so the mixed-access corner every oracle cares
+    about is hit with high probability instead of by luck.
+
+    Generators are plain functions of a [Random.State.t], so they compose
+    with QCheck ([QCheck.Gen.t] is the same type) without this library
+    depending on it.  Generation is deterministic per state: the fuzzer
+    derives one state per program from [--seed] and the program index. *)
+
+open Tmx_lang
+
+type config = {
+  locs : string list;  (** location pool; threads draw from a prefix *)
+  values : int * int;  (** stored values, inclusive range *)
+  threads : int * int;  (** thread-count range *)
+  stmts : int * int;  (** statements per thread *)
+  inner : int * int;  (** statements per atomic body *)
+  abort_weight : int;  (** weight of [abort] inside atomic bodies *)
+  atomic_weight : int;
+  fence_weight : int;
+  branch_weight : int;  (** 0 disables [if] statements *)
+  template_weight : int;
+      (** weight of replacing the whole program with an idiom template
+          (vs purely random threads); 0 disables templates *)
+}
+
+val theorems : config
+(** The historical [test_theorems.ml] distribution: two locations,
+    flat statements, atomic bodies of 1–2, no branches, no templates. *)
+
+val analysis : config
+(** The historical [test_analysis.ml] distribution: three locations,
+    atomic bodies of 1–3, occasional constant-guarded branches. *)
+
+val mixed : config
+(** The fuzzer default: {!analysis} plus idiom templates, weighted
+    toward mixed (transactional + plain on one location) shapes. *)
+
+val program : ?name:string -> config -> Random.State.t -> Ast.program
+(** Generate one program.  Every load targets a fresh register so
+    outcomes are observable, and the result always passes
+    [Ast.validate]. *)
+
+val state_of_seed : seed:int -> index:int -> Random.State.t
+(** The derived state the fuzzer uses for program [index] of a run
+    seeded with [seed] — exposed so a failure report's (seed, index)
+    pair regenerates the exact program. *)

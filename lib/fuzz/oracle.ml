@@ -1,0 +1,284 @@
+open Tmx_core
+open Tmx_lang
+open Tmx_exec
+
+type verdict = Pass | Fail of string
+type ctx = { jobs : int; seed : int }
+type t = { name : string; descr : string; check : ctx -> Ast.program -> verdict }
+
+let models =
+  [ Model.programmer; Model.implementation; Model.bare; Model.strongest ]
+
+let seq_config = { Enumerate.default_config with jobs = 1 }
+
+(* a random order-preserving merge of the trace's per-thread sequences,
+   keeping the initializing thread first (the same construction the
+   permutation-invariance test uses) *)
+let random_merge st (trace : Trace.t) =
+  let n = Trace.length trace in
+  let by_thread = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let th = Trace.thread trace i in
+    Hashtbl.replace by_thread th
+      (i :: Option.value (Hashtbl.find_opt by_thread th) ~default:[])
+  done;
+  let queues =
+    Hashtbl.fold (fun th evs acc -> (th, ref (List.rev evs)) :: acc) by_thread []
+  in
+  let perm = ref [] in
+  (match List.assoc_opt Action.init_thread queues with
+  | Some q ->
+      perm := List.rev !q;
+      q := []
+  | None -> ());
+  let rec go () =
+    let nonempty = List.filter (fun (_, q) -> !q <> []) queues in
+    if nonempty <> [] then begin
+      let _, q = List.nth nonempty (Random.State.int st (List.length nonempty)) in
+      (match !q with
+      | i :: rest ->
+          perm := i :: !perm;
+          q := rest
+      | [] -> ());
+      go ()
+    end
+  in
+  go ();
+  Array.of_list (List.rev !perm)
+
+(* -- enum-naive --------------------------------------------------------------- *)
+
+(* The naive reference is deliberately O(n^4)-per-trace, and a fuzzed
+   program can enumerate thousands of executions; checking every one
+   would dominate the whole campaign.  Stride-sample a deterministic
+   spread instead, and skip traces past [naive_trace_limit] events — the
+   reference's path-enumerating acyclicity check is exponential in trace
+   length, and the cross-check earns its keep on small traces (failures
+   shrink small anyway).  Different seeds still cover different
+   programs, so the campaign as a whole keeps its coverage. *)
+let naive_sample_budget = 6
+
+let naive_trace_limit = 14
+
+let stride_sample k xs =
+  let n = List.length xs in
+  if n <= k then xs
+  else
+    let stride = n / k in
+    List.filteri (fun i _ -> i mod stride = 0) xs |> List.filteri (fun i _ -> i < k)
+
+let check_enum_naive ctx (p : Ast.program) =
+  let st = Random.State.make [| 0x6e61; ctx.seed |] in
+  let fail = ref None in
+  let record msg = if !fail = None then fail := Some msg in
+  List.iter
+    (fun (model : Model.t) ->
+      if !fail = None then begin
+        let r = Enumerate.run ~config:seq_config model p in
+        List.iteri
+          (fun idx (e : Enumerate.execution) ->
+            if !fail = None && Trace.length e.trace <= naive_trace_limit
+            then begin
+              if not (Naive.consistent_axioms model e.trace) then
+                record
+                  (Fmt.str
+                     "%s: enumerated execution %d (outcome %a) violates the \
+                      naive axioms"
+                     model.Model.name idx Outcome.pp e.outcome);
+              (* re-merge the trace and compare the full optimized verdict
+                 with the naive one, both directions *)
+              if idx < 2 then begin
+                let perm = random_merge st e.trace in
+                if Trace.is_order_preserving e.trace perm then begin
+                  let t' = Trace.permute e.trace perm in
+                  let fast = Consistency.consistent model t' in
+                  let naive = Naive.consistent model t' in
+                  if fast <> naive then
+                    record
+                      (Fmt.str
+                         "%s: optimized/naive verdicts split on a re-merge \
+                          of execution %d (fast %b, naive %b)"
+                         model.Model.name idx fast naive)
+                end
+              end
+            end)
+          (stride_sample naive_sample_budget r.executions)
+      end)
+    models;
+  match !fail with None -> Pass | Some m -> Fail m
+
+(* -- machine-enum ------------------------------------------------------------- *)
+
+let check_machine_enum _ctx (p : Ast.program) =
+  let m = Tmx_machine.Machine.run p in
+  let r = Enumerate.run ~config:seq_config Model.implementation p in
+  let a = Enumerate.outcomes r in
+  match Outcome.diff m.outcomes a with
+  | o :: _ ->
+      Fail
+        (Fmt.str "machine outcome %a not admitted by the axiomatic im"
+           Outcome.pp o)
+  | [] ->
+      if m.truncated || m.capped || r.truncated || r.capped then Pass
+      else begin
+        match Outcome.diff a m.outcomes with
+        | o :: _ ->
+            Fail
+              (Fmt.str "axiomatic im outcome %a unreachable by the machine"
+                 Outcome.pp o)
+        | [] -> Pass
+      end
+
+(* -- stmsim-enum -------------------------------------------------------------- *)
+
+let stmsim_modes =
+  let open Tmx_stmsim.Stmsim in
+  [
+    ("lazy", { default_config with strategy = Lazy });
+    ("lazy+atomic-commit", { default_config with strategy = Lazy; atomic_commit = true });
+  ]
+
+let check_stmsim_enum _ctx (p : Ast.program) =
+  let a = Enumerate.outcomes (Enumerate.run ~config:seq_config Model.implementation p) in
+  let rec go = function
+    | [] -> Pass
+    | (mode, config) :: rest -> (
+        let s = Tmx_stmsim.Stmsim.run ~config p in
+        match Outcome.diff s.outcomes a with
+        | o :: _ ->
+            Fail
+              (Fmt.str "stm %s outcome %a not admitted by the axiomatic im"
+                 mode Outcome.pp o)
+        | [] -> go rest)
+  in
+  go stmsim_modes
+
+(* -- lint-sound --------------------------------------------------------------- *)
+
+let check_lint_sound _ctx (p : Ast.program) =
+  let r = Tmx_analysis.Lint.lint p in
+  let has_mixed_finding = Tmx_analysis.Lint.mixed_count r > 0 in
+  let fail = ref None in
+  let record msg = if !fail = None then fail := Some msg in
+  List.iter
+    (fun (model : Model.t) ->
+      if !fail = None then
+        let result = Enumerate.run ~config:seq_config model p in
+        List.iter
+          (fun (e : Enumerate.execution) ->
+            if !fail = None then begin
+              List.iter
+                (fun (i, _) ->
+                  let loc =
+                    match Trace.act e.trace i with
+                    | Action.Read { loc; _ } | Action.Write { loc; _ } -> loc
+                    | _ -> "?"
+                  in
+                  if not (Tmx_analysis.Lint.covers r loc) then
+                    record
+                      (Fmt.str "unflagged L-race on %s under %s" loc
+                         model.Model.name))
+                (Verdict.execution_races model e.trace);
+              let ctx' = Lift.make e.trace in
+              let hb = Hb.compute model ctx' in
+              if Race.has_mixed_race e.trace hb && not has_mixed_finding then
+                record
+                  (Fmt.str "mixed race without a mixed finding under %s"
+                     model.Model.name)
+            end)
+          result.executions)
+    models;
+  match !fail with None -> Pass | Some m -> Fail m
+
+(* -- jobs-det ----------------------------------------------------------------- *)
+
+let check_jobs_det ctx (p : Ast.program) =
+  let jobs = max 2 ctx.jobs in
+  let r1 = Enumerate.run ~config:seq_config Model.programmer p in
+  let rn =
+    Enumerate.run
+      ~config:{ Enumerate.default_config with jobs }
+      Model.programmer p
+  in
+  if r1.graphs <> rn.graphs then
+    Fail (Fmt.str "graphs: %d with jobs=1, %d with jobs=%d" r1.graphs rn.graphs jobs)
+  else if r1.capped <> rn.capped || r1.truncated <> rn.truncated then
+    Fail "cap/truncation flags differ between jobs=1 and jobs=N"
+  else if List.length r1.executions <> List.length rn.executions then
+    Fail
+      (Fmt.str "%d executions with jobs=1, %d with jobs=%d"
+         (List.length r1.executions)
+         (List.length rn.executions)
+         jobs)
+  else if
+    not
+      (List.for_all2
+         (fun (a : Enumerate.execution) (b : Enumerate.execution) ->
+           Outcome.equal a.outcome b.outcome)
+         r1.executions rn.executions)
+  then Fail "execution order differs between jobs=1 and jobs=N"
+  else Pass
+
+(* -- the deliberately-broken demo oracle -------------------------------------- *)
+
+let check_broken _ctx (p : Ast.program) =
+  let mixed =
+    List.find_opt
+      (fun (s : Tmx_analysis.Access.summary) -> s.class_ = Tmx_analysis.Access.Mixed)
+      (Tmx_analysis.Access.summaries p)
+  in
+  match mixed with
+  | Some s ->
+      Fail
+        (Fmt.str
+           "location %s is accessed both transactionally and plainly \
+            (deliberately-broken demo oracle)"
+           s.loc)
+  | None -> Pass
+
+(* -- registry ----------------------------------------------------------------- *)
+
+let stock =
+  [
+    {
+      name = "enum-naive";
+      descr = "enumerated executions agree with the naive reference axioms";
+      check = check_enum_naive;
+    };
+    {
+      name = "machine-enum";
+      descr = "operational-machine outcomes within (= without caps) the axiomatic im";
+      check = check_machine_enum;
+    };
+    {
+      name = "stmsim-enum";
+      descr = "lazy STM-simulator outcomes within the axiomatic im, per mode";
+      check = check_stmsim_enum;
+    };
+    {
+      name = "lint-sound";
+      descr = "unflagged locations never race; mixed races imply mixed findings";
+      check = check_lint_sound;
+    };
+    {
+      name = "jobs-det";
+      descr = "parallel enumeration is bit-identical to sequential";
+      check = check_jobs_det;
+    };
+  ]
+
+let broken =
+  {
+    name = "broken";
+    descr = "demo oracle that rejects mixed locations (TMX_FUZZ_BROKEN only)";
+    check = check_broken;
+  }
+
+let broken_enabled () = Sys.getenv_opt "TMX_FUZZ_BROKEN" <> None
+
+let by_name n =
+  if n = "broken" && broken_enabled () then Some broken
+  else List.find_opt (fun o -> o.name = n) stock
+
+let names () =
+  List.map (fun o -> o.name) stock @ (if broken_enabled () then [ "broken" ] else [])

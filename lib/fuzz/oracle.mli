@@ -1,0 +1,59 @@
+(** The differential oracles: one program in, one verdict out, each
+    cross-checking two independent implementations of the semantics.
+
+    | name          | claim                                                         |
+    |---------------|---------------------------------------------------------------|
+    | [enum-naive]  | every enumerated execution satisfies the definition-faithful
+                      [Tmx_core.Naive] axioms, and on random order-preserving
+                      re-merges of its traces the optimized and naive consistency
+                      verdicts coincide                                            |
+    | [machine-enum]| operational-machine outcomes ⊆ axiomatic im outcomes
+                      (equality when neither side truncated or capped)             |
+    | [stmsim-enum] | STM-simulator outcomes ⊆ axiomatic im outcomes, for the
+                      lazy and lazy+atomic-commit modes (naive eager versioning
+                      is documented-unsound, Example 3.4, and not an oracle)       |
+    | [lint-sound]  | a location the lint does not flag has no enumerated L-race
+                      under any model, and enumerated mixed races imply a mixed
+                      finding                                                      |
+    | [jobs-det]    | [Enumerate.run] with [jobs = 1] and [jobs = N] agree
+                      bit-for-bit (executions, order, graphs, caps)                |
+
+    A sixth oracle, [broken], deliberately fails on any program with a
+    mixed location.  It exists to test the minimizer end-to-end and is
+    hidden: {!by_name} only resolves it when the [TMX_FUZZ_BROKEN]
+    environment variable is set. *)
+
+open Tmx_lang
+
+type verdict = Pass | Fail of string
+
+type ctx = {
+  jobs : int;  (** the N of the jobs-determinism oracle (>= 2) *)
+  seed : int;  (** seeds the oracle-internal permutation choices *)
+}
+
+type t = {
+  name : string;
+  descr : string;
+  check : ctx -> Ast.program -> verdict;
+}
+
+val stock : t list
+(** The five differential oracles, in the order of the table above. *)
+
+val broken : t
+(** The deliberately-broken demo oracle (fails iff the program has a
+    mixed location — minimal failing programs have 2 statements). *)
+
+val by_name : string -> t option
+(** Resolve an oracle by name.  ["broken"] resolves only when
+    [TMX_FUZZ_BROKEN] is set in the environment. *)
+
+val names : unit -> string list
+(** The resolvable names ([stock], plus ["broken"] when enabled). *)
+
+val random_merge : Random.State.t -> Tmx_core.Trace.t -> int array
+(** A random order-preserving re-merge of the trace's per-thread
+    sequences, keeping the initializing thread first — the permutation
+    the [enum-naive] oracle (and the permutation-invariance test) feeds
+    to [Trace.permute]. *)

@@ -1,0 +1,144 @@
+open Tmx_lang
+
+let rec stmt_size (s : Ast.stmt) =
+  match s with
+  | Ast.Atomic b -> 1 + body_size b
+  | Ast.If (_, t, e) -> 1 + body_size t + body_size e
+  | Ast.While (_, b) -> 1 + body_size b
+  | _ -> 1
+
+and body_size b = List.fold_left (fun n s -> n + stmt_size s) 0 b
+
+let size (p : Ast.program) = List.fold_left (fun n t -> n + body_size t) 0 p.threads
+
+let measure (p : Ast.program) =
+  (size p, List.length p.threads, List.length p.locs)
+
+(* replace the [i]th element of [xs] by the list [ys] (splice) *)
+let splice xs i ys =
+  List.concat (List.mapi (fun j x -> if j = i then ys else [ x ]) xs)
+
+let drop xs i = splice xs i []
+
+(* every body with exactly one statement removed, at any depth *)
+let rec body_drops (body : Ast.stmt list) : Ast.stmt list list =
+  let at_top = List.mapi (fun i _ -> drop body i) body in
+  let nested =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           List.map (fun s' -> splice body i [ s' ]) (stmt_drops s))
+         body)
+  in
+  at_top @ nested
+
+and stmt_drops (s : Ast.stmt) : Ast.stmt list =
+  match s with
+  | Ast.Atomic b -> List.map (fun b' -> Ast.Atomic b') (body_drops b)
+  | Ast.If (c, t, e) ->
+      List.map (fun t' -> Ast.If (c, t', e)) (body_drops t)
+      @ List.map (fun e' -> Ast.If (c, t, e')) (body_drops e)
+  | Ast.While (c, b) -> List.map (fun b' -> Ast.While (c, b')) (body_drops b)
+  | _ -> []
+
+(* splice atomic bodies (minus aborts, which are only legal inside) and
+   branch bodies into the enclosing statement list *)
+let rec body_flattens (body : Ast.stmt list) : Ast.stmt list list =
+  let at_top =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           match (s : Ast.stmt) with
+           | Ast.Atomic b ->
+               [ splice body i (List.filter (fun s -> s <> Ast.Abort) b) ]
+           | Ast.If (_, t, e) -> [ splice body i t; splice body i e ]
+           | Ast.While (_, b) -> [ splice body i b ]
+           | _ -> [])
+         body)
+  in
+  let nested =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           match (s : Ast.stmt) with
+           | Ast.Atomic b ->
+               List.map (fun b' -> splice body i [ Ast.Atomic b' ]) (body_flattens b)
+           | Ast.If (c, t, e) ->
+               List.map (fun t' -> splice body i [ Ast.If (c, t', e) ]) (body_flattens t)
+               @ List.map
+                   (fun e' -> splice body i [ Ast.If (c, t, e') ])
+                   (body_flattens e)
+           | _ -> [])
+         body)
+  in
+  at_top @ nested
+
+let rec rename_loc_stmt old new_ (s : Ast.stmt) : Ast.stmt =
+  let lval (lv : Ast.lval) =
+    if lv.index = None && String.equal lv.base old then { lv with base = new_ }
+    else lv
+  in
+  match s with
+  | Ast.Load (r, lv) -> Ast.Load (r, lval lv)
+  | Ast.Store (lv, e) -> Ast.Store (lval lv, e)
+  | Ast.Atomic b -> Ast.Atomic (List.map (rename_loc_stmt old new_) b)
+  | Ast.If (c, t, e) ->
+      Ast.If
+        (c, List.map (rename_loc_stmt old new_) t,
+         List.map (rename_loc_stmt old new_) e)
+  | Ast.While (c, b) -> Ast.While (c, List.map (rename_loc_stmt old new_) b)
+  | Ast.Fence l when String.equal l old -> Ast.Fence new_
+  | s -> s
+
+let narrowings (p : Ast.program) : Ast.program list =
+  let locs = p.locs in
+  List.concat
+    (List.mapi
+       (fun j lj ->
+         List.concat
+           (List.mapi
+              (fun i li ->
+                if i < j then
+                  [
+                    {
+                      p with
+                      Ast.locs = drop locs j;
+                      threads =
+                        List.map (List.map (rename_loc_stmt lj li)) p.threads;
+                    };
+                  ]
+                else [])
+              locs))
+       locs)
+
+let candidates (p : Ast.program) : Ast.program list =
+  let with_threads threads = { p with Ast.threads } in
+  let thread_drops =
+    if List.length p.threads <= 1 then []
+    else List.mapi (fun i _ -> with_threads (drop p.threads i)) p.threads
+  in
+  let per_thread variants =
+    List.concat
+      (List.mapi
+         (fun i t ->
+           List.map
+             (fun t' -> with_threads (splice p.threads i [ t' ]))
+             (variants t))
+         p.threads)
+  in
+  let drops = per_thread body_drops in
+  let flattens = per_thread body_flattens in
+  let m = measure p in
+  List.filter
+    (fun c ->
+      measure c < m
+      && (match Ast.validate c with Ok () -> true | Error _ -> false))
+    (thread_drops @ drops @ flattens @ narrowings p)
+
+let minimize ~fails p =
+  let rec go p steps =
+    match List.find_opt fails (candidates p) with
+    | Some c -> go c (steps + 1)
+    | None -> (p, steps)
+  in
+  go p 0

@@ -1,0 +1,33 @@
+(** Structure-aware minimization of failing fuzz programs.
+
+    A shrink step is one of four syntactic reductions — drop a thread,
+    drop one statement (at any depth), detransactionalize (splice an
+    atomic body into its thread, dropping aborts), or narrow the
+    location set (rename one declared location to another) — each of
+    which strictly decreases the {!measure} and preserves
+    well-formedness ([Ast.validate]).  {!minimize} greedily applies the
+    first candidate that still fails the oracle, so minimization is
+    deterministic (there is no randomness anywhere in this module) and
+    terminates: the measure is lexicographic and well-founded. *)
+
+open Tmx_lang
+
+val size : Ast.program -> int
+(** Recursive statement count (atomic/if/while bodies included). *)
+
+val measure : Ast.program -> int * int * int
+(** [(size, threads, distinct locations)] — every candidate produced by
+    {!candidates} is lexicographically strictly smaller. *)
+
+val candidates : Ast.program -> Ast.program list
+(** All one-step reductions that pass [Ast.validate], in a fixed
+    deterministic order (threads dropped first, then statements
+    outside-in, then detransactionalizations, then location
+    narrowings). *)
+
+val minimize :
+  fails:(Ast.program -> bool) -> Ast.program -> Ast.program * int
+(** [minimize ~fails p] repeatedly replaces the program by its first
+    still-failing candidate.  Returns the fixpoint and the number of
+    accepted shrink steps.  [p] itself is assumed failing; the result
+    still satisfies [fails] (trivially so when [p] does). *)

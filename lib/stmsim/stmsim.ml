@@ -18,7 +18,18 @@
    Commit write-back and rollback are sequences of individually scheduled
    steps: other threads' PLAIN accesses interleave with them (transactional
    accesses are protected by validation/locking in real STMs; plain ones
-   are not — that is the whole point of §3). *)
+   are not — that is the whole point of §3).
+
+   Transactions themselves must therefore be serializable against each
+   other: lazy validation models the per-location write locks of a
+   TL2-style STM, so a thread cannot validate while an in-flight
+   write-back holds a location the validator read or wants to write
+   (otherwise two conflicting transactions could both validate against
+   pre-commit memory and write back — tx-tx write skew, which no model
+   in the paper admits; found by `tmx fuzz`, oracle stmsim-enum, seed
+   42).  Commits with disjoint footprints still overlap, which is what
+   keeps the privatization anomaly: the small flag transaction commits
+   in the middle of the big transaction's write-back. *)
 
 open Tmx_lang
 open Tmx_exec
@@ -141,14 +152,36 @@ let run ?(config = default_config) (program : Ast.program) =
                     (* in-place writes already visible; commit is trivial *)
                     [ set_thread { t with items = rest; phase = Ready } ]
                 | Lazy ->
-                    (* value-based validation of the read set *)
+                    (* per-location commit locks: an in-flight write-back
+                       holds its whole write set, and validation is not
+                       schedulable while those locks cover a location this
+                       transaction read or wants to write.  A successful
+                       validation transitions straight into Write_back, so
+                       conflicting commits are mutually exclusive, while
+                       plain accesses — and commits with disjoint
+                       footprints — still interleave with write-back *)
+                    let locked_locs =
+                      List.concat
+                        (List.mapi
+                           (fun j u ->
+                             match u.phase with
+                             | Write_back (wtxn, _) when j <> i ->
+                                 List.map fst wtxn.buffer
+                             | _ -> [])
+                           st.threads)
+                    in
+                    let commit_locked =
+                      List.exists (fun (x, _) -> List.mem x locked_locs) txn.reads
+                      || List.exists (fun (x, _) -> List.mem x locked_locs) txn.buffer
+                    in
+                    if commit_locked then []
+                    else
+                    (* value-based validation: every read-set entry is a
+                       memory observation (buffer-forwarded reads never
+                       enter it), so each must still hold — including
+                       reads of locations this transaction then wrote *)
                     let valid =
-                      List.for_all
-                        (fun (x, v) ->
-                          match List.assoc_opt x txn.buffer with
-                          | Some _ -> true (* own write dominates *)
-                          | None -> mem_get st.mem x = v)
-                        txn.reads
+                      List.for_all (fun (x, v) -> mem_get st.mem x = v) txn.reads
                     in
                     if valid then
                       let writes = List.rev txn.buffer in
@@ -247,17 +280,26 @@ let run ?(config = default_config) (program : Ast.program) =
                 note_loc x;
                 match t.phase with
                 | In_txn txn ->
-                    let v =
+                    (* a buffer-forwarded read observes the transaction's
+                       own pending write, not memory, so it does not
+                       enter the read set — everything that IS in the
+                       read set is a memory observation and must validate
+                       against memory at commit, even if the transaction
+                       later overwrites the location itself *)
+                    let v, observed =
                       match
                         (config.strategy, List.assoc_opt x txn.buffer)
                       with
-                      | Lazy, Some v -> v
-                      | Lazy, None | Eager, _ -> mem_get st.mem x
+                      | Lazy, Some v -> (v, false)
+                      | Lazy, None | Eager, _ -> (mem_get st.mem x, true)
                     in
                     let txn =
                       {
                         txn with
-                        reads = (if List.mem_assoc x txn.reads then txn.reads else (x, v) :: txn.reads);
+                        reads =
+                          (if observed && not (List.mem_assoc x txn.reads) then
+                             (x, v) :: txn.reads
+                           else txn.reads);
                         accessed = (if List.mem x txn.accessed then txn.accessed else x :: txn.accessed);
                       }
                     in

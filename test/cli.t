@@ -55,6 +55,29 @@ The STM bench drives multi-domain workloads and writes a JSON report
   $ test -s BENCH_stm.json && echo report-written
   report-written
 
+Witness files compare against themselves within the threshold:
+
+  $ ../bin/tmx.exe bench-compare BENCH_stm.json BENCH_stm.json | tail -1
+  3/3 metrics within the 25%-regression threshold
+
+The differential fuzzer cross-checks the five semantic layers (the
+summary line carries wall-clock, so only the verdict table is pinned):
+
+  $ ../bin/tmx.exe fuzz --seed 1 --count 3 --no-corpus --jobs 1 | tail -6
+    enum-naive     3 programs
+    machine-enum   3 programs
+    stmsim-enum    3 programs
+    lint-sound     3 programs
+    jobs-det       3 programs
+  all oracles green
+
+  $ ../bin/tmx.exe fuzz --list-oracles | cut -d' ' -f1
+  enum-naive
+  machine-enum
+  stmsim-enum
+  lint-sound
+  jobs-det
+
 The static analyzer reports candidate races without enumerating, and
 exits 1 on findings so it can gate CI:
 

@@ -52,6 +52,7 @@ let () =
       ("volatile", Test_volatile.suite);
       ("analysis", Test_analysis.suite);
       ("analysis_oracle", Test_analysis.oracle_suite);
+      ("fuzz", Test_fuzz.suite);
     ]
   in
   let suites =

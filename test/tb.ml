@@ -19,6 +19,29 @@ let a t = ev t Action.Abort
 let q t loc = ev t (Action.Qfence loc)
 let mk ~locs events = Trace.make ~locs events
 
+(* Seed plumbing for the QCheck properties: TMX_SEED=N reruns every
+   property from that generator seed (the fuzzer's CI jobs thread their
+   campaign seed through it), and the seed is printed on failure so a
+   red run reproduces with `TMX_SEED=N dune runtest`. *)
+let qcheck_seed =
+  match Option.bind (Sys.getenv_opt "TMX_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 0
+
+let qcheck test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest
+      ~rand:(Random.State.make [| qcheck_seed |])
+      test
+  in
+  ( name,
+    speed,
+    fun () ->
+      try run ()
+      with e ->
+        Fmt.epr "property failed; reproduce with TMX_SEED=%d@." qcheck_seed;
+        raise e )
+
 let check_consistent model trace expected =
   let report = Consistency.check model trace in
   Alcotest.(check bool)

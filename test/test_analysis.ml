@@ -396,60 +396,11 @@ let test_soundness_catalog () =
 
 (* -- random programs --------------------------------------------------------- *)
 
-(* Richer than the theorems generator: fences, aborts inside atomic, and
-   branches, to exercise must-abort detection and fence dominance. *)
+(* Richer than the theorems generator — fences, aborts inside atomic,
+   and branches, to exercise must-abort detection and fence dominance;
+   it is the [analysis] preset of the fuzzer's shared generator. *)
 let gen_program : Ast.program QCheck.Gen.t =
-  let open QCheck.Gen in
-  let locs = [ "x"; "y"; "z" ] in
-  let gen_loc = oneofl locs in
-  let gen_value = int_range 1 2 in
-  let store_ =
-    map2 (fun x v -> Ast.store (Ast.loc x) (Ast.int v)) gen_loc gen_value
-  in
-  let load_ = map (fun x -> Ast.load "_r" (Ast.loc x)) gen_loc in
-  let gen_inner =
-    frequency [ (4, store_); (4, load_); (1, return Ast.abort) ]
-  in
-  let gen_flat =
-    frequency
-      [
-        (3, store_);
-        (3, load_);
-        (3, map Ast.atomic (list_size (int_range 1 3) gen_inner));
-        (1, map Ast.fence gen_loc);
-      ]
-  in
-  let gen_stmt =
-    frequency
-      [
-        (8, gen_flat);
-        ( 1,
-          map3
-            (fun v t e -> Ast.if_ (Ast.int v) t e)
-            (int_range 0 1)
-            (list_size (int_range 1 2) gen_flat)
-            (list_size (int_range 0 1) gen_flat) );
-      ]
-  in
-  let gen_thread = list_size (int_range 1 3) gen_stmt in
-  let rename_thread th =
-    let counter = ref 0 in
-    let rec rename_stmt (s : Ast.stmt) =
-      match s with
-      | Load (_, lv) ->
-          incr counter;
-          Ast.Load (Fmt.str "r%d" !counter, lv)
-      | Atomic body -> Ast.Atomic (List.map rename_stmt body)
-      | If (c, t, e) -> Ast.If (c, List.map rename_stmt t, List.map rename_stmt e)
-      | While (c, b) -> Ast.While (c, List.map rename_stmt b)
-      | s -> s
-    in
-    List.map rename_stmt th
-  in
-  map
-    (fun threads ->
-      Ast.program ~name:"random" ~locs (List.map rename_thread threads))
-    (list_size (int_range 2 3) gen_thread)
+  Tmx_fuzz.Gen.program Tmx_fuzz.Gen.analysis
 
 let arb_program = QCheck.make ~print:(Fmt.str "%a" Ast.pp_program) gen_program
 
@@ -520,6 +471,6 @@ let suite =
 let oracle_suite =
   [
     Alcotest.test_case "soundness over the catalog" `Slow test_soundness_catalog;
-    QCheck_alcotest.to_alcotest prop_soundness_random;
+    Tb.qcheck prop_soundness_random;
     Alcotest.test_case "precision report" `Quick test_precision_report;
   ]

@@ -81,5 +81,5 @@ let suite =
       test_publication_needs_no_fences;
     Alcotest.test_case "targeted policy is no worse" `Quick test_policy_economy;
     Alcotest.test_case "mixed-location analysis" `Quick test_mixed_locations;
-    QCheck_alcotest.to_alcotest prop_random_realizes;
+    Tb.qcheck prop_random_realizes;
   ]

@@ -47,6 +47,6 @@ let suite =
   [
     Alcotest.test_case "catalog equivalence" `Slow test_catalog;
     Alcotest.test_case "shape-family equivalence" `Slow test_shapes;
-    QCheck_alcotest.to_alcotest prop_random;
+    Tb.qcheck prop_random;
     Alcotest.test_case "exploration accounting" `Quick test_accounting;
   ]

@@ -140,6 +140,6 @@ let suite =
   [
     Alcotest.test_case "oracle agreement on enumerated executions" `Slow
       test_on_catalog;
-    QCheck_alcotest.to_alcotest prop_random_traces;
-    QCheck_alcotest.to_alcotest prop_random_hb;
+    Tb.qcheck prop_random_traces;
+    Tb.qcheck prop_random_hb;
   ]

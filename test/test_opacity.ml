@@ -68,7 +68,7 @@ let test_mixed_locations_excluded () =
 let suite =
   [
     Alcotest.test_case "catalog executions opaque" `Slow test_catalog_opaque;
-    QCheck_alcotest.to_alcotest prop_random_opaque;
+    Tb.qcheck prop_random_opaque;
     Alcotest.test_case "non-opaque rejected" `Quick test_non_opaque_rejected;
     Alcotest.test_case "aborted reads validated" `Quick test_aborted_reads_validated;
     Alcotest.test_case "mixed locations excluded" `Quick test_mixed_locations_excluded;

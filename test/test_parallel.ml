@@ -176,7 +176,7 @@ let suite =
       test_pool_exception_parity;
     Alcotest.test_case "pool clamps pathological arguments" `Quick
       test_pool_jobs_clamped;
-    QCheck_alcotest.to_alcotest prop_add_edge_closed;
-    QCheck_alcotest.to_alcotest prop_union_into_closed;
-    QCheck_alcotest.to_alcotest prop_hb_incremental;
+    Tb.qcheck prop_add_edge_closed;
+    Tb.qcheck prop_union_into_closed;
+    Tb.qcheck prop_hb_incremental;
   ]

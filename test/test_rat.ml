@@ -71,8 +71,8 @@ let suite =
     Alcotest.test_case "arithmetic" `Quick test_arith;
     Alcotest.test_case "between" `Quick test_between;
     Alcotest.test_case "printing" `Quick test_pp;
-    QCheck_alcotest.to_alcotest prop_between_strict;
-    QCheck_alcotest.to_alcotest prop_add_comm;
-    QCheck_alcotest.to_alcotest prop_compare_total;
-    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Tb.qcheck prop_between_strict;
+    Tb.qcheck prop_add_comm;
+    Tb.qcheck prop_compare_total;
+    Tb.qcheck prop_roundtrip;
   ]

@@ -109,7 +109,7 @@ let suite =
     Alcotest.test_case "irreflexivity" `Quick test_irreflexive;
     Alcotest.test_case "multi-word bitsets" `Quick test_large;
     Alcotest.test_case "union/restrict/subset" `Quick test_union_restrict;
-    QCheck_alcotest.to_alcotest prop_closure_correct;
-    QCheck_alcotest.to_alcotest prop_compose_assoc;
-    QCheck_alcotest.to_alcotest prop_union_monotone;
+    Tb.qcheck prop_closure_correct;
+    Tb.qcheck prop_compose_assoc;
+    Tb.qcheck prop_union_monotone;
   ]

@@ -63,5 +63,5 @@ let suite =
     Alcotest.test_case "coherence family" `Quick (test_family "corr");
     Alcotest.test_case "2+2W family" `Quick (test_family "2+2w");
     Alcotest.test_case "WRC family" `Slow (test_family "wrc");
-    QCheck_alcotest.to_alcotest prop_serializability;
+    Tb.qcheck prop_serializability;
   ]

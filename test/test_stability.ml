@@ -87,5 +87,5 @@ let suite =
     Alcotest.test_case "the §1 temporal example" `Quick test_temporal_example;
     Alcotest.test_case "spatial restriction of stability" `Quick
       test_spatial_restriction;
-    QCheck_alcotest.to_alcotest prop_temporal_random;
+    Tb.qcheck prop_temporal_random;
   ]

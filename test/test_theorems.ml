@@ -12,48 +12,12 @@ let catalog_programs =
 
 (* -- random program generation ------------------------------------------- *)
 
+(* The historical distribution of this file is the [theorems] preset of
+   the fuzzer's shared generator ([QCheck.Gen.t] is [Random.State.t ->
+   'a], so the plain generator composes directly); [arb_program] is also
+   consumed by the fenceify/machine/opacity/stability suites. *)
 let gen_program : Ast.program QCheck.Gen.t =
-  let open QCheck.Gen in
-  let locs = [ "x"; "y" ] in
-  let gen_loc = oneofl locs in
-  let gen_value = int_range 1 2 in
-  let gen_inner =
-    frequency
-      [
-        (4, map2 (fun x v -> Ast.store (Ast.loc x) (Ast.int v)) gen_loc gen_value);
-        (4, map (fun x -> Ast.load "_r" (Ast.loc x)) gen_loc);
-        (1, return Ast.abort);
-      ]
-  in
-  let gen_stmt =
-    frequency
-      [
-        (3, map2 (fun x v -> Ast.store (Ast.loc x) (Ast.int v)) gen_loc gen_value);
-        (3, map (fun x -> Ast.load "_r" (Ast.loc x)) gen_loc);
-        (2, map (fun body -> Ast.atomic body) (list_size (int_range 1 2) gen_inner));
-        (1, map (fun x -> Ast.fence x) gen_loc);
-      ]
-  in
-  let gen_thread = list_size (int_range 1 3) gen_stmt in
-  let rename_thread th =
-    (* give each load a unique register so outcomes are observable *)
-    let counter = ref 0 in
-    let rec rename_stmt (s : Ast.stmt) =
-      match s with
-      | Load (_, lv) ->
-          incr counter;
-          Ast.Load (Fmt.str "r%d" !counter, lv)
-      | Atomic body -> Ast.Atomic (List.map rename_stmt body)
-      | If (c, t, e) -> Ast.If (c, List.map rename_stmt t, List.map rename_stmt e)
-      | While (c, b) -> Ast.While (c, List.map rename_stmt b)
-      | s -> s
-    in
-    List.map rename_stmt th
-  in
-  map
-    (fun threads ->
-      Ast.program ~name:"random" ~locs (List.map rename_thread threads))
-    (list_size (int_range 2 3) gen_thread)
+  Tmx_fuzz.Gen.program Tmx_fuzz.Gen.theorems
 
 let arb_program =
   QCheck.make ~print:(Fmt.str "%a" Ast.pp_program) gen_program
@@ -221,37 +185,8 @@ let prop_prefix_closure_random =
 
 (* -- consistency invariant under order-preserving permutation -------------- *)
 
-let random_merge st (trace : Trace.t) =
-  let n = Trace.length trace in
-  let by_thread = Hashtbl.create 8 in
-  for i = 0 to n - 1 do
-    let th = Trace.thread trace i in
-    Hashtbl.replace by_thread th (i :: Option.value (Hashtbl.find_opt by_thread th) ~default:[])
-  done;
-  let queues =
-    Hashtbl.fold (fun th evs acc -> (th, ref (List.rev evs)) :: acc) by_thread []
-  in
-  (* keep the initializing thread first *)
-  let perm = ref [] in
-  (match List.assoc_opt Action.init_thread (List.map (fun (t, q) -> (t, q)) queues) with
-  | Some q ->
-      perm := List.rev !q;
-      q := []
-  | None -> ());
-  let rec go () =
-    let nonempty = List.filter (fun (_, q) -> !q <> []) queues in
-    if nonempty <> [] then begin
-      let _, q = List.nth nonempty (Random.State.int st (List.length nonempty)) in
-      (match !q with
-      | i :: rest ->
-          perm := i :: !perm;
-          q := rest
-      | [] -> ());
-      go ()
-    end
-  in
-  go ();
-  Array.of_list (List.rev !perm)
+(* the same order-preserving re-merge the fuzzer's enum-naive oracle uses *)
+let random_merge = Tmx_fuzz.Oracle.random_merge
 
 let test_permutation_invariance () =
   let st = Random.State.make [| 42 |] in
@@ -278,20 +213,20 @@ let test_permutation_invariance () =
 let suite =
   [
     Alcotest.test_case "SC-LTRF on the catalog" `Slow test_sc_ltrf_catalog;
-    QCheck_alcotest.to_alcotest prop_sc_ltrf_random;
+    Tb.qcheck prop_sc_ltrf_random;
     Alcotest.test_case "race-free programs behave sequentially" `Quick
       test_race_free_sequential;
     Alcotest.test_case "Thm 4.2 on the catalog" `Slow test_theorem_4_2_catalog;
-    QCheck_alcotest.to_alcotest prop_theorem_4_2_random;
+    Tb.qcheck prop_theorem_4_2_random;
     Alcotest.test_case "Lemma 5.1 on the catalog" `Slow test_lemma_5_1_catalog;
-    QCheck_alcotest.to_alcotest prop_lemma_5_1_random;
+    Tb.qcheck prop_lemma_5_1_random;
     Alcotest.test_case "strongest variant refines pm" `Slow test_strongest_refines_pm;
     Alcotest.test_case "model lattice monotone on the catalog" `Slow
       test_monotonicity_catalog;
-    QCheck_alcotest.to_alcotest prop_monotonicity_random;
-    QCheck_alcotest.to_alcotest prop_im_equals_bare_fence_free;
+    Tb.qcheck prop_monotonicity_random;
+    Tb.qcheck prop_im_equals_bare_fence_free;
     Alcotest.test_case "prefix closure on the catalog" `Slow
       test_prefix_closure_catalog;
-    QCheck_alcotest.to_alcotest prop_prefix_closure_random;
+    Tb.qcheck prop_prefix_closure_random;
     Alcotest.test_case "permutation invariance" `Quick test_permutation_invariance;
   ]

@@ -127,5 +127,5 @@ let prop_random =
 let suite =
   [
     Alcotest.test_case "degenerate shapes" `Quick test_shapes;
-    QCheck_alcotest.to_alcotest prop_random;
+    Tb.qcheck prop_random;
   ]
