@@ -441,9 +441,85 @@ let parallel_speedup () =
   if not (identical && s_identical) then
     failwith "parallel enumeration diverged from sequential"
 
+(* ------------------------------------------------------------------ *)
+(* part 5: the verdict cache, cold vs warm                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The tmx-serve acceptance measurement: the full litmus catalog run
+   three ways — uncached baseline, cold cache (every enumeration a miss
+   that populates the store), and warm (a fresh [Cache.t] over the same
+   directory, so every hit is an actual disk load, not an LRU lookup).
+   The three rendered report sets must be byte-identical: the cache is
+   an accelerator, never an oracle.  Recorded in BENCH_serve.json. *)
+let serve_cache_speedup () =
+  Fmt.pr "@.=== part 5: verdict cache, cold vs warm (full catalog) ===@.@.";
+  let open Tmx_service in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tmx-bench-cache-%d" (Unix.getpid ()))
+  in
+  ignore (Cache.clear ~dir);
+  let run_catalog enumerate =
+    List.map
+      (fun l -> Fmt.str "%a" Tmx_litmus.Litmus.pp_report (Tmx_litmus.Litmus.run ~enumerate l))
+      Tmx_litmus.Catalog.all
+  in
+  let baseline, base_s =
+    wall (fun () -> run_catalog (fun ~config m p -> Enumerate.run ~config m p))
+  in
+  let cold_cache = Cache.create ~dir () in
+  let cold, cold_s =
+    wall (fun () -> run_catalog (fun ~config m p -> Cache.memo_run cold_cache ~config m p))
+  in
+  (* a fresh front over the same directory: the warm pass measures the
+     disk hits, the deployment shape of a second `tmx litmus --cache` *)
+  let warm_cache = Cache.create ~dir () in
+  let warm, warm_s =
+    wall (fun () -> run_catalog (fun ~config m p -> Cache.memo_run warm_cache ~config m p))
+  in
+  let identical = baseline = cold && cold = warm in
+  let cs = Cache.stats cold_cache and ws = Cache.stats warm_cache in
+  let entries = (Cache.disk_stats ~dir ()).Cache.entries in
+  let speedup = cold_s /. warm_s in
+  let hit_rate_warm =
+    if ws.hits + ws.misses = 0 then 0.
+    else float_of_int ws.hits /. float_of_int (ws.hits + ws.misses)
+  in
+  let programs = List.length Tmx_litmus.Catalog.all in
+  Fmt.pr "catalog (%d programs, %d cache entries):@." programs entries;
+  Fmt.pr "  uncached %.4fs   cold %.4fs (%d misses)   warm %.4fs (%d hits, \
+          %d misses)@."
+    base_s cold_s cs.misses warm_s ws.hits ws.misses;
+  Fmt.pr "  warm speedup over cold: %.1fx   warm hit rate: %.3f   reports \
+          byte-identical: %b@."
+    speedup hit_rate_warm identical;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    {|{
+  "experiment": "serve_cache",
+  "programs": %d,
+  "entries": %d,
+  "baseline_s": %.6f,
+  "cold_s": %.6f,
+  "warm_s": %.6f,
+  "speedup": %.3f,
+  "cold": { "hits": %d, "misses": %d },
+  "warm": { "hits": %d, "misses": %d },
+  "hit_rate_warm": %.4f,
+  "verdicts_identical": %b
+}
+|}
+    programs entries base_s cold_s warm_s speedup cs.hits cs.misses ws.hits
+    ws.misses hit_rate_warm identical;
+  close_out oc;
+  ignore (Cache.clear ~dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  if not identical then failwith "cached litmus reports diverged from uncached"
+
 let () =
   (match Sys.getenv_opt "TMX_BENCH_ONLY" with
   | Some "parallel" -> parallel_speedup ()
+  | Some "serve" -> serve_cache_speedup ()
   | _ ->
       verdict_matrix ();
       shapes_summary ();
@@ -452,5 +528,6 @@ let () =
       stm_design_table ();
       fence_table ();
       run_benchmarks ();
-      parallel_speedup ());
+      parallel_speedup ();
+      serve_cache_speedup ());
   Fmt.pr "@.done.@."

@@ -11,7 +11,10 @@
      tmx stm-bench               drive multi-domain workloads over the runtime STM
      tmx theorems [NAME ...]     run the theorem checks
      tmx models                  list the model configurations
-     tmx show NAME               print a catalog program *)
+     tmx show NAME               print a catalog program
+     tmx serve                   verdict-cache query daemon on a Unix socket
+     tmx client VERB [NAME ...]  query a running daemon
+     tmx cache {stats,gc,clear}  inspect / maintain the on-disk verdict cache *)
 
 open Cmdliner
 open Tmx_core
@@ -65,10 +68,41 @@ let config_of_jobs jobs =
 let list_flag =
   Arg.(value & flag & info [ "list" ] ~doc:"List available litmus tests.")
 
+(* -- the verdict cache (shared flags) ----------------------------------------- *)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Verdict-cache directory (default $(b,TMX_CACHE_DIR), else \
+           .tmx-cache).")
+
+let resolve_cache_dir d =
+  match d with Some d -> d | None -> Tmx_service.Cache.default_dir ()
+
+let cache_flag =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Serve enumerations from the content-addressed verdict cache \
+           (populating it on misses).  Verdicts are byte-identical to the \
+           uncached run; only the wall clock changes.")
+
 (* -- litmus ---------------------------------------------------------------- *)
 
 let litmus_cmd =
-  let run jobs list names =
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Run the whole catalog (also the default when no names are \
+             given).")
+  in
+  let run jobs list all use_cache cache_dir names =
     let config = config_of_jobs jobs in
     if list then begin
       List.iter
@@ -78,7 +112,7 @@ let litmus_cmd =
     end
     else
       let tests =
-        if names = [] then Ok Tmx_litmus.Catalog.all
+        if all || names = [] then Ok Tmx_litmus.Catalog.all
         else
           List.fold_left
             (fun acc n ->
@@ -89,20 +123,43 @@ let litmus_cmd =
       in
       Result.map
         (fun tests ->
+          let cache =
+            if use_cache then
+              Some
+                (Tmx_service.Cache.create
+                   ~dir:(resolve_cache_dir cache_dir)
+                   ())
+            else None
+          in
+          let enumerate =
+            match cache with
+            | None -> fun ~config m p -> Enumerate.run ~config m p
+            | Some c -> fun ~config m p -> Tmx_service.Cache.memo_run c ~config m p
+          in
           let failures = ref 0 in
           List.iter
             (fun l ->
-              let report = Tmx_litmus.Litmus.run ~config l in
+              let report = Tmx_litmus.Litmus.run ~config ~enumerate l in
               if not (Tmx_litmus.Litmus.passed report) then incr failures;
               Fmt.pr "%a@." Tmx_litmus.Litmus.pp_report report)
             tests;
           Fmt.pr "%d/%d litmus tests pass@."
             (List.length tests - !failures)
             (List.length tests);
+          (match cache with
+          | Some c ->
+              let s = Tmx_service.Cache.stats c in
+              Fmt.pr "cache: %d hits, %d misses@." s.hits s.misses
+          | None -> ());
           if !failures > 0 then exit 1)
         tests
   in
-  let term = Term.(term_result' (const run $ jobs_arg $ list_flag $ names_arg)) in
+  let term =
+    Term.(
+      term_result'
+        (const run $ jobs_arg $ list_flag $ all_flag $ cache_flag
+       $ cache_dir_arg $ names_arg))
+  in
   Cmd.v
     (Cmd.info "litmus" ~doc:"Check the paper's examples against their verdicts.")
     term
@@ -474,7 +531,7 @@ let fuzz_cmd =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
   let run jobs seed count budget oracle_names list_oracles minimize no_corpus
-      corpus crashes json =
+      corpus crashes json use_cache cache_dir =
     if list_oracles then begin
       List.iter
         (fun (o : Oracle.t) -> Fmt.pr "%-14s %s@." o.name o.descr)
@@ -502,6 +559,14 @@ let fuzz_cmd =
       in
       Result.bind oracles (fun oracles ->
           let jobs = if jobs <= 0 then Tmx_exec.Pool.available_cores () else jobs in
+          let enumerate =
+            if use_cache then
+              let c =
+                Tmx_service.Cache.create ~dir:(resolve_cache_dir cache_dir) ()
+              in
+              Some (fun config m p -> Tmx_service.Cache.memo_run c ~config m p)
+            else None
+          in
           let opts =
             {
               Runner.default_options with
@@ -512,6 +577,7 @@ let fuzz_cmd =
               jobs = max 2 jobs;
               corpus_dir = (if no_corpus then None else Some corpus);
               crashes_dir = (if no_corpus then None else Some crashes);
+              enumerate;
             }
           in
           match minimize with
@@ -547,7 +613,7 @@ let fuzz_cmd =
       term_result'
         (const run $ jobs_arg $ seed_arg $ count_arg $ budget_arg $ oracle_arg
         $ list_oracles_flag $ minimize_arg $ no_corpus_flag $ corpus_arg
-        $ crashes_arg $ json_flag))
+        $ crashes_arg $ json_flag $ cache_flag $ cache_dir_arg))
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -592,10 +658,10 @@ let bench_compare_cmd =
   Cmd.v
     (Cmd.info "bench-compare"
        ~doc:
-         "Diff two benchmark witnesses (BENCH_stm.json or \
-          BENCH_parallel.json) and exit 1 on a throughput regression \
-          beyond the threshold.  CI runs this warn-only against the \
-          committed witnesses.")
+         "Diff two benchmark witnesses (BENCH_stm.json, \
+          BENCH_parallel.json or BENCH_serve.json) and exit 1 on a \
+          throughput or cache-hit-rate regression beyond the threshold.  \
+          CI runs this warn-only against the committed witnesses.")
     term
 
 (* -- theorems ----------------------------------------------------------------- *)
@@ -722,20 +788,100 @@ let check_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Litmus file.")
   in
-  let run jobs file =
-    match Tmx_litmus.Parse.parse_file file with
-    | exception Tmx_litmus.Parse.Error msg -> Error (Fmt.str "%s: %s" file msg)
-    | litmus ->
-        let report = Tmx_litmus.Litmus.run ~config:(config_of_jobs jobs) litmus in
-        Fmt.pr "%a@." Tmx_litmus.Litmus.pp_report report;
-        if Tmx_litmus.Litmus.passed report then Ok () else exit 1
+  let remote_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "remote" ] ~docv:"SOCK"
+          ~doc:
+            "Do not enumerate locally: send the file to the $(b,tmx serve) \
+             daemon listening on the Unix socket $(docv) and print its \
+             verdict.")
   in
-  let term = Term.(term_result' (const run $ jobs_arg $ file_arg)) in
+  let check_remote ~socket file =
+    let src =
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let open Tmx_service in
+    let req =
+      {
+        Protocol.id = None;
+        verb = "check";
+        name = None;
+        program = Some src;
+        model = "pm";
+        deadline_ms = None;
+        subrequests = [];
+      }
+    in
+    Result.bind
+      (Client.request ~wait_s:5. ~socket (Protocol.to_json req))
+      (fun resp ->
+        if not (Protocol.response_ok resp) then
+          Error
+            (Fmt.str "%s: %s" socket
+               (Option.value
+                  (Option.bind (Json.mem "error" resp) Json.to_str)
+                  ~default:"request failed"))
+        else begin
+          let results =
+            Option.value
+              (Option.bind (Json.mem "results" resp) Json.to_list)
+              ~default:[]
+          in
+          List.iter
+            (fun r ->
+              let field k = Option.bind (Json.mem k r) Json.to_str in
+              let ok =
+                Option.value (Option.bind (Json.mem "ok" r) Json.to_bool)
+                  ~default:false
+              in
+              Fmt.pr "  [%s] %-4s %s: %s@."
+                (if ok then "ok" else "FAIL")
+                (Option.value (field "model") ~default:"?")
+                (Option.value (field "descr") ~default:"?")
+                (Option.value (field "detail") ~default:""))
+            results;
+          let passed =
+            Option.value
+              (Option.bind (Json.mem "passed" resp) Json.to_bool)
+              ~default:false
+          in
+          let cached =
+            Option.value
+              (Option.bind (Json.mem "cached" resp) Json.to_bool)
+              ~default:false
+          in
+          Fmt.pr "%s: %s%s@." file
+            (if passed then "pass" else "FAIL")
+            (if cached then " (cached)" else "");
+          if passed then Ok () else exit 1
+        end)
+  in
+  let run jobs remote file =
+    match remote with
+    | Some socket -> check_remote ~socket file
+    | None -> (
+        match Tmx_litmus.Parse.parse_file file with
+        | exception Tmx_litmus.Parse.Error msg ->
+            Error (Fmt.str "%s: %s" file msg)
+        | litmus ->
+            let report =
+              Tmx_litmus.Litmus.run ~config:(config_of_jobs jobs) litmus
+            in
+            Fmt.pr "%a@." Tmx_litmus.Litmus.pp_report report;
+            if Tmx_litmus.Litmus.passed report then Ok () else exit 1)
+  in
+  let term = Term.(term_result' (const run $ jobs_arg $ remote_arg $ file_arg)) in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Parse a litmus file (program + expectations) and check it against \
-          the models.  See lib/litmus/parse.mli for the format.")
+          the models, locally or (with --remote) via a running $(b,tmx \
+          serve) daemon.  See lib/litmus/parse.mli for the format.")
     term
 
 let dot_cmd =
@@ -810,6 +956,304 @@ let shapes_cmd =
           every plain/transactional site combination).")
     term
 
+(* -- serve / client / cache ---------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "tmx.sock"
+    & info [ "s"; "socket" ] ~docv:"SOCK"
+        ~doc:
+          "Unix-domain socket path.  Mind the OS limit of ~100 bytes; \
+           prefer short paths under /tmp.")
+
+let serve_cmd =
+  let open Tmx_service in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Accept-loop domains (concurrent connections served).")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"In-memory LRU front of the verdict cache, in entries.")
+  in
+  let verbose_flag =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log requests to stderr.")
+  in
+  let run socket cache_dir capacity workers jobs verbose =
+    let jobs = if jobs <= 0 then Tmx_exec.Pool.available_cores () else jobs in
+    let cfg =
+      {
+        (Server.default_config ~socket) with
+        cache_dir = resolve_cache_dir cache_dir;
+        cache_capacity = capacity;
+        workers = max 1 workers;
+        jobs;
+        verbose;
+      }
+    in
+    match Server.start cfg with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Fmt.str "cannot listen on %s: %s" socket (Unix.error_message e))
+    | t ->
+        let stop_and_exit _ = Server.stop t; exit 0 in
+        (try
+           Sys.set_signal Sys.sigint (Sys.Signal_handle stop_and_exit);
+           Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_and_exit)
+         with _ -> ());
+        Server.wait t;
+        Ok ()
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ socket_arg $ cache_dir_arg $ capacity_arg $ workers_arg
+       $ jobs_arg $ verbose_flag))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verdict-cache query daemon: NDJSON requests (ping, check, \
+          races, outcomes, lint, batch, stats, shutdown) over a Unix \
+          socket, answered by worker domains out of the content-addressed \
+          cache.  Runs in the foreground until a shutdown request (or \
+          SIGINT/SIGTERM).")
+    term
+
+let client_cmd =
+  let open Tmx_service in
+  let wait_arg =
+    Arg.(
+      value & opt float 5.
+      & info [ "wait" ] ~docv:"S"
+          ~doc:
+            "Retry the connection for up to $(docv) seconds (the daemon \
+             may still be binding).")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw JSON response line instead.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline; the daemon answers 'deadline exceeded' \
+             rather than starting (or continuing a batch) past it.")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"With batch: one sub-request per catalog program.")
+  in
+  let sub_arg =
+    Arg.(
+      value & opt string "check"
+      & info [ "sub" ] ~docv:"VERB"
+          ~doc:"Sub-request verb for batch (check, races, outcomes or lint).")
+  in
+  let verb_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"VERB"
+          ~doc:
+            "ping, check, races, outcomes, lint, batch, stats or shutdown.")
+  in
+  let target_args =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"NAME"
+          ~doc:"Catalog litmus names (or litmus file paths, sent as source).")
+  in
+  let mk_req ~verb ~model ~deadline_ms target =
+    let name, program =
+      match target with
+      | None -> (None, None)
+      | Some a ->
+          if Sys.file_exists a then
+            let ic = open_in_bin a in
+            let src =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            (None, Some src)
+          else (Some a, None)
+    in
+    {
+      Protocol.id = None;
+      verb;
+      name;
+      program;
+      model;
+      deadline_ms;
+      subrequests = [];
+    }
+  in
+  let get k conv resp = Option.bind (Json.mem k resp) conv in
+  let geti k resp = Option.value (get k Json.to_int resp) ~default:0 in
+  let render verb targets resp =
+    match verb with
+    | "ping" -> Fmt.pr "pong@."
+    | "shutdown" -> Fmt.pr "shutdown: ok@."
+    | "stats" ->
+        (match get "cache" Option.some resp with
+        | Some c ->
+            Fmt.pr "cache: %d hits, %d misses, %d stores, %d evictions, %d \
+                    load failures, %d resident@."
+              (geti "hits" c) (geti "misses" c) (geti "stores" c)
+              (geti "evictions" c) (geti "load_failures" c) (geti "resident" c)
+        | None -> ());
+        (match get "metrics" Option.some resp with
+        | Some m ->
+            Fmt.pr "requests: %d total, %d errors, %d deadlines exceeded, %d \
+                    in flight@."
+              (geti "requests" m) (geti "errors" m)
+              (geti "deadlines_exceeded" m)
+              (geti "queue_depth" m)
+        | None -> ())
+    | "batch" ->
+        Fmt.pr "batch: %d requests, %d ok, %d cached@." (geti "count" resp)
+          (geti "ok_count" resp) (geti "cached" resp)
+    | "check" ->
+        Fmt.pr "%s: %s%s@."
+          (match targets with t :: _ -> t | [] -> "?")
+          (if Option.value (get "passed" Json.to_bool resp) ~default:false then
+             "pass"
+           else "FAIL")
+          (if Option.value (get "cached" Json.to_bool resp) ~default:false then
+             " (cached)"
+           else "")
+    | "races" ->
+        Fmt.pr "%s: %d executions, %d racy, %d mixed%s@."
+          (match targets with t :: _ -> t | [] -> "?")
+          (geti "executions" resp) (geti "racy" resp) (geti "mixed" resp)
+          (if Option.value (get "cached" Json.to_bool resp) ~default:false then
+             " (cached)"
+           else "")
+    | "outcomes" ->
+        List.iter
+          (fun o ->
+            match Json.to_str o with
+            | Some s -> Fmt.pr "  %s@." s
+            | None -> ())
+          (Option.value (get "outcomes" Json.to_list resp) ~default:[]);
+        Fmt.pr "%s: %d outcomes%s@."
+          (match targets with t :: _ -> t | [] -> "?")
+          (geti "count" resp)
+          (if Option.value (get "cached" Json.to_bool resp) ~default:false then
+             " (cached)"
+           else "")
+    | "lint" ->
+        Fmt.pr "%s: race_free %b, %d findings, %d mixed@."
+          (match targets with t :: _ -> t | [] -> "?")
+          (Option.value (get "race_free" Json.to_bool resp) ~default:false)
+          (geti "findings" resp) (geti "mixed" resp)
+    | _ -> print_string (Json.to_string resp ^ "\n")
+  in
+  let run socket wait json model deadline_ms all sub verb targets =
+    let model = model.Tmx_core.Model.name in
+    let req =
+      match verb with
+      | "batch" ->
+          let names =
+            if all then
+              List.map (fun (l : Tmx_litmus.Litmus.t) -> l.name) Tmx_litmus.Catalog.all
+            else targets
+          in
+          if names = [] then Error "batch needs NAMEs or --all"
+          else
+            Ok
+              {
+                (mk_req ~verb:"batch" ~model ~deadline_ms None) with
+                Protocol.subrequests =
+                  List.map
+                    (fun n -> mk_req ~verb:sub ~model ~deadline_ms:None (Some n))
+                    names;
+              }
+      | "ping" | "stats" | "shutdown" -> Ok (mk_req ~verb ~model ~deadline_ms None)
+      | _ -> (
+          match targets with
+          | [ t ] -> Ok (mk_req ~verb ~model ~deadline_ms (Some t))
+          | _ -> Error (Fmt.str "verb %s takes exactly one NAME" verb))
+    in
+    Result.bind req (fun req ->
+        Result.map
+          (fun resp ->
+            if json then print_string (Json.to_string resp ^ "\n")
+            else if Protocol.response_ok resp then render verb targets resp
+            else begin
+              Fmt.epr "tmx client: %s@."
+                (Option.value
+                   (Option.bind (Json.mem "error" resp) Json.to_str)
+                   ~default:"request failed");
+              exit 1
+            end)
+          (Client.request ~wait_s:wait ~socket (Protocol.to_json req)))
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ socket_arg $ wait_arg $ json_flag $ model_arg
+       $ deadline_arg $ all_flag $ sub_arg $ verb_arg $ target_args))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Query a running $(b,tmx serve) daemon: one NDJSON request per \
+          invocation (batch fans sub-requests across the daemon's domain \
+          pool).")
+    term
+
+let cache_cmd =
+  let open Tmx_service in
+  let stats_cmd =
+    let run dir =
+      let dir = resolve_cache_dir dir in
+      let s = Cache.disk_stats ~dir () in
+      Fmt.pr "%s: %d entries, %d bytes (%d current, %d stale, %d corrupt)@."
+        dir s.entries s.bytes s.current s.stale s.corrupt
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Count and classify the on-disk entries.")
+      Term.(const run $ cache_dir_arg)
+  in
+  let gc_cmd =
+    let run dir =
+      let dir = resolve_cache_dir dir in
+      Fmt.pr "%s: removed %d stale/corrupt entries@." dir (Cache.gc ~dir ())
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Delete entries written by other format versions and corrupt \
+            files; current entries are kept.")
+      Term.(const run $ cache_dir_arg)
+  in
+  let clear_cmd =
+    let run dir =
+      let dir = resolve_cache_dir dir in
+      Fmt.pr "%s: removed %d entries@." dir (Cache.clear ~dir)
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Delete every entry.")
+      Term.(const run $ cache_dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect and maintain the on-disk verdict cache shared by $(b,tmx \
+          serve), $(b,tmx litmus --cache) and $(b,tmx fuzz --cache).")
+    [ stats_cmd; gc_cmd; clear_cmd ]
+
 let () =
   let doc = "modular transactions: the LTRF model checker and STM workbench" in
   let info = Cmd.info "tmx" ~version:"1.0.0" ~doc in
@@ -820,5 +1264,5 @@ let () =
             litmus_cmd; outcomes_cmd; races_cmd; lint_cmd; stm_cmd;
             stm_bench_cmd; machine_cmd; theorems_cmd; models_cmd; show_cmd;
             dot_cmd; check_cmd; export_cmd; shapes_cmd; fence_cmd; fuzz_cmd;
-            bench_compare_cmd;
+            bench_compare_cmd; serve_cmd; client_cmd; cache_cmd;
           ]))

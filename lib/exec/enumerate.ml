@@ -24,6 +24,12 @@ type config = { fuel : int; domain_iters : int; max_graphs : int; jobs : int }
 
 let default_config = { fuel = 6; domain_iters = 4; max_graphs = 500_000; jobs = 1 }
 
+(* jobs excluded: results are bit-identical for every jobs value, so
+   runs with different parallelism share a cache entry *)
+let config_key c =
+  Printf.sprintf "fuel=%d;domain_iters=%d;max_graphs=%d" c.fuel c.domain_iters
+    c.max_graphs
+
 type execution = { trace : Trace.t; outcome : Outcome.t }
 
 type result = {

@@ -30,6 +30,13 @@ type config = {
 
 val default_config : config
 
+val config_key : config -> string
+(** The cache-key projection of a config: the fields that can change the
+    result ([fuel], [domain_iters], [max_graphs]).  [jobs] is excluded —
+    parallel and sequential runs are bit-identical by construction (and
+    pinned so by the [parallel] suite), so they may share a cache
+    entry. *)
+
 type execution = { trace : Tmx_core.Trace.t; outcome : Outcome.t }
 
 type result = {

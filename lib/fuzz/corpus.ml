@@ -35,8 +35,23 @@ let rec mkdir_p dir =
     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
   end
 
+(* The parser only accepts [A-Za-z0-9_'] identifiers not starting with a
+   digit; a generated program name like "fuzz-0-3" would export to a
+   file that can never replay.  Saved programs get a parseable name. *)
+let sanitize_name n =
+  let n =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> c
+        | _ -> '_')
+      n
+  in
+  match n with "" -> "p" | n when n.[0] >= '0' && n.[0] <= '9' -> "p" ^ n | n -> n
+
 let save ~dir ~prefix p =
   mkdir_p dir;
+  let p = { p with Ast.name = sanitize_name p.Ast.name } in
   let text = Tmx_litmus.Export.program_to_string p in
   let digest = String.sub (Digest.to_hex (Digest.string text)) 0 12 in
   let path = Filename.concat dir (Fmt.str "%s-%s.litmus" prefix digest) in

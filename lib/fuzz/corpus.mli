@@ -24,4 +24,7 @@ val load_errors : dir:string -> (string * string) list
 val save : dir:string -> prefix:string -> Ast.program -> string
 (** Export the program into [dir] (created if missing) as
     [<prefix>-<digest>.litmus]; returns the path.  Saving the same
-    program twice is a no-op with the same path. *)
+    program twice is a no-op with the same path.  The program name is
+    sanitized to the parser's identifier syntax first (generated names
+    like ["fuzz-0-3"] would otherwise save files that can never
+    replay). *)

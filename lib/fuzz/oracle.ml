@@ -3,8 +3,18 @@ open Tmx_lang
 open Tmx_exec
 
 type verdict = Pass | Fail of string
-type ctx = { jobs : int; seed : int }
+
+type ctx = {
+  jobs : int;
+  seed : int;
+  run : Enumerate.config -> Model.t -> Ast.program -> Enumerate.result;
+}
+
 type t = { name : string; descr : string; check : ctx -> Ast.program -> verdict }
+
+let make_ctx ?(run = fun config m p -> Enumerate.run ~config m p) ~jobs ~seed ()
+    =
+  { jobs; seed; run }
 
 let models =
   [ Model.programmer; Model.implementation; Model.bare; Model.strongest ]
@@ -74,7 +84,7 @@ let check_enum_naive ctx (p : Ast.program) =
   List.iter
     (fun (model : Model.t) ->
       if !fail = None then begin
-        let r = Enumerate.run ~config:seq_config model p in
+        let r = ctx.run seq_config model p in
         List.iteri
           (fun idx (e : Enumerate.execution) ->
             if !fail = None && Trace.length e.trace <= naive_trace_limit
@@ -109,9 +119,9 @@ let check_enum_naive ctx (p : Ast.program) =
 
 (* -- machine-enum ------------------------------------------------------------- *)
 
-let check_machine_enum _ctx (p : Ast.program) =
+let check_machine_enum ctx (p : Ast.program) =
   let m = Tmx_machine.Machine.run p in
-  let r = Enumerate.run ~config:seq_config Model.implementation p in
+  let r = ctx.run seq_config Model.implementation p in
   let a = Enumerate.outcomes r in
   match Outcome.diff m.outcomes a with
   | o :: _ ->
@@ -138,8 +148,8 @@ let stmsim_modes =
     ("lazy+atomic-commit", { default_config with strategy = Lazy; atomic_commit = true });
   ]
 
-let check_stmsim_enum _ctx (p : Ast.program) =
-  let a = Enumerate.outcomes (Enumerate.run ~config:seq_config Model.implementation p) in
+let check_stmsim_enum ctx (p : Ast.program) =
+  let a = Enumerate.outcomes (ctx.run seq_config Model.implementation p) in
   let rec go = function
     | [] -> Pass
     | (mode, config) :: rest -> (
@@ -155,7 +165,7 @@ let check_stmsim_enum _ctx (p : Ast.program) =
 
 (* -- lint-sound --------------------------------------------------------------- *)
 
-let check_lint_sound _ctx (p : Ast.program) =
+let check_lint_sound ctx (p : Ast.program) =
   let r = Tmx_analysis.Lint.lint p in
   let has_mixed_finding = Tmx_analysis.Lint.mixed_count r > 0 in
   let fail = ref None in
@@ -163,7 +173,7 @@ let check_lint_sound _ctx (p : Ast.program) =
   List.iter
     (fun (model : Model.t) ->
       if !fail = None then
-        let result = Enumerate.run ~config:seq_config model p in
+        let result = ctx.run seq_config model p in
         List.iter
           (fun (e : Enumerate.execution) ->
             if !fail = None then begin
@@ -192,6 +202,9 @@ let check_lint_sound _ctx (p : Ast.program) =
 
 (* -- jobs-det ----------------------------------------------------------------- *)
 
+(* NB: calls [Enumerate.run] directly, not [ctx.run] — this oracle's
+   claim is about the enumerator itself, so serving either side from a
+   cache would make it vacuous. *)
 let check_jobs_det ctx (p : Ast.program) =
   let jobs = max 2 ctx.jobs in
   let r1 = Enumerate.run ~config:seq_config Model.programmer p in

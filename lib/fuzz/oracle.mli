@@ -30,6 +30,17 @@ type verdict = Pass | Fail of string
 type ctx = {
   jobs : int;  (** the N of the jobs-determinism oracle (>= 2) *)
   seed : int;  (** seeds the oracle-internal permutation choices *)
+  run :
+    Tmx_exec.Enumerate.config ->
+    Tmx_core.Model.t ->
+    Ast.program ->
+    Tmx_exec.Enumerate.result;
+      (** how the oracles obtain their reference enumeration (default
+          [Enumerate.run]); `tmx fuzz --cache` plugs the verdict cache
+          in here.  The [jobs-det] oracle deliberately bypasses this
+          hook and calls [Enumerate.run] directly on both sides — its
+          whole claim is about the enumerator, and a memoized run
+          would make it vacuous. *)
 }
 
 type t = {
@@ -37,6 +48,17 @@ type t = {
   descr : string;
   check : ctx -> Ast.program -> verdict;
 }
+
+val make_ctx :
+  ?run:
+    (Tmx_exec.Enumerate.config ->
+    Tmx_core.Model.t ->
+    Ast.program ->
+    Tmx_exec.Enumerate.result) ->
+  jobs:int ->
+  seed:int ->
+  unit ->
+  ctx
 
 val stock : t list
 (** The five differential oracles, in the order of the table above. *)

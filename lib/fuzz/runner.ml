@@ -11,6 +11,14 @@ type options = {
   crashes_dir : string option;
   minimize : bool;
   max_failures : int;
+  enumerate :
+    (Tmx_exec.Enumerate.config ->
+    Tmx_core.Model.t ->
+    Ast.program ->
+    Tmx_exec.Enumerate.result)
+    option;
+      (* oracle-side enumeration override (`--cache`); jobs-det ignores
+         it by design *)
 }
 
 let default_options =
@@ -25,6 +33,7 @@ let default_options =
     crashes_dir = Some Corpus.default_crashes_dir;
     minimize = true;
     max_failures = 5;
+    enumerate = None;
   }
 
 type failure = {
@@ -44,6 +53,8 @@ type report = {
   corpus_replayed : int;
   crashes_replayed : int;
   corpus_skipped : int;
+  corpus_deduped : int;
+  skipped_files : (string * string) list;
   checks : int;
   per_oracle : (string * int) list;
   failures : failure list;
@@ -55,8 +66,8 @@ let ok r = r.failures = []
 
 (* minimization re-runs the oracle many times; use a fixed ctx so the
    check is a deterministic predicate of the program alone *)
-let oracle_fails (o : Oracle.t) ~jobs ~seed p =
-  match o.check { Oracle.jobs; seed } p with
+let oracle_fails (o : Oracle.t) ?run ~jobs ~seed p =
+  match o.check (Oracle.make_ctx ?run ~jobs ~seed ()) p with
   | Oracle.Pass -> false
   | Oracle.Fail _ -> true
 
@@ -64,7 +75,9 @@ let minimize_failure opts (o : Oracle.t) ~seed ~origin ~detail p =
   let minimized, shrink_steps =
     if opts.minimize then
       let m, steps =
-        Shrink.minimize ~fails:(oracle_fails o ~jobs:opts.jobs ~seed) p
+        Shrink.minimize
+          ~fails:(oracle_fails o ?run:opts.enumerate ~jobs:opts.jobs ~seed)
+          p
       in
       (Some m, steps)
     else (None, 0)
@@ -80,7 +93,7 @@ let minimize_failure opts (o : Oracle.t) ~seed ~origin ~detail p =
 
 let minimize_program (opts : options) (o : Oracle.t) p =
   let seed = opts.seed in
-  match o.check { Oracle.jobs = opts.jobs; seed } p with
+  match o.check (Oracle.make_ctx ?run:opts.enumerate ~jobs:opts.jobs ~seed ()) p with
   | Oracle.Pass -> Error (Fmt.str "oracle %s passes on this program" o.name)
   | Oracle.Fail detail ->
       Ok
@@ -114,7 +127,9 @@ let run opts =
           incr checks;
           Hashtbl.replace per_oracle o.name
             (1 + Option.value (Hashtbl.find_opt per_oracle o.name) ~default:0);
-          match o.check { Oracle.jobs = opts.jobs; seed } p with
+          match
+            o.check (Oracle.make_ctx ?run:opts.enumerate ~jobs:opts.jobs ~seed ()) p
+          with
           | Oracle.Pass -> ()
           | Oracle.Fail detail ->
               failures :=
@@ -122,13 +137,32 @@ let run opts =
         end)
       opts.oracles
   in
-  let skipped = ref 0 in
+  let skipped_files = ref [] in
+  (* seeds are deduped by canonical digest across both replay dirs: a
+     crash file and a corpus seed that are the same program modulo
+     formatting (or name) get checked once *)
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let deduped = ref 0 in
   let replay which dir_opt =
     match dir_opt with
     | None -> 0
     | Some dir ->
-        skipped := !skipped + List.length (Corpus.load_errors ~dir);
+        skipped_files := !skipped_files @ Corpus.load_errors ~dir;
         let entries = Corpus.load ~dir in
+        let entries =
+          List.filter
+            (fun (_, p) ->
+              let d = Canon.digest p in
+              if Hashtbl.mem seen d then begin
+                incr deduped;
+                false
+              end
+              else begin
+                Hashtbl.add seen d ();
+                true
+              end)
+            entries
+        in
         List.iteri
           (fun i (file, p) ->
             let origin = Fmt.str "%s:%s" which (Filename.basename file) in
@@ -144,7 +178,7 @@ let run opts =
        if List.length !failures >= opts.max_failures || out_of_time () then
          raise Exit;
        let st = Gen.state_of_seed ~seed:opts.seed ~index:i in
-       let name = Fmt.str "fuzz-%d-%d" opts.seed i in
+       let name = Fmt.str "fuzz_%d_%d" opts.seed i in
        let p = Gen.program ~name opts.gen_config st in
        incr generated;
        check_program ~origin:(Fmt.str "generated:%d" i) ~seed:(opts.seed + i) p
@@ -156,7 +190,9 @@ let run opts =
     generated = !generated;
     corpus_replayed;
     crashes_replayed;
-    corpus_skipped = !skipped;
+    corpus_skipped = List.length !skipped_files;
+    corpus_deduped = !deduped;
+    skipped_files = !skipped_files;
     checks = !checks;
     per_oracle =
       List.filter_map
@@ -183,11 +219,15 @@ let pp_failure ppf (f : failure) =
   | None -> ()
 
 let pp_report ppf (r : report) =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun (file, msg) -> Fmt.pf ppf "warning: skipped %s: %s@," file msg)
+    r.skipped_files;
   Fmt.pf ppf
-    "@[<v>fuzz: seed %d, %d generated + %d corpus + %d crash replays (%d \
-     skipped), %d oracle checks in %.1fs%s@,%a@]"
+    "fuzz: seed %d, %d generated + %d corpus + %d crash replays (%d \
+     skipped, %d deduped), %d oracle checks in %.1fs%s@,%a@]"
     r.seed r.generated r.corpus_replayed r.crashes_replayed r.corpus_skipped
-    r.checks r.elapsed
+    r.corpus_deduped r.checks r.elapsed
     (if r.budget_exhausted then " (time budget exhausted)" else "")
     Fmt.(list ~sep:cut (fun ppf (o, n) -> Fmt.pf ppf "  %-14s %d programs" o n))
     r.per_oracle;
@@ -239,6 +279,8 @@ let report_to_json (r : report) =
      \  \"corpus_replayed\": %d,\n\
      \  \"crashes_replayed\": %d,\n\
      \  \"corpus_skipped\": %d,\n\
+     \  \"corpus_deduped\": %d,\n\
+     \  \"skipped_files\": [%s],\n\
      \  \"checks\": %d,\n\
      \  \"oracles\": [%s],\n\
      \  \"failures\": [%s],\n\
@@ -247,7 +289,14 @@ let report_to_json (r : report) =
      \  \"ok\": %b\n\
      }"
     r.seed r.jobs r.generated r.corpus_replayed r.crashes_replayed
-    r.corpus_skipped r.checks
+    r.corpus_skipped r.corpus_deduped
+    (String.concat ", "
+       (List.map
+          (fun (file, msg) ->
+            Fmt.str "{\"file\": \"%s\", \"error\": \"%s\"}" (json_escape file)
+              (json_escape msg))
+          r.skipped_files))
+    r.checks
     (String.concat ", "
        (List.map
           (fun (o, n) -> Fmt.str "{\"name\": \"%s\", \"programs\": %d}" (json_escape o) n)

@@ -22,6 +22,15 @@ type options = {
           failures *)
   minimize : bool;
   max_failures : int;  (** stop the campaign after this many failures *)
+  enumerate :
+    (Tmx_exec.Enumerate.config ->
+    Tmx_core.Model.t ->
+    Ast.program ->
+    Tmx_exec.Enumerate.result)
+    option;
+      (** oracle-side enumeration override, threaded into
+          {!Oracle.ctx.run} ([tmx fuzz --cache] plugs the verdict cache
+          in); the jobs-det oracle bypasses it by design *)
 }
 
 val default_options : options
@@ -45,7 +54,12 @@ type report = {
   generated : int;
   corpus_replayed : int;
   crashes_replayed : int;
-  corpus_skipped : int;  (** unparseable corpus/crash files *)
+  corpus_skipped : int;  (** unparseable corpus/crash files (warned, not fatal) *)
+  corpus_deduped : int;
+      (** replay seeds dropped because another file had the same
+          {!Tmx_lang.Canon} digest *)
+  skipped_files : (string * string) list;
+      (** the [(file, error)] pairs behind [corpus_skipped] *)
   checks : int;  (** oracle invocations *)
   per_oracle : (string * int) list;
   failures : failure list;

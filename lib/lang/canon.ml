@@ -1,0 +1,87 @@
+(* Canonical program form — the cache-key serialization.  The text
+   mirrors the litmus format of [Tmx_litmus.Parse]/[Export] (which this
+   library cannot depend on), with every degree of freedom pinned:
+   sorted deduped locs, two-space indentation, one statement per line.
+
+   Negative literals are the one AST form the parser cannot produce
+   (unary minus parses as [Sub (Int 0, x)]), so [normalize] rewrites
+   them into that shape and printing stays parse-invertible. *)
+
+let rec norm_expr (e : Ast.expr) : Ast.expr =
+  match e with
+  | Int n when n < 0 -> Sub (Int 0, Int (-n))
+  | Int _ | Reg _ -> e
+  | Add (a, b) -> Add (norm_expr a, norm_expr b)
+  | Sub (a, b) -> Sub (norm_expr a, norm_expr b)
+  | Mul (a, b) -> Mul (norm_expr a, norm_expr b)
+  | Eq (a, b) -> Eq (norm_expr a, norm_expr b)
+  | Ne (a, b) -> Ne (norm_expr a, norm_expr b)
+  | Lt (a, b) -> Lt (norm_expr a, norm_expr b)
+  | Not a -> Not (norm_expr a)
+  | And (a, b) -> And (norm_expr a, norm_expr b)
+  | Or (a, b) -> Or (norm_expr a, norm_expr b)
+
+let norm_lval ({ base; index } : Ast.lval) : Ast.lval =
+  { base; index = Option.map norm_expr index }
+
+let rec norm_stmt (s : Ast.stmt) : Ast.stmt =
+  match s with
+  | Load (r, lv) -> Load (r, norm_lval lv)
+  | Store (lv, e) -> Store (norm_lval lv, norm_expr e)
+  | Assign (r, e) -> Assign (r, norm_expr e)
+  | Atomic body -> Atomic (List.map norm_stmt body)
+  | Abort | Skip | Fence _ -> s
+  | If (c, t, e) -> If (norm_expr c, List.map norm_stmt t, List.map norm_stmt e)
+  | While (c, b) -> While (norm_expr c, List.map norm_stmt b)
+
+let normalize (p : Ast.program) : Ast.program =
+  {
+    p with
+    locs = List.sort_uniq String.compare p.locs;
+    threads = List.map (List.map norm_stmt) p.threads;
+  }
+
+let rec emit_stmt buf indent (s : Ast.stmt) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Ast.Atomic body ->
+      Buffer.add_string buf (pad ^ "atomic {\n");
+      List.iter (emit_stmt buf (indent + 2)) body;
+      Buffer.add_string buf (pad ^ "}\n")
+  | Ast.If (c, t, []) ->
+      Buffer.add_string buf (Fmt.str "%sif %a {\n" pad Ast.pp_expr c);
+      List.iter (emit_stmt buf (indent + 2)) t;
+      Buffer.add_string buf (pad ^ "}\n")
+  | Ast.If (c, t, e) ->
+      Buffer.add_string buf (Fmt.str "%sif %a {\n" pad Ast.pp_expr c);
+      List.iter (emit_stmt buf (indent + 2)) t;
+      Buffer.add_string buf (pad ^ "} else {\n");
+      List.iter (emit_stmt buf (indent + 2)) e;
+      Buffer.add_string buf (pad ^ "}\n")
+  | Ast.While (c, b) ->
+      Buffer.add_string buf (Fmt.str "%swhile %a {\n" pad Ast.pp_expr c);
+      List.iter (emit_stmt buf (indent + 2)) b;
+      Buffer.add_string buf (pad ^ "}\n")
+  | s -> Buffer.add_string buf (Fmt.str "%s%a\n" pad Ast.pp_stmt s)
+
+let emit ~with_name buf (p : Ast.program) =
+  if with_name then Buffer.add_string buf (Fmt.str "name %s\n" p.name);
+  Buffer.add_string buf
+    (Fmt.str "locs %a\n" Fmt.(list ~sep:(any " ") string) p.locs);
+  List.iteri
+    (fun i thread ->
+      Buffer.add_string buf (Fmt.str "\nthread %d:\n" i);
+      List.iter (emit_stmt buf 2) thread)
+    p.threads
+
+let to_string p =
+  let buf = Buffer.create 256 in
+  emit ~with_name:true buf (normalize p);
+  Buffer.contents buf
+
+let structural p =
+  let buf = Buffer.create 256 in
+  emit ~with_name:false buf (normalize p);
+  Buffer.contents buf
+
+let digest p = Digest.to_hex (Digest.string (structural p))

@@ -1,0 +1,29 @@
+(** Canonical program form: the serialization the verdict cache hashes.
+
+    Two programs that are structurally equal — same threads, same
+    statements, same declared locations up to order and duplication —
+    must produce byte-identical canonical text, so that reformatting a
+    litmus file (whitespace, comments, loc order) never causes a cache
+    miss.  The canonical text is itself valid litmus syntax, and
+    [parse (to_string p) = normalize p] (property-tested).
+
+    The digest deliberately excludes the program {e name}: a renamed
+    copy of a program asks the same semantic question and should share
+    a cache entry. *)
+
+val normalize : Ast.program -> Ast.program
+(** Sort and dedupe the location list, and rewrite negative integer
+    literals [Int n] (n < 0) to [Sub (Int 0, Int (-n))] — the form the
+    parser produces for unary minus — so the printed text re-parses to
+    the normalized AST exactly.  Idempotent. *)
+
+val to_string : Ast.program -> string
+(** Canonical litmus text of [normalize p], including the [name] line.
+    Fixed two-space indentation, one statement per line, no comments. *)
+
+val structural : Ast.program -> string
+(** [to_string] without the [name] line: the hashed representation. *)
+
+val digest : Ast.program -> string
+(** Hex MD5 of [structural p].  Equal for structurally equal programs
+    regardless of source formatting, loc order, or name. *)

@@ -112,14 +112,15 @@ type report = {
 
 let passed report = List.for_all (fun r -> r.ok) report.results
 
-let run ?config litmus =
+let run ?(config = Enumerate.default_config)
+    ?(enumerate = fun ~config m p -> Enumerate.run ~config m p) litmus =
   (* enumerate once per distinct model *)
   let cache : (string, Enumerate.result) Hashtbl.t = Hashtbl.create 4 in
   let result_for model =
     match Hashtbl.find_opt cache model.Model.name with
     | Some r -> r
     | None ->
-        let r = Enumerate.run ?config model litmus.program in
+        let r = enumerate ~config model litmus.program in
         Hashtbl.add cache model.Model.name r;
         r
   in

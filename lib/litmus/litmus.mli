@@ -68,7 +68,18 @@ type report = {
 
 val passed : report -> bool
 
-val run : ?config:Enumerate.config -> t -> report
-(** Run every check, enumerating once per distinct model. *)
+val run :
+  ?config:Enumerate.config ->
+  ?enumerate:(config:Enumerate.config -> Model.t -> Tmx_lang.Ast.program -> Enumerate.result) ->
+  t ->
+  report
+(** Run every check, enumerating once per distinct model.
+
+    [enumerate] (default [Enumerate.run]) is how each per-model
+    enumeration is obtained; [Tmx_service.Cache.memo_run] plugs in here
+    to serve enumerations from the verdict cache (`tmx litmus --cache`)
+    without this library depending on the service layer.  Any
+    replacement must be extensionally equal to [Enumerate.run] — the
+    report is trusted downstream. *)
 
 val pp_report : report Fmt.t

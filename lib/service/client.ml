@@ -1,0 +1,69 @@
+type conn = { fd : Unix.file_descr; mutable pending : string }
+
+let connect ?(wait_s = 0.) path =
+  let deadline = Unix.gettimeofday () +. wait_s in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; pending = "" }
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with _ -> ());
+        if Unix.gettimeofday () < deadline then (
+          Unix.sleepf 0.02;
+          go ())
+        else
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" path
+               (Unix.error_message e))
+  in
+  go ()
+
+let close c = try Unix.close c.fd with _ -> ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let written = Unix.write fd b off (n - off) in
+      go (off + written)
+  in
+  go 0
+
+let read_line c =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match String.index_opt c.pending '\n' with
+    | Some i ->
+        let line = String.sub c.pending 0 i in
+        c.pending <-
+          String.sub c.pending (i + 1) (String.length c.pending - i - 1);
+        Ok line
+    | None -> (
+        match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Unix.error_message e)
+        | 0 -> Error "server closed the connection"
+        | n ->
+            c.pending <- c.pending ^ Bytes.sub_string chunk 0 n;
+            go ())
+  in
+  go ()
+
+let roundtrip c req =
+  match write_all c.fd (Json.to_string req ^ "\n") with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | () -> (
+      match read_line c with
+      | Error e -> Error e
+      | Ok line -> (
+          match Json.of_string line with
+          | Ok j -> Ok j
+          | Error e -> Error (Printf.sprintf "bad response: %s" e)))
+
+let request ?wait_s ~socket req =
+  match connect ?wait_s socket with
+  | Error e -> Error e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> close c) (fun () -> roundtrip c req)

@@ -1,0 +1,18 @@
+(** The matching client for {!Server}: connect to the Unix socket, send
+    one JSON request per line, read one JSON response per line. *)
+
+type conn
+
+val connect : ?wait_s:float -> string -> (conn, string) result
+(** Connect to the socket path.  [wait_s] retries the connection for up
+    to that many seconds (the server may still be binding — cram tests
+    background [tmx serve] and race it). *)
+
+val close : conn -> unit
+
+val roundtrip : conn -> Json.t -> (Json.t, string) result
+(** Send one request, read its response line. *)
+
+val request :
+  ?wait_s:float -> socket:string -> Json.t -> (Json.t, string) result
+(** One-shot: connect, {!roundtrip}, close. *)

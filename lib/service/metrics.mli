@@ -1,0 +1,36 @@
+(** Server-side observability: per-verb request counters and latency
+    histograms, plus the live queue depth.
+
+    The histogram is the same shape as [Tmx_runtime.Stm.stats]'s
+    ([bounds] with an extra overflow bucket in [counts]; a value [v]
+    lands in the first bucket with [v <= bounds.(i)]), so the two
+    subsystems render and regress identically. *)
+
+type histogram = { bounds : int array; counts : int array }
+(** [counts] has [Array.length bounds + 1] entries; the last is the
+    overflow bucket. *)
+
+type t
+
+val verbs : string list
+(** The verbs tracked per-verb; anything else lands in ["other"]. *)
+
+val create : unit -> t
+val record : t -> verb:string -> ok:bool -> latency_ns:int -> unit
+val deadline_exceeded : t -> unit
+val incr_inflight : t -> unit
+val decr_inflight : t -> unit
+val inflight : t -> int
+
+type verb_stats = { requests : int; errors : int; latency_ns : histogram }
+
+type snapshot = {
+  per_verb : (string * verb_stats) list;  (** in {!verbs} order *)
+  total_requests : int;
+  total_errors : int;
+  deadlines_exceeded : int;
+  queue_depth : int;  (** requests in flight at snapshot time *)
+}
+
+val snapshot : t -> snapshot
+val snapshot_to_json : snapshot -> Json.t

@@ -1,0 +1,83 @@
+(* NDJSON request/response framing for tmx serve. *)
+
+type request = {
+  id : Json.t option;
+  verb : string;
+  name : string option;
+  program : string option;
+  model : string;
+  deadline_ms : int option;
+  subrequests : request list;
+}
+
+let rec request_of_json j =
+  match Json.mem "verb" j with
+  | None -> Error "request has no \"verb\""
+  | Some verb -> (
+      match Json.to_str verb with
+      | None -> Error "\"verb\" must be a string"
+      | Some verb -> (
+          let str_field k = Option.bind (Json.mem k j) Json.to_str in
+          let subrequests =
+            match Option.bind (Json.mem "requests" j) Json.to_list with
+            | None -> Ok []
+            | Some subs ->
+                List.fold_left
+                  (fun acc sub ->
+                    Result.bind acc (fun acc ->
+                        Result.map (fun r -> r :: acc) (request_of_json sub)))
+                  (Ok []) subs
+                |> Result.map List.rev
+          in
+          match subrequests with
+          | Error e -> Error e
+          | Ok subrequests ->
+              Ok
+                {
+                  id = Json.mem "id" j;
+                  verb;
+                  name = str_field "name";
+                  program = str_field "program";
+                  model = Option.value ~default:"pm" (str_field "model");
+                  deadline_ms =
+                    Option.bind (Json.mem "deadline_ms" j) Json.to_int;
+                  subrequests;
+                }))
+
+let of_line line =
+  match Json.of_string line with
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok j -> request_of_json j
+
+let rec to_json r =
+  let fields =
+    List.filter_map Fun.id
+      [
+        Option.map (fun id -> ("id", id)) r.id;
+        Some ("verb", Json.str r.verb);
+        Option.map (fun n -> ("name", Json.str n)) r.name;
+        Option.map (fun p -> ("program", Json.str p)) r.program;
+        (if r.model = "pm" then None else Some ("model", Json.str r.model));
+        Option.map (fun d -> ("deadline_ms", Json.int d)) r.deadline_ms;
+        (match r.subrequests with
+        | [] -> None
+        | subs -> Some ("requests", Json.Arr (List.map to_json subs)));
+      ]
+  in
+  Json.Obj fields
+
+let base ?id ~verb ok_ =
+  List.filter_map Fun.id
+    [
+      Some ("ok", Json.bool ok_);
+      Some ("verb", Json.str verb);
+      Option.map (fun id -> ("id", id)) id;
+    ]
+
+let ok ?id ~verb fields = Json.Obj (base ?id ~verb true @ fields)
+let error ?id ~verb msg = Json.Obj (base ?id ~verb false @ [ ("error", Json.str msg) ])
+
+let response_ok j =
+  match Option.bind (Json.mem "ok" j) Json.to_bool with
+  | Some b -> b
+  | None -> false

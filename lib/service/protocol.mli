@@ -1,0 +1,32 @@
+(** The wire protocol of [tmx serve]: one JSON object per line in each
+    direction (NDJSON).
+
+    Request fields: ["verb"] (required — ping, check, races, outcomes,
+    lint, batch, stats, shutdown); ["name"] (a catalog litmus name) or
+    ["program"] (litmus source text) for the program-taking verbs;
+    ["model"] (default ["pm"]); ["deadline_ms"]; ["id"] (any JSON
+    value, echoed verbatim in the response); and for batch,
+    ["requests"], an array of non-batch requests.
+
+    Responses always carry ["ok"] (bool), ["verb"], the echoed ["id"]
+    when one was given, and on failure ["error"]. *)
+
+type request = {
+  id : Json.t option;
+  verb : string;
+  name : string option;
+  program : string option;
+  model : string;
+  deadline_ms : int option;
+  subrequests : request list;  (** nonempty only for [batch] *)
+}
+
+val of_line : string -> (request, string) result
+
+val to_json : request -> Json.t
+(** The client-side encoder; [of_line (to_string (to_json r)) = Ok r]. *)
+
+val ok : ?id:Json.t -> verb:string -> (string * Json.t) list -> Json.t
+val error : ?id:Json.t -> verb:string -> string -> Json.t
+val response_ok : Json.t -> bool
+(** The ["ok"] field of a response (false when absent). *)

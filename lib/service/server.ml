@@ -1,0 +1,424 @@
+(* The tmx serve daemon.  N worker domains block in accept on one
+   listening socket; each owns its accepted connection and runs the
+   NDJSON request loop on it.  Reads carry a short timeout so workers
+   notice the stop flag even inside an idle connection; a client
+   vanishing mid-request (read EOF, or EPIPE on the response write)
+   tears down only that connection. *)
+
+open Tmx_core
+open Tmx_exec
+open Tmx_litmus
+
+type config = {
+  socket : string;
+  cache_dir : string;
+  cache_capacity : int;
+  workers : int;
+  jobs : int;
+  enum : Enumerate.config;
+  verbose : bool;
+}
+
+let default_config ~socket =
+  {
+    socket;
+    cache_dir = Cache.default_dir ();
+    cache_capacity = 128;
+    workers = 2;
+    jobs = 1;
+    enum = Enumerate.default_config;
+    verbose = false;
+  }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  cache : Cache.t;
+  metrics : Metrics.t;
+  stop_flag : bool Atomic.t;
+  mutable domains : unit Domain.t list;
+  stop_lock : Mutex.t;
+  mutable cleaned : bool;
+}
+
+let cache t = t.cache
+let stopping t = Atomic.get t.stop_flag
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let log t fmt =
+  if t.cfg.verbose then Fmt.epr ("tmx serve: " ^^ fmt ^^ "@.")
+  else Format.ifprintf Format.err_formatter ("tmx serve: " ^^ fmt ^^ "@.")
+
+(* -- request handling ------------------------------------------------------- *)
+
+let resolve_litmus (req : Protocol.request) =
+  match (req.name, req.program) with
+  | Some n, _ -> (
+      match Catalog.find n with
+      | Some l -> Ok l
+      | None -> Error (Printf.sprintf "unknown litmus test %S" n))
+  | None, Some src -> (
+      match Parse.parse src with
+      | l -> Ok l
+      | exception Parse.Error m -> Error m)
+  | None, None -> Error "request needs \"name\" or \"program\""
+
+let resolve_model (req : Protocol.request) =
+  match Model.by_name req.model with
+  | Some m -> Ok m
+  | None -> Error (Printf.sprintf "unknown model %S" req.model)
+
+(* inclusive, so a deadline_ms of 0 is expired at dispatch even when the
+   clock has not ticked since the deadline was computed *)
+let expired deadline =
+  match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
+
+let deadline_error t ?id ~verb () =
+  Metrics.deadline_exceeded t.metrics;
+  Protocol.error ?id ~verb "deadline exceeded"
+
+(* Both must resolve, then [f litmus model]. *)
+let with_target (req : Protocol.request) f =
+  match resolve_litmus req with
+  | Error e -> Protocol.error ?id:req.id ~verb:req.verb e
+  | Ok litmus -> (
+      match resolve_model req with
+      | Error e -> Protocol.error ?id:req.id ~verb:req.verb e
+      | Ok model -> f litmus model)
+
+let result_fields (r : Enumerate.result) =
+  [
+    ("truncated", Json.bool r.truncated);
+    ("capped", Json.bool r.capped);
+    ("graphs", Json.int r.graphs);
+  ]
+
+let handle_outcomes t (req : Protocol.request) =
+  with_target req (fun litmus model ->
+      let v, hit = Cache.memo t.cache ~config:t.cfg.enum model litmus.program in
+      let outcomes = Enumerate.outcomes v.result in
+      Protocol.ok ?id:req.id ~verb:req.verb
+        ([
+           ("cached", Json.bool (hit = `Hit));
+           ("count", Json.int (List.length outcomes));
+           ( "outcomes",
+             Json.Arr
+               (List.map (fun o -> Json.str (Fmt.str "%a" Outcome.pp o)) outcomes)
+           );
+         ]
+        @ result_fields v.result))
+
+let handle_races t (req : Protocol.request) =
+  with_target req (fun litmus model ->
+      let v, hit = Cache.memo t.cache ~config:t.cfg.enum model litmus.program in
+      let racy = Array.fold_left (fun n r -> if r <> [] then n + 1 else n) 0 v.races in
+      let mixed = Array.fold_left (fun n m -> if m then n + 1 else n) 0 v.mixed in
+      Protocol.ok ?id:req.id ~verb:req.verb
+        ([
+           ("cached", Json.bool (hit = `Hit));
+           ("executions", Json.int (List.length v.result.executions));
+           ("racy", Json.int racy);
+           ("mixed", Json.int mixed);
+         ]
+        @ result_fields v.result))
+
+let handle_lint t (req : Protocol.request) =
+  match resolve_litmus req with
+  | Error e -> Protocol.error ?id:req.id ~verb:req.verb e
+  | Ok litmus ->
+      let model =
+        match resolve_model req with Ok m -> m | Error _ -> Model.programmer
+      in
+      (* lint is model-independent; a cache entry under any model carries
+         it.  Hit or not, the full report is recomputed live — the lint
+         is linear-ish, the entry only pins the summary counters. *)
+      let cached_counts =
+        Option.map
+          (fun (v : Cache.verdict) ->
+            (v.lint_race_free, v.lint_findings, v.lint_mixed))
+          (Cache.find t.cache ~config:t.cfg.enum model litmus.program)
+      in
+      let report = Tmx_analysis.Lint.lint litmus.program in
+      let race_free, findings, mixed =
+        match cached_counts with
+        | Some c -> c
+        | None ->
+            ( Tmx_analysis.Lint.race_free report,
+              List.length report.findings,
+              Tmx_analysis.Lint.mixed_count report )
+      in
+      let report_json =
+        match Json.of_string (Tmx_analysis.Lint.to_json report) with
+        | Ok j -> j
+        | Error _ -> Json.Null
+      in
+      Protocol.ok ?id:req.id ~verb:req.verb
+        [
+          ("cached", Json.bool (cached_counts <> None));
+          ("race_free", Json.bool race_free);
+          ("findings", Json.int findings);
+          ("mixed", Json.int mixed);
+          ("report", report_json);
+        ]
+
+let handle_check t (req : Protocol.request) =
+  with_target req (fun litmus _model ->
+      let misses = ref 0 in
+      let enumerate ~config model p =
+        let v, hit = Cache.memo t.cache ~config model p in
+        if hit = `Miss then incr misses;
+        v.Cache.result
+      in
+      let report = Litmus.run ~config:t.cfg.enum ~enumerate litmus in
+      Protocol.ok ?id:req.id ~verb:req.verb
+        [
+          ("cached", Json.bool (!misses = 0));
+          ("passed", Json.bool (Litmus.passed report));
+          ( "results",
+            Json.Arr
+              (List.map
+                 (fun (r : Litmus.check_result) ->
+                   Json.Obj
+                     [
+                       ( "model",
+                         Json.str (Litmus.model_of_check r.check).Model.name );
+                       ("descr", Json.str (Litmus.descr_of_check r.check));
+                       ("ok", Json.bool r.ok);
+                       ("detail", Json.str r.detail);
+                     ])
+                 report.results) );
+          ("truncated", Json.bool report.truncated);
+          ("capped", Json.bool report.capped);
+          ( "static",
+            Json.str (Fmt.str "%a" Tmx_analysis.Lint.pp_verdict report.lint) );
+        ])
+
+let handle_stats t (req : Protocol.request) =
+  let c = Cache.stats t.cache in
+  let snap = Metrics.snapshot t.metrics in
+  Protocol.ok ?id:req.id ~verb:req.verb
+    [
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.int c.hits);
+            ("misses", Json.int c.misses);
+            ("stores", Json.int c.stores);
+            ("evictions", Json.int c.evictions);
+            ("load_failures", Json.int c.load_failures);
+            ("resident", Json.int (Cache.resident t.cache));
+          ] );
+      ("metrics", Metrics.snapshot_to_json snap);
+    ]
+
+let rec handle_single t ~deadline (req : Protocol.request) =
+  if expired deadline then deadline_error t ?id:req.id ~verb:req.verb ()
+  else
+    match req.verb with
+    | "ping" -> Protocol.ok ?id:req.id ~verb:"ping" []
+    | "outcomes" -> handle_outcomes t req
+    | "races" -> handle_races t req
+    | "lint" -> handle_lint t req
+    | "check" -> handle_check t req
+    | "stats" -> handle_stats t req
+    | "shutdown" ->
+        Atomic.set t.stop_flag true;
+        Protocol.ok ?id:req.id ~verb:"shutdown" []
+    | "batch" -> handle_batch t ~deadline req
+    | v -> Protocol.error ?id:req.id ~verb:v (Printf.sprintf "unknown verb %S" v)
+
+and handle_batch t ~deadline (req : Protocol.request) =
+  let subs = Array.of_list req.subrequests in
+  (* fan across the domain pool; the deadline is re-checked at each
+     sub-request boundary, so an expired batch drains cheaply — already
+     running enumerations complete (and populate the cache) *)
+  let responses =
+    Pool.run_tasks ~jobs:t.cfg.jobs ~tasks:(Array.length subs) (fun i ->
+        let sub = subs.(i) in
+        let deadline =
+          match (deadline, sub.deadline_ms) with
+          | d, None -> d
+          | None, Some ms -> Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+          | Some d, Some ms ->
+              Some (Float.min d (Unix.gettimeofday () +. (float_of_int ms /. 1000.)))
+        in
+        if sub.verb = "batch" then
+          Protocol.error ?id:sub.id ~verb:"batch" "batch requests cannot nest"
+        else
+          try handle_single t ~deadline sub
+          with e ->
+            Protocol.error ?id:sub.id ~verb:sub.verb (Printexc.to_string e))
+  in
+  let cached =
+    Array.fold_left
+      (fun n r ->
+        match Option.bind (Json.mem "cached" r) Json.to_bool with
+        | Some true -> n + 1
+        | _ -> n)
+      0 responses
+  in
+  let ok_count =
+    Array.fold_left (fun n r -> if Protocol.response_ok r then n + 1 else n) 0 responses
+  in
+  Protocol.ok ?id:req.id ~verb:"batch"
+    [
+      ("count", Json.int (Array.length responses));
+      ("ok_count", Json.int ok_count);
+      ("cached", Json.int cached);
+      ("responses", Json.Arr (Array.to_list responses));
+    ]
+
+let serve_line t line =
+  Metrics.incr_inflight t.metrics;
+  let t0 = now_ns () in
+  let verb, resp =
+    match Protocol.of_line line with
+    | Error e -> ("other", Protocol.error ~verb:"error" e)
+    | Ok req ->
+        let deadline =
+          Option.map
+            (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+            req.deadline_ms
+        in
+        (req.verb, (try handle_single t ~deadline req
+                    with e -> Protocol.error ?id:req.id ~verb:req.verb
+                                (Printexc.to_string e)))
+  in
+  Metrics.record t.metrics ~verb ~ok:(Protocol.response_ok resp)
+    ~latency_ns:(now_ns () - t0);
+  Metrics.decr_inflight t.metrics;
+  resp
+
+(* -- connection loop -------------------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let written = Unix.write fd b off (n - off) in
+      go (off + written)
+  in
+  go 0
+
+let handle_conn t fd =
+  (* short read timeout so an idle connection notices the stop flag *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25 with _ -> ());
+  let pending = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let take_line () =
+    let s = Buffer.contents pending in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+        Buffer.clear pending;
+        Buffer.add_string pending
+          (String.sub s (i + 1) (String.length s - i - 1));
+        Some (String.sub s 0 i)
+  in
+  let rec read_line () =
+    match take_line () with
+    | Some line -> Some line
+    | None ->
+        if Atomic.get t.stop_flag then None
+        else (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            ->
+              read_line ()
+          | exception Unix.Unix_error (_, _, _) -> None
+          | 0 -> None (* EOF; a partial pending line is a dropped request *)
+          | n ->
+              Buffer.add_subbytes pending chunk 0 n;
+              read_line ())
+  in
+  let rec loop () =
+    match read_line () with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+        let resp = serve_line t line in
+        (* the client may be gone by now (disconnect mid-request): the
+           write fails with EPIPE (SIGPIPE is ignored) and only this
+           connection dies *)
+        write_all fd (Json.to_string resp ^ "\n");
+        if Atomic.get t.stop_flag then () else loop ()
+  in
+  (try loop () with Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close fd with _ -> ()
+
+let worker_loop t =
+  let rec go () =
+    if Atomic.get t.stop_flag then ()
+    else
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
+          go ()
+      | exception Unix.Unix_error _ -> () (* listener closed: stopping *)
+      | fd, _ ->
+          if Atomic.get t.stop_flag then (try Unix.close fd with _ -> ())
+          else (
+            log t "connection accepted";
+            handle_conn t fd;
+            go ())
+  in
+  go ()
+
+(* -- lifecycle -------------------------------------------------------------- *)
+
+let start cfg =
+  (* a dying client must cost us an EPIPE, not a process kill *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  if Sys.file_exists cfg.socket then (try Unix.unlink cfg.socket with _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with _ -> ());
+     raise e);
+  let t =
+    {
+      cfg;
+      listen_fd;
+      cache =
+        Cache.create ~capacity:cfg.cache_capacity ~dir:cfg.cache_dir ();
+      metrics = Metrics.create ();
+      stop_flag = Atomic.make false;
+      domains = [];
+      stop_lock = Mutex.create ();
+      cleaned = false;
+    }
+  in
+  t.domains <-
+    List.init (max 1 cfg.workers) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  log t "listening on %s (%d workers)" cfg.socket (List.length t.domains);
+  t
+
+let stop t =
+  Mutex.lock t.stop_lock;
+  let first = not t.cleaned in
+  t.cleaned <- true;
+  Mutex.unlock t.stop_lock;
+  if first then (
+    Atomic.set t.stop_flag true;
+    (* one dummy connection per worker wakes any accept still blocked *)
+    List.iter
+      (fun _ ->
+        try
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket) with _ -> ());
+          Unix.close fd
+        with _ -> ())
+      t.domains;
+    List.iter Domain.join t.domains;
+    (try Unix.close t.listen_fd with _ -> ());
+    (try Unix.unlink t.cfg.socket with _ -> ());
+    log t "stopped")
+
+let wait t =
+  while not (Atomic.get t.stop_flag) do
+    Unix.sleepf 0.05
+  done;
+  stop t

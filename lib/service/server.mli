@@ -1,0 +1,52 @@
+(** The [tmx serve] daemon: a multi-domain NDJSON query service over a
+    Unix socket, backed by the verdict {!Cache}.
+
+    [workers] domains block in [accept] on one listening socket; each
+    owns its connection for the connection's lifetime, so up to
+    [workers] clients are served concurrently (further connects queue
+    in the kernel backlog).  All workers share one {!Cache.t} and one
+    {!Metrics.t}.
+
+    Per-request deadlines are cooperative: the deadline is checked
+    before enumeration starts and, for [batch], between sub-requests —
+    an in-flight enumeration is never killed mid-way (its store is
+    still useful and the cache must never hold torn entries), so
+    cancellation is graceful by construction.  A missed deadline
+    produces an ["deadline exceeded"] error response, not a dropped
+    connection.
+
+    A client disconnecting mid-request only tears down that connection:
+    the write failure (SIGPIPE is ignored; [EPIPE] is caught) is
+    contained and the worker returns to [accept]. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path (note the ~100-char OS limit) *)
+  cache_dir : string;
+  cache_capacity : int;  (** LRU front bound *)
+  workers : int;  (** accept-loop domains *)
+  jobs : int;  (** [Tmx_exec.Pool] width for [batch] fan-out *)
+  enum : Tmx_exec.Enumerate.config;  (** enumeration config for every request *)
+  verbose : bool;  (** log requests to stderr *)
+}
+
+val default_config : socket:string -> config
+(** workers 2, jobs 1, cache dir {!Cache.default_dir}, capacity 128. *)
+
+type t
+
+val start : config -> t
+(** Binds, listens, spawns the workers, returns immediately.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
+val cache : t -> Cache.t
+
+val stopping : t -> bool
+(** Has a [shutdown] request (or {!stop}) been seen? *)
+
+val stop : t -> unit
+(** Idempotent: signal the workers, wake any blocked [accept], join the
+    worker domains, close and unlink the socket. *)
+
+val wait : t -> unit
+(** Block until the server stops (a [shutdown] request arrives), then
+    clean up as {!stop}. *)

@@ -53,6 +53,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("analysis_oracle", Test_analysis.oracle_suite);
       ("fuzz", Test_fuzz.suite);
+      ("service", Test_service.suite);
     ]
   in
   let suites =

@@ -1,0 +1,43 @@
+The tmx serve daemon answers NDJSON queries over a Unix socket out of
+the content-addressed verdict cache.  The socket lives under /tmp: the
+sandbox working directory is too deep for the ~100-byte OS limit on
+Unix socket paths.
+
+  $ SOCK=/tmp/tmx-serve-$$.sock
+  $ DIR=/tmp/tmx-serve-$$.cache
+  $ ../bin/tmx.exe serve --socket "$SOCK" --cache-dir "$DIR" --workers 2 --jobs 2 &
+  $ ../bin/tmx.exe client --socket "$SOCK" --wait 10 ping
+  pong
+
+The first batch over the whole catalog populates the cache; the second
+pass is answered entirely from it:
+
+  $ ../bin/tmx.exe client --socket "$SOCK" batch --all
+  batch: 33 requests, 33 ok, 0 cached
+  $ ../bin/tmx.exe client --socket "$SOCK" batch --all
+  batch: 33 requests, 33 ok, 33 cached
+
+Individual verbs reuse the same entries:
+
+  $ ../bin/tmx.exe client --socket "$SOCK" races sb
+  sb: 4 executions, 4 racy, 0 mixed (cached)
+
+  $ ../bin/tmx.exe client --socket "$SOCK" lint privatization
+  privatization: race_free false, 1 findings, 1 mixed
+
+`tmx check --remote` ships a litmus file to the daemon instead of
+enumerating locally; the cache digest ignores the program name, so the
+user's copy shares the catalog program's entries:
+
+  $ ../bin/tmx.exe check --remote "$SOCK" ../litmus/privatization.litmus | tail -1
+  ../litmus/privatization.litmus: pass (cached)
+
+A shutdown request stops the daemon, which removes its socket on the
+way out:
+
+  $ ../bin/tmx.exe client --socket "$SOCK" shutdown
+  shutdown: ok
+  $ wait
+  $ test -e "$SOCK" || echo socket-gone
+  socket-gone
+  $ rm -rf "$DIR"

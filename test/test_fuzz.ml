@@ -79,7 +79,7 @@ let test_minimized_still_fails () =
      shrinking is 1-minimal, not globally minimal — a dead-branch mixed
      access can survive at a handful of statements — so the bound is the
      demo's acceptance bound (6), not the global 2-statement floor. *)
-  let ctx = { Oracle.jobs = 2; seed = 0 } in
+  let ctx = Oracle.make_ctx ~jobs:2 ~seed:0 () in
   let fails p = match Oracle.broken.check ctx p with Oracle.Fail _ -> true | Oracle.Pass -> false in
   let checked = ref 0 in
   List.iter

@@ -1,0 +1,479 @@
+(* The service layer: canonical serialization, the content-addressed
+   verdict cache, and the serve/client daemon. *)
+
+open Tmx_core
+open Tmx_exec
+open Tmx_lang
+open Tmx_service
+
+let config = Enumerate.default_config
+
+let temp_dir tag =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "tmx-test-%s-%d" tag (Unix.getpid ()))
+  in
+  ignore (Cache.clear ~dir:d);
+  d
+
+(* -- canonical form ----------------------------------------------------------- *)
+
+(* parse (to_string p) = normalize p, and the digest survives the trip *)
+let check_canon_roundtrip what (p : Ast.program) =
+  let text = Canon.to_string p in
+  match Tmx_litmus.Parse.parse text with
+  | exception Tmx_litmus.Parse.Error msg ->
+      Alcotest.failf "%s: canonical text does not parse: %s@.%s" what msg text
+  | parsed ->
+      let q = parsed.Tmx_litmus.Litmus.program in
+      if q <> Canon.normalize p then
+        Alcotest.failf "%s: parse (to_string p) <> normalize p@.%s" what text;
+      Alcotest.(check string)
+        (Fmt.str "%s: digest stable across the trip" what)
+        (Canon.digest p) (Canon.digest q)
+
+let test_canon_catalog () =
+  List.iter
+    (fun (l : Tmx_litmus.Litmus.t) -> check_canon_roundtrip l.name l.program)
+    Tmx_litmus.Catalog.all
+
+let test_canon_generated () =
+  for i = 0 to 199 do
+    let st = Tmx_fuzz.Gen.state_of_seed ~seed:42 ~index:i in
+    let p = Tmx_fuzz.Gen.program ~name:"g" Tmx_fuzz.Gen.mixed st in
+    check_canon_roundtrip (Fmt.str "generated %d" i) p
+  done
+
+let test_canon_negative_literal () =
+  let open Ast in
+  let p =
+    program ~name:"neg" ~locs:[ "x" ]
+      [ [ store (loc "x") (int (-3)) ]; [ load "r" (loc "x") ] ]
+  in
+  check_canon_roundtrip "negative literal" p;
+  Alcotest.(check string)
+    "normalization is idempotent"
+    (Canon.to_string p)
+    (Canon.to_string (Canon.normalize p))
+
+(* renaming, loc reordering/duplication, and reformatting don't move the
+   digest; changing the program does *)
+let test_digest_invariance () =
+  let l = Option.get (Tmx_litmus.Catalog.find "privatization") in
+  let p = l.program in
+  let d = Canon.digest p in
+  Alcotest.(check string) "rename" d (Canon.digest { p with Ast.name = "other" });
+  Alcotest.(check string) "loc order and dups" d
+    (Canon.digest { p with Ast.locs = List.rev p.locs @ p.locs });
+  let reparsed =
+    (Tmx_litmus.Parse.parse (Tmx_litmus.Export.program_to_string p))
+      .Tmx_litmus.Litmus.program
+  in
+  Alcotest.(check string) "reformatting via export" d (Canon.digest reparsed);
+  let changed = { p with Ast.threads = List.tl p.Ast.threads } in
+  if Canon.digest changed = d then
+    Alcotest.fail "dropping a thread must change the digest"
+
+(* -- json / protocol ---------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Arr [ Json.int 1; Json.Num 2.5; Json.Null; Json.Bool false ]);
+        ("s", Json.str "quote \" back \\ newline \n tab \t");
+        ("nested", Json.Obj [ ("k", Json.str "v") ]);
+        ("neg", Json.int (-7));
+      ]
+  in
+  (match Json.of_string (Json.to_string j) with
+  | Ok j' -> if j' <> j then Alcotest.fail "json round trip changed the value"
+  | Error e -> Alcotest.failf "json round trip does not parse: %s" e);
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted malformed JSON %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_protocol_roundtrip () =
+  let sub =
+    {
+      Protocol.id = Some (Json.int 7);
+      verb = "races";
+      name = Some "sb";
+      program = None;
+      model = "im";
+      deadline_ms = Some 250;
+      subrequests = [];
+    }
+  in
+  let r =
+    {
+      Protocol.id = Some (Json.str "batch-1");
+      verb = "batch";
+      name = None;
+      program = None;
+      model = "pm";
+      deadline_ms = None;
+      subrequests = [ sub; { sub with id = None; model = "pm" } ];
+    }
+  in
+  match Protocol.of_line (Json.to_string (Protocol.to_json r)) with
+  | Ok r' -> if r' <> r then Alcotest.fail "protocol round trip changed the request"
+  | Error e -> Alcotest.failf "protocol round trip failed: %s" e
+
+(* -- cache -------------------------------------------------------------------- *)
+
+let program_of name = (Option.get (Tmx_litmus.Catalog.find name)).program
+
+let check_verdict_equal what (a : Cache.verdict) (b : Cache.verdict) =
+  let oa = Enumerate.outcomes a.result and ob = Enumerate.outcomes b.result in
+  if
+    not
+      (List.length oa = List.length ob && List.for_all2 Outcome.equal oa ob)
+  then Alcotest.failf "%s: outcome sets differ" what;
+  Alcotest.(check int) (what ^ ": graphs") a.result.graphs b.result.graphs;
+  Alcotest.(check bool) (what ^ ": capped") a.result.capped b.result.capped;
+  Alcotest.(check bool)
+    (what ^ ": truncated") a.result.truncated b.result.truncated;
+  if a.races <> b.races then Alcotest.failf "%s: race sets differ" what;
+  if a.mixed <> b.mixed then Alcotest.failf "%s: mixed flags differ" what;
+  Alcotest.(check bool)
+    (what ^ ": lint race_free") a.lint_race_free b.lint_race_free;
+  Alcotest.(check int) (what ^ ": lint findings") a.lint_findings b.lint_findings;
+  Alcotest.(check int) (what ^ ": lint mixed") a.lint_mixed b.lint_mixed
+
+let test_cache_roundtrip () =
+  let dir = temp_dir "roundtrip" in
+  let c = Cache.create ~dir () in
+  let p = program_of "privatization" in
+  let v, h1 = Cache.memo c ~config Model.programmer p in
+  Alcotest.(check bool) "first memo misses" true (h1 = `Miss);
+  let v2, h2 = Cache.memo c ~config Model.programmer p in
+  Alcotest.(check bool) "second memo hits" true (h2 = `Hit);
+  check_verdict_equal "front hit" v v2;
+  (* a fresh front over the same directory must reconstruct the verdict
+     from disk, exactly *)
+  let c' = Cache.create ~dir () in
+  (match Cache.find c' ~config Model.programmer p with
+  | None -> Alcotest.fail "fresh cache misses a stored entry"
+  | Some v3 -> check_verdict_equal "disk reload" v v3);
+  Alcotest.(check int) "one disk hit" 1 (Cache.stats c').hits;
+  (* different model, different entry *)
+  (match Cache.find c' ~config Model.implementation p with
+  | Some _ -> Alcotest.fail "model must be part of the key"
+  | None -> ());
+  ignore (Cache.clear ~dir)
+
+let test_cache_version_mismatch () =
+  let dir = temp_dir "version" in
+  let c1 = Cache.create ~version:"test-v1" ~dir () in
+  let p = program_of "sb" in
+  ignore (Cache.memo c1 ~config Model.programmer p);
+  let c2 = Cache.create ~version:"test-v2" ~dir () in
+  (match Cache.find c2 ~config Model.programmer p with
+  | Some _ -> Alcotest.fail "an entry of another format version must miss"
+  | None -> ());
+  let ds = Cache.disk_stats ~version:"test-v2" ~dir () in
+  Alcotest.(check int) "one stale entry" 1 ds.stale;
+  Alcotest.(check int) "no current entries" 0 ds.current;
+  Alcotest.(check int) "gc reclaims it" 1 (Cache.gc ~version:"test-v2" ~dir ());
+  Alcotest.(check int) "disk empty after gc" 0 (Cache.disk_stats ~dir ()).entries;
+  ignore (Cache.clear ~dir)
+
+let test_cache_corruption () =
+  let dir = temp_dir "corrupt" in
+  let c = Cache.create ~dir () in
+  let p = program_of "publication" in
+  let v, _ = Cache.memo c ~config Model.programmer p in
+  let key = Cache.key c ~config Model.programmer p in
+  let path = Cache.entry_path c key in
+  Alcotest.(check bool) "entry file exists" true (Sys.file_exists path);
+  let corrupt garbage =
+    let oc = open_out path in
+    output_string oc garbage;
+    close_out oc
+  in
+  List.iter
+    (fun garbage ->
+      corrupt garbage;
+      let c' = Cache.create ~dir () in
+      (match Cache.find c' ~config Model.programmer p with
+      | Some _ -> Alcotest.failf "corrupt entry %S served as a hit" garbage
+      | None -> ());
+      Alcotest.(check int)
+        (Fmt.str "corrupt entry %S counted" garbage)
+        1 (Cache.stats c').load_failures;
+      (* memo must recover: recompute, re-store, and the verdict matches *)
+      let v', h = Cache.memo c' ~config Model.programmer p in
+      Alcotest.(check bool) "recovery is a miss" true (h = `Miss);
+      check_verdict_equal "recovered verdict" v v')
+    [ "{ not json"; "[]"; "{\"format\":\"tmx-cache-1\"}"; "" ];
+  ignore (Cache.clear ~dir)
+
+let test_cache_lru_bound () =
+  let dir = temp_dir "lru" in
+  let c = Cache.create ~capacity:4 ~dir () in
+  let programs =
+    List.filteri (fun i _ -> i < 10) Tmx_litmus.Catalog.all
+    |> List.map (fun (l : Tmx_litmus.Litmus.t) -> l.program)
+  in
+  List.iter (fun p -> ignore (Cache.memo c ~config Model.programmer p)) programs;
+  Alcotest.(check bool)
+    (Fmt.str "resident %d <= capacity 4" (Cache.resident c))
+    true
+    (Cache.resident c <= 4);
+  Alcotest.(check int) "evictions" 6 (Cache.stats c).evictions;
+  (* evicted entries are still on disk and hit from there *)
+  List.iter
+    (fun p ->
+      match Cache.find c ~config Model.programmer p with
+      | None -> Alcotest.fail "evicted entry lost from disk"
+      | Some _ -> ())
+    programs;
+  Alcotest.(check bool) "still bounded" true (Cache.resident c <= 4);
+  ignore (Cache.clear ~dir)
+
+let test_cache_concurrent () =
+  let dir = temp_dir "concurrent" in
+  let c = Cache.create ~capacity:8 ~dir () in
+  let programs =
+    List.filteri (fun i _ -> i < 8) Tmx_litmus.Catalog.all
+    |> List.map (fun (l : Tmx_litmus.Litmus.t) -> l.program)
+    |> Array.of_list
+  in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for round = 0 to 2 do
+              Array.iteri
+                (fun i p ->
+                  ignore (d, round, i);
+                  let v, _ = Cache.memo c ~config Model.programmer p in
+                  ignore v)
+                programs
+            done))
+  in
+  List.iter Domain.join domains;
+  (* every program is cached, and every cached verdict matches a direct
+     computation *)
+  Array.iter
+    (fun p ->
+      match Cache.find c ~config Model.programmer p with
+      | None -> Alcotest.fail "entry missing after concurrent memo"
+      | Some v ->
+          check_verdict_equal "concurrent verdict"
+            (Cache.compute ~config Model.programmer p)
+            v)
+    programs;
+  let s = Cache.stats c in
+  Alcotest.(check bool)
+    (Fmt.str "misses %d bounded by writers x programs" s.misses)
+    true
+    (s.misses >= 8 && s.misses <= 4 * 8);
+  ignore (Cache.clear ~dir)
+
+(* the acceptance pin: catalog reports rendered via the cache — cold and
+   from a fresh cache over a populated store — are byte-identical to the
+   uncached ones *)
+let test_cached_reports_identical () =
+  let dir = temp_dir "identical" in
+  let render enumerate (l : Tmx_litmus.Litmus.t) =
+    Fmt.str "%a" Tmx_litmus.Litmus.pp_report
+      (Tmx_litmus.Litmus.run ~config ~enumerate l)
+  in
+  let direct = fun ~config m p -> Enumerate.run ~config m p in
+  let cold_cache = Cache.create ~dir () in
+  let cold = fun ~config m p -> Cache.memo_run cold_cache ~config m p in
+  let warm_cache = Cache.create ~dir () in
+  let warm = fun ~config m p -> Cache.memo_run warm_cache ~config m p in
+  List.iter
+    (fun (l : Tmx_litmus.Litmus.t) ->
+      let a = render direct l and b = render cold l in
+      Alcotest.(check string) (l.name ^ ": cold = direct") a b)
+    Tmx_litmus.Catalog.all;
+  List.iter
+    (fun (l : Tmx_litmus.Litmus.t) ->
+      let a = render direct l and b = render warm l in
+      Alcotest.(check string) (l.name ^ ": warm = direct") a b)
+    Tmx_litmus.Catalog.all;
+  Alcotest.(check int) "warm pass never misses" 0 (Cache.stats warm_cache).misses;
+  Alcotest.(check bool)
+    "warm pass only hits" true
+    ((Cache.stats warm_cache).hits > 0);
+  ignore (Cache.clear ~dir)
+
+(* -- the serve daemon --------------------------------------------------------- *)
+
+let socket_path () = Fmt.str "/tmp/tmx-test-%d.sock" (Unix.getpid ())
+
+let req ?deadline_ms ?(model = "pm") ?name ?program ?(subrequests = []) verb =
+  { Protocol.id = None; verb; name; program; model; deadline_ms; subrequests }
+
+let send socket r =
+  match Client.request ~wait_s:5. ~socket (Protocol.to_json r) with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "request %s failed: %s" r.Protocol.verb e
+
+let field conv k resp = Option.bind (Json.mem k resp) conv
+
+let test_server_end_to_end () =
+  let dir = temp_dir "server" in
+  let socket = socket_path () in
+  let cfg =
+    {
+      (Server.default_config ~socket) with
+      cache_dir = dir;
+      cache_capacity = 1;  (* tiny front: force disk reloads and evictions *)
+      workers = 2;
+      jobs = 2;
+    }
+  in
+  let t = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      ignore (Cache.clear ~dir))
+    (fun () ->
+      (* ping *)
+      let resp = send socket (req "ping") in
+      Alcotest.(check bool) "ping ok" true (Protocol.response_ok resp);
+      (* races: miss then hit *)
+      let r1 = send socket (req ~name:"sb" "races") in
+      Alcotest.(check bool) "races ok" true (Protocol.response_ok r1);
+      Alcotest.(check (option bool))
+        "first races uncached" (Some false)
+        (field Json.to_bool "cached" r1);
+      let r2 = send socket (req ~name:"sb" "races") in
+      Alcotest.(check (option bool))
+        "second races cached" (Some true)
+        (field Json.to_bool "cached" r2);
+      Alcotest.(check (option int))
+        "racy executions stable"
+        (field Json.to_int "racy" r1)
+        (field Json.to_int "racy" r2);
+      (* a litmus source in "program" works and shares the entry of its
+         catalog twin (the digest ignores the name) *)
+      let src =
+        Tmx_litmus.Export.program_to_string (program_of "sb")
+      in
+      let r3 = send socket (req ~program:src "races") in
+      Alcotest.(check (option bool))
+        "program text hits the catalog entry" (Some true)
+        (field Json.to_bool "cached" r3);
+      (* unknown name and unknown verb are errors, not disconnects *)
+      let bad = send socket (req ~name:"no-such-test" "outcomes") in
+      Alcotest.(check bool) "unknown name rejected" false (Protocol.response_ok bad);
+      let bad2 = send socket (req ~name:"sb" "frobnicate") in
+      Alcotest.(check bool) "unknown verb rejected" false (Protocol.response_ok bad2);
+      (* deadline_ms = 0: already expired at dispatch *)
+      let d = send socket (req ~deadline_ms:0 ~name:"iriw_z" "outcomes") in
+      Alcotest.(check bool) "expired deadline rejected" false (Protocol.response_ok d);
+      Alcotest.(check (option string))
+        "deadline error text" (Some "deadline exceeded")
+        (field Json.to_str "error" d);
+      (* disconnect mid-request: a partial line, then a full request the
+         client never reads the answer of; both leave the server alive *)
+      let abandon payload =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        ignore (Unix.write_substring fd payload 0 (String.length payload));
+        Unix.close fd
+      in
+      abandon "{\"verb\":\"ra";
+      abandon "{\"verb\":\"races\",\"name\":\"publication\"}\n";
+      let resp = send socket (req "ping") in
+      Alcotest.(check bool)
+        "server survives client disconnects" true
+        (Protocol.response_ok resp);
+      (* corrupt the stored sb entry on disk.  The abandoned publication
+         request above evicts sb from the capacity-1 front only once a
+         worker gets to it; evict synchronously with an unrelated request
+         so the next sb query deterministically takes the corruption
+         path — and still answers correctly *)
+      let evict = send socket (req ~name:"lb" "races") in
+      Alcotest.(check bool) "evictor ok" true (Protocol.response_ok evict);
+      let key =
+        Cache.key (Server.cache t) ~config:cfg.enum Model.programmer
+          (program_of "sb")
+      in
+      let oc = open_out (Cache.entry_path (Server.cache t) key) in
+      output_string oc "{ torn entry";
+      close_out oc;
+      let r4 = send socket (req ~name:"sb" "races") in
+      Alcotest.(check bool)
+        "server survives a corrupted entry" true
+        (Protocol.response_ok r4);
+      Alcotest.(check (option int))
+        "recomputed verdict matches"
+        (field Json.to_int "racy" r1)
+        (field Json.to_int "racy" r4);
+      (* batch, twice: the second is served from the cache *)
+      let names = [ "privatization"; "publication"; "lb" ] in
+      let batch =
+        req "batch"
+          ~subrequests:(List.map (fun n -> req ~name:n "check") names)
+      in
+      let b1 = send socket batch in
+      Alcotest.(check (option int))
+        "batch count" (Some 3) (field Json.to_int "count" b1);
+      Alcotest.(check (option int))
+        "batch all ok" (Some 3)
+        (field Json.to_int "ok_count" b1);
+      let b2 = send socket batch in
+      Alcotest.(check (option int))
+        "second batch fully cached" (Some 3)
+        (field Json.to_int "cached" b2);
+      (* stats *)
+      let s = send socket (req "stats") in
+      let cache_stats = Option.get (Json.mem "cache" s) in
+      let hits = Option.get (field Json.to_int "hits" cache_stats) in
+      let load_failures =
+        Option.get (field Json.to_int "load_failures" cache_stats)
+      in
+      Alcotest.(check bool) (Fmt.str "hits %d > 0" hits) true (hits > 0);
+      Alcotest.(check bool)
+        (Fmt.str "load failure %d counted" load_failures)
+        true (load_failures >= 1);
+      let metrics = Option.get (Json.mem "metrics" s) in
+      Alcotest.(check bool)
+        "requests counted" true
+        (Option.get (field Json.to_int "requests" metrics) >= 10);
+      Alcotest.(check (option int))
+        "deadline metric" (Some 1)
+        (field Json.to_int "deadlines_exceeded" metrics));
+  (* stop is idempotent and removes the socket *)
+  Server.stop t;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket)
+
+let test_server_shutdown_verb () =
+  let dir = temp_dir "shutdown" in
+  let socket = socket_path () ^ "2" in
+  let cfg = { (Server.default_config ~socket) with cache_dir = dir } in
+  let t = Server.start cfg in
+  let resp = send socket (req "shutdown") in
+  Alcotest.(check bool) "shutdown acknowledged" true (Protocol.response_ok resp);
+  Server.wait t;
+  Alcotest.(check bool) "stopping" true (Server.stopping t);
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket);
+  ignore (Cache.clear ~dir)
+
+let suite =
+  [
+    Alcotest.test_case "canon catalog round trip" `Quick test_canon_catalog;
+    Alcotest.test_case "canon generated round trip" `Quick test_canon_generated;
+    Alcotest.test_case "canon negative literals" `Quick test_canon_negative_literal;
+    Alcotest.test_case "digest invariance" `Quick test_digest_invariance;
+    Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "protocol round trip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "cache store/find round trip" `Quick test_cache_roundtrip;
+    Alcotest.test_case "cache version mismatch" `Quick test_cache_version_mismatch;
+    Alcotest.test_case "cache corruption recovery" `Quick test_cache_corruption;
+    Alcotest.test_case "cache LRU bound" `Quick test_cache_lru_bound;
+    Alcotest.test_case "cache concurrent memo" `Quick test_cache_concurrent;
+    Alcotest.test_case "cached reports byte-identical" `Slow
+      test_cached_reports_identical;
+    Alcotest.test_case "server end to end" `Quick test_server_end_to_end;
+    Alcotest.test_case "server shutdown verb" `Quick test_server_shutdown_verb;
+  ]
