@@ -58,12 +58,38 @@ let jobs_arg =
     value & opt int 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Enumerate on $(docv) domains (0 = all cores).  Verdicts are \
-           bit-identical to -j 1; only the wall clock changes.")
+          "Enumerate on $(docv) domains (0 = all cores; never more than \
+           the machine has).  Verdicts are bit-identical to -j 1; only \
+           the wall clock changes.  The algorithmic speed lever is \
+           $(b,--reduction); the pool multiplies whatever is left.")
 
-let config_of_jobs jobs =
+let reduction_conv =
+  let parse s =
+    match Enumerate.reduction_of_string s with
+    | Some r -> Ok r
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown reduction %S (expected none, dpor or dpor+sym)" s))
+  in
+  Arg.conv (parse, fun ppf r -> Fmt.string ppf (Enumerate.reduction_name r))
+
+let reduction_arg =
+  Arg.(
+    value
+    & opt reduction_conv Enumerate.default_config.reduction
+    & info [ "reduction" ] ~docv:"R"
+        ~doc:
+          "Candidate-space reduction: $(b,dpor+sym) (default: dynamic \
+           partial-order reduction plus thread-symmetry quotienting), \
+           $(b,dpor) (prefix-tree pruning only), or $(b,none) (the \
+           exhaustive reference).  Verdicts and outcome sets are identical \
+           across all three; only the states explored and the wall clock \
+           change.")
+
+let config_of_jobs jobs reduction =
   let jobs = if jobs <= 0 then Tmx_exec.Pool.available_cores () else jobs in
-  { Enumerate.default_config with jobs }
+  { Enumerate.default_config with jobs; reduction }
 
 let list_flag =
   Arg.(value & flag & info [ "list" ] ~doc:"List available litmus tests.")
@@ -102,8 +128,8 @@ let litmus_cmd =
             "Run the whole catalog (also the default when no names are \
              given).")
   in
-  let run jobs list all use_cache cache_dir names =
-    let config = config_of_jobs jobs in
+  let run jobs reduction list all use_cache cache_dir names =
+    let config = config_of_jobs jobs reduction in
     if list then begin
       List.iter
         (fun (l : Tmx_litmus.Litmus.t) -> Fmt.pr "%-28s %s@." l.name l.section)
@@ -157,8 +183,8 @@ let litmus_cmd =
   let term =
     Term.(
       term_result'
-        (const run $ jobs_arg $ list_flag $ all_flag $ cache_flag
-       $ cache_dir_arg $ names_arg))
+        (const run $ jobs_arg $ reduction_arg $ list_flag $ all_flag
+       $ cache_flag $ cache_dir_arg $ names_arg))
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"Check the paper's examples against their verdicts.")
@@ -170,18 +196,25 @@ let one_name =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
 
 let outcomes_cmd =
-  let run jobs model name =
+  let run jobs reduction model name =
     Result.map
       (fun (l : Tmx_litmus.Litmus.t) ->
-        let r = Enumerate.run ~config:(config_of_jobs jobs) model l.program in
-        Fmt.pr "%a@.%d candidate graphs, %d consistent executions under %a@."
-          Tmx_lang.Ast.pp_program l.program r.graphs
+        let r =
+          Enumerate.run ~config:(config_of_jobs jobs reduction) model l.program
+        in
+        Fmt.pr
+          "%a@.%d candidate graphs (%d explored), %d consistent executions \
+           under %a@."
+          Tmx_lang.Ast.pp_program l.program r.graphs r.explored
           (List.length r.executions)
           Model.pp model;
         List.iter (fun o -> Fmt.pr "  %a@." Outcome.pp o) (Enumerate.outcomes r))
       (find_litmus name)
   in
-  let term = Term.(term_result' (const run $ jobs_arg $ model_arg $ one_name)) in
+  let term =
+    Term.(
+      term_result' (const run $ jobs_arg $ reduction_arg $ model_arg $ one_name))
+  in
   Cmd.v
     (Cmd.info "outcomes" ~doc:"Enumerate the consistent outcomes of a program.")
     term
@@ -189,10 +222,12 @@ let outcomes_cmd =
 (* -- races ------------------------------------------------------------------ *)
 
 let races_cmd =
-  let run jobs model name =
+  let run jobs reduction model name =
     Result.map
       (fun (l : Tmx_litmus.Litmus.t) ->
-        let r = Enumerate.run ~config:(config_of_jobs jobs) model l.program in
+        let r =
+          Enumerate.run ~config:(config_of_jobs jobs reduction) model l.program
+        in
         let racy = ref 0 in
         List.iter
           (fun (e : Enumerate.execution) ->
@@ -213,7 +248,10 @@ let races_cmd =
         if !racy > 0 then exit 1)
       (find_litmus name)
   in
-  let term = Term.(term_result' (const run $ jobs_arg $ model_arg $ one_name)) in
+  let term =
+    Term.(
+      term_result' (const run $ jobs_arg $ reduction_arg $ model_arg $ one_name))
+  in
   Cmd.v
     (Cmd.info "races"
        ~doc:
@@ -726,8 +764,8 @@ let fence_cmd =
     term
 
 let theorems_cmd =
-  let run jobs names =
-    let config = config_of_jobs jobs in
+  let run jobs reduction names =
+    let config = config_of_jobs jobs reduction in
     let tests =
       if names = [] then Ok Tmx_litmus.Catalog.all
       else
@@ -756,7 +794,9 @@ let theorems_cmd =
           tests)
       tests
   in
-  let term = Term.(term_result' (const run $ jobs_arg $ names_arg)) in
+  let term =
+    Term.(term_result' (const run $ jobs_arg $ reduction_arg $ names_arg))
+  in
   Cmd.v
     (Cmd.info "theorems"
        ~doc:"Empirically check SC-LTRF, Theorem 4.2 and Lemma 5.1 on programs.")
@@ -861,7 +901,7 @@ let check_cmd =
           if passed then Ok () else exit 1
         end)
   in
-  let run jobs remote file =
+  let run jobs reduction remote file =
     match remote with
     | Some socket -> check_remote ~socket file
     | None -> (
@@ -870,12 +910,17 @@ let check_cmd =
             Error (Fmt.str "%s: %s" file msg)
         | litmus ->
             let report =
-              Tmx_litmus.Litmus.run ~config:(config_of_jobs jobs) litmus
+              Tmx_litmus.Litmus.run
+                ~config:(config_of_jobs jobs reduction)
+                litmus
             in
             Fmt.pr "%a@." Tmx_litmus.Litmus.pp_report report;
             if Tmx_litmus.Litmus.passed report then Ok () else exit 1)
   in
-  let term = Term.(term_result' (const run $ jobs_arg $ remote_arg $ file_arg)) in
+  let term =
+    Term.(
+      term_result' (const run $ jobs_arg $ reduction_arg $ remote_arg $ file_arg))
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -984,7 +1029,7 @@ let serve_cmd =
   let verbose_flag =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log requests to stderr.")
   in
-  let run socket cache_dir capacity workers jobs verbose =
+  let run socket cache_dir capacity workers jobs reduction verbose =
     let jobs = if jobs <= 0 then Tmx_exec.Pool.available_cores () else jobs in
     let cfg =
       {
@@ -993,6 +1038,7 @@ let serve_cmd =
         cache_capacity = capacity;
         workers = max 1 workers;
         jobs;
+        enum = { Enumerate.default_config with reduction };
         verbose;
       }
     in
@@ -1012,7 +1058,7 @@ let serve_cmd =
     Term.(
       term_result'
         (const run $ socket_arg $ cache_dir_arg $ capacity_arg $ workers_arg
-       $ jobs_arg $ verbose_flag))
+       $ jobs_arg $ reduction_arg $ verbose_flag))
   in
   Cmd.v
     (Cmd.info "serve"

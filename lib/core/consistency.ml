@@ -43,27 +43,31 @@ let pp_report ppf r =
   if failures = [] then Fmt.string ppf "consistent"
   else Fmt.pf ppf "inconsistent: %a" Fmt.(list ~sep:comma string) failures
 
+(* Axioms over bare relations: no trace, no lifting context.  The
+   reduced enumerator judges candidate execution graphs before any
+   linearization exists, so it hands the lifted relations over
+   directly. *)
+let check_axioms_rels (model : Model.t) ~hb ~lwr ~xrw ~crw ~lww ~lrw =
+  {
+    well_formed = true;
+    causality = Rel.is_acyclic (Rel.union_many [ hb; lwr; xrw ]);
+    coherence = Rel.irreflexive (Rel.compose hb lww);
+    observation = Rel.irreflexive (Rel.compose hb lrw);
+    anti_ww =
+      (not model.anti_ww) || Rel.irreflexive (Rel.compose3 crw hb lww);
+    anti_rw =
+      (not model.anti_rw) || Rel.irreflexive (Rel.compose3 crw hb lrw);
+    anti_ww' =
+      (not model.anti_ww') || Rel.irreflexive (Rel.compose3 hb crw lww);
+    anti_rw' =
+      (not model.anti_rw') || Rel.irreflexive (Rel.compose3 hb crw lrw);
+  }
+
 (* Axioms only, on a precomputed context and hb (well-formedness assumed
    or checked separately). *)
 let check_axioms (model : Model.t) (ctx : Lift.ctx) hb =
-  {
-    well_formed = true;
-    causality = Rel.is_acyclic (Rel.union_many [ hb; ctx.lwr; ctx.xrw ]);
-    coherence = Rel.irreflexive (Rel.compose hb ctx.lww);
-    observation = Rel.irreflexive (Rel.compose hb ctx.lrw);
-    anti_ww =
-      (not model.anti_ww)
-      || Rel.irreflexive (Rel.compose3 ctx.crw hb ctx.lww);
-    anti_rw =
-      (not model.anti_rw)
-      || Rel.irreflexive (Rel.compose3 ctx.crw hb ctx.lrw);
-    anti_ww' =
-      (not model.anti_ww')
-      || Rel.irreflexive (Rel.compose3 hb ctx.crw ctx.lww);
-    anti_rw' =
-      (not model.anti_rw')
-      || Rel.irreflexive (Rel.compose3 hb ctx.crw ctx.lrw);
-  }
+  check_axioms_rels model ~hb ~lwr:ctx.lwr ~xrw:ctx.xrw ~crw:ctx.crw
+    ~lww:ctx.lww ~lrw:ctx.lrw
 
 let check model t =
   let ctx = Lift.make t in
@@ -76,3 +80,6 @@ let consistent model t = ok (check model t)
 (* Axiom check that skips well-formedness; used by the enumerator, which
    guarantees well-formedness by construction plus a final scan. *)
 let consistent_axioms model ctx hb = ok (check_axioms model ctx hb)
+
+let consistent_axioms_rels model ~hb ~lwr ~xrw ~crw ~lww ~lrw =
+  ok (check_axioms_rels model ~hb ~lwr ~xrw ~crw ~lww ~lrw)

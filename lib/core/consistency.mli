@@ -28,3 +28,28 @@ val check_axioms : Model.t -> Lift.ctx -> Rel.t -> report
     [well_formed] is reported as [true] without being checked. *)
 
 val consistent_axioms : Model.t -> Lift.ctx -> Rel.t -> bool
+
+val check_axioms_rels :
+  Model.t ->
+  hb:Rel.t ->
+  lwr:Rel.t ->
+  xrw:Rel.t ->
+  crw:Rel.t ->
+  lww:Rel.t ->
+  lrw:Rel.t ->
+  report
+(** Axioms over bare relations, with no trace or lifting context in
+    sight: the reduced enumerator judges candidate execution graphs
+    before any linearization exists and supplies the lifted relations
+    directly.  [well_formed] is reported as [true] without being
+    checked. *)
+
+val consistent_axioms_rels :
+  Model.t ->
+  hb:Rel.t ->
+  lwr:Rel.t ->
+  xrw:Rel.t ->
+  crw:Rel.t ->
+  lww:Rel.t ->
+  lrw:Rel.t ->
+  bool

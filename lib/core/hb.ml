@@ -36,17 +36,15 @@ let quiescence_edges (ctx : Lift.ctx) =
 
 (* One fixpoint round of an unprimed rule: additions are
    lXX ∩ (crw ; hb) restricted to plain targets. *)
-let rule_unprimed (ctx : Lift.ctx) hb lxx =
-  let t = ctx.trace in
-  let reach = Rel.compose ctx.crw hb in
-  Rel.filter lxx (fun a c -> Trace.is_plain t c && Rel.mem reach a c)
+let rule_unprimed ~plain ~crw hb lxx =
+  let reach = Rel.compose crw hb in
+  Rel.filter lxx (fun a c -> plain c && Rel.mem reach a c)
 
 (* One round of a primed rule: lXX ∩ (hb ; crw) restricted to plain
    sources. *)
-let rule_primed (ctx : Lift.ctx) hb lxx =
-  let t = ctx.trace in
-  let reach = Rel.compose hb ctx.crw in
-  Rel.filter lxx (fun a c -> Trace.is_plain t a && Rel.mem reach a c)
+let rule_primed ~plain ~crw hb lxx =
+  let reach = Rel.compose hb crw in
+  Rel.filter lxx (fun a c -> plain a && Rel.mem reach a c)
 
 let base_rel (model : Model.t) (ctx : Lift.ctx) =
   let base = Rel.union_many [ ctx.init_; ctx.po; ctx.cwr; ctx.cww ] in
@@ -56,41 +54,53 @@ let base_rel (model : Model.t) (ctx : Lift.ctx) =
    is closed once, and every rule-derived edge extends the closure
    incrementally ([Rel.union_into_closed]) rather than re-running
    Warshall per round.  The enumerator calls this once per candidate
-   execution, so the per-round closure was the hot spot. *)
-let compute (model : Model.t) (ctx : Lift.ctx) =
-  let hb = base_rel model ctx in
-  Rel.transitive_closure_in_place hb;
+   execution, so the per-round closure was the hot spot.
+
+   [compute_from] runs the rule fixpoint over bare relations, without a
+   trace: the reduced enumerator evaluates candidates as execution
+   graphs before any linearization exists, so it supplies the plainness
+   predicate and the lifted relations directly.  [hb] must be
+   transitively closed on entry and is extended in place. *)
+let compute_from (model : Model.t) ~plain ~crw ~lww ~lwr ~lrw hb =
   let continue = ref true in
   while !continue do
     let changed = ref false in
     let apply rel = if Rel.union_into_closed ~into:hb rel then changed := true in
-    if model.hb_ww then apply (rule_unprimed ctx hb ctx.lww);
-    if model.hb_wr then apply (rule_unprimed ctx hb ctx.lwr);
-    if model.hb_rw then apply (rule_unprimed ctx hb ctx.lrw);
-    if model.hb_ww' then apply (rule_primed ctx hb ctx.lww);
-    if model.hb_wr' then apply (rule_primed ctx hb ctx.lwr);
-    if model.hb_rw' then apply (rule_primed ctx hb ctx.lrw);
+    if model.hb_ww then apply (rule_unprimed ~plain ~crw hb lww);
+    if model.hb_wr then apply (rule_unprimed ~plain ~crw hb lwr);
+    if model.hb_rw then apply (rule_unprimed ~plain ~crw hb lrw);
+    if model.hb_ww' then apply (rule_primed ~plain ~crw hb lww);
+    if model.hb_wr' then apply (rule_primed ~plain ~crw hb lwr);
+    if model.hb_rw' then apply (rule_primed ~plain ~crw hb lrw);
     continue := !changed
   done;
   hb
+
+let compute (model : Model.t) (ctx : Lift.ctx) =
+  let hb = base_rel model ctx in
+  Rel.transitive_closure_in_place hb;
+  compute_from model
+    ~plain:(Trace.is_plain ctx.trace)
+    ~crw:ctx.crw ~lww:ctx.lww ~lwr:ctx.lwr ~lrw:ctx.lrw hb
 
 (* The pre-cache implementation: re-close from scratch every round.
    Kept as a definition-shaped oracle; the test suite asserts it agrees
    with [compute] (and both with [Naive.hb]) on enumerated executions
    and random traces. *)
 let compute_reference (model : Model.t) (ctx : Lift.ctx) =
+  let plain = Trace.is_plain ctx.trace and crw = ctx.crw in
   let hb = base_rel model ctx in
   let continue = ref true in
   while !continue do
     Rel.transitive_closure_in_place hb;
     let changed = ref false in
     let apply rel = if Rel.union_into ~into:hb rel then changed := true in
-    if model.hb_ww then apply (rule_unprimed ctx hb ctx.lww);
-    if model.hb_wr then apply (rule_unprimed ctx hb ctx.lwr);
-    if model.hb_rw then apply (rule_unprimed ctx hb ctx.lrw);
-    if model.hb_ww' then apply (rule_primed ctx hb ctx.lww);
-    if model.hb_wr' then apply (rule_primed ctx hb ctx.lwr);
-    if model.hb_rw' then apply (rule_primed ctx hb ctx.lrw);
+    if model.hb_ww then apply (rule_unprimed ~plain ~crw hb ctx.lww);
+    if model.hb_wr then apply (rule_unprimed ~plain ~crw hb ctx.lwr);
+    if model.hb_rw then apply (rule_unprimed ~plain ~crw hb ctx.lrw);
+    if model.hb_ww' then apply (rule_primed ~plain ~crw hb ctx.lww);
+    if model.hb_wr' then apply (rule_primed ~plain ~crw hb ctx.lwr);
+    if model.hb_rw' then apply (rule_primed ~plain ~crw hb ctx.lrw);
     continue := !changed
   done;
   Rel.transitive_closure_in_place hb;

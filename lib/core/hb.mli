@@ -12,6 +12,23 @@ val compute : Model.t -> Lift.ctx -> Rel.t
     re-running a full closure per round.  [compute_reference] is the
     unoptimized equivalent. *)
 
+val compute_from :
+  Model.t ->
+  plain:(int -> bool) ->
+  crw:Rel.t ->
+  lww:Rel.t ->
+  lwr:Rel.t ->
+  lrw:Rel.t ->
+  Rel.t ->
+  Rel.t
+(** [compute_from model ~plain ~crw ~lww ~lwr ~lrw hb] runs the rule
+    fixpoint over bare relations, with no trace in sight: the reduced
+    enumerator evaluates candidate execution graphs before any
+    linearization exists and supplies the plainness predicate and the
+    lifted relations directly.  [hb] must already contain the
+    transitively closed base relation; it is extended in place and
+    returned. *)
+
 val compute_reference : Model.t -> Lift.ctx -> Rel.t
 (** The pre-cache fixpoint (full re-closure every round), kept as an
     oracle: tests assert [compute] and [compute_reference] coincide. *)

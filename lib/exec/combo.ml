@@ -1,0 +1,390 @@
+(* One choice of thread paths ("combo") and its candidate-graph
+   machinery, shared by every enumeration strategy: the event list with
+   transaction structure, the per-candidate choice points (reads-from
+   sources, per-location coherence permutations, fence sides), and the
+   WF-constraint linearizer that turns one selection of those choices
+   into a concrete well-formed trace.
+
+   The unreduced enumerator iterates the full selection product and
+   linearizes every candidate; the reduced enumerator walks the same
+   product as a prefix tree, pruning subtrees, and only linearizes the
+   survivors — both through the functions here, so a given selection
+   yields bit-identical traces whichever strategy picked it. *)
+
+open Tmx_core
+
+type gevent = {
+  thread : int;
+  proto : Proto.proto;
+  txn : int; (* index of owning PBegin, or -1 *)
+  aborted : bool; (* in an aborted transaction *)
+}
+
+let build_events (paths : Proto.path list) =
+  let protos =
+    List.concat
+      (List.mapi
+         (fun i (p : Proto.path) ->
+           List.map (fun pr -> (i, pr)) p.protos)
+         paths)
+  in
+  let events =
+    Array.of_list
+      (List.map (fun (thread, proto) -> { thread; proto; txn = -1; aborted = false }) protos)
+  in
+  (* transaction membership + status, per thread *)
+  let n = Array.length events in
+  let open_txn = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let e = events.(i) in
+    match e.proto with
+    | Proto.PBegin ->
+        Hashtbl.replace open_txn e.thread i;
+        events.(i) <- { e with txn = i }
+    | Proto.PCommit | Proto.PAbort ->
+        let b = Option.value (Hashtbl.find_opt open_txn e.thread) ~default:(-1) in
+        events.(i) <- { e with txn = b };
+        Hashtbl.remove open_txn e.thread
+    | _ ->
+        let b = Option.value (Hashtbl.find_opt open_txn e.thread) ~default:(-1) in
+        events.(i) <- { e with txn = b }
+  done;
+  (* mark aborted transactions *)
+  let aborted_txns = Hashtbl.create 8 in
+  Array.iter
+    (fun e ->
+      match e.proto with
+      | Proto.PAbort when e.txn >= 0 -> Hashtbl.replace aborted_txns e.txn ()
+      | _ -> ())
+    events;
+  Array.map
+    (fun e -> { e with aborted = e.txn >= 0 && Hashtbl.mem aborted_txns e.txn })
+    events
+
+(* -- small combinatorics helpers ----------------------------------------- *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+(* product over a list of choice lists, calling [k] with each selection
+   (as a list aligned with the input). *)
+let rec product choices k =
+  match choices with
+  | [] -> k []
+  | c :: rest -> List.iter (fun x -> product rest (fun sel -> k (x :: sel))) c
+
+let same_txn (ev : gevent array) i j = i = j || (ev.(i).txn >= 0 && ev.(i).txn = ev.(j).txn)
+
+let txn_touches_loc (ev : gevent array) b x =
+  let n = Array.length ev in
+  let rec go i =
+    i < n
+    && ((ev.(i).txn = b
+        &&
+        match ev.(i).proto with
+        | Proto.PWrite (y, _) | Proto.PRead (y, _) -> String.equal x y
+        | _ -> false)
+       || go (i + 1))
+  in
+  go 0
+
+type fence_choice = Commit_before | Fence_before
+
+(* -- per-combo preparation ------------------------------------------------ *)
+
+type t = {
+  paths : Proto.path list;
+  ev : gevent array;
+  reads : int list;
+  fences : int list;
+  writes_to : (string, int list) Hashtbl.t;
+}
+
+let prepare (paths : Proto.path list) =
+  let ev = build_events paths in
+  let n = Array.length ev in
+  let reads = ref [] and fences = ref [] in
+  let writes_to = Hashtbl.create 8 in
+  for i = n - 1 downto 0 do
+    match ev.(i).proto with
+    | Proto.PRead _ -> reads := i :: !reads
+    | Proto.PWrite (x, _) ->
+        Hashtbl.replace writes_to x (i :: Option.value (Hashtbl.find_opt writes_to x) ~default:[])
+    | Proto.PQfence _ -> fences := i :: !fences
+    | _ -> ()
+  done;
+  { paths; ev; reads = !reads; fences = !fences; writes_to }
+
+let writes_of combo x = Option.value (Hashtbl.find_opt combo.writes_to x) ~default:[]
+
+let locs_written combo =
+  List.sort_uniq compare
+    (Hashtbl.fold (fun x _ acc -> x :: acc) combo.writes_to [])
+
+(* reads-from candidates: same location and value; an aborted source
+   must be in the reader's own transaction; a same-thread source must
+   precede the read in program order (else no linearization can put it
+   before the read). [-1] encodes reading the initial value 0. *)
+let rf_candidates combo i =
+  let ev = combo.ev in
+  match ev.(i).proto with
+  | Proto.PRead (x, v) ->
+      let from_writes =
+        List.filter
+          (fun j ->
+            (match ev.(j).proto with
+            | Proto.PWrite (_, w) -> w = v
+            | _ -> false)
+            && (not (ev.(j).aborted && not (same_txn ev i j)))
+            && not (ev.(j).thread = ev.(i).thread && j > i))
+          (writes_of combo x)
+      in
+      if v = 0 then -1 :: from_writes else from_writes
+  | _ -> assert false
+
+(* Reads-from candidates of the combo's first read — the top level of
+   the candidate prefix tree, which the parallel driver fans tasks
+   over.  [None] when the combo has no reads. *)
+let first_read_width combo =
+  match combo.reads with
+  | [] -> None
+  | r :: _ -> Some (List.length (rf_candidates combo r))
+
+(* fence ordering choices per (fence, transaction touching its
+   location): same-thread pairs are forced by program order. *)
+let fence_pairs combo =
+  let ev = combo.ev in
+  let n = Array.length ev in
+  List.concat_map
+    (fun q ->
+      let x = match ev.(q).proto with Proto.PQfence x -> x | _ -> assert false in
+      List.filter_map
+        (fun b ->
+          if ev.(b).proto = Proto.PBegin && txn_touches_loc ev b x then
+            if ev.(b).thread = ev.(q).thread then
+              (* forced: the side matching program order *)
+              if b < q then Some ((q, b), [ Commit_before ])
+              else Some ((q, b), [ Fence_before ])
+            else Some ((q, b), [ Commit_before; Fence_before ])
+          else None)
+        (List.init n Fun.id))
+    combo.fences
+
+(* Saturating upper estimate of a combo's candidate-graph count:
+   Π |rf candidates| × Π |coherence permutations| × Π |fence sides|.
+   Cheap arithmetic over the prepared indices, used to decide whether a
+   run is worth a domain pool at all. *)
+let estimated_graphs combo =
+  let cap = 1_000_000_000 in
+  let sat a b = if a = 0 || b = 0 then 0 else if a > cap / b then cap else a * b in
+  let rec fact k = if k <= 1 then 1 else sat k (fact (k - 1)) in
+  let rf =
+    List.fold_left
+      (fun acc r -> sat acc (List.length (rf_candidates combo r)))
+      1 combo.reads
+  in
+  let ww =
+    Hashtbl.fold (fun _x ws acc -> sat acc (fact (List.length ws))) combo.writes_to 1
+  in
+  let fences =
+    List.fold_left (fun acc (_, opts) -> sat acc (List.length opts)) 1 (fence_pairs combo)
+  in
+  sat (sat rf ww) fences
+
+(* the resolution (Commit or Abort) of transaction [b], if any *)
+let resolution_of combo b =
+  let ev = combo.ev in
+  let n = Array.length ev in
+  let rec go i =
+    if i >= n then None
+    else if
+      ev.(i).txn = b
+      && (ev.(i).proto = Proto.PCommit || ev.(i).proto = Proto.PAbort)
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* -- one candidate graph, as the choices that pick it out ----------------- *)
+
+(* A selection is keyed (read index, location, fence pair) rather than
+   positional so that symmetry reduction can transport a representative
+   combo's selection onto an isomorphic combo by renaming the keys. *)
+type selection = {
+  rf_sel : (int * int) list; (* read -> chosen source (-1 = initial value) *)
+  ww_sel : (string * int list) list; (* location -> coherence permutation *)
+  fence_sel : ((int * int) * fence_choice) list;
+}
+
+(* -- linearization -------------------------------------------------------- *)
+
+(* Build the one trace of a candidate graph: timestamps from the chosen
+   coherence orders, the WF-derived ordering constraints
+   (initialization, program order, WF8 reads-from, WF9–WF11 obscured
+   accesses, WF12 fence sides), and a topological sort that prefers to
+   keep the open transaction contiguous.  [None] when the constraints
+   are cyclic (the candidate has no well-formed linearization).  Every
+   produced trace is re-checked against the full well-formedness scan; a
+   violation raises, as an enumerator-bug detector. *)
+let linearize ~locs combo { rf_sel; ww_sel; fence_sel } =
+  let ev = combo.ev in
+  let n = Array.length ev in
+  (* timestamps: position in the chosen coherence order *)
+  let ts_of_write = Hashtbl.create 16 in
+  List.iter
+    (fun (_x, perm) ->
+      List.iteri
+        (fun k j -> Hashtbl.replace ts_of_write j (Rat.of_int (k + 1)))
+        perm)
+    ww_sel;
+  let rf = Hashtbl.create 16 in
+  List.iter (fun (r, w) -> Hashtbl.replace rf r w) rf_sel;
+  let ts_of_read r =
+    match Hashtbl.find rf r with
+    | -1 -> Rat.zero
+    | w -> Hashtbl.find ts_of_write w
+  in
+  (* WF-derived ordering constraints *)
+  let succs = Array.make n [] in
+  let indeg = Array.make n 0 in
+  let edge a b =
+    succs.(a) <- b :: succs.(a);
+    indeg.(b) <- indeg.(b) + 1
+  in
+  (* program order: consecutive events of each thread *)
+  let last_of_thread = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    (match Hashtbl.find_opt last_of_thread ev.(i).thread with
+    | Some j -> edge j i
+    | None -> ());
+    Hashtbl.replace last_of_thread ev.(i).thread i
+  done;
+  (* reads-from (WF8) *)
+  List.iter (fun (r, w) -> if w >= 0 then edge w r) rf_sel;
+  (* WF9: transactional write before any coherence-later committed
+     transactional write *)
+  List.iter
+    (fun (_x, perm) ->
+      let parr = Array.of_list perm in
+      let m = Array.length parr in
+      for i = 0 to m - 1 do
+        for j = i + 1 to m - 1 do
+          let b = parr.(i) and c = parr.(j) in
+          if ev.(b).txn >= 0 && ev.(c).txn >= 0 && not ev.(c).aborted then
+            edge b c
+        done
+      done)
+    ww_sel;
+  (* WF10/WF11: a read before any write that obscures its source
+     (committed-foreign for transactional sources, same-transaction
+     always) *)
+  List.iter
+    (fun (r, w) ->
+      if ev.(r).txn >= 0 then begin
+        let src_ts = ts_of_read r in
+        (* the initializing write is transactional (committed), like any
+           other member of the initializing transaction *)
+        let src_is_txn = w = -1 || ev.(w).txn >= 0 in
+        let x =
+          match ev.(r).proto with
+          | Proto.PRead (x, _) -> x
+          | _ -> assert false
+        in
+        List.iter
+          (fun c ->
+            if Rat.lt src_ts (Hashtbl.find ts_of_write c) then begin
+              if src_is_txn && ev.(c).txn >= 0 && not ev.(c).aborted then
+                edge r c;
+              if same_txn ev r c then edge r c
+            end)
+          (writes_of combo x)
+      end)
+    rf_sel;
+  (* fence choices (WF12) *)
+  List.iter
+    (fun ((q, b), choice) ->
+      match choice with
+      | Commit_before -> (
+          (* resolution of txn b before fence q *)
+          match resolution_of combo b with
+          | Some r -> edge r q
+          | None -> ())
+      | Fence_before -> edge q b)
+    fence_sel;
+  (* topological sort, preferring to keep the currently open
+     transaction contiguous *)
+  let emitted = Array.make n false in
+  let order = ref [] in
+  let count = ref 0 in
+  let current_txn = ref (-1) in
+  let ok = ref true in
+  while !ok && !count < n do
+    (* candidate: available event, prefer same txn *)
+    let pick = ref (-1) in
+    (try
+       for i = 0 to n - 1 do
+         if (not emitted.(i)) && indeg.(i) = 0 then begin
+           if !pick = -1 then pick := i;
+           if !current_txn >= 0 && ev.(i).txn = !current_txn then begin
+             pick := i;
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    if !pick = -1 then ok := false
+    else begin
+      let i = !pick in
+      emitted.(i) <- true;
+      incr count;
+      order := i :: !order;
+      (match ev.(i).proto with
+      | Proto.PBegin -> current_txn := i
+      | Proto.PCommit | Proto.PAbort -> current_txn := -1
+      | _ -> ());
+      List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) succs.(i)
+    end
+  done;
+  if not !ok then None
+  else begin
+    let order = List.rev !order in
+    let to_action i =
+      let open Action in
+      match ev.(i).proto with
+      | Proto.PWrite (x, v) ->
+          Write { loc = x; value = v; ts = Hashtbl.find ts_of_write i }
+      | Proto.PRead (x, v) -> Read { loc = x; value = v; ts = ts_of_read i }
+      | Proto.PBegin -> Begin
+      | Proto.PCommit -> Commit
+      | Proto.PAbort -> Abort
+      | Proto.PQfence x -> Qfence x
+    in
+    let body =
+      List.map
+        (fun i -> { Action.thread = ev.(i).thread; act = to_action i })
+        order
+    in
+    let trace = Trace.make ~locs body in
+    (match Wellformed.violations trace with
+    | [] -> ()
+    | vs ->
+        Fmt.failwith
+          "Enumerate: internal error, ill-formed linearization:@ %a@ trace:@ %a"
+          Fmt.(list ~sep:comma Wellformed.pp_violation)
+          vs Trace.pp trace);
+    Some trace
+  end
+
+let outcome ~locs combo trace =
+  Outcome.make
+    ~envs:(List.map (fun (p : Proto.path) -> p.env) combo.paths)
+    ~mem:
+      (List.map
+         (fun x -> (x, Option.value (Trace.final_value trace x) ~default:0))
+         locs)

@@ -1,0 +1,107 @@
+(** One choice of thread paths (a "combo") and its candidate-graph
+    machinery, shared by every enumeration strategy: the flattened event
+    list with transaction structure, the per-candidate choice points
+    (reads-from sources, per-location coherence permutations, fence
+    sides), and the WF-constraint linearizer that turns one selection of
+    those choices into a concrete well-formed trace.
+
+    The unreduced enumerator iterates the full selection product and
+    linearizes every candidate; the reduced enumerator
+    ({!Tmx_exec.Reduce}) walks the same product as a prefix tree,
+    pruning subtrees, and only linearizes the survivors — both through
+    the functions here, so a given selection yields bit-identical traces
+    whichever strategy picked it (docs/ENUMERATION.md). *)
+
+open Tmx_core
+
+type gevent = {
+  thread : int;
+  proto : Proto.proto;
+  txn : int;  (** index of the owning PBegin, or -1 for plain events *)
+  aborted : bool;  (** member of an aborted transaction *)
+}
+
+val permutations : 'a list -> 'a list list
+(** All orderings, in a fixed deterministic order (the enumeration order
+    of coherence permutations). *)
+
+val product : 'a list list -> ('a list -> unit) -> unit
+(** [product choices k] calls [k] with every selection of one element
+    per choice list, rightmost varying fastest — the unreduced
+    enumerator's iteration order, which the prefix-tree walk mirrors. *)
+
+val same_txn : gevent array -> int -> int -> bool
+(** Same event, or members of the same transaction. *)
+
+type fence_choice = Commit_before | Fence_before
+(** The two WF12 sides for an unordered (quiescence fence, transaction)
+    pair: the transaction's resolution linearizes before the fence, or
+    the fence before the Begin. *)
+
+(** {1 Per-combo preparation} *)
+
+type t = {
+  paths : Proto.path list;  (** one path per thread, in thread order *)
+  ev : gevent array;  (** the flattened events, per-thread blocks *)
+  reads : int list;  (** event indices of reads, ascending *)
+  fences : int list;  (** event indices of quiescence fences *)
+  writes_to : (string, int list) Hashtbl.t;  (** location -> writes *)
+}
+
+val prepare : Proto.path list -> t
+
+val writes_of : t -> string -> int list
+val locs_written : t -> string list
+
+val rf_candidates : t -> int -> int list
+(** Reads-from candidates of a read: same location and value, aborted
+    sources only within the reader's transaction, same-thread sources
+    only from earlier in program order.  [-1] encodes the initializing
+    write (candidates of value-0 reads always include it). *)
+
+val first_read_width : t -> int option
+(** [Some (List.length (rf_candidates c first_read))] — the top level of
+    the candidate prefix tree, which the parallel driver fans tasks
+    over; [None] when the combo has no reads. *)
+
+val fence_pairs : t -> ((int * int) * fence_choice list) list
+(** The WF12 choice points: one ((fence, Begin), sides) entry per
+    quiescence fence and transaction touching its location, with
+    same-thread pairs forced to the single side program order allows. *)
+
+val estimated_graphs : t -> int
+(** Saturating upper estimate of the combo's candidate count:
+    Π |rf candidates| × Π |coherence permutations| × Π |fence sides|.
+    Cheap arithmetic over the prepared indices, used to decide whether a
+    run is worth a domain pool at all. *)
+
+val resolution_of : t -> int -> int option
+(** The PCommit/PAbort event resolving transaction [b], if any. *)
+
+(** {1 One candidate graph, as the choices that pick it out} *)
+
+(** Keyed (read index, location, fence pair) rather than positional so
+    that symmetry reduction can transport a representative combo's
+    selection onto an isomorphic combo by renaming the keys
+    ({!Tmx_exec.Symmetry.map_selection}). *)
+type selection = {
+  rf_sel : (int * int) list;
+      (** read -> chosen source (-1 = initial value) *)
+  ww_sel : (string * int list) list;
+      (** location -> coherence permutation *)
+  fence_sel : ((int * int) * fence_choice) list;
+}
+
+val linearize : locs:string list -> t -> selection -> Trace.t option
+(** The one trace of a candidate graph: timestamps from the chosen
+    coherence orders, the WF-derived ordering constraints
+    (initialization, program order, WF8 reads-from, WF9–WF11 obscured
+    accesses, WF12 fence sides), and a topological sort preferring to
+    keep the open transaction contiguous.  [None] when the constraints
+    are cyclic (no well-formed linearization exists).  Every produced
+    trace is re-checked against the full well-formedness scan; a
+    violation raises, as an enumerator-bug detector. *)
+
+val outcome : locs:string list -> t -> Trace.t -> Outcome.t
+(** Final registers from the paths' environments, final memory from the
+    trace. *)

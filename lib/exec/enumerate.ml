@@ -8,27 +8,74 @@
    This is justified by the paper's observation (§2) that WF8–WF11 are
    redundant with respect to the consistency axioms when traces are viewed
    as execution graphs: a graph is the semantics of some well-formed trace
-   iff the WF-derived ordering constraints below are acyclic.
+   iff the WF-derived ordering constraints are acyclic.  The per-combo
+   machinery (event lists, choice points, the constraint linearizer)
+   lives in [Combo].
 
-   The ordering constraints are exactly the necessary consequences of
-   WF1/WF5/WF8–WF12: initialization first, program order, reads-from
-   (WF8), the three obscured-read/write conditions (WF9–WF11), and the
-   chosen side of each fence/transaction ordering (WF12).  Any topological
-   order satisfies every WF condition — checked, not assumed: the
-   enumerator runs the full well-formedness scan on every trace it
-   produces and raises on violation. *)
+   Three strategies cover the same candidate space (docs/ENUMERATION.md
+   is the chapter-length account):
+
+   · [No_reduction] — the reference: iterate the full selection product
+     and evaluate every candidate by building its trace, lifting the
+     relations and checking the axioms.
+
+   · [Dpor] — walk the product as a prefix tree carrying an incremental
+     execution-graph state ([Reduce]); prune a subtree the moment its
+     shared prefix is doomed (constraint cycle, causality cycle, a
+     coherence/observation reversal), bulk-counting the skipped
+     candidates so the accounting matches the reference exactly, and
+     judge surviving leaves on the accumulated relations with no trace
+     or lifting in sight.  Executions, their order, [graphs] and
+     [capped] are bit-identical to the reference.
+
+   · [Dpor_sym] — additionally quotient the thread-path combinations by
+     program automorphisms ([Symmetry]): only orbit representatives are
+     searched, and their consistent selections are transported onto each
+     image combo by renaming.  The execution multiset, every verdict and
+     the candidate accounting are preserved; within an orbit the
+     executions of an image combo appear in the representative's
+     enumeration order (a deterministic order that can differ from the
+     reference's within-combo order). *)
 
 open Tmx_core
 
-type config = { fuel : int; domain_iters : int; max_graphs : int; jobs : int }
+type reduction = No_reduction | Dpor | Dpor_sym
 
-let default_config = { fuel = 6; domain_iters = 4; max_graphs = 500_000; jobs = 1 }
+let reduction_name = function
+  | No_reduction -> "none"
+  | Dpor -> "dpor"
+  | Dpor_sym -> "dpor+sym"
+
+let reduction_of_string = function
+  | "none" -> Some No_reduction
+  | "dpor" -> Some Dpor
+  | "dpor+sym" -> Some Dpor_sym
+  | _ -> None
+
+type config = {
+  fuel : int;
+  domain_iters : int;
+  max_graphs : int;
+  jobs : int;
+  reduction : reduction;
+}
+
+let default_config =
+  {
+    fuel = 6;
+    domain_iters = 4;
+    max_graphs = 500_000;
+    jobs = 1;
+    reduction = Dpor_sym;
+  }
 
 (* jobs excluded: results are bit-identical for every jobs value, so
-   runs with different parallelism share a cache entry *)
+   runs with different parallelism share a cache entry.  The reduction
+   mode is included: [Dpor_sym] may order executions within an orbit
+   differently from the reference. *)
 let config_key c =
-  Printf.sprintf "fuel=%d;domain_iters=%d;max_graphs=%d" c.fuel c.domain_iters
-    c.max_graphs
+  Printf.sprintf "fuel=%d;domain_iters=%d;max_graphs=%d;reduction=%s" c.fuel
+    c.domain_iters c.max_graphs (reduction_name c.reduction)
 
 type execution = { trace : Trace.t; outcome : Outcome.t }
 
@@ -36,199 +83,19 @@ type result = {
   executions : execution list;
   truncated : bool; (* some thread path hit the loop-unrolling bound *)
   capped : bool; (* the graph-count cap was hit *)
-  graphs : int; (* candidate graphs examined *)
+  graphs : int; (* candidate graphs accounted for *)
+  explored : int; (* candidate graphs whose leaf check actually ran *)
 }
-
-(* -- combined event list for one choice of thread paths ------------------ *)
-
-type gevent = {
-  thread : int;
-  proto : Proto.proto;
-  txn : int; (* index of owning PBegin, or -1 *)
-  aborted : bool; (* in an aborted transaction *)
-}
-
-let build_events (paths : Proto.path list) =
-  let protos =
-    List.concat
-      (List.mapi
-         (fun i (p : Proto.path) ->
-           List.map (fun pr -> (i, pr)) p.protos)
-         paths)
-  in
-  let events =
-    Array.of_list
-      (List.map (fun (thread, proto) -> { thread; proto; txn = -1; aborted = false }) protos)
-  in
-  (* transaction membership + status, per thread *)
-  let n = Array.length events in
-  let open_txn = Hashtbl.create 8 in
-  for i = 0 to n - 1 do
-    let e = events.(i) in
-    match e.proto with
-    | Proto.PBegin ->
-        Hashtbl.replace open_txn e.thread i;
-        events.(i) <- { e with txn = i }
-    | Proto.PCommit | Proto.PAbort ->
-        let b = Option.value (Hashtbl.find_opt open_txn e.thread) ~default:(-1) in
-        events.(i) <- { e with txn = b };
-        Hashtbl.remove open_txn e.thread
-    | _ ->
-        let b = Option.value (Hashtbl.find_opt open_txn e.thread) ~default:(-1) in
-        events.(i) <- { e with txn = b }
-  done;
-  (* mark aborted transactions *)
-  let aborted_txns = Hashtbl.create 8 in
-  Array.iter
-    (fun e ->
-      match e.proto with
-      | Proto.PAbort when e.txn >= 0 -> Hashtbl.replace aborted_txns e.txn ()
-      | _ -> ())
-    events;
-  Array.map
-    (fun e -> { e with aborted = e.txn >= 0 && Hashtbl.mem aborted_txns e.txn })
-    events
-
-(* -- small combinatorics helpers ----------------------------------------- *)
-
-let rec permutations = function
-  | [] -> [ [] ]
-  | l ->
-      List.concat_map
-        (fun x ->
-          let rest = List.filter (fun y -> y <> x) l in
-          List.map (fun p -> x :: p) (permutations rest))
-        l
-
-(* product over a list of choice lists, calling [k] with each selection
-   (as a list aligned with the input). *)
-let rec product choices k =
-  match choices with
-  | [] -> k []
-  | c :: rest -> List.iter (fun x -> product rest (fun sel -> k (x :: sel))) c
-
-(* -- the enumerator ------------------------------------------------------- *)
-
-let same_txn (ev : gevent array) i j = i = j || (ev.(i).txn >= 0 && ev.(i).txn = ev.(j).txn)
-
-let txn_touches_loc (ev : gevent array) b x =
-  let n = Array.length ev in
-  let rec go i =
-    i < n
-    && ((ev.(i).txn = b
-        &&
-        match ev.(i).proto with
-        | Proto.PWrite (y, _) | Proto.PRead (y, _) -> String.equal x y
-        | _ -> false)
-       || go (i + 1))
-  in
-  go 0
-
-type fence_choice = Commit_before | Fence_before
-
-(* -- per-combo preparation ------------------------------------------------ *)
-
-(* One choice of thread paths, with its event list and candidate
-   indices: the fixed inputs of the graph product below. *)
-type combo = {
-  paths : Proto.path list;
-  ev : gevent array;
-  reads : int list;
-  fences : int list;
-  writes_to : (string, int list) Hashtbl.t;
-}
-
-let prepare (paths : Proto.path list) =
-  let ev = build_events paths in
-  let n = Array.length ev in
-  let reads = ref [] and fences = ref [] in
-  let writes_to = Hashtbl.create 8 in
-  for i = n - 1 downto 0 do
-    match ev.(i).proto with
-    | Proto.PRead _ -> reads := i :: !reads
-    | Proto.PWrite (x, _) ->
-        Hashtbl.replace writes_to x (i :: Option.value (Hashtbl.find_opt writes_to x) ~default:[])
-    | Proto.PQfence _ -> fences := i :: !fences
-    | _ -> ()
-  done;
-  { paths; ev; reads = !reads; fences = !fences; writes_to }
-
-let writes_of combo x = Option.value (Hashtbl.find_opt combo.writes_to x) ~default:[]
-
-(* reads-from candidates: same location and value; an aborted source
-   must be in the reader's own transaction; a same-thread source must
-   precede the read in program order (else no linearization can put it
-   before the read). [-1] encodes reading the initial value 0. *)
-let rf_candidates combo i =
-  let ev = combo.ev in
-  match ev.(i).proto with
-  | Proto.PRead (x, v) ->
-      let from_writes =
-        List.filter
-          (fun j ->
-            (match ev.(j).proto with
-            | Proto.PWrite (_, w) -> w = v
-            | _ -> false)
-            && (not (ev.(j).aborted && not (same_txn ev i j)))
-            && not (ev.(j).thread = ev.(i).thread && j > i))
-          (writes_of combo x)
-      in
-      if v = 0 then -1 :: from_writes else from_writes
-  | _ -> assert false
-
-(* Reads-from candidates of the combo's first read — the top level of
-   the linearization prefix tree, which the parallel driver fans tasks
-   over.  [None] when the combo has no reads. *)
-let first_read_width combo =
-  match combo.reads with
-  | [] -> None
-  | r :: _ -> Some (List.length (rf_candidates combo r))
-
-(* fence ordering choices per (fence, transaction touching its
-   location): same-thread pairs are forced by program order. *)
-let fence_pairs combo =
-  let ev = combo.ev in
-  let n = Array.length ev in
-  List.concat_map
-    (fun q ->
-      let x = match ev.(q).proto with Proto.PQfence x -> x | _ -> assert false in
-      List.filter_map
-        (fun b ->
-          if ev.(b).proto = Proto.PBegin && txn_touches_loc ev b x then
-            if ev.(b).thread = ev.(q).thread then
-              (* forced: the side matching program order *)
-              if b < q then Some ((q, b), [ Commit_before ])
-              else Some ((q, b), [ Fence_before ])
-            else Some ((q, b), [ Commit_before; Fence_before ])
-          else None)
-        (List.init n Fun.id))
-    combo.fences
-
-(* Saturating upper estimate of a combo's candidate-graph count:
-   Π |rf candidates| × Π |coherence permutations| × Π |fence sides|.
-   Cheap arithmetic over the prepared indices, used to decide whether a
-   run is worth a domain pool at all. *)
-let estimated_graphs combo =
-  let cap = 1_000_000_000 in
-  let sat a b = if a = 0 || b = 0 then 0 else if a > cap / b then cap else a * b in
-  let rec fact k = if k <= 1 then 1 else sat k (fact (k - 1)) in
-  let rf =
-    List.fold_left
-      (fun acc r -> sat acc (List.length (rf_candidates combo r)))
-      1 combo.reads
-  in
-  let ww =
-    Hashtbl.fold (fun _x ws acc -> sat acc (fact (List.length ws))) combo.writes_to 1
-  in
-  let fences =
-    List.fold_left (fun acc (_, opts) -> sat acc (List.length opts)) 1 (fence_pairs combo)
-  in
-  sat (sat rf ww) fences
 
 (* Below this many estimated candidates, a parallel run falls back to
    the sequential path: domain spawn and merge cost more than the
-   enumeration itself.  Verdicts are unaffected either way. *)
+   enumeration itself.  Under reduction the estimate is taken over the
+   reduced space — live orbit representatives — so a run whose candidate
+   space collapses under symmetry never pays for a pool.  Verdicts are
+   unaffected either way. *)
 let parallel_threshold = 64
+
+(* -- the unreduced reference ---------------------------------------------- *)
 
 (* Enumerate the candidate graphs of [combo], optionally pinning the
    first read's reads-from choice to candidate index [pin] (the parallel
@@ -238,11 +105,8 @@ let parallel_threshold = 64
    to process it or [None] to count-and-skip it — graph-cap policy lives
    in the caller; [emit] receives each consistent execution with its
    candidate ordinal. *)
-let enumerate_combo ~model ~locs ?pin ~claim ~emit combo =
-  let ev = combo.ev in
-  let n = Array.length ev in
-  let writes_of = writes_of combo in
-  let read_choices = List.map (rf_candidates combo) combo.reads in
+let enumerate_combo ~model ~locs ?pin ~claim ~emit (combo : Combo.t) =
+  let read_choices = List.map (Combo.rf_candidates combo) combo.reads in
   let read_choices =
     match (pin, read_choices) with
     | None, cs -> cs
@@ -251,210 +115,40 @@ let enumerate_combo ~model ~locs ?pin ~claim ~emit combo =
   in
   if List.exists (fun c -> c = []) read_choices then ()
   else begin
-      (* coherence choices: per location, a permutation of its non-init
-         writes; the initializing write is first (anything below it is
-         inconsistent by Coherence). *)
-      let locs_written =
-        List.sort_uniq compare
-          (Hashtbl.fold (fun x _ acc -> x :: acc) combo.writes_to [])
-      in
-      let ww_choices = List.map (fun x -> permutations (writes_of x)) locs_written in
-      let fence_pairs = fence_pairs combo in
-      let fence_keys = List.map fst fence_pairs in
-      let fence_opts = List.map snd fence_pairs in
-      product read_choices (fun rf_sel ->
-          product ww_choices (fun ww_sel ->
-              product fence_opts (fun fence_sel ->
-                  match claim () with
-                  | None -> ()
-                  | Some ordinal ->
-                    (* timestamps: position in the chosen coherence order *)
-                    let ts_of_write = Hashtbl.create 16 in
-                    List.iter2
-                      (fun _x perm ->
-                        List.iteri
-                          (fun k j -> Hashtbl.replace ts_of_write j (Rat.of_int (k + 1)))
-                          perm)
-                      locs_written ww_sel;
-                    let rf = Hashtbl.create 16 in
-                    List.iter2 (fun r w -> Hashtbl.replace rf r w) combo.reads rf_sel;
-                    let ts_of_read r =
-                      match Hashtbl.find rf r with
-                      | -1 -> Rat.zero
-                      | w -> Hashtbl.find ts_of_write w
+    let locs_written = Combo.locs_written combo in
+    let ww_choices =
+      List.map (fun x -> Combo.permutations (Combo.writes_of combo x)) locs_written
+    in
+    let fence_pairs = Combo.fence_pairs combo in
+    let fence_keys = List.map fst fence_pairs in
+    let fence_opts = List.map snd fence_pairs in
+    Combo.product read_choices (fun rf_sel ->
+        Combo.product ww_choices (fun ww_sel ->
+            Combo.product fence_opts (fun fence_sel ->
+                match claim () with
+                | None -> ()
+                | Some ordinal -> (
+                    let selection =
+                      {
+                        Combo.rf_sel = List.combine combo.reads rf_sel;
+                        ww_sel = List.combine locs_written ww_sel;
+                        fence_sel = List.combine fence_keys fence_sel;
+                      }
                     in
-                    (* WF-derived ordering constraints *)
-                    let succs = Array.make n [] in
-                    let indeg = Array.make n 0 in
-                    let edge a b =
-                      succs.(a) <- b :: succs.(a);
-                      indeg.(b) <- indeg.(b) + 1
-                    in
-                    (* program order: consecutive events of each thread *)
-                    let last_of_thread = Hashtbl.create 8 in
-                    for i = 0 to n - 1 do
-                      (match Hashtbl.find_opt last_of_thread ev.(i).thread with
-                      | Some j -> edge j i
-                      | None -> ());
-                      Hashtbl.replace last_of_thread ev.(i).thread i
-                    done;
-                    (* reads-from (WF8) *)
-                    List.iter
-                      (fun r -> match Hashtbl.find rf r with -1 -> () | w -> edge w r)
-                      combo.reads;
-                    (* WF9: transactional write before any coherence-later
-                       committed transactional write *)
-                    List.iter
-                      (fun x ->
-                        let ws = writes_of x in
-                        List.iter
-                          (fun b ->
-                            if ev.(b).txn >= 0 then
-                              List.iter
-                                (fun c ->
-                                  if
-                                    c <> b && ev.(c).txn >= 0 && (not ev.(c).aborted)
-                                    && Rat.lt (Hashtbl.find ts_of_write b) (Hashtbl.find ts_of_write c)
-                                  then edge b c)
-                                ws)
-                          ws)
-                      locs_written;
-                    (* WF10/WF11: a read before any write that obscures its
-                       source (committed-foreign for transactional sources,
-                       same-transaction always) *)
-                    List.iter
-                      (fun r ->
-                        if ev.(r).txn >= 0 then
-                          let w = Hashtbl.find rf r in
-                          let src_ts = ts_of_read r in
-                          (* the initializing write is transactional
-                             (committed), like any other member of the
-                             initializing transaction *)
-                          let src_is_txn = w = -1 || ev.(w).txn >= 0 in
-                          let x =
-                            match ev.(r).proto with
-                            | Proto.PRead (x, _) -> x
-                            | _ -> assert false
-                          in
-                          List.iter
-                            (fun c ->
-                              if Rat.lt src_ts (Hashtbl.find ts_of_write c) then begin
-                                if
-                                  src_is_txn && ev.(c).txn >= 0
-                                  && not ev.(c).aborted
-                                then edge r c;
-                                if same_txn ev r c then edge r c
-                              end)
-                            (writes_of x))
-                      combo.reads;
-                    (* fence choices (WF12) *)
-                    List.iter2
-                      (fun (q, b) choice ->
-                        match choice with
-                        | Commit_before ->
-                            (* resolution of txn b before fence q *)
-                            let rec find_res i =
-                              if i >= n then None
-                              else if
-                                ev.(i).txn = b
-                                && (ev.(i).proto = Proto.PCommit
-                                   || ev.(i).proto = Proto.PAbort)
-                              then Some i
-                              else find_res (i + 1)
-                            in
-                            (match find_res 0 with
-                            | Some r -> edge r q
-                            | None -> ())
-                        | Fence_before -> edge q b)
-                      fence_keys fence_sel;
-                    (* topological sort, preferring to keep the currently
-                       open transaction contiguous *)
-                    let emitted = Array.make n false in
-                    let order = ref [] in
-                    let count = ref 0 in
-                    let current_txn = ref (-1) in
-                    let ok = ref true in
-                    while !ok && !count < n do
-                      (* candidate: available event, prefer same txn *)
-                      let pick = ref (-1) in
-                      (try
-                         for i = 0 to n - 1 do
-                           if (not emitted.(i)) && indeg.(i) = 0 then begin
-                             if !pick = -1 then pick := i;
-                             if !current_txn >= 0 && ev.(i).txn = !current_txn
-                             then begin
-                               pick := i;
-                               raise Exit
-                             end
-                           end
-                         done
-                       with Exit -> ());
-                      if !pick = -1 then ok := false
-                      else begin
-                        let i = !pick in
-                        emitted.(i) <- true;
-                        incr count;
-                        order := i :: !order;
-                        (match ev.(i).proto with
-                        | Proto.PBegin -> current_txn := i
-                        | Proto.PCommit | Proto.PAbort -> current_txn := -1
-                        | _ -> ());
-                        List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) succs.(i)
-                      end
-                    done;
-                    if !ok then begin
-                      let order = List.rev !order in
-                      let to_action i =
-                        let open Action in
-                        match ev.(i).proto with
-                        | Proto.PWrite (x, v) ->
-                            Write { loc = x; value = v; ts = Hashtbl.find ts_of_write i }
-                        | Proto.PRead (x, v) ->
-                            Read { loc = x; value = v; ts = ts_of_read i }
-                        | Proto.PBegin -> Begin
-                        | Proto.PCommit -> Commit
-                        | Proto.PAbort -> Abort
-                        | Proto.PQfence x -> Qfence x
-                      in
-                      let body =
-                        List.map
-                          (fun i -> { Action.thread = ev.(i).thread; act = to_action i })
-                          order
-                      in
-                      let trace = Trace.make ~locs body in
-                      (match Wellformed.violations trace with
-                      | [] -> ()
-                      | vs ->
-                          Fmt.failwith
-                            "Enumerate: internal error, ill-formed linearization:@ %a@ trace:@ %a"
-                            Fmt.(list ~sep:comma Wellformed.pp_violation)
-                            vs Trace.pp trace);
-                      let ctx = Lift.make trace in
-                      let hb = Hb.compute model ctx in
-                      if Consistency.consistent_axioms model ctx hb then begin
-                        let outcome =
-                          Outcome.make
-                            ~envs:
-                              (List.map
-                                 (fun (p : Proto.path) -> p.env)
-                                 combo.paths)
-                            ~mem:
-                              (List.map
-                                 (fun x ->
-                                   (x, Option.value (Trace.final_value trace x) ~default:0))
-                                 locs)
-                        in
-                        emit ordinal { trace; outcome }
-                      end
-                    end)))
-    end
-
-(* -- the drivers ---------------------------------------------------------- *)
+                    match Combo.linearize ~locs combo selection with
+                    | None -> ()
+                    | Some trace ->
+                        let ctx = Lift.make trace in
+                        let hb = Hb.compute model ctx in
+                        if Consistency.consistent_axioms model ctx hb then
+                          emit ordinal
+                            { trace; outcome = Combo.outcome ~locs combo trace }))))
+  end
 
 let collect_combos thread_paths =
   let acc = ref [] in
-  product thread_paths (fun sel -> acc := sel :: !acc);
-  List.rev_map prepare !acc
+  Combo.product thread_paths (fun sel -> acc := sel :: !acc);
+  List.rev_map Combo.prepare !acc
 
 (* Sequential reference path: one global candidate counter, cap applied
    as candidates are claimed. *)
@@ -477,6 +171,7 @@ let run_sequential ~config ~model ~locs ~truncated combos =
     truncated;
     capped = !capped;
     graphs = !graphs;
+    explored = !graphs;
   }
 
 (* Parallel path: fan tasks — (combo, first-read choice) pairs in
@@ -498,8 +193,8 @@ let run_sequential ~config ~model ~locs ~truncated combos =
 let run_parallel ~config ~model ~locs ~truncated combos =
   let tasks =
     List.concat_map
-      (fun combo ->
-        match first_read_width combo with
+      (fun (combo : Combo.t) ->
+        match Combo.first_read_width combo with
         | None -> [ (combo, None) ]
         | Some w -> List.init w (fun k -> (combo, Some k)))
       combos
@@ -509,7 +204,7 @@ let run_parallel ~config ~model ~locs ~truncated combos =
     Pool.run_tasks ~jobs:config.jobs ~tasks:(Array.length tasks) (fun ti ->
         let combo, pin = tasks.(ti) in
         (* re-prepare so every mutable index table is domain-local *)
-        let combo = prepare combo.paths in
+        let combo = Combo.prepare combo.Combo.paths in
         let count = ref 0 and execs = ref [] in
         let claim () =
           let ordinal = !count in
@@ -536,6 +231,186 @@ let run_parallel ~config ~model ~locs ~truncated combos =
     truncated;
     capped = total > config.max_graphs;
     graphs = min total config.max_graphs;
+    explored = min total config.max_graphs;
+  }
+
+(* More domains than cores only adds task-split and scheduling overhead
+   (the pool won't spawn them anyway); results are jobs-independent, so
+   clamping is invisible except in wall-clock. *)
+let effective_jobs jobs = min jobs (Pool.available_cores ())
+
+let run_unreduced ~config ~model ~locs ~truncated thread_paths =
+  let combos = collect_combos thread_paths in
+  let small () =
+    (* saturating sum; stop adding once clearly past the threshold *)
+    let rec go acc = function
+      | [] -> acc < parallel_threshold
+      | _ when acc >= parallel_threshold -> false
+      | c :: rest -> go (acc + Combo.estimated_graphs c) rest
+    in
+    go 0 combos
+  in
+  if effective_jobs config.jobs <= 1 || small () then
+    run_sequential ~config ~model ~locs ~truncated combos
+  else run_parallel ~config ~model ~locs ~truncated combos
+
+(* -- the reduced driver --------------------------------------------------- *)
+
+(* One driver covers sequential and parallel reduced runs: the candidate
+   space is cut to tasks — (live orbit representative, first-read pin)
+   in enumeration order — run through the pool (with [jobs = 1] the pool
+   spawns nothing and runs them in order in the calling domain), and a
+   single merge pass walks every combo in enumeration order,
+   reconstructing counts, cap verdicts and executions; image combos
+   replay their representative's consistent selections through
+   [Symmetry.map_selection].  Results are therefore identical whatever
+   [jobs] was, by construction. *)
+let run_reduced ~config ~model ~locs ~truncated reduction thread_paths =
+  let tp = Array.of_list (List.map Array.of_list thread_paths) in
+  let nthreads = Array.length tp in
+  let radices = Array.map Array.length tp in
+  let total_combos =
+    if Array.exists (fun r -> r = 0) radices then 0
+    else Array.fold_left ( * ) 1 radices
+  in
+  let weights = Array.make (max nthreads 1) 1 in
+  for i = nthreads - 2 downto 0 do
+    weights.(i) <- weights.(i + 1) * radices.(i + 1)
+  done;
+  let decode idx =
+    Array.init nthreads (fun i -> idx / weights.(i) mod radices.(i))
+  in
+  let paths_of idx =
+    Array.to_list (Array.mapi (fun i s -> tp.(i).(s)) (decode idx))
+  in
+  let sym =
+    match reduction with
+    | Dpor_sym -> Symmetry.orbits ~radices (Symmetry.find thread_paths)
+    | _ -> None
+  in
+  let rep_of idx = match sym with None -> idx | Some s -> Symmetry.rep s idx in
+  let feas = Reduce.Feasible.make tp in
+  let live idx = Reduce.Feasible.check feas (decode idx) in
+  let prepared : (int, Combo.t) Hashtbl.t = Hashtbl.create 64 in
+  let prepare idx =
+    match Hashtbl.find_opt prepared idx with
+    | Some c -> c
+    | None ->
+        let c = Combo.prepare (paths_of idx) in
+        Hashtbl.add prepared idx c;
+        c
+  in
+  let live_reps = ref [] in
+  for idx = total_combos - 1 downto 0 do
+    if rep_of idx = idx && live idx then live_reps := idx :: !live_reps
+  done;
+  let live_reps = !live_reps in
+  (* the parallel fallback decides on the reduced candidate estimate:
+     live orbit representatives only *)
+  let jobs =
+    if effective_jobs config.jobs <= 1 then 1
+    else begin
+      let rec go acc = function
+        | [] -> acc
+        | _ when acc >= parallel_threshold -> acc
+        | r :: rest -> go (acc + Combo.estimated_graphs (prepare r)) rest
+      in
+      if go 0 live_reps < parallel_threshold then 1 else config.jobs
+    end
+  in
+  let tasks =
+    List.concat_map
+      (fun r ->
+        if jobs <= 1 then [ (r, None) ]
+        else
+          match Combo.first_read_width (prepare r) with
+          | None -> [ (r, None) ]
+          | Some w -> List.init w (fun k -> (r, Some k)))
+      live_reps
+    |> Array.of_list
+  in
+  (* with jobs = 1 no domain is spawned, so prepared combos are safe to
+     share; parallel workers re-prepare domain-locally *)
+  let share = jobs <= 1 in
+  let results =
+    Pool.run_tasks ~jobs ~tasks:(Array.length tasks) (fun ti ->
+        let r, pin = tasks.(ti) in
+        let combo = if share then prepare r else Combo.prepare (paths_of r) in
+        let plan = Reduce.make_plan ~model ~locs combo in
+        let count = ref 0 and execs = ref [] in
+        let claim k =
+          let ordinal = !count in
+          count := !count + k;
+          if ordinal < config.max_graphs then Some ordinal else None
+        in
+        let emit ordinal sel trace =
+          execs :=
+            (ordinal, sel, { trace; outcome = Combo.outcome ~locs combo trace })
+            :: !execs
+        in
+        let explored = Reduce.enumerate ?pin ~claim ~emit plan in
+        (!count, explored, List.rev !execs))
+  in
+  (* fold each representative's tasks back together, offsetting local
+     ordinals by the task prefix within the combo *)
+  let rep_data = Hashtbl.create 64 in
+  let ti = ref 0 in
+  List.iter
+    (fun r ->
+      let count = ref 0 and explored = ref 0 and execs = ref [] in
+      while !ti < Array.length tasks && fst tasks.(!ti) = r do
+        let c, x, es = results.(!ti) in
+        List.iter (fun (o, s, e) -> execs := (!count + o, s, e) :: !execs) es;
+        count := !count + c;
+        explored := !explored + x;
+        incr ti
+      done;
+      Hashtbl.add rep_data r (!count, !explored, List.rev !execs))
+    live_reps;
+  (* global merge in combo enumeration order *)
+  let executions = ref [] and prefix = ref 0 in
+  for idx = 0 to total_combos - 1 do
+    let r = rep_of idx in
+    match Hashtbl.find_opt rep_data r with
+    | None -> () (* infeasible orbit: zero candidates, like the skip above *)
+    | Some (count, _, execs) ->
+        if idx = r then
+          List.iter
+            (fun (o, _sel, e) ->
+              if !prefix + o < config.max_graphs then
+                executions := e :: !executions)
+            execs
+        else begin
+          let kept =
+            List.filter (fun (o, _, _) -> !prefix + o < config.max_graphs) execs
+          in
+          if kept <> [] then begin
+            let pi = Symmetry.perm (Option.get sym) idx in
+            let from = prepare r and to_ = prepare idx in
+            List.iter
+              (fun (_o, sel, _e) ->
+                let sel' = Symmetry.map_selection ~from ~to_ pi sel in
+                match Combo.linearize ~locs to_ sel' with
+                | Some trace ->
+                    executions :=
+                      { trace; outcome = Combo.outcome ~locs to_ trace }
+                      :: !executions
+                | None ->
+                    (* the representative's candidate linearized, and
+                       the renaming preserves the constraint graph *)
+                    assert false)
+              kept
+          end
+        end;
+        prefix := !prefix + count
+  done;
+  let explored = Hashtbl.fold (fun _ (_, x, _) acc -> acc + x) rep_data 0 in
+  {
+    executions = List.rev !executions;
+    truncated;
+    capped = !prefix > config.max_graphs;
+    graphs = min !prefix config.max_graphs;
+    explored;
   }
 
 let run ?(config = default_config) (model : Model.t) (program : Tmx_lang.Ast.program) =
@@ -552,19 +427,10 @@ let run ?(config = default_config) (model : Model.t) (program : Tmx_lang.Ast.pro
   let thread_paths =
     List.map (List.filter (fun (p : Proto.path) -> not p.truncated)) thread_paths
   in
-  let combos = collect_combos thread_paths in
-  let small () =
-    (* saturating sum; stop adding once clearly past the threshold *)
-    let rec go acc = function
-      | [] -> acc < parallel_threshold
-      | _ when acc >= parallel_threshold -> false
-      | c :: rest -> go (acc + estimated_graphs c) rest
-    in
-    go 0 combos
-  in
-  if config.jobs <= 1 || small () then
-    run_sequential ~config ~model ~locs ~truncated combos
-  else run_parallel ~config ~model ~locs ~truncated combos
+  match config.reduction with
+  | No_reduction -> run_unreduced ~config ~model ~locs ~truncated thread_paths
+  | (Dpor | Dpor_sym) as reduction ->
+      run_reduced ~config ~model ~locs ~truncated reduction thread_paths
 
 let outcomes result = Outcome.dedup (List.map (fun e -> e.outcome) result.executions)
 

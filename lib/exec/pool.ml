@@ -14,8 +14,13 @@
 
    Pathological arguments are normalized up front: [jobs] is clamped to
    at least 1 (a negative or zero request means "no parallelism", not
-   an error), and a negative [tasks] raises [Invalid_argument] instead
-   of leaking whatever [Array] would have said.  Both the sequential
+   an error), a negative [tasks] raises [Invalid_argument] instead
+   of leaking whatever [Array] would have said, and the number of
+   spawned domains never exceeds [available_cores () - 1] — on a box
+   with fewer cores than the requested [jobs], oversubscribed domains
+   only contend for the scheduler and the minor heap, turning the pool
+   into a slowdown.  Results are unaffected: the calling domain is
+   always a worker and drains whatever the spawned ones don't claim.  Both the sequential
    and the parallel paths deliver a task's exception through the same
    capture-and-reraise machinery, so the caller sees identical
    exceptions with identical backtraces whatever [jobs] was. *)
@@ -47,7 +52,7 @@ let run_tasks ~jobs ~tasks (f : int -> 'a) : 'a array =
     in
     let spawned =
       List.init
-        (min (jobs - 1) (tasks - 1))
+        (min (min (jobs - 1) (tasks - 1)) (max 0 (available_cores () - 1)))
         (fun _ -> Domain.spawn worker)
     in
     worker ();

@@ -8,8 +8,12 @@
     is independent of domain scheduling.
 
     [jobs] is clamped to at least 1; with [jobs = 1] (or a single task)
-    everything runs in the calling domain and no domain is spawned.  A
-    negative [tasks] raises [Invalid_argument].
+    everything runs in the calling domain and no domain is spawned.
+    Spawned domains are additionally capped at [available_cores () - 1]:
+    oversubscribing a small machine only adds scheduler and minor-heap
+    contention, and the calling domain drains the queue regardless, so
+    results are unchanged.  A negative [tasks] raises
+    [Invalid_argument].
 
     If a task raises, the pool drains (no further tasks start) and the
     first exception is re-raised in the caller with the raising task's

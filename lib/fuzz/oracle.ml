@@ -232,6 +232,47 @@ let check_jobs_det ctx (p : Ast.program) =
   then Fail "execution order differs between jobs=1 and jobs=N"
   else Pass
 
+(* -- reduction-det ------------------------------------------------------------ *)
+
+(* Like jobs-det, calls [Enumerate.run] directly: the claim is about the
+   enumerator's reduction strategies, so a cache would make it vacuous.
+   [Dpor] promises bit-identical results to the unreduced reference —
+   executions in the same order.  [Dpor_sym] promises the same verdicts
+   and candidate accounting with the execution multiset preserved (the
+   order within a symmetry orbit is the representative's). *)
+let check_reduction_det _ctx (p : Ast.program) =
+  let run reduction =
+    Enumerate.run
+      ~config:{ seq_config with reduction }
+      Model.programmer p
+  in
+  let rn = run Enumerate.No_reduction in
+  let rd = run Enumerate.Dpor in
+  let rs = run Enumerate.Dpor_sym in
+  let key (e : Enumerate.execution) =
+    Fmt.str "%a|%a" Trace.pp e.trace Outcome.pp e.outcome
+  in
+  let kn = List.map key rn.executions in
+  if rn.graphs <> rd.graphs || rn.graphs <> rs.graphs then
+    Fail
+      (Fmt.str "graphs: %d none, %d dpor, %d dpor+sym" rn.graphs rd.graphs
+         rs.graphs)
+  else if
+    rn.capped <> rd.capped || rn.capped <> rs.capped
+    || rn.truncated <> rd.truncated || rn.truncated <> rs.truncated
+  then Fail "cap/truncation flags differ across reductions"
+  else if kn <> List.map key rd.executions then
+    Fail "dpor diverged from the unreduced reference (order-sensitive)"
+  else if
+    List.sort compare kn <> List.sort compare (List.map key rs.executions)
+  then Fail "dpor+sym execution multiset differs from the reference"
+  else if rd.explored > rn.explored || rs.explored > rd.explored then
+    Fail
+      (Fmt.str "explored states grew under reduction: %d none, %d dpor, %d \
+                dpor+sym"
+         rn.explored rd.explored rs.explored)
+  else Pass
+
 (* -- the deliberately-broken demo oracle -------------------------------------- *)
 
 let check_broken _ctx (p : Ast.program) =
@@ -277,6 +318,11 @@ let stock =
       name = "jobs-det";
       descr = "parallel enumeration is bit-identical to sequential";
       check = check_jobs_det;
+    };
+    {
+      name = "reduction-det";
+      descr = "dpor/dpor+sym enumeration preserves the unreduced verdicts";
+      check = check_reduction_det;
     };
   ]
 

@@ -17,8 +17,12 @@
                       finding                                                      |
     | [jobs-det]    | [Enumerate.run] with [jobs = 1] and [jobs = N] agree
                       bit-for-bit (executions, order, graphs, caps)                |
+    | [reduction-det] | [Enumerate.run] under [Dpor] is bit-identical to the
+                      unreduced reference, and under [Dpor_sym] preserves the
+                      execution multiset, graphs, caps, and monotonically
+                      shrinks explored states                                      |
 
-    A sixth oracle, [broken], deliberately fails on any program with a
+    A seventh oracle, [broken], deliberately fails on any program with a
     mixed location.  It exists to test the minimizer end-to-end and is
     hidden: {!by_name} only resolves it when the [TMX_FUZZ_BROKEN]
     environment variable is set. *)
@@ -61,7 +65,7 @@ val make_ctx :
   ctx
 
 val stock : t list
-(** The five differential oracles, in the order of the table above. *)
+(** The six differential oracles, in the order of the table above. *)
 
 val broken : t
 (** The deliberately-broken demo oracle (fails iff the program has a

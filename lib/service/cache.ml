@@ -185,6 +185,7 @@ let json_of_verdict ~version ~model_name ~config_key v =
       ("truncated", Json.bool v.result.truncated);
       ("capped", Json.bool v.result.capped);
       ("graphs", Json.int v.result.graphs);
+      ("explored", Json.int v.result.explored);
       ( "lint",
         Json.Obj
           [
@@ -211,6 +212,12 @@ let verdict_of_json j =
         truncated = get (Json.to_bool (get (Json.mem "truncated" j)));
         capped = get (Json.to_bool (get (Json.mem "capped" j)));
         graphs = get (Json.to_int (get (Json.mem "graphs" j)));
+        (* absent in pre-reduction cache files: those were written by
+           the unreduced enumerator, where explored = graphs *)
+        explored =
+          (match Json.mem "explored" j with
+          | Some x -> get (Json.to_int x)
+          | None -> get (Json.to_int (get (Json.mem "graphs" j))));
       };
     races = Array.of_list (List.map (fun ((_, r), _) -> r) parsed);
     mixed = Array.of_list (List.map (fun (_, m) -> m) parsed);

@@ -63,12 +63,13 @@ Witness files compare against themselves within the threshold:
 The differential fuzzer cross-checks the five semantic layers (the
 summary line carries wall-clock, so only the verdict table is pinned):
 
-  $ ../bin/tmx.exe fuzz --seed 1 --count 3 --no-corpus --jobs 1 | tail -6
+  $ ../bin/tmx.exe fuzz --seed 1 --count 3 --no-corpus --jobs 1 | tail -7
     enum-naive     3 programs
     machine-enum   3 programs
     stmsim-enum    3 programs
     lint-sound     3 programs
     jobs-det       3 programs
+    reduction-det  3 programs
   all oracles green
 
   $ ../bin/tmx.exe fuzz --list-oracles | cut -d' ' -f1
@@ -77,6 +78,7 @@ summary line carries wall-clock, so only the verdict table is pinned):
   stmsim-enum
   lint-sound
   jobs-det
+  reduction-det
 
 The static analyzer reports candidate races without enumerating, and
 exits 1 on findings so it can gate CI:

@@ -10,6 +10,7 @@ let exhaustive =
     "shapes";
     "theorems";
     "parallel";
+    "reduction";
     "stm_stress";
     "analysis_oracle";
   ]
@@ -38,6 +39,7 @@ let () =
       ("litmus", Test_litmus.suite);
       ("shapes", Test_shapes.suite);
       ("parallel", Test_parallel.suite);
+      ("reduction", Test_reduction.suite);
       ("parse", Test_parse.suite);
       ("export", Test_export.suite);
       ("theorems", Test_theorems.suite);

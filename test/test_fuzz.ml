@@ -100,7 +100,14 @@ let test_minimized_still_fails () =
 let test_stock_oracle_names () =
   Alcotest.(check (list string))
     "stock oracle names"
-    [ "enum-naive"; "machine-enum"; "stmsim-enum"; "lint-sound"; "jobs-det" ]
+    [
+      "enum-naive";
+      "machine-enum";
+      "stmsim-enum";
+      "lint-sound";
+      "jobs-det";
+      "reduction-det";
+    ]
     (List.map (fun (o : Oracle.t) -> o.name) Oracle.stock)
 
 let suite =

@@ -1,0 +1,180 @@
+(* The verdict-preservation contract of the reduced enumerator
+   (docs/ENUMERATION.md):
+
+   - [Dpor] is bit-identical to the unreduced reference — the same
+     executions in the same order, the same candidate accounting, the
+     same cap/truncation flags — while exploring no more states;
+   - [Dpor_sym] preserves the execution multiset (hence every verdict
+     and outcome set) and the candidate accounting, exploring no more
+     states than [Dpor];
+   - both hold for every [jobs], and compose with the graph cap.
+
+   Checked exhaustively over the litmus catalog × every model × a
+   jobs × reduction matrix, then pinned on random mixed-access programs
+   with the enumerated executions cross-checked against the
+   definition-faithful [Naive] axioms. *)
+
+open Tmx_core
+open Tmx_exec
+
+let run ?(jobs = 1) ?(max_graphs = Enumerate.default_config.max_graphs)
+    reduction model p =
+  Enumerate.run
+    ~config:{ Enumerate.default_config with jobs; max_graphs; reduction }
+    model p
+
+(* order-sensitive equality: executions, traces, accounting *)
+let check_identical name (a : Enumerate.result) (b : Enumerate.result) =
+  Alcotest.(check int) (name ^ ": graphs") a.graphs b.graphs;
+  Alcotest.(check bool) (name ^ ": capped") a.capped b.capped;
+  Alcotest.(check bool) (name ^ ": truncated") a.truncated b.truncated;
+  Alcotest.(check int)
+    (name ^ ": execution count")
+    (List.length a.executions)
+    (List.length b.executions);
+  List.iter2
+    (fun (x : Enumerate.execution) (y : Enumerate.execution) ->
+      if not (Outcome.equal x.outcome y.outcome) then
+        Alcotest.failf "%s: outcomes diverge" name;
+      if Trace.events x.trace <> Trace.events y.trace then
+        Alcotest.failf "%s: traces diverge" name)
+    a.executions b.executions
+
+(* order-insensitive equality: the execution multiset and accounting —
+   what [Dpor_sym] promises *)
+let exec_key (e : Enumerate.execution) =
+  (Trace.events e.trace, Fmt.str "%a" Outcome.pp e.outcome)
+
+let check_same_multiset name (a : Enumerate.result) (b : Enumerate.result) =
+  Alcotest.(check int) (name ^ ": graphs") a.graphs b.graphs;
+  Alcotest.(check bool) (name ^ ": capped") a.capped b.capped;
+  Alcotest.(check bool) (name ^ ": truncated") a.truncated b.truncated;
+  let keys r = List.sort compare (List.map exec_key r.Enumerate.executions) in
+  if keys a <> keys b then Alcotest.failf "%s: execution multisets differ" name
+
+(* Every catalog program × every model × jobs ∈ {1, 4}: dpor must be
+   bit-identical to none, dpor+sym multiset-identical, and explored
+   states must shrink monotonically none ≥ dpor ≥ dpor+sym. *)
+let test_catalog_matrix () =
+  let explored_none = ref 0 and explored_dpor = ref 0 and explored_sym = ref 0 in
+  List.iter
+    (fun (lit : Tmx_litmus.Litmus.t) ->
+      List.iter
+        (fun (model : Model.t) ->
+          let name = Fmt.str "%s/%s" lit.name model.name in
+          let rn = run Enumerate.No_reduction model lit.program in
+          let rd = run Enumerate.Dpor model lit.program in
+          let rs = run Enumerate.Dpor_sym model lit.program in
+          check_identical (name ^ " dpor=none") rn rd;
+          check_same_multiset (name ^ " dpor+sym~none") rn rs;
+          if rd.explored > rn.explored || rs.explored > rd.explored then
+            Alcotest.failf "%s: explored grew under reduction (%d/%d/%d)" name
+              rn.explored rd.explored rs.explored;
+          explored_none := !explored_none + rn.explored;
+          explored_dpor := !explored_dpor + rd.explored;
+          explored_sym := !explored_sym + rs.explored;
+          (* the jobs matrix within each reduction *)
+          List.iter
+            (fun reduction ->
+              check_identical
+                (Fmt.str "%s %s jobs" name (Enumerate.reduction_name reduction))
+                (run ~jobs:1 reduction model lit.program)
+                (run ~jobs:4 reduction model lit.program))
+            [ Enumerate.No_reduction; Enumerate.Dpor; Enumerate.Dpor_sym ])
+        Model.all)
+    Tmx_litmus.Catalog.all;
+  (* the reduction must actually bite somewhere on the catalog *)
+  if not (!explored_dpor < !explored_none) then
+    Alcotest.failf "dpor never pruned anything (%d vs %d explored)"
+      !explored_dpor !explored_none;
+  if not (!explored_sym < !explored_dpor) then
+    Alcotest.failf "symmetry never collapsed an orbit (%d vs %d explored)"
+      !explored_sym !explored_dpor
+
+(* A graph cap landing mid-enumeration: dpor's bulk claims must
+   reproduce the reference's cap point and kept prefix exactly. *)
+let test_capped () =
+  let stress =
+    let open Tmx_lang.Ast in
+    let x = loc "x" in
+    program ~name:"stress" ~locs:[ "x" ]
+      [
+        [ store x (int 1) ];
+        [ store x (int 2) ];
+        [ atomic [ store x (int 3) ] ];
+        [ store x (int 4) ];
+        [ load "r1" x; load "r2" x ];
+      ]
+  in
+  let rn = run ~max_graphs:100 Enumerate.No_reduction Model.implementation stress in
+  let rd = run ~max_graphs:100 Enumerate.Dpor Model.implementation stress in
+  Alcotest.(check bool) "cap exercised" true rn.capped;
+  check_identical "capped stress dpor=none" rn rd;
+  (* under a cap the symmetric quotient may keep a different subset, but
+     the accounting must still match *)
+  let rs = run ~max_graphs:100 Enumerate.Dpor_sym Model.implementation stress in
+  Alcotest.(check int) "capped graphs sym" rn.graphs rs.graphs;
+  Alcotest.(check bool) "capped flag sym" rn.capped rs.capped
+
+(* A thread-symmetric program must collapse orbits: interchangeable
+   readers over one location. *)
+let test_symmetry_bites () =
+  let p =
+    let open Tmx_lang.Ast in
+    let x = loc "x" in
+    program ~name:"sym3" ~locs:[ "x" ]
+      [
+        [ store x (int 1) ];
+        [ load "r" x ];
+        [ load "r" x ];
+        [ load "r" x ];
+      ]
+  in
+  let rd = run Enumerate.Dpor Model.programmer p in
+  let rs = run Enumerate.Dpor_sym Model.programmer p in
+  check_same_multiset "sym3" rd rs;
+  if not (rs.explored < rd.explored) then
+    Alcotest.failf "interchangeable readers not collapsed (%d vs %d explored)"
+      rs.explored rd.explored
+
+(* Random mixed-access programs (the fuzzer's preset): the reduction
+   contract plus the [Naive] cross-check — every execution the reduced
+   enumerator emits satisfies the definition-faithful axioms. *)
+let arb_mixed =
+  QCheck.map
+    (fun seed -> Tmx_fuzz.Gen.program Tmx_fuzz.Gen.mixed (Random.State.make [| 0x52ed; seed |]))
+    QCheck.small_int
+
+let naive_trace_limit = 14
+
+let prop_reduction_sound =
+  QCheck.Test.make ~name:"dpor/dpor+sym preserve verdicts on random mixed programs"
+    ~count:60 arb_mixed (fun p ->
+      List.for_all
+        (fun (model : Model.t) ->
+          let rn = run Enumerate.No_reduction model p in
+          let rd = run Enumerate.Dpor model p in
+          let rs = run Enumerate.Dpor_sym model p in
+          let keys r =
+            List.map exec_key r.Enumerate.executions
+          in
+          keys rn = keys rd
+          && rn.graphs = rd.graphs && rn.graphs = rs.graphs
+          && rn.capped = rd.capped && rn.capped = rs.capped
+          && List.sort compare (keys rn) = List.sort compare (keys rs)
+          && rd.explored <= rn.explored && rs.explored <= rd.explored
+          && List.for_all
+               (fun (e : Enumerate.execution) ->
+                 Trace.length e.trace > naive_trace_limit
+                 || Naive.consistent_axioms model e.trace)
+               rs.executions)
+        [ Model.programmer; Model.implementation; Model.bare ])
+
+let suite =
+  [
+    Alcotest.test_case "catalog jobs x reduction matrix" `Slow test_catalog_matrix;
+    Alcotest.test_case "graph cap under reduction" `Quick test_capped;
+    Alcotest.test_case "symmetry collapses interchangeable threads" `Quick
+      test_symmetry_bites;
+    Tb.qcheck prop_reduction_sound;
+  ]
