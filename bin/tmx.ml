@@ -365,39 +365,89 @@ let stm_cmd =
   let strategy_arg =
     Arg.(
       value
-      & opt (enum [ ("lazy", Tmx_stmsim.Stmsim.Lazy); ("eager", Tmx_stmsim.Stmsim.Eager) ])
+      & opt
+          (enum
+             [
+               ("lazy", Tmx_stmsim.Stmsim.Lazy);
+               ("eager", Tmx_stmsim.Stmsim.Eager);
+               ("partial", Tmx_stmsim.Stmsim.Partial);
+               ("norec", Tmx_stmsim.Stmsim.Norec);
+             ])
           Tmx_stmsim.Stmsim.Lazy
-      & info [ "s"; "strategy" ] ~docv:"STRATEGY" ~doc:"Versioning: lazy or eager.")
+      & info
+          [ "s"; "strategy"; "stm-mode" ]
+          ~docv:"STRATEGY" ~doc:"Versioning: lazy, eager, partial or norec.")
   in
   let atomic_flag =
     Arg.(
       value & flag
       & info [ "atomic-commit" ] ~doc:"Publish lazy write buffers indivisibly.")
   in
-  let run strategy atomic_commit name =
-    Result.map
-      (fun (l : Tmx_litmus.Litmus.t) ->
-        let config =
-          { Tmx_stmsim.Stmsim.default_config with strategy; atomic_commit }
-        in
-        let r = Tmx_stmsim.Stmsim.run ~config l.program in
-        Fmt.pr "%d schedules explored, %d distinct outcomes@." r.paths
-          (List.length r.outcomes);
-        List.iter (fun o -> Fmt.pr "  %a@." Outcome.pp o) r.outcomes;
-        let anomalies = Tmx_stmsim.Stmsim.anomalies ~config l.program in
-        if anomalies = [] then Fmt.pr "no anomalies vs the atomic reference@."
-        else begin
-          Fmt.pr "ANOMALIES vs the atomic reference semantics:@.";
-          List.iter (fun o -> Fmt.pr "  %a@." Outcome.pp o) anomalies
-        end)
-      (find_litmus name)
+  let checkpoints_arg =
+    Arg.(
+      value
+      & opt int Tmx_stmsim.Stmsim.default_config.checkpoints
+      & info [ "checkpoints" ] ~docv:"N"
+          ~doc:
+            "Partial-abort checkpoint budget (READ_SET_BOUND): checkpoints \
+             are taken before the first $(docv) memory reads; 0 makes \
+             partial behave exactly like lazy.")
   in
-  let term = Term.(term_result' (const run $ strategy_arg $ atomic_flag $ one_name)) in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Explore every catalog program and print a one-line \
+             anomaly summary per program.")
+  in
+  let run strategy atomic_commit checkpoints all names =
+    let config =
+      { Tmx_stmsim.Stmsim.default_config with strategy; atomic_commit; checkpoints }
+    in
+    if all then begin
+      List.iter
+        (fun (l : Tmx_litmus.Litmus.t) ->
+          let anomalies = Tmx_stmsim.Stmsim.anomalies ~config l.program in
+          Fmt.pr "%-28s %-7s %d anomalies@." l.name
+            (Tmx_stmsim.Stmsim.strategy_name strategy)
+            (List.length anomalies))
+        Tmx_litmus.Catalog.all;
+      Ok ()
+    end
+    else if names = [] then Error "nothing to explore: give catalog names or --all"
+    else
+      List.fold_left
+        (fun acc name ->
+          Result.bind acc (fun () ->
+              Result.map
+                (fun (l : Tmx_litmus.Litmus.t) ->
+                  let r = Tmx_stmsim.Stmsim.run ~config l.program in
+                  Fmt.pr "%d schedules explored, %d distinct outcomes@." r.paths
+                    (List.length r.outcomes);
+                  List.iter (fun o -> Fmt.pr "  %a@." Outcome.pp o) r.outcomes;
+                  let anomalies = Tmx_stmsim.Stmsim.anomalies ~config l.program in
+                  if anomalies = [] then
+                    Fmt.pr "no anomalies vs the atomic reference@."
+                  else begin
+                    Fmt.pr "ANOMALIES vs the atomic reference semantics:@.";
+                    List.iter (fun o -> Fmt.pr "  %a@." Outcome.pp o) anomalies
+                  end)
+                (find_litmus name)))
+        (Ok ()) names
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ strategy_arg $ atomic_flag $ checkpoints_arg $ all_flag
+       $ names_arg))
+  in
   Cmd.v
     (Cmd.info "stm"
        ~doc:
          "Exhaustively explore a program under the operational STM simulator \
-          and report anomalies against the atomic reference semantics.")
+          (lazy, eager, partial-abort or NOrec commit protocol) and report \
+          anomalies against the atomic reference semantics.")
     term
 
 (* -- stm-bench --------------------------------------------------------------- *)
@@ -423,8 +473,21 @@ let stm_bench_cmd =
   let mode_arg =
     Arg.(
       value
-      & opt (enum [ ("both", `Both); ("lazy", `Lazy); ("eager", `Eager) ]) `Both
-      & info [ "mode" ] ~docv:"MODE" ~doc:"Versioning: both, lazy or eager.")
+      & opt
+          (enum
+             [
+               ("all", `All);
+               ("both", `Both);
+               ("lazy", `Lazy);
+               ("eager", `Eager);
+               ("partial", `Partial);
+               ("norec", `Norec);
+             ])
+          `All
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Versioning: all (the default: every mode), both (lazy+eager), \
+             lazy, eager, partial or norec.")
   in
   let policy_arg =
     Arg.(
@@ -454,9 +517,12 @@ let stm_bench_cmd =
     let domains = max 1 domains and iters = max 1 iters in
     let modes =
       match mode with
+      | `All -> [ Stm.Lazy; Stm.Eager; Stm.Partial; Stm.Norec ]
       | `Both -> [ Stm.Lazy; Stm.Eager ]
       | `Lazy -> [ Stm.Lazy ]
       | `Eager -> [ Stm.Eager ]
+      | `Partial -> [ Stm.Partial ]
+      | `Norec -> [ Stm.Norec ]
     in
     let policies =
       match policy with
@@ -493,9 +559,10 @@ let stm_bench_cmd =
     (Cmd.info "stm-bench"
        ~doc:
          "Drive multi-domain workloads (read-heavy, write-heavy, \
-          privatization-heavy) over the runtime STM for each versioning \
-          mode and contention policy; print per-stage commit/abort/retry \
-          metrics and write BENCH_stm.json.")
+          long-read, privatization-heavy) over the runtime STM for each \
+          versioning mode (lazy, eager, partial, norec) and contention \
+          policy; print per-stage commit/abort/retry metrics and write \
+          BENCH_stm.json.")
     term
 
 (* -- fuzz --------------------------------------------------------------------- *)
@@ -530,8 +597,8 @@ let fuzz_cmd =
       & info [ "oracle" ] ~docv:"NAME"
           ~doc:
             "Oracle(s) to run (repeatable; default all): enum-naive, \
-             machine-enum, stmsim-enum, lint-sound, jobs-det.  See \
-             --list-oracles.")
+             machine-enum, stmsim-enum, lint-sound, jobs-det, \
+             reduction-det.  See --list-oracles.")
   in
   let list_oracles_flag =
     Arg.(

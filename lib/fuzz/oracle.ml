@@ -141,12 +141,26 @@ let check_machine_enum ctx (p : Ast.program) =
 
 (* -- stmsim-enum -------------------------------------------------------------- *)
 
+(* every commit strategy must stay within the axiomatic im; partial runs
+   with a small checkpoint budget so both the checkpoint-restore and the
+   budget-exceeded full-abort paths get exercised *)
 let stmsim_modes =
   let open Tmx_stmsim.Stmsim in
   [
     ("lazy", { default_config with strategy = Lazy });
     ("lazy+atomic-commit", { default_config with strategy = Lazy; atomic_commit = true });
+    ("partial", { default_config with strategy = Partial; checkpoints = 2 });
+    ("norec", { default_config with strategy = Norec });
   ]
+
+(* name which budget clipped the state space — a fuel-exhausted run and a
+   retry-starved run need different knobs to reproduce at full depth *)
+let budget_note (s : Tmx_stmsim.Stmsim.result) =
+  match (s.fuel_exhausted, s.retries_exhausted) with
+  | true, true -> " [fuel and retry budgets hit]"
+  | true, false -> " [fuel budget hit]"
+  | false, true -> " [retry budget hit]"
+  | false, false -> ""
 
 let check_stmsim_enum ctx (p : Ast.program) =
   let a = Enumerate.outcomes (ctx.run seq_config Model.implementation p) in
@@ -157,8 +171,8 @@ let check_stmsim_enum ctx (p : Ast.program) =
         match Outcome.diff s.outcomes a with
         | o :: _ ->
             Fail
-              (Fmt.str "stm %s outcome %a not admitted by the axiomatic im"
-                 mode Outcome.pp o)
+              (Fmt.str "stm %s outcome %a not admitted by the axiomatic im%s"
+                 mode Outcome.pp o (budget_note s))
         | [] -> go rest)
   in
   go stmsim_modes
@@ -306,7 +320,9 @@ let stock =
     };
     {
       name = "stmsim-enum";
-      descr = "lazy STM-simulator outcomes within the axiomatic im, per mode";
+      descr =
+        "STM-simulator outcomes within the axiomatic im (lazy, \
+         lazy+atomic-commit, partial, norec)";
       check = check_stmsim_enum;
     };
     {

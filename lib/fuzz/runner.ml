@@ -102,14 +102,14 @@ let minimize_program (opts : options) (o : Oracle.t) p =
            o ~seed ~origin:"minimize" ~detail p)
 
 let run opts =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Tmx_runtime.Clock.now_s () in
   let deadline =
     if opts.time_budget > 0. then Some (t0 +. opts.time_budget) else None
   in
   let budget_exhausted = ref false in
   let out_of_time () =
     match deadline with
-    | Some d when Unix.gettimeofday () > d ->
+    | Some d when Tmx_runtime.Clock.now_s () > d ->
         budget_exhausted := true;
         true
     | _ -> false
@@ -200,7 +200,7 @@ let run opts =
           Option.map (fun n -> (o.name, n)) (Hashtbl.find_opt per_oracle o.name))
         opts.oracles;
     failures = List.rev !failures;
-    elapsed = Unix.gettimeofday () -. t0;
+    elapsed = Tmx_runtime.Clock.now_s () -. t0;
     budget_exhausted = !budget_exhausted;
   }
 

@@ -1,0 +1,21 @@
+(** Monotonic time for deadlines and latency measurement.
+
+    Wall-clock time ([Unix.gettimeofday]) jumps when NTP steps the
+    clock or the timezone database lies, which spuriously expires every
+    in-flight deadline and records negative latencies.  Everything in
+    the runtime and the service layer that measures *durations* goes
+    through this module instead; wall-clock time is for log prefixes
+    only.
+
+    The OCaml [Unix] library exposes no monotonic clock, and the
+    dependency set is pinned, so this is a one-function C stub over
+    [clock_gettime(CLOCK_MONOTONIC)]. *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary fixed origin (boot, typically).
+    Monotonic: never decreases, unaffected by NTP steps or [TZ].
+    63-bit int: wraps after ~146 years of uptime. *)
+
+val now_s : unit -> float
+(** [now_ns] scaled to seconds, for deadline arithmetic expressed in
+    seconds. *)

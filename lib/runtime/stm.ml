@@ -1,15 +1,38 @@
 (* A software transactional memory for OCaml 5 realizing the paper's
    implementation model (§5).
 
-   Two versioning strategies, matching §3's design-space discussion:
+   Four versioning strategies, matching §3's design-space discussion and
+   the Manticore lineage (SNIPPETS.md):
 
    - [Lazy]: TL2-style.  A global version clock; reads validate against
      the transaction's read version (giving opacity); writes are buffered
      and published at commit under per-variable versioned locks.
    - [Eager]: encounter-time locking with an undo log.  Writes lock the
      variable and update in place; aborts roll back.
+   - [Partial]: [Lazy] plus partial aborts.  Every versioned read logs
+     the value it returned; when validation finds the read set invalid,
+     the transaction keeps the still-valid prefix up to the oldest
+     invalidated read (clamped to a READ_SET_BOUND-style budget) and
+     re-runs the closure, serving the retained reads from the value log
+     instead of memory.  OCaml 5's one-shot continuations rule out
+     Manticore's captured-continuation checkpoints, so the re-run *is*
+     the checkpoint: the closure is deterministic given its read values,
+     hence replaying the recorded prefix values reproduces the original
+     prefix execution exactly, and only the suffix touches memory again.
+     The one construct that breaks replay determinism is an [or_else]
+     whose first branch made memory reads and then aborted (those reads
+     influenced control flow but left the read set); such transactions
+     fall back to a full abort.
+   - [Norec]: a single global sequence lock and value-based validation —
+     no per-variable ownership metadata is consulted at all.  Writer
+     commits serialize on the counter (odd = write-back in flight);
+     in-flight transactions revalidate their read set by value whenever
+     the counter moved, which gives opacity without per-read version
+     checks.  NOrec transactions must not run concurrently with
+     lazy/eager/partial transactions over the same variables: they
+     ignore the per-variable locks the other modes rely on.
 
-   Both order transactions with a direct dependency (the publication
+   All four order transactions with a direct dependency (the publication
    idiom) by construction — a reader validates against the writer's
    commit — but neither orders transactions against later plain accesses
    (the privatization idiom): that requires [quiesce], the quiescence
@@ -32,9 +55,13 @@
 module Trace = Stm_trace
 module Contention = Contention
 
-type mode = Lazy | Eager
+type mode = Lazy | Eager | Partial | Norec
 
-let mode_name = function Lazy -> "lazy" | Eager -> "eager"
+let mode_name = function
+  | Lazy -> "lazy"
+  | Eager -> "eager"
+  | Partial -> "partial"
+  | Norec -> "norec"
 
 (* why an optimistic attempt failed *)
 type conflict =
@@ -44,24 +71,34 @@ type conflict =
 exception Retry_conflict of conflict
 exception User_abort
 
+exception Partial_restart of int
+(* internal to partial mode: re-run the closure keeping the oldest [p]
+   read-set entries and serving them from the value log *)
+
 let clock = Atomic.make 0
+
+(* NOrec's global commit counter / sequence lock: even = free, odd = a
+   writer's commit write-back is in flight *)
+let norec_seq = Atomic.make 0
 
 (* --- statistics ----------------------------------------------------- *)
 
-(* counters are per mode (index 0 = Lazy, 1 = Eager) and, for aborts,
-   per reason; histograms are global.  Everything is an atomic cell so
-   [stats] is a pure read. *)
+(* counters are per mode (index 0 = Lazy, 1 = Eager, 2 = Partial,
+   3 = Norec) and, for aborts, per reason; histograms are global.
+   Everything is an atomic cell so [stats] is a pure read. *)
 
-let mode_index = function Lazy -> 0 | Eager -> 1
+let mode_index = function Lazy -> 0 | Eager -> 1 | Partial -> 2 | Norec -> 3
+let n_modes = 4
 
 let acell_array n = Array.init n (fun _ -> Atomic.make 0)
 
-let commit_counts = acell_array 2
-let validation_counts = acell_array 2
-let lock_counts = acell_array 2
-let user_abort_counts = acell_array 2
+let commit_counts = acell_array n_modes
+let validation_counts = acell_array n_modes
+let lock_counts = acell_array n_modes
+let user_abort_counts = acell_array n_modes
 let quiesce_count = Atomic.make 0
 let escalation_count = Atomic.make 0
+let partial_abort_count = Atomic.make 0
 
 (* histogram buckets: value v lands in the first bucket with
    v <= bounds.(i); the extra last bucket is the overflow *)
@@ -87,10 +124,13 @@ type histogram = { bounds : int array; counts : int array }
 type snapshot = {
   lazy_stats : mode_stats;
   eager_stats : mode_stats;
+  partial_stats : mode_stats;
+  norec_stats : mode_stats;
   retry_hist : histogram; (* retries per committed transaction *)
   latency_hist_ns : histogram; (* first-attempt-to-commit latency *)
   quiesces : int;
   escalations : int; (* transactions that took the serialized slow path *)
+  partial_aborts : int; (* checkpoint rollbacks that avoided a full abort *)
 }
 
 let stats () =
@@ -108,10 +148,13 @@ let stats () =
   {
     lazy_stats = mode_stats 0;
     eager_stats = mode_stats 1;
+    partial_stats = mode_stats 2;
+    norec_stats = mode_stats 3;
     retry_hist = hist retry_bounds retry_counts;
     latency_hist_ns = hist latency_bounds_ns latency_counts;
     quiesces = Atomic.get quiesce_count;
     escalations = Atomic.get escalation_count;
+    partial_aborts = Atomic.get partial_abort_count;
   }
 
 let reset_stats () =
@@ -123,13 +166,16 @@ let reset_stats () =
   zero retry_counts;
   zero latency_counts;
   Atomic.set quiesce_count 0;
-  Atomic.set escalation_count 0
+  Atomic.set escalation_count 0;
+  Atomic.set partial_abort_count 0
 
 (* the legacy triple (commits, conflicts, user aborts), a projection of
    the per-mode counters so existing callers keep working unchanged *)
 let stats_snapshot () =
   let s = stats () in
-  let total f = f s.lazy_stats + f s.eager_stats in
+  let total f =
+    f s.lazy_stats + f s.eager_stats + f s.partial_stats + f s.norec_stats
+  in
   ( total (fun m -> m.commits),
     total (fun m -> m.validation_aborts + m.lock_aborts),
     total (fun m -> m.user_aborts) )
@@ -151,16 +197,39 @@ let pp_histogram ppf h =
 
 type tx = {
   mode : mode;
-  rv : int; (* read version *)
+  mutable rv : int;
+      (* read version (lazy/eager/partial: global clock sample, extended
+         on revalidation in partial mode) or, in norec mode, the global
+         sequence value the read set was last validated at *)
   footprint : int list option; (* declared TVar ids, for selective fences *)
-  mutable reads : (Tvar.t * int) list; (* variable, observed version *)
-  mutable writes : (Tvar.t * int) list; (* lazy write buffer *)
+  mutable reads : (Tvar.t * int) list;
+      (* read set, newest first.  lazy/eager/partial: variable and
+         observed VERSION; norec: variable and observed VALUE (no
+         per-variable metadata is consulted) *)
+  mutable writes : (Tvar.t * int) list; (* lazy/partial/norec write buffer *)
   mutable undo : (Tvar.t * int * int option) list;
       (* eager: var, overwritten value, and — on the first write to the
          variable, which also takes its lock — the pre-lock version.
          Every write is logged so [or_else] can roll back to a branch
          point. *)
+  mutable vals : int list;
+      (* partial: value returned by each versioned read, newest first,
+         aligned with [reads] *)
+  mutable replay : int list;
+      (* partial: after a partial abort, the retained prefix's values,
+         oldest first; versioned reads are served from here until the
+         re-run catches up with where it rolled back to *)
+  mutable unreplayable : bool;
+      (* partial: an [or_else] discarded memory reads of an aborted
+         first branch — the value log no longer determines the re-run's
+         control flow, so a partial abort must degrade to a full one *)
 }
+
+(* partial mode: the READ_SET_BOUND analog — a rollback never keeps more
+   than this many reads — and the per-attempt partial-abort budget
+   before degrading to a full abort *)
+let partial_read_set_bound = 64
+let max_partial_restarts = 8
 
 let abort _tx = raise User_abort
 
@@ -192,6 +261,107 @@ let read_versioned tx v =
   tx.reads <- (v, s1) :: tx.reads;
   x
 
+(* -- partial mode ------------------------------------------------------ *)
+
+let rec list_drop k l =
+  if k <= 0 then l else match l with [] -> [] | _ :: t -> list_drop (k - 1) t
+
+(* Timestamp extension with partial-abort fallout: sample the clock,
+   revalidate the whole read set oldest-first; if it holds, move rv
+   forward; if not, roll back to the oldest invalidated read (a full
+   abort when that is read 0, or when replay can no longer reproduce the
+   prefix). *)
+let partial_extend tx =
+  let t = Atomic.get clock in
+  let rec oldest_invalid j = function
+    | [] -> None
+    | (v, s1) :: older ->
+        let w = Tvar.version_word v in
+        if Tvar.locked w || w <> s1 then Some j else oldest_invalid (j + 1) older
+  in
+  match oldest_invalid 0 (List.rev tx.reads) with
+  | None -> tx.rv <- t
+  | Some j ->
+      Stm_trace.record Stm_trace.Read_validate_fail ();
+      if j = 0 || tx.unreplayable then raise (Retry_conflict Validation)
+      else raise (Partial_restart (min j partial_read_set_bound))
+
+let rec partial_read_versioned tx v =
+  let s1 = Tvar.version_word v in
+  if Tvar.locked s1 then lock_fail v
+  else if s1 > tx.rv then begin
+    (* a fresh read past rv is not a conflict yet: extend if the read
+       set still validates, partially abort otherwise *)
+    partial_extend tx;
+    partial_read_versioned tx v
+  end
+  else begin
+    let x = Tvar.unsafe_read v in
+    let s2 = Tvar.version_word v in
+    if s1 <> s2 then begin
+      partial_extend tx;
+      partial_read_versioned tx v
+    end
+    else begin
+      tx.reads <- (v, s1) :: tx.reads;
+      tx.vals <- x :: tx.vals;
+      x
+    end
+  end
+
+let partial_read tx v =
+  match List.find_opt (fun (u, _) -> u == v) tx.writes with
+  | Some (_, x) -> x
+  | None -> (
+      match tx.replay with
+      | x :: rest ->
+          (* re-running the prefix after a partial abort: the read-set
+             entry for this read is already retained; serve the recorded
+             value so the prefix replays deterministically *)
+          tx.replay <- rest;
+          x
+      | [] -> partial_read_versioned tx v)
+
+(* -- norec mode -------------------------------------------------------- *)
+
+(* wait until no writer holds the sequence lock; returns the (even)
+   counter value *)
+let rec norec_sample () =
+  let s = Atomic.get norec_seq in
+  if s land 1 = 1 then begin
+    Domain.cpu_relax ();
+    norec_sample ()
+  end
+  else s
+
+(* the counter moved: revalidate every read by value against a stable
+   (even, unchanged) counter window, then adopt that window *)
+let rec norec_extend tx =
+  let s = norec_sample () in
+  let ok = List.for_all (fun (v, x) -> Tvar.unsafe_read v = x) tx.reads in
+  if not ok then begin
+    Stm_trace.record Stm_trace.Read_validate_fail ();
+    raise (Retry_conflict Validation)
+  end;
+  if Atomic.get norec_seq <> s then norec_extend tx else tx.rv <- s
+
+let norec_read tx v =
+  match List.find_opt (fun (u, _) -> u == v) tx.writes with
+  | Some (_, x) -> x
+  | None ->
+      let rec go () =
+        if Atomic.get norec_seq <> tx.rv then norec_extend tx;
+        let x = Tvar.unsafe_read v in
+        (* the counter must not have moved across the read, else the
+           value may belong to a half-published write set *)
+        if Atomic.get norec_seq <> tx.rv then go ()
+        else begin
+          tx.reads <- (v, x) :: tx.reads;
+          x
+        end
+      in
+      go ()
+
 let read tx v =
   check_footprint tx v;
   match tx.mode with
@@ -199,13 +369,16 @@ let read tx v =
       match List.find_opt (fun (u, _) -> u == v) tx.writes with
       | Some (_, x) -> x
       | None -> read_versioned tx v)
+  | Partial -> partial_read tx v
+  | Norec -> norec_read tx v
   | Eager ->
       if eager_owns tx v then Tvar.unsafe_read v else read_versioned tx v
 
 let write tx v x =
   check_footprint tx v;
   match tx.mode with
-  | Lazy -> tx.writes <- (v, x) :: List.filter (fun (u, _) -> u != v) tx.writes
+  | Lazy | Partial | Norec ->
+      tx.writes <- (v, x) :: List.filter (fun (u, _) -> u != v) tx.writes
   | Eager ->
       if eager_owns tx v then begin
         tx.undo <- (v, Tvar.unsafe_read v, None) :: tx.undo;
@@ -287,6 +460,77 @@ let lazy_commit tx =
     List.iter (fun (v, _) -> Tvar.unlock v ~version:wv) !locked
   end
 
+(* lazy_commit, except a validation failure becomes a partial abort to
+   the oldest invalidated read when one is possible *)
+let partial_commit tx =
+  let partial_validation_fail ~own =
+    Stm_trace.record Stm_trace.Read_validate_fail ();
+    let rec oldest_invalid j = function
+      | [] -> None
+      | (v, s1) :: older -> (
+          match List.find_opt (fun (u, _) -> u == v) own with
+          | Some (_, prev) ->
+              if prev = s1 then oldest_invalid (j + 1) older else Some j
+          | None ->
+              let w = Tvar.version_word v in
+              if Tvar.locked w || w <> s1 then Some j
+              else oldest_invalid (j + 1) older)
+    in
+    match oldest_invalid 0 (List.rev tx.reads) with
+    | Some j when j > 0 && not tx.unreplayable ->
+        raise (Partial_restart (min j partial_read_set_bound))
+    | _ -> raise (Retry_conflict Validation)
+  in
+  if tx.writes = [] then begin
+    if not (validate tx) then partial_validation_fail ~own:[]
+  end
+  else begin
+    let to_lock =
+      List.sort_uniq (fun (a, _) (b, _) -> compare (Tvar.id a) (Tvar.id b)) tx.writes
+    in
+    let locked = ref [] in
+    let release () =
+      List.iter (fun (v, prev) -> Tvar.unlock v ~version:prev) !locked
+    in
+    (try
+       List.iter
+         (fun (v, _) ->
+           match Tvar.try_lock v with
+           | Some prev -> locked := (v, prev) :: !locked
+           | None -> lock_fail v)
+         to_lock
+     with Retry_conflict _ as e ->
+       release ();
+       raise e);
+    if not (validate ~own:!locked tx) then begin
+      release ();
+      partial_validation_fail ~own:!locked
+    end;
+    let wv = Atomic.fetch_and_add clock 2 + 2 in
+    List.iter (fun (v, x) -> Tvar.unsafe_write v x) (List.rev tx.writes);
+    List.iter (fun (v, _) -> Tvar.unlock v ~version:wv) !locked
+  end
+
+(* NOrec commit: read-only transactions are consistent by construction
+   (every read revalidated the set whenever the counter moved, and the
+   set was read under a stable counter); writers serialize on the
+   sequence lock and publish with plain writes — no per-variable lock is
+   taken or bumped *)
+let norec_commit tx =
+  if tx.writes <> [] then begin
+    let rec acquire () =
+      if not (Atomic.compare_and_set norec_seq tx.rv (tx.rv + 1)) then begin
+        (* the counter moved since we last validated: revalidate (which
+           also waits out any writer) and try again *)
+        norec_extend tx;
+        acquire ()
+      end
+    in
+    acquire ();
+    List.iter (fun (v, x) -> Tvar.unsafe_write v x) (List.rev tx.writes);
+    Atomic.set norec_seq (tx.rv + 2)
+  end
+
 let eager_commit tx =
   let own =
     List.filter_map
@@ -306,12 +550,24 @@ let eager_commit tx =
 let or_else tx f1 f2 =
   let saved_reads = tx.reads in
   match tx.mode with
-  | Lazy ->
+  | Lazy | Norec ->
       let saved_writes = tx.writes in
       (try f1 tx
        with User_abort ->
          tx.reads <- saved_reads;
          tx.writes <- saved_writes;
+         f2 tx)
+  | Partial ->
+      let saved_writes = tx.writes and saved_vals = tx.vals in
+      (try f1 tx
+       with User_abort ->
+         (* the aborted branch's memory reads shaped control flow but
+            leave the read set: the value log alone can no longer replay
+            this transaction, so partial aborts must degrade to full *)
+         if tx.reads != saved_reads then tx.unreplayable <- true;
+         tx.reads <- saved_reads;
+         tx.writes <- saved_writes;
+         tx.vals <- saved_vals;
          f2 tx)
   | Eager -> (
       let saved_undo = tx.undo in
@@ -323,32 +579,78 @@ let or_else tx f1 f2 =
 
 (* Run one attempt; [Error (`Conflict _)] means retry, [Error `Aborted]
    means the user aborted. *)
+let make_tx ?footprint mode =
+  let rv = match mode with Norec -> norec_sample () | _ -> Atomic.get clock in
+  {
+    mode;
+    rv;
+    footprint;
+    reads = [];
+    writes = [];
+    undo = [];
+    vals = [];
+    replay = [];
+    unreplayable = false;
+  }
+
+let commit tx =
+  match tx.mode with
+  | Lazy -> lazy_commit tx
+  | Eager -> eager_commit tx
+  | Partial -> partial_commit tx
+  | Norec -> norec_commit tx
+
+(* roll the transaction back to the retained prefix of [p] reads: the
+   re-run serves those reads from the value log and only re-executes —
+   and re-buffers — the suffix *)
+let partial_restart tx p =
+  let n = List.length tx.reads in
+  let p = min p n in
+  Atomic.incr partial_abort_count;
+  Stm_trace.record Stm_trace.Partial_abort ~detail:p ();
+  tx.reads <- list_drop (n - p) tx.reads;
+  tx.vals <- list_drop (n - p) tx.vals;
+  tx.replay <- List.rev tx.vals;
+  tx.writes <- [];
+  tx.unreplayable <- false
+
 let attempt ?footprint mode f =
   Registry.enter ?footprint ();
-  let tx =
-    { mode; rv = Atomic.get clock; footprint; reads = []; writes = []; undo = [] }
-  in
   let result =
-    match f tx with
-    | x -> (
-        match (match mode with Lazy -> lazy_commit tx | Eager -> eager_commit tx) with
-        | () -> Ok x
-        | exception Retry_conflict c -> Error (`Conflict c))
-    | exception Retry_conflict c ->
-        if mode = Eager then eager_rollback tx;
-        Error (`Conflict c)
-    | exception User_abort ->
-        if mode = Eager then eager_rollback tx;
-        Error `Aborted
-    | exception exn ->
-        if mode = Eager then eager_rollback tx;
-        Registry.exit ();
-        raise exn
+    (* partial mode re-runs the closure in place on a partial abort —
+       still the same attempt, same registry span; [budget] bounds the
+       rollbacks before degrading to a full abort *)
+    let rec run tx budget =
+      match f tx with
+      | x -> (
+          match commit tx with
+          | () -> Ok x
+          | exception Partial_restart p when budget > 0 ->
+              partial_restart tx p;
+              run tx (budget - 1)
+          | exception Partial_restart _ -> Error (`Conflict Validation)
+          | exception Retry_conflict c -> Error (`Conflict c))
+      | exception Partial_restart p when budget > 0 ->
+          partial_restart tx p;
+          run tx (budget - 1)
+      | exception Partial_restart _ -> Error (`Conflict Validation)
+      | exception Retry_conflict c ->
+          if mode = Eager then eager_rollback tx;
+          Error (`Conflict c)
+      | exception User_abort ->
+          if mode = Eager then eager_rollback tx;
+          Error `Aborted
+      | exception exn ->
+          if mode = Eager then eager_rollback tx;
+          Registry.exit ();
+          raise exn
+    in
+    run (make_tx ?footprint mode) max_partial_restarts
   in
   Registry.exit ();
   result
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let now_ns = Clock.now_ns
 
 (* Commit [f], retrying on conflicts under the contention policy;
    [Error `Aborted] if the user aborted (the paper's explicit abort —

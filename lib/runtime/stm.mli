@@ -1,16 +1,31 @@
 (** A software transactional memory for OCaml 5 realizing the paper's
     implementation model (§5).
 
-    Two versioning strategies, matching §3's design space:
+    Four versioning strategies, matching §3's design space and the
+    Manticore lineage:
 
     - [Lazy] (the default): TL2-style — a global version clock, reads
       validated against the transaction's read version (opacity), writes
       buffered and published at commit under per-variable versioned
       locks;
     - [Eager]: encounter-time locking with an undo log — writes lock and
-      update in place, aborts roll back.
+      update in place, aborts roll back;
+    - [Partial]: [Lazy] plus bounded partial aborts — on a validation
+      failure the transaction keeps the still-valid prefix of its read
+      set up to the oldest invalidated read and re-runs the closure,
+      serving the retained reads from a value log (a replay-based
+      rendering of Manticore's READ_SET_BOUND checkpoints; the closure
+      must be deterministic given its reads, which STM code is).  An
+      [or_else] whose first branch read memory and then aborted degrades
+      the next partial abort to a full one;
+    - [Norec]: NOrec — one global sequence lock, value-based
+      revalidation whenever the global commit counter moves, and no
+      per-variable ownership metadata.  Writer commits serialize;
+      privatization-by-commit is safe by construction, but a [Norec]
+      transaction must not run concurrently with other-mode transactions
+      over the same variables (it ignores their per-variable locks).
 
-    Both order transactions with a direct dependency (the publication
+    All order transactions with a direct dependency (the publication
     idiom needs no fence); neither orders transactions against later
     plain accesses — privatization needs {!quiesce}, the quiescence fence
     of §5.
@@ -28,7 +43,7 @@
 module Trace = Stm_trace
 module Contention = Contention
 
-type mode = Lazy | Eager
+type mode = Lazy | Eager | Partial | Norec
 
 val mode_name : mode -> string
 
@@ -106,12 +121,18 @@ type histogram = {
 type snapshot = {
   lazy_stats : mode_stats;
   eager_stats : mode_stats;
+  partial_stats : mode_stats;
+  norec_stats : mode_stats;
   retry_hist : histogram;  (** retries per {e committed} transaction *)
   latency_hist_ns : histogram;
-      (** first-attempt-to-commit wall latency, nanoseconds *)
+      (** first-attempt-to-commit latency, nanoseconds (monotonic
+          clock) *)
   quiesces : int;
   escalations : int;
       (** transactions that took the serialized slow path *)
+  partial_aborts : int;
+      (** partial-mode rollbacks to a read-set checkpoint that avoided a
+          full abort *)
 }
 
 val stats : unit -> snapshot
@@ -124,7 +145,7 @@ val reset_stats : unit -> unit
 
 val stats_snapshot : unit -> int * int * int
 (** Legacy projection: total (commits, conflict aborts, user aborts)
-    summed over both modes. *)
+    summed over all modes. *)
 
 val pp_mode_stats : Format.formatter -> mode_stats -> unit
 val pp_histogram : Format.formatter -> histogram -> unit

@@ -1,7 +1,7 @@
 (* Multi-domain workload driver for the runtime STM.
 
-   Three mixes, chosen to stress the three behaviours the runtime layers
-   are about:
+   Four mixes, chosen to stress the behaviours the runtime layers are
+   about:
 
    - [Read_heavy]: 90% read-only transactions over a Tarray and a Tmap,
      10% single-slot writes — read-only commits (which take no locks)
@@ -10,6 +10,11 @@
      cycles a Tqueue and swaps Tarray slots — lock acquisition and
      conflict retries dominate, which is what contention policies exist
      to manage;
+   - [Long_read]: every transaction reads a long run of cold slots and
+     only then reads-and-increments one hot counter, so an invalidation
+     always lands at the deepest read-set position — the workload
+     partial aborts exist for (the retained prefix is the whole cold
+     run), and where a full abort re-pays the entire read set;
    - [Privatization_heavy]: worker domains transact over a region under
      a declared footprint while one domain repeatedly privatizes it
      (flag flip, quiescence fence — alternating global and
@@ -21,14 +26,15 @@
    per-worker deterministic LCGs, so two runs of the same configuration
    issue the same transaction mix. *)
 
-type workload = Read_heavy | Write_heavy | Privatization_heavy
+type workload = Read_heavy | Write_heavy | Long_read | Privatization_heavy
 
 let workload_name = function
   | Read_heavy -> "read-heavy"
   | Write_heavy -> "write-heavy"
+  | Long_read -> "long-read"
   | Privatization_heavy -> "privatization-heavy"
 
-let all_workloads = [ Read_heavy; Write_heavy; Privatization_heavy ]
+let all_workloads = [ Read_heavy; Write_heavy; Long_read; Privatization_heavy ]
 
 type config = {
   domains : int;
@@ -49,7 +55,7 @@ let default_config =
   {
     domains = 4;
     iters = 1000;
-    modes = [ Stm.Lazy; Stm.Eager ];
+    modes = [ Stm.Lazy; Stm.Eager; Stm.Partial; Stm.Norec ];
     policies = default_policies;
     workloads = all_workloads;
   }
@@ -118,6 +124,27 @@ let write_heavy ~mode ~policy ~iters ~domains =
                Tarray.swap tx counters (rand 8) (rand 8)))
       done)
 
+(* every transaction reads 32 cold slots, then reads and increments the
+   single hot counter — the only location other transactions invalidate,
+   and the deepest entry in every read set.  Under partial mode a
+   conflict keeps the 32-read prefix and re-executes only the tail;
+   under lazy it re-pays the whole read set. *)
+let long_read ~mode ~policy ~iters ~domains =
+  let arr = Tarray.init 64 (fun i -> i) in
+  let hot = Tvar.make 0 in
+  List.init domains (fun _me () ->
+      for _ = 1 to iters do
+        ignore
+          (Stm.atomically ~mode ~policy (fun tx ->
+               let acc = ref 0 in
+               for j = 0 to 31 do
+                 acc := !acc + Tarray.get tx arr j
+               done;
+               let h = Stm.read tx hot in
+               Stm.write tx hot (h + 1);
+               !acc + h))
+      done)
+
 (* worker domains transact over [region] under a declared footprint;
    worker 0 is the privatizer: flag flip, quiescence fence (alternating
    global and per-location), plain sweep, republish. *)
@@ -158,13 +185,14 @@ let stage ~workload ~mode ~policy_name ~policy ~domains ~iters =
     match workload with
     | Read_heavy -> read_heavy ~mode ~policy ~iters ~domains
     | Write_heavy -> write_heavy ~mode ~policy ~iters ~domains
+    | Long_read -> long_read ~mode ~policy ~iters ~domains
     | Privatization_heavy -> privatization_heavy ~mode ~policy ~iters ~domains
   in
   Stm.reset_stats ();
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   let ds = List.map (fun w -> Domain.spawn w) workers in
   List.iter Domain.join ds;
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Clock.now_s () -. t0 in
   {
     workload = workload_name workload;
     mode = Stm.mode_name mode;
@@ -191,19 +219,30 @@ let run (config : config) =
 (* --- reporting ------------------------------------------------------- *)
 
 let totals (s : Stm.snapshot) =
-  let add f = f s.lazy_stats + f s.eager_stats in
+  let add f =
+    f s.lazy_stats + f s.eager_stats + f s.partial_stats + f s.norec_stats
+  in
   ( add (fun (m : Stm.mode_stats) -> m.commits),
     add (fun (m : Stm.mode_stats) -> m.validation_aborts),
     add (fun (m : Stm.mode_stats) -> m.lock_aborts),
     add (fun (m : Stm.mode_stats) -> m.user_aborts) )
 
+(* full (conflict) aborts per issued attempt outcome: partial-mode
+   checkpoint rollbacks deliberately do NOT count — that they keep a
+   conflict from becoming a full abort is the point of the mode *)
+let abort_rate (s : Stm.snapshot) =
+  let commits, v, l, _ = totals s in
+  let attempts = commits + v + l in
+  if attempts = 0 then 0. else float_of_int (v + l) /. float_of_int attempts
+
 let pp_result ppf r =
   let commits, v, l, u = totals r.snapshot in
   Fmt.pf ppf
-    "%-20s %-5s %-9s d=%d ops=%d commits=%d aborts={validation:%d lock:%d \
-     user:%d} quiesces=%d esc=%d %.3fs (%.0f tx/s)"
+    "%-20s %-7s %-9s d=%d ops=%d commits=%d aborts={validation:%d lock:%d \
+     user:%d} partial=%d quiesces=%d esc=%d %.3fs (%.0f tx/s)"
     r.workload r.mode r.policy r.domains r.ops commits v l u
-    r.snapshot.quiesces r.snapshot.escalations r.seconds
+    r.snapshot.partial_aborts r.snapshot.quiesces r.snapshot.escalations
+    r.seconds
     (float_of_int commits /. Float.max r.seconds 1e-9)
 
 let json_histogram buf name (h : Stm.histogram) =
@@ -231,10 +270,12 @@ let to_json (config : config) results =
            \     \"ops\": %d, \"seconds\": %.6f, \"commits_per_sec\": %.1f,\n\
            \     \"commits\": %d, \"aborts\": {\"validation\": %d, \"lock\": \
             %d, \"user\": %d},\n\
+           \     \"abort_rate\": %.4f, \"partial_aborts\": %d,\n\
            \     \"quiesces\": %d, \"escalations\": %d,\n     " r.workload
            r.mode r.policy r.ops r.seconds
            (float_of_int commits /. Float.max r.seconds 1e-9)
-           commits v l u r.snapshot.quiesces r.snapshot.escalations);
+           commits v l u (abort_rate r.snapshot) r.snapshot.partial_aborts
+           r.snapshot.quiesces r.snapshot.escalations);
       json_histogram buf "retry_histogram" r.snapshot.retry_hist;
       Buffer.add_string buf ",\n     ";
       json_histogram buf "commit_latency_ns_histogram"

@@ -7,7 +7,7 @@
     come from per-worker deterministic PRNGs, so a configuration always
     issues the same transaction mix. *)
 
-type workload = Read_heavy | Write_heavy | Privatization_heavy
+type workload = Read_heavy | Write_heavy | Long_read | Privatization_heavy
 
 val workload_name : workload -> string
 val all_workloads : workload list
@@ -24,7 +24,8 @@ val default_policies : (string * Contention.policy) list
 (** spin, jittered, budget8. *)
 
 val default_config : config
-(** 4 domains, 1000 iters, both modes, all policies, all workloads. *)
+(** 4 domains, 1000 iters, all four modes, all policies, all
+    workloads. *)
 
 type result = {
   workload : string;
@@ -38,6 +39,12 @@ type result = {
 
 val run : config -> result list
 val pp_result : Format.formatter -> result -> unit
+
+val abort_rate : Stm.snapshot -> float
+(** Full conflict aborts per attempt outcome,
+    [(validation + lock) / (commits + validation + lock)]; partial-mode
+    checkpoint rollbacks do not count (avoiding the full abort is the
+    mode's point). *)
 
 val to_json : config -> result list -> string
 (** The BENCH_stm.json document (schema in EXPERIMENTS.md). *)

@@ -25,9 +25,10 @@ type kind =
   | Escalate  (** the transaction took the serialized slow path; detail = retry count *)
   | Quiesce_start  (** detail = fenced tvar id, -1 for a global fence *)
   | Quiesce_end  (** detail = fenced tvar id, -1 for a global fence *)
+  | Partial_abort  (** partial mode rolled back to a checkpoint; detail = kept read-set prefix *)
 
 type event = {
-  time_ns : int;  (** wall clock, nanoseconds *)
+  time_ns : int;  (** monotonic clock, nanoseconds *)
   domain : int;  (** recording domain's id *)
   kind : kind;
   detail : int;
@@ -42,6 +43,7 @@ let kind_to_int = function
   | Escalate -> 5
   | Quiesce_start -> 6
   | Quiesce_end -> 7
+  | Partial_abort -> 8
 
 let kind_of_int = function
   | 0 -> Begin
@@ -51,6 +53,7 @@ let kind_of_int = function
   | 4 -> User_abort
   | 5 -> Escalate
   | 6 -> Quiesce_start
+  | 8 -> Partial_abort
   | _ -> Quiesce_end
 
 let kind_name = function
@@ -62,6 +65,7 @@ let kind_name = function
   | Escalate -> "escalate"
   | Quiesce_start -> "quiesce-start"
   | Quiesce_end -> "quiesce-end"
+  | Partial_abort -> "partial-abort"
 
 let stride = 3 (* time, kind, detail *)
 
@@ -117,7 +121,7 @@ let enable ?capacity () =
 
 let disable () = Atomic.set enabled_flag false
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let now_ns = Clock.now_ns
 
 let record kind ?(detail = -1) () =
   if Atomic.get enabled_flag then begin

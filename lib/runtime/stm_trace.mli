@@ -20,8 +20,12 @@ type kind =
   | Escalate  (** took the serialized slow path; detail = retry count *)
   | Quiesce_start  (** detail = fenced tvar id, -1 for a global fence *)
   | Quiesce_end
+  | Partial_abort
+      (** partial mode rolled back to a checkpoint instead of
+          restarting; detail = length of the retained read-set prefix *)
 
 type event = { time_ns : int; domain : int; kind : kind; detail : int }
+(** [time_ns] is {!Clock.now_ns} — monotonic, not wall-clock. *)
 
 val enable : ?capacity:int -> unit -> unit
 (** Clear all rings and start recording.  [capacity] (default 1024,

@@ -1,0 +1,18 @@
+/* Monotonic clock for Clock.now_ns.
+
+   CLOCK_MONOTONIC never steps backwards (NTP slews it, never jumps
+   it), which is what deadline and latency arithmetic needs.  Returned
+   as an unboxed OCaml int: 63 bits of nanoseconds since an arbitrary
+   origin is ~146 years, so no boxing and no allocation — the external
+   is declared [@@noalloc]. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value tmx_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

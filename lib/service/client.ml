@@ -1,14 +1,16 @@
 type conn = { fd : Unix.file_descr; mutable pending : string }
 
 let connect ?(wait_s = 0.) path =
-  let deadline = Unix.gettimeofday () +. wait_s in
+  (* monotonic: a wall-clock step while we poll must not stretch or
+     collapse the connect window *)
+  let deadline = Tmx_runtime.Clock.now_s () +. wait_s in
   let rec go () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX path) with
     | () -> Ok { fd; pending = "" }
     | exception Unix.Unix_error (e, _, _) ->
         (try Unix.close fd with _ -> ());
-        if Unix.gettimeofday () < deadline then (
+        if Tmx_runtime.Clock.now_s () < deadline then (
           Unix.sleepf 0.02;
           go ())
         else
@@ -20,13 +22,20 @@ let connect ?(wait_s = 0.) path =
 
 let close c = try Unix.close c.fd with _ -> ()
 
+(* as on the server side: a signal mid-write resumes where it left off
+   instead of truncating the request *)
 let write_all fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
   let rec go off =
     if off < n then
-      let written = Unix.write fd b off (n - off) in
-      go (off + written)
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (try ignore (Unix.select [] [ fd ] [] 0.25)
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go off
   in
   go 0
 

@@ -43,7 +43,12 @@ type t = {
 
 let cache t = t.cache
 let stopping t = Atomic.get t.stop_flag
-let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+(* deadlines and latency are durations, so they live on the monotonic
+   clock — an NTP step or TZ change mid-request must not expire (or
+   un-expire) anything *)
+let now_ns = Tmx_runtime.Clock.now_ns
+let now_s = Tmx_runtime.Clock.now_s
 
 let log t fmt =
   if t.cfg.verbose then Fmt.epr ("tmx serve: " ^^ fmt ^^ "@.")
@@ -71,7 +76,7 @@ let resolve_model (req : Protocol.request) =
 (* inclusive, so a deadline_ms of 0 is expired at dispatch even when the
    clock has not ticked since the deadline was computed *)
 let expired deadline =
-  match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
+  match deadline with None -> false | Some d -> now_s () >= d
 
 let deadline_error t ?id ~verb () =
   Metrics.deadline_exceeded t.metrics;
@@ -238,9 +243,9 @@ and handle_batch t ~deadline (req : Protocol.request) =
         let deadline =
           match (deadline, sub.deadline_ms) with
           | d, None -> d
-          | None, Some ms -> Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+          | None, Some ms -> Some (now_s () +. (float_of_int ms /. 1000.))
           | Some d, Some ms ->
-              Some (Float.min d (Unix.gettimeofday () +. (float_of_int ms /. 1000.)))
+              Some (Float.min d (now_s () +. (float_of_int ms /. 1000.)))
         in
         if sub.verb = "batch" then
           Protocol.error ?id:sub.id ~verb:"batch" "batch requests cannot nest"
@@ -277,7 +282,7 @@ let serve_line t line =
     | Ok req ->
         let deadline =
           Option.map
-            (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+            (fun ms -> now_s () +. (float_of_int ms /. 1000.))
             req.deadline_ms
         in
         (req.verb, (try handle_single t ~deadline req
@@ -291,31 +296,60 @@ let serve_line t line =
 
 (* -- connection loop -------------------------------------------------------- *)
 
+(* a signal landing mid-write (EINTR) or a full send buffer on a
+   non-blocking socket (EAGAIN/EWOULDBLOCK) must not abandon the rest of
+   the response — retry, waiting for writability first in the EAGAIN
+   case, exactly as the read path retries.  Any other error (EPIPE from
+   a vanished client) still escapes and tears down the connection. *)
 let write_all fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
   let rec go off =
     if off < n then
-      let written = Unix.write fd b off (n - off) in
-      go (off + written)
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (try ignore (Unix.select [] [ fd ] [] 0.25)
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go off
   in
   go 0
 
 let handle_conn t fd =
   (* short read timeout so an idle connection notices the stop flag *)
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25 with _ -> ());
+  (* byte queue with an explicit consume offset: chunks append to the
+     buffer, line extraction scans only bytes not yet examined, and the
+     consumed prefix is dropped once it passes a threshold — each byte
+     is appended, scanned and copied O(1) times, where re-building the
+     buffer per line made a large pipelined batch quadratic *)
   let pending = Buffer.create 1024 in
-  let chunk = Bytes.create 4096 in
+  let off = ref 0 (* start of the unconsumed region *)
+  and scanned = ref 0 (* invariant: no '\n' in [!off, !scanned) *) in
   let take_line () =
-    let s = Buffer.contents pending in
-    match String.index_opt s '\n' with
-    | None -> None
-    | Some i ->
-        Buffer.clear pending;
-        Buffer.add_string pending
-          (String.sub s (i + 1) (String.length s - i - 1));
-        Some (String.sub s 0 i)
+    let len = Buffer.length pending in
+    let i = ref (max !off !scanned) in
+    while !i < len && Buffer.nth pending !i <> '\n' do incr i done;
+    scanned := !i;
+    if !i >= len then None
+    else
+      let line = Buffer.sub pending !off (!i - !off) in
+      off := !i + 1;
+      scanned := !off;
+      (if !off = len then (
+         Buffer.clear pending;
+         off := 0;
+         scanned := 0)
+       else if !off > 65536 then (
+         let rest = Buffer.sub pending !off (len - !off) in
+         Buffer.clear pending;
+         Buffer.add_string pending rest;
+         off := 0;
+         scanned := 0));
+      Some line
   in
+  let chunk = Bytes.create 4096 in
   let rec read_line () =
     match take_line () with
     | Some line -> Some line

@@ -50,15 +50,27 @@ The STM bench drives multi-domain workloads and writes a JSON report
 (counts are workload-dependent, so only the stable summary is checked):
 
   $ ../bin/tmx.exe stm-bench -d 2 -n 20 --mode lazy --policy jittered -o BENCH_stm.json | tail -1
-  wrote BENCH_stm.json (3 runs)
+  wrote BENCH_stm.json (4 runs)
 
   $ test -s BENCH_stm.json && echo report-written
   report-written
 
-Witness files compare against themselves within the threshold:
+Witness files compare against themselves within the threshold (each run
+contributes a throughput and a commit-ratio metric):
 
   $ ../bin/tmx.exe bench-compare BENCH_stm.json BENCH_stm.json | tail -1
-  3/3 metrics within the 25%-regression threshold
+  8/8 metrics within the 25%-regression threshold
+
+The STM simulator explores commit strategies against the atomic
+reference: partial aborts keep lazy's privatization anomaly, while
+NOrec's serialized writer commits remove it by construction:
+
+  $ ../bin/tmx.exe stm privatization -s partial | tail -2
+  ANOMALIES vs the atomic reference semantics:
+    mem:[x=1 y=1]
+
+  $ ../bin/tmx.exe stm privatization -s norec | tail -1
+  no anomalies vs the atomic reference
 
 The differential fuzzer cross-checks the five semantic layers (the
 summary line carries wall-clock, so only the verdict table is pinned):

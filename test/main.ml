@@ -12,6 +12,7 @@ let exhaustive =
     "parallel";
     "reduction";
     "stm_stress";
+    "stmsim_oracle";
     "analysis_oracle";
   ]
 
@@ -46,6 +47,7 @@ let () =
       ("opt", Test_opt.suite);
       ("fenceify", Test_fenceify.suite);
       ("stmsim", Test_stmsim.suite);
+      ("stmsim_oracle", Test_stmsim_oracle.suite);
       ("runtime", Test_runtime.suite);
       ("stm_stress", Test_stm_stress.suite);
       ("structures", Test_structures.suite);

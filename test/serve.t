@@ -17,6 +17,13 @@ pass is answered entirely from it:
   $ ../bin/tmx.exe client --socket "$SOCK" batch --all
   batch: 33 requests, 33 ok, 33 cached
 
+A wide batch pipelines many sub-requests through one connection: the
+large request line and the streamed many-line response exercise the
+server's chunked line splitter and resumable writes end to end:
+
+  $ ../bin/tmx.exe client --socket "$SOCK" batch $(yes sb | head -80 | tr '\n' ' ')
+  batch: 80 requests, 80 ok, 80 cached
+
 Individual verbs reuse the same entries:
 
   $ ../bin/tmx.exe client --socket "$SOCK" races sb

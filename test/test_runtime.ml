@@ -351,6 +351,48 @@ let test_budget_escalation () =
     ((Stm.stats ()).escalations > before);
   Alcotest.(check int) "still committed" 7 (Tvar.unsafe_read v)
 
+(* --- partial aborts --------------------------------------------------- *)
+
+(* A deterministic checkpoint rollback: the partial transaction reads
+   [a] then [b], lets a writer commit b := 21, and only then reads [c].
+   Commit-time validation finds the oldest invalid read at position 1,
+   so the transaction rolls back to the checkpoint after [a] — replaying
+   a from the value log, re-reading b fresh — instead of a full abort.
+   The committed result and the [partial_aborts] counter both pin it. *)
+let test_partial_abort_replay () =
+  Stm.reset_stats ();
+  let a = Tvar.make 10 and b = Tvar.make 20 and c = Tvar.make 30 in
+  let ready = Atomic.make false and bumped = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        while not (Atomic.get ready) do
+          Domain.cpu_relax ()
+        done;
+        ignore (Stm.atomically (fun tx -> Stm.write tx b 21));
+        Atomic.set bumped true)
+  in
+  let r =
+    Stm.atomically ~mode:Stm.Partial (fun tx ->
+        let va = Stm.read tx a in
+        let vb = Stm.read tx b in
+        ignore vb;
+        if not (Atomic.get ready) then begin
+          Atomic.set ready true;
+          while not (Atomic.get bumped) do
+            Domain.cpu_relax ()
+          done
+        end;
+        let vc = Stm.read tx c in
+        (* on the replayed attempt vb is the fresh post-writer value *)
+        va + Stm.read tx b + vc)
+  in
+  Domain.join d;
+  Alcotest.(check (option int)) "commits with the fresh value" (Some 61) r;
+  Alcotest.(check bool) "checkpoint rollback recorded" true
+    ((Stm.stats ()).partial_aborts >= 1);
+  Alcotest.(check int) "exactly one commit, no full abort" 1
+    (Stm.stats ()).partial_stats.commits
+
 (* --- extended statistics -------------------------------------------- *)
 
 let test_stats_extended () =
@@ -428,17 +470,33 @@ let suite =
   [
     Alcotest.test_case "lazy read/write" `Quick (test_read_write Stm.Lazy);
     Alcotest.test_case "eager read/write" `Quick (test_read_write Stm.Eager);
+    Alcotest.test_case "partial read/write" `Quick (test_read_write Stm.Partial);
+    Alcotest.test_case "norec read/write" `Quick (test_read_write Stm.Norec);
     Alcotest.test_case "lazy abort rollback" `Quick (test_abort_rollback Stm.Lazy);
     Alcotest.test_case "eager abort rollback" `Quick (test_abort_rollback Stm.Eager);
+    Alcotest.test_case "partial abort rollback" `Quick (test_abort_rollback Stm.Partial);
+    Alcotest.test_case "norec abort rollback" `Quick (test_abort_rollback Stm.Norec);
     Alcotest.test_case "lazy counter" `Slow (test_counter Stm.Lazy);
     Alcotest.test_case "eager counter" `Slow (test_counter Stm.Eager);
+    Alcotest.test_case "partial counter" `Slow (test_counter Stm.Partial);
+    Alcotest.test_case "norec counter" `Slow (test_counter Stm.Norec);
     Alcotest.test_case "lazy transfers conserve" `Slow (test_transfer_conservation Stm.Lazy);
     Alcotest.test_case "eager transfers conserve" `Slow (test_transfer_conservation Stm.Eager);
+    Alcotest.test_case "partial transfers conserve" `Slow
+      (test_transfer_conservation Stm.Partial);
+    Alcotest.test_case "norec transfers conserve" `Slow
+      (test_transfer_conservation Stm.Norec);
     Alcotest.test_case "lazy opacity" `Slow (test_opacity Stm.Lazy);
     Alcotest.test_case "eager opacity" `Slow (test_opacity Stm.Eager);
+    Alcotest.test_case "partial opacity" `Slow (test_opacity Stm.Partial);
+    Alcotest.test_case "norec opacity" `Slow (test_opacity Stm.Norec);
     Alcotest.test_case "quiescence privatization" `Slow test_quiesce_privatization;
     Alcotest.test_case "lazy orElse" `Quick (test_or_else Stm.Lazy);
     Alcotest.test_case "eager orElse" `Quick (test_or_else Stm.Eager);
+    Alcotest.test_case "partial orElse" `Quick (test_or_else Stm.Partial);
+    Alcotest.test_case "norec orElse" `Quick (test_or_else Stm.Norec);
+    Alcotest.test_case "partial abort replays the retained prefix" `Slow
+      test_partial_abort_replay;
     Alcotest.test_case "footprints enforced" `Quick test_footprint_enforced;
     Alcotest.test_case "selective quiescence skips disjoint" `Slow
       test_selective_quiesce_skips_disjoint;

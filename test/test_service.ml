@@ -459,6 +459,138 @@ let test_server_shutdown_verb () =
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket);
   ignore (Cache.clear ~dir)
 
+(* -- the monotonic clock ------------------------------------------------------ *)
+
+(* The NTP-step regression pin: every deadline and latency in the service
+   layer is computed on [Tmx_runtime.Clock], which reads
+   CLOCK_MONOTONIC — a clock that cannot be stepped by NTP or a TZ
+   change.  A revert to [Unix.gettimeofday] fails the origin check (wall
+   time sits at ~1.7e9 s past the epoch; the monotonic origin is around
+   boot), and the TZ churn below would make a localtime-derived clock
+   jump. *)
+let test_clock_monotonic () =
+  let module Clock = Tmx_runtime.Clock in
+  Alcotest.(check bool) "not wall time" true
+    (Float.abs (Clock.now_s () -. Unix.gettimeofday ()) > 86400.);
+  let saved_tz = Sys.getenv_opt "TZ" in
+  Fun.protect
+    ~finally:(fun () ->
+      match saved_tz with Some tz -> Unix.putenv "TZ" tz | None -> ())
+    (fun () ->
+      let prev = ref (Clock.now_ns ()) in
+      List.iter
+        (fun tz ->
+          Unix.putenv "TZ" tz;
+          for _ = 1 to 1000 do
+            let t = Clock.now_ns () in
+            if t < !prev then Alcotest.fail "monotonic clock went backwards";
+            prev := t
+          done)
+        [ "UTC"; "America/New_York"; "Asia/Tokyo"; "UTC-14" ];
+      (* a 50ms deadline expires by elapsed time only, whatever the
+         wall-clock context does in between *)
+      let deadline = Clock.now_s () +. 0.05 in
+      Unix.putenv "TZ" "Pacific/Kiritimati";
+      Alcotest.(check bool) "not expired early" true (Clock.now_s () < deadline);
+      Unix.sleepf 0.06;
+      Alcotest.(check bool) "expired by elapsed time" true
+        (Clock.now_s () >= deadline))
+
+(* -- IO robustness ------------------------------------------------------------ *)
+
+(* A repeating interval timer peppers the process with SIGALRM while a
+   large batch response streams back: every read and write on both sides
+   must resume after EINTR instead of truncating the response or
+   dropping the connection. *)
+let test_batch_survives_signals () =
+  let dir = temp_dir "signals" in
+  let socket = socket_path () ^ "3" in
+  let cfg = { (Server.default_config ~socket) with cache_dir = dir } in
+  let t = Server.start cfg in
+  let old_alrm = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  let stop_timer () =
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL { it_value = 0.; it_interval = 0. })
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_timer ();
+      Sys.set_signal Sys.sigalrm old_alrm;
+      Server.stop t;
+      ignore (Cache.clear ~dir))
+    (fun () ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { it_value = 0.002; it_interval = 0.002 });
+      let n = 400 in
+      let batch =
+        req "batch" ~subrequests:(List.init n (fun _ -> req "ping"))
+      in
+      let resp = send socket batch in
+      Alcotest.(check bool) "batch ok under signal pressure" true
+        (Protocol.response_ok resp);
+      Alcotest.(check (option int))
+        "every sub-response arrived" (Some n)
+        (field Json.to_int "count" resp);
+      Alcotest.(check (option int))
+        "all ok" (Some n)
+        (field Json.to_int "ok_count" resp))
+
+(* Thousands of pipelined request lines pushed in one write: the
+   server's line splitter must hand back one response per line (the old
+   rebuild-the-buffer-per-line splitter made this quadratic; the test
+   doubles as its performance cram) *)
+let test_pipelined_lines () =
+  let dir = temp_dir "pipeline" in
+  let socket = socket_path () ^ "4" in
+  let cfg = { (Server.default_config ~socket) with cache_dir = dir } in
+  let t = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      ignore (Cache.clear ~dir))
+    (fun () ->
+      let n = 2000 in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let line = Json.to_string (Protocol.to_json (req "ping")) ^ "\n" in
+      let payload = String.concat "" (List.init n (fun _ -> line)) in
+      let rec wr off =
+        if off < String.length payload then
+          match
+            Unix.write_substring fd payload off (String.length payload - off)
+          with
+          | w -> wr (off + w)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wr off
+      in
+      wr 0;
+      let buf = Buffer.create (n * 32) in
+      let chunk = Bytes.create 8192 in
+      let count_lines () =
+        let c = ref 0 in
+        String.iter
+          (fun ch -> if ch = '\n' then incr c)
+          (Buffer.contents buf);
+        !c
+      in
+      let t0 = Tmx_runtime.Clock.now_s () in
+      while count_lines () < n && Tmx_runtime.Clock.now_s () -. t0 < 60. do
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | 0 -> Alcotest.fail "server closed the connection mid-pipeline"
+        | k -> Buffer.add_subbytes buf chunk 0 k
+      done;
+      Unix.close fd;
+      Alcotest.(check int) "one response line per request" n (count_lines ());
+      String.split_on_char '\n' (Buffer.contents buf)
+      |> List.filter (fun s -> s <> "")
+      |> List.iter (fun s ->
+             match Json.of_string s with
+             | Ok j ->
+                 if not (Protocol.response_ok j) then
+                   Alcotest.failf "error response in pipeline: %s" s
+             | Error e -> Alcotest.failf "bad response line: %s" e))
+
 let suite =
   [
     Alcotest.test_case "canon catalog round trip" `Quick test_canon_catalog;
@@ -476,4 +608,8 @@ let suite =
       test_cached_reports_identical;
     Alcotest.test_case "server end to end" `Quick test_server_end_to_end;
     Alcotest.test_case "server shutdown verb" `Quick test_server_shutdown_verb;
+    Alcotest.test_case "monotonic clock vs wall/TZ" `Quick test_clock_monotonic;
+    Alcotest.test_case "batch response survives signals" `Slow
+      test_batch_survives_signals;
+    Alcotest.test_case "pipelined request lines" `Slow test_pipelined_lines;
   ]

@@ -1,0 +1,38 @@
+(* The stmsim-enum differential oracle as a test suite: each commit
+   strategy's simulator outcomes (lazy, lazy+atomic-commit, partial with
+   a tight checkpoint budget, norec) stay within the axiomatic
+   implementation model, over the whole litmus catalog plus a
+   deterministic batch of fuzzed mixed-access programs.  The nightly
+   fuzz campaign runs the same oracle over fresh seeds; this suite pins
+   a fixed corpus into `dune runtest` (exhaustive — TMX_QUICK skips
+   it). *)
+
+module Gen = Tmx_fuzz.Gen
+module Oracle = Tmx_fuzz.Oracle
+
+let oracle = Option.get (Oracle.by_name "stmsim-enum")
+let ctx = Oracle.make_ctx ~jobs:1 ~seed:0 ()
+
+let check name p =
+  match oracle.Oracle.check ctx p with
+  | Oracle.Pass -> ()
+  | Oracle.Fail msg -> Alcotest.failf "%s: %s" name msg
+
+let test_catalog () =
+  List.iter
+    (fun (l : Tmx_litmus.Litmus.t) -> check l.name l.program)
+    Tmx_litmus.Catalog.all
+
+let test_generated () =
+  List.iteri
+    (fun i p -> check (Fmt.str "mixed #%d" i) p)
+    (List.init 60 (fun i ->
+         Gen.program Gen.mixed (Gen.state_of_seed ~seed:2026 ~index:i)))
+
+let suite =
+  [
+    Alcotest.test_case "catalog within the im, all strategies" `Slow
+      test_catalog;
+    Alcotest.test_case "generated programs within the im, all strategies"
+      `Slow test_generated;
+  ]
