@@ -7,6 +7,8 @@
                                  (exit 1 when any execution races)
      tmx lint [NAME|FILE ...]    static race analysis, no enumeration
                                  (exit 1 on findings)
+     tmx repair [NAME|FILE ...]  synthesize a minimal, enumerator-certified
+                                 race repair (fences / atomic promotion)
      tmx stm NAME                explore a program under the STM simulator
      tmx stm-bench               drive multi-domain workloads over the runtime STM
      tmx theorems [NAME ...]     run the theorem checks
@@ -265,6 +267,14 @@ let lint_cmd =
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the reports as a JSON array.")
   in
+  let sarif_flag =
+    Arg.(
+      value & flag
+      & info [ "sarif" ]
+          ~doc:
+            "Emit one SARIF 2.1.0 log over all reports (for CI code-scanning \
+             upload).  Like $(b,--json), exits 1 when there are findings.")
+  in
   let all_flag =
     Arg.(value & flag & info [ "all" ] ~doc:"Lint every catalog program.")
   in
@@ -287,7 +297,7 @@ let lint_cmd =
         (fun (l : Tmx_litmus.Litmus.t) -> l.program)
         (find_litmus name)
   in
-  let run json all fenced names =
+  let run json sarif all fenced names =
     let programs =
       if all then
         Ok (List.map (fun (l : Tmx_litmus.Litmus.t) -> l.program) Tmx_litmus.Catalog.all)
@@ -313,7 +323,8 @@ let lint_cmd =
               | Ok () -> Tmx_analysis.Lint.lint p)
             programs
         in
-        if json then begin
+        if sarif then print_string (Tmx_analysis.Lint.sarif_of_reports reports)
+        else if json then begin
           print_string "[";
           List.iteri
             (fun i r ->
@@ -336,7 +347,7 @@ let lint_cmd =
               n + List.length r.findings)
             0 reports
         in
-        if not json then
+        if not (json || sarif) then
           Fmt.pr "%d/%d programs statically race-free@."
             (List.length
                (List.filter Tmx_analysis.Lint.race_free reports))
@@ -345,7 +356,10 @@ let lint_cmd =
       programs
   in
   let term =
-    Term.(term_result' (const run $ json_flag $ all_flag $ fenced_flag $ names_arg))
+    Term.(
+      term_result'
+        (const run $ json_flag $ sarif_flag $ all_flag $ fenced_flag
+       $ names_arg))
   in
   Cmd.v
     (Cmd.info "lint"
@@ -357,6 +371,241 @@ let lint_cmd =
           any model; findings are conservative candidates to confirm \
           with `tmx races'.  Exits 1 when there are findings, so the \
           command is usable as a CI gate.")
+    term
+
+(* -- repair ------------------------------------------------------------------- *)
+
+let repair_cmd =
+  let goal_conv =
+    let parse s =
+      match Tmx_analysis.Repair.goal_of_string s with
+      | Some g -> Ok g
+      | None -> Error (`Msg (Fmt.str "unknown goal %S (expected mixed or all)" s))
+    in
+    Arg.conv (parse, fun ppf g -> Fmt.string ppf (Tmx_analysis.Repair.goal_name g))
+  in
+  let goal_arg =
+    Arg.(
+      value
+      & opt goal_conv Tmx_analysis.Repair.Mixed
+      & info [ "goal" ] ~docv:"GOAL"
+          ~doc:
+            "What to repair away: $(b,mixed) (mixed races, §5 — the \
+             default) or $(b,all) (every L-race).")
+  in
+  let repair_model_arg =
+    Arg.(
+      value
+      & opt model_conv Model.implementation
+      & info [ "m"; "model" ] ~docv:"MODEL"
+          ~doc:
+            "Memory model to certify the repair under (default im, the \
+             implementation model — where unfenced privatization races).")
+  in
+  let all_flag =
+    Arg.(value & flag & info [ "all" ] ~doc:"Repair every catalog program.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit edit lists + certificates as JSON.")
+  in
+  let diff_flag =
+    Arg.(
+      value & flag
+      & info [ "diff" ] ~doc:"Show a line diff from the original program.")
+  in
+  let apply_flag =
+    Arg.(
+      value & flag
+      & info [ "apply" ]
+          ~doc:
+            "Rewrite the litmus file in place with the repaired program \
+             (file arguments only; original check lines are preserved).")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "After synthesizing, independently re-verify the repair-sound \
+             contract: the repaired program is race-free and dropping any \
+             single edit reintroduces a race.  Exits 1 on violation — the \
+             CI gate.")
+  in
+  let no_promote_flag =
+    Arg.(
+      value & flag
+      & info [ "no-promote" ]
+          ~doc:
+            "Search fence insertions only (no promotion/absorption into \
+             atomic blocks) — the paper's privatization story.")
+  in
+  let max_edits_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-edits" ] ~docv:"N"
+          ~doc:"Edit budget (default: the candidate-pool size).")
+  in
+  let find name =
+    if Sys.file_exists name then
+      match Tmx_litmus.Parse.parse_file name with
+      | exception Tmx_litmus.Parse.Error msg -> Error (Fmt.str "%s: %s" name msg)
+      | litmus -> Ok (Some name, litmus.Tmx_litmus.Litmus.program)
+    else
+      Result.map
+        (fun (l : Tmx_litmus.Litmus.t) -> (None, l.program))
+        (find_litmus name)
+  in
+  (* a minimal LCS line diff; the programs are a dozen lines each *)
+  let line_diff a b =
+    let a = Array.of_list (String.split_on_char '\n' a) in
+    let b = Array.of_list (String.split_on_char '\n' b) in
+    let n = Array.length a and m = Array.length b in
+    let lcs = Array.make_matrix (n + 1) (m + 1) 0 in
+    for i = n - 1 downto 0 do
+      for j = m - 1 downto 0 do
+        lcs.(i).(j) <-
+          (if a.(i) = b.(j) then 1 + lcs.(i + 1).(j + 1)
+           else max lcs.(i + 1).(j) lcs.(i).(j + 1))
+      done
+    done;
+    let buf = Buffer.create 256 in
+    let rec go i j =
+      if i < n && j < m && a.(i) = b.(j) then (
+        Buffer.add_string buf ("  " ^ a.(i) ^ "\n");
+        go (i + 1) (j + 1))
+      else if j < m && (i = n || lcs.(i).(j + 1) >= lcs.(i + 1).(j)) then (
+        Buffer.add_string buf ("+ " ^ b.(j) ^ "\n");
+        go i (j + 1))
+      else if i < n then (
+        Buffer.add_string buf ("- " ^ a.(i) ^ "\n");
+        go (i + 1) j)
+    in
+    go 0 0;
+    Buffer.contents buf
+  in
+  let apply_to_file file repaired =
+    let original = In_channel.with_open_text file In_channel.input_all in
+    let checks =
+      List.filter
+        (fun line ->
+          let t = String.trim line in
+          String.length t >= 5 && String.sub t 0 5 = "check")
+        (String.split_on_char '\n' original)
+    in
+    let out =
+      Tmx_litmus.Export.program_to_string repaired
+      ^ (if checks = [] then "" else "\n" ^ String.concat "\n" checks ^ "\n")
+    in
+    Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc out)
+  in
+  let run model goal json diff apply check no_promote max_edits jobs reduction
+      all names =
+    let targets =
+      if all then
+        Ok
+          (List.map
+             (fun (l : Tmx_litmus.Litmus.t) -> (None, l.program))
+             Tmx_litmus.Catalog.all)
+      else if names = [] then
+        Error "nothing to repair: give catalog names, litmus files, or --all"
+      else
+        List.fold_left
+          (fun acc n ->
+            Result.bind acc (fun ts -> Result.map (fun t -> t :: ts) (find n)))
+          (Ok []) names
+        |> Result.map List.rev
+    in
+    Result.map
+      (fun targets ->
+        let config = config_of_jobs jobs reduction in
+        let failed = ref 0 and repaired = ref 0 and clean = ref 0 in
+        let first = ref true in
+        if json then print_string "[";
+        List.iter
+          (fun (file, (p : Tmx_lang.Ast.program)) ->
+            (match Tmx_lang.Ast.validate p with
+            | Error msg ->
+                Fmt.epr "tmx: %s: %s@." p.name msg;
+                exit 2
+            | Ok () -> ());
+            match
+              Tmx_analysis.Repair.run ~config ~goal ?max_edits
+                ~promote:(not no_promote) model p
+            with
+            | Error e ->
+                incr failed;
+                if json then (
+                  if not !first then print_string ",\n";
+                  first := false;
+                  print_string (Tmx_analysis.Repair.error_to_json ~program:p e))
+                else Fmt.pr "%s: no repair found: %s@." p.name e
+            | Ok r ->
+                if r.Tmx_analysis.Repair.edits = [] then incr clean
+                else incr repaired;
+                let sound =
+                  if check then
+                    match Tmx_analysis.Repair.check ~config ~goal model r with
+                    | Ok () -> true
+                    | Error e ->
+                        incr failed;
+                        Fmt.epr "tmx: %s: repair-sound violation: %s@." p.name
+                          e;
+                        false
+                  else true
+                in
+                if json then (
+                  if not !first then print_string ",\n";
+                  first := false;
+                  print_string (Tmx_analysis.Repair.to_json ~model ~goal r))
+                else begin
+                  Fmt.pr "@[<v>%a@]@." Tmx_analysis.Repair.pp r;
+                  if check && sound then
+                    Fmt.pr "  repair-sound: verified (race-free, 1-minimal)@.";
+                  if diff && r.edits <> [] then
+                    print_string
+                      (line_diff
+                         (Fmt.str "%a" Tmx_lang.Ast.pp_program r.original)
+                         (Fmt.str "%a" Tmx_lang.Ast.pp_program r.repaired))
+                end;
+                if apply && r.edits <> [] then
+                  match file with
+                  | Some file ->
+                      apply_to_file file r.repaired;
+                      if not json then Fmt.pr "  wrote %s@." file
+                  | None ->
+                      Fmt.epr
+                        "tmx: %s: --apply needs a litmus file argument, not a \
+                         catalog name@."
+                        p.name;
+                      incr failed)
+          targets;
+        if json then print_string "]\n"
+        else
+          Fmt.pr "%d repaired, %d already race-free, %d failed (model %a, \
+                  goal %s)@."
+            !repaired !clean !failed Model.pp model
+            (Tmx_analysis.Repair.goal_name goal);
+        if !failed > 0 then exit 1)
+      targets
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ repair_model_arg $ goal_arg $ json_flag $ diff_flag
+       $ apply_flag $ check_flag $ no_promote_flag $ max_edits_arg $ jobs_arg
+       $ reduction_arg $ all_flag $ names_arg))
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Synthesize a minimal race repair — fewest edits, then fewest \
+          fences, over per-site fence insertion, promotion into atomic \
+          blocks and absorption into adjacent ones — certified race-free \
+          by the reduced enumerator under the chosen model and goal.  \
+          Lint findings seed the candidates, each discarded candidate is \
+          justified by a concrete racy execution, and the result is \
+          1-minimal: dropping any single edit reintroduces a race.")
     term
 
 (* -- stm --------------------------------------------------------------------- *)
@@ -547,7 +796,9 @@ let stm_bench_cmd =
         (fun i e -> if i >= n - 20 then Fmt.pr "%a@." Stm.Trace.pp_event e)
         events
     end;
-    Stm_bench.write_json ~file:out config results;
+    let repair_cost = Stm_bench.repair_cost config in
+    List.iter (fun c -> Fmt.pr "%a@." Stm_bench.pp_fence_cost c) repair_cost;
+    Stm_bench.write_json ~repair_cost ~file:out config results;
     Fmt.pr "wrote %s (%d runs)@." out (List.length results)
   in
   let term =
@@ -598,7 +849,7 @@ let fuzz_cmd =
           ~doc:
             "Oracle(s) to run (repeatable; default all): enum-naive, \
              machine-enum, stmsim-enum, lint-sound, jobs-det, \
-             reduction-det.  See --list-oracles.")
+             reduction-det, repair-sound.  See --list-oracles.")
   in
   let list_oracles_flag =
     Arg.(
@@ -1374,7 +1625,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            litmus_cmd; outcomes_cmd; races_cmd; lint_cmd; stm_cmd;
+            litmus_cmd; outcomes_cmd; races_cmd; lint_cmd; repair_cmd; stm_cmd;
             stm_bench_cmd; machine_cmd; theorems_cmd; models_cmd; show_cmd;
             dot_cmd; check_cmd; export_cmd; shapes_cmd; fence_cmd; fuzz_cmd;
             bench_compare_cmd; serve_cmd; client_cmd; cache_cmd;

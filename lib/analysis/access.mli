@@ -21,6 +21,15 @@ type t = {
   loc : string;  (** footprint name; ["z[*]"] for computed cells *)
   path : string;  (** source path, e.g. ["t1.0.atomic.1.then.0"] *)
   stmt : Ast.stmt;  (** the load/store itself *)
+  walk : int;
+      (** static walk index within the thread (every statement consumes
+          one); in a loop-free thread, executed statements execute in
+          strictly increasing walk order *)
+  in_loop : bool;  (** the access sits inside a [while] body *)
+  nonzero_guards : string list;
+      (** registers that every dominating branch condition pins nonzero
+          whenever this access executes (e.g. the then-branch of
+          [if r { ... }], or the else-branch of [if r = 0 { ... }]) *)
   must_abort : bool;
       (** every control path from this access to the end of its
           enclosing transaction hits an [abort], so no dynamic instance
@@ -53,6 +62,33 @@ type t = {
 }
 
 val pp : t Fmt.t
+
+val txn_prefix : string -> string option
+(** The path prefix of the enclosing atomic block, if any:
+    [txn_prefix "t1.0.atomic.2.then.0" = Some "t1.0.atomic"].  Atomics
+    never nest, so the prefix is unique. *)
+
+(** {1 Program-wide context for {!Order}'s guard-dominance rule} *)
+
+type def = {
+  def_thread : int;
+  reg : string;  (** the register defined *)
+  from_load : string option;
+      (** the footprint name loaded when the def is [r := x]; [None]
+          for register-only assignments *)
+  def_walk : int;
+  def_txn : string option;
+      (** enclosing atomic path when the def is transactional *)
+  def_in_loop : bool;
+}
+
+type context = {
+  ctx_accesses : t list;  (** every access of the program *)
+  ctx_defs : def list;  (** every register definition of the program *)
+  ctx_loops : bool array;  (** per thread: does it contain a [while]? *)
+}
+
+val context : Ast.program -> context
 
 val body_must_abort : Ast.stmt list -> bool
 (** Does every control path through a transaction body hit an [abort]?

@@ -19,14 +19,15 @@
 
 open Tmx_lang
 
-type severity = High | Medium | Low
+type severity = High | Medium | Low | Info
 
 let pp_severity ppf = function
   | High -> Fmt.string ppf "high"
   | Medium -> Fmt.string ppf "medium"
   | Low -> Fmt.string ppf "low"
+  | Info -> Fmt.string ppf "info"
 
-let severity_rank = function High -> 0 | Medium -> 1 | Low -> 2
+let severity_rank = function High -> 0 | Medium -> 1 | Low -> 2 | Info -> 3
 
 type kind = Mixed_race | L_race
 
@@ -73,26 +74,34 @@ let specific_loc a b =
   in
   if is_wild a && not (is_wild b) then b else a
 
-let severity_of protections =
-  if protections = [] then High
-  else if
-    List.exists
-      (function
-        | Order.Guarded_publication _ | Order.Published_flag _
-        | Order.Consumed_flag _ ->
-            true
-        | Order.Fence_commit_side _ | Order.Fence_begin_side _ -> false)
-      protections
-  then Low
-  else Medium
+let is_guard_protection = function
+  | Order.Guarded_publication _ | Order.Published_flag _
+  | Order.Consumed_flag _ ->
+      true
+  | Order.Fence_commit_side _ | Order.Fence_begin_side _ -> false
 
-let fix_of loc (a : Access.t) (b : Access.t) =
+let is_fence_protection p = not (is_guard_protection p)
+
+let severity_of protections =
+  let guard = List.exists is_guard_protection protections in
+  let fence = List.exists is_fence_protection protections in
+  match (guard, fence) with
+  | false, false -> High
+  | false, true -> Medium
+  | true, false -> Low
+  | true, true -> Info
+
+(* A fence is only suggested when no fence protection exists yet, so a
+   mechanically applied [Insert_fence] suggestion always adds a new
+   protection class and strictly decreases the finding's severity
+   (High → Medium, Low → Info) — the property test/test_repair.ml pins. *)
+let fix_of loc protections (a : Access.t) (b : Access.t) =
   match (a.mode, b.mode) with
   | Access.Plain, Access.Plain -> Wrap_atomic [ a.path; b.path ]
   | _ ->
       let plain = if a.mode = Access.Plain then a else b in
-      if plain.after_atomic then
-        Insert_fence { fence_loc = loc; before = plain.path }
+      if plain.after_atomic && not (List.exists is_fence_protection protections)
+      then Insert_fence { fence_loc = loc; before = plain.path }
       else Wrap_atomic [ plain.path ]
 
 let finding_of_pair (a : Access.t) (b : Access.t) protections =
@@ -112,11 +121,12 @@ let finding_of_pair (a : Access.t) (b : Access.t) protections =
     b;
     protections;
     severity = severity_of protections;
-    fix = fix_of loc a b;
+    fix = fix_of loc protections a b;
   }
 
 let lint (p : Ast.program) =
-  let accesses = Array.of_list (Access.of_program p) in
+  let ctx = Access.context p in
+  let accesses = Array.of_list ctx.Access.ctx_accesses in
   let findings = ref [] in
   let n = Array.length accesses in
   for i = 0 to n - 1 do
@@ -126,7 +136,7 @@ let lint (p : Ast.program) =
         Tmx_opt.Footprint.name_clash a.Access.loc b.Access.loc
         && (a.Access.kind = Access.Write || b.Access.kind = Access.Write)
       then
-        match Order.pair a b with
+        match Order.pair ~ctx a b with
         | Order.Ordered _ -> ()
         | Order.Unordered protections ->
             findings := finding_of_pair a b protections :: !findings
@@ -253,4 +263,82 @@ let to_json r =
       Buffer.add_string buf "}")
     r.findings;
   Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf
+
+(* -- SARIF 2.1.0 -------------------------------------------------------------- *)
+
+(* One run, one result per finding across all reports; the program name
+   and source path land in a logical location (the litmus language has
+   no files/lines for a physical one).  Severities map onto the SARIF
+   levels: high → error, medium → warning, low/info → note. *)
+
+let sarif_level = function
+  | High -> "error"
+  | Medium -> "warning"
+  | Low | Info -> "note"
+
+let sarif_rule_id = function Mixed_race -> "mixed-race" | L_race -> "l-race"
+
+let sarif_of_reports reports =
+  let buf = Buffer.create 4096 in
+  let str s = json_escape buf s in
+  Buffer.add_string buf
+    "{\n\
+    \  \"$schema\": \
+     \"https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [\n\
+    \    {\n\
+    \      \"tool\": {\n\
+    \        \"driver\": {\n\
+    \          \"name\": \"tmx-lint\",\n\
+    \          \"informationUri\": \"https://example.invalid/tmx\",\n\
+    \          \"rules\": [\n\
+    \            {\"id\": \"mixed-race\", \"shortDescription\": {\"text\": \
+     \"candidate mixed race: transactional write vs plain write on a \
+     shared location\"}},\n\
+    \            {\"id\": \"l-race\", \"shortDescription\": {\"text\": \
+     \"candidate L-race: unordered conflicting pair with a plain \
+     access\"}}\n\
+    \          ]\n\
+    \        }\n\
+    \      },\n\
+    \      \"results\": [";
+  let first = ref true in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun f ->
+          if not !first then Buffer.add_string buf ",";
+          first := false;
+          Buffer.add_string buf "\n        {\"ruleId\": \"";
+          Buffer.add_string buf (sarif_rule_id f.kind);
+          Buffer.add_string buf "\", \"level\": \"";
+          Buffer.add_string buf (sarif_level f.severity);
+          Buffer.add_string buf "\", \"message\": {\"text\": ";
+          str
+            (Fmt.str "%a on %s: %a vs %a; fix: %a" pp_kind f.kind f.loc
+               Access.pp f.a Access.pp f.b pp_fix f.fix);
+          Buffer.add_string buf "},\n         \"locations\": [";
+          List.iteri
+            (fun i (a : Access.t) ->
+              if i > 0 then Buffer.add_string buf ", ";
+              Buffer.add_string buf "{\"logicalLocations\": [{\"kind\": ";
+              str "member";
+              Buffer.add_string buf ", \"fullyQualifiedName\": ";
+              str (r.program.Ast.name ^ "/" ^ a.path);
+              Buffer.add_string buf "}]}")
+            [ f.a; f.b ];
+          Buffer.add_string buf "],\n         \"partialFingerprints\": {\"tmxFindingKey/v1\": ";
+          str
+            (Fmt.str "%s:%s:%s:%s" r.program.Ast.name f.loc f.a.Access.path
+               f.b.Access.path);
+          Buffer.add_string buf "},\n         \"properties\": {\"severity\": ";
+          str (Fmt.str "%a" pp_severity f.severity);
+          Buffer.add_string buf ", \"program\": ";
+          str r.program.Ast.name;
+          Buffer.add_string buf "}}")
+        r.findings)
+    reports;
+  Buffer.add_string buf "\n      ]\n    }\n  ]\n}\n";
   Buffer.contents buf

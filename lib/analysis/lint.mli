@@ -20,8 +20,13 @@ type severity =
   | High  (** no static protection at all *)
   | Medium  (** one-sided quiescence-fence protection (HBCQ/HBQB) *)
   | Low  (** guarded-publication / privatization idiom (HBww-shaped) *)
+  | Info
+      (** both a fence and a guard protection — every known one-sided
+          ordering device is present, the residual risk is minimal *)
 
 val pp_severity : severity Fmt.t
+val severity_rank : severity -> int
+(** [High] is 0; larger is less severe. *)
 
 type kind =
   | Mixed_race  (** transactional write vs plain write (§5) *)
@@ -73,3 +78,11 @@ val pp_verdict : report Fmt.t
 (** One-line verdict: ["race-free"] or ["N candidate races (M mixed)"]. *)
 
 val to_json : report -> string
+
+val sarif_of_reports : report list -> string
+(** A SARIF 2.1.0 log with one run and one result per finding, across
+    all the given reports — what `tmx lint --sarif` emits so findings
+    can annotate PRs.  Program name and access path land in logical
+    locations (the litmus language has no physical files/lines);
+    severities map to SARIF levels (high → error, medium → warning,
+    low/info → note). *)

@@ -25,13 +25,20 @@
    [protection]s: they downgrade a finding's severity and shape its fix
    suggestion, but never suppress it, preserving soundness. *)
 
-type reason = Same_thread | Both_transactional | Both_reads | Must_abort
+type reason =
+  | Same_thread
+  | Both_transactional
+  | Both_reads
+  | Must_abort
+  | Guard_dominated of string
 
 let pp_reason ppf = function
   | Same_thread -> Fmt.string ppf "same thread (program order)"
   | Both_transactional -> Fmt.string ppf "both transactional"
   | Both_reads -> Fmt.string ppf "both reads"
   | Must_abort -> Fmt.string ppf "always-aborted transaction"
+  | Guard_dominated f ->
+      Fmt.pf ppf "guard-dominated via flag %s (cwr + po in the HB base)" f
 
 type protection =
   | Fence_commit_side of string
@@ -104,10 +111,116 @@ let protections (a : Access.t) (b : Access.t) =
              (fun f -> Consumed_flag f))
           tx.txn_writes
 
-let pair (a : Access.t) (b : Access.t) =
+(* -- guard dominance ---------------------------------------------------------
+
+   The one sound exclusion beyond the four structural ones.  Unlike the
+   [protection]s above, which are one-sided, this rule's premises force
+   EVERY dynamic race instance to be hb-ordered through relations in the
+   happens-before BASE of every model (init ∪ po ∪ cwr ∪ cww), so the
+   pair can be declared [Ordered] without losing soundness.
+
+   Two dual shapes, both hinging on a flag F distinct from the raced
+   location whose every static write is transactional, and on branch
+   conditions that pin a register nonzero (initial register values and
+   the initializing writes are 0, and aborted transactions roll
+   registers back — so a nonzero guard proves the register's unique
+   defining load observed a COMMITTED transactional write of F):
+
+   - publication (GD-pub): the transactional access runs only under a
+     guard r ≠ 0 whose unique definition loads F earlier in the same
+     atomic block, and every static write of F is transactional, in the
+     plain side's thread, walk-after the plain access.  Then in any
+     trace where both race candidates execute:
+       plain ─po→ F-write ─po→ its commit ─cwr→ guard load ─po→ tx access
+   - consumption (GD-con, D.4's shape): the plain access runs only
+     under a guard r ≠ 0 whose unique definition loads F inside an
+     earlier atomic block of its own thread, and every static write of
+     F is transactional, in the tx side's thread, in the same atomic
+     block as the tx access (or walk-after it).  Then:
+       tx access ─po→ F-write's commit ─cwr→ guard load ─po→ plain
+
+   Both directions need walk order to coincide with per-trace program
+   order, which holds exactly when the thread is loop-free — so the
+   rule refuses when either thread contains a while.  The "unique
+   definition" premise avoids register-freshness tracking: if the guard
+   register has exactly one static def in its thread, a nonzero value
+   can only have come from that load. *)
+
+let guard_dominated (ctx : Access.context) (a : Access.t) (b : Access.t) =
+  match (a.mode, b.mode) with
+  | Access.Plain, Access.Plain | Access.Transactional, Access.Transactional ->
+      None
+  | _ ->
+      let tx, plain =
+        if a.mode = Access.Transactional then (a, b) else (b, a)
+      in
+      let loop_free t = not ctx.Access.ctx_loops.(t) in
+      if not (loop_free tx.thread && loop_free plain.thread) then None
+      else
+        let unique_load thread r =
+          match
+            List.filter
+              (fun (d : Access.def) -> d.def_thread = thread && d.reg = r)
+              ctx.ctx_defs
+          with
+          | [ ({ from_load = Some f; _ } as d) ] -> Some (d, f)
+          | _ -> None
+        in
+        let writes_to f =
+          List.filter
+            (fun (w : Access.t) ->
+              w.kind = Access.Write && Tmx_opt.Footprint.name_clash w.loc f)
+            ctx.ctx_accesses
+        in
+        let distinct_flag f =
+          (not (Tmx_opt.Footprint.name_clash f tx.loc))
+          && not (Tmx_opt.Footprint.name_clash f plain.loc)
+        in
+        let all_writes_ok f pred =
+          match writes_to f with [] -> false | ws -> List.for_all pred ws
+        in
+        let pub =
+          List.find_map
+            (fun r ->
+              match unique_load tx.thread r with
+              | Some (d, f)
+                when d.def_txn <> None
+                     && d.def_txn = Access.txn_prefix tx.path
+                     && d.def_walk < tx.walk && distinct_flag f
+                     && all_writes_ok f (fun w ->
+                            w.mode = Access.Transactional
+                            && w.thread = plain.thread
+                            && plain.walk < w.walk) ->
+                  Some f
+              | _ -> None)
+            tx.nonzero_guards
+        in
+        let con () =
+          List.find_map
+            (fun r ->
+              match unique_load plain.thread r with
+              | Some (d, f)
+                when d.def_txn <> None && d.def_walk < plain.walk
+                     && distinct_flag f
+                     && all_writes_ok f (fun w ->
+                            w.mode = Access.Transactional
+                            && w.thread = tx.thread
+                            && (Access.txn_prefix w.path
+                                = Access.txn_prefix tx.path
+                               || tx.walk <= w.walk)) ->
+                  Some f
+              | _ -> None)
+            plain.nonzero_guards
+        in
+        (match pub with Some f -> Some f | None -> con ())
+
+let pair ?ctx (a : Access.t) (b : Access.t) =
   if a.thread = b.thread then Ordered Same_thread
   else if a.mode = Access.Transactional && b.mode = Access.Transactional then
     Ordered Both_transactional
   else if a.kind = Access.Read && b.kind = Access.Read then Ordered Both_reads
   else if a.must_abort || b.must_abort then Ordered Must_abort
-  else Unordered (protections a b)
+  else
+    match Option.bind ctx (fun c -> guard_dominated c a b) with
+    | Some f -> Ordered (Guard_dominated f)
+    | None -> Unordered (protections a b)

@@ -5,15 +5,28 @@
     instances is happens-before-ordered, or excluded from racing by the
     race definition itself, in every well-formed trace under every
     model: same thread (program order, which subsumes transaction
-    boundaries), both transactional, both reads, or an always-aborting
-    transaction.
+    boundaries), both transactional, both reads, an always-aborting
+    transaction — or guard dominance, the one data-dependent exclusion
+    whose premises force every dynamic race instance through the
+    happens-before base (po ∪ cwr) of every model.
 
     The quiescence-fence rules (WF12/HBCQ/HBQB) and the HBww
     privatization ordering are one-sided or data-dependent, so they are
     reported as {!protection}s — severity hints that never suppress a
     finding. *)
 
-type reason = Same_thread | Both_transactional | Both_reads | Must_abort
+type reason =
+  | Same_thread
+  | Both_transactional
+  | Both_reads
+  | Must_abort
+  | Guard_dominated of string
+      (** the guarded side only executes after a nonzero test of a
+          register whose unique definition transactionally loads this
+          flag; every static write of the flag is transactional and
+          positioned so cwr + po order the pair in every trace (needs
+          loop-free threads and program-global write facts, hence the
+          [?ctx] argument of {!pair}) *)
 
 val pp_reason : reason Fmt.t
 
@@ -49,5 +62,13 @@ val protections : Access.t -> Access.t -> protection list
 (** Protections for a pair known to clash on a location; only
     transactional-vs-plain pairs have any. *)
 
-val pair : Access.t -> Access.t -> verdict
-(** The static verdict for a clashing pair of accesses. *)
+val guard_dominated : Access.context -> Access.t -> Access.t -> string option
+(** The flag witnessing a guard-dominance exclusion for the pair, if
+    one applies (see {!reason}).  Sound under every model: the flag's
+    observed value serializes the guarded side behind the other through
+    base-happens-before edges alone. *)
+
+val pair : ?ctx:Access.context -> Access.t -> Access.t -> verdict
+(** The static verdict for a clashing pair of accesses.  [ctx] (from
+    {!Access.context}) enables the guard-dominance exclusion, which
+    needs program-global facts; without it the rule is skipped. *)

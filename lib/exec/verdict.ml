@@ -35,6 +35,47 @@ let mixed_racy ?config model program =
       Race.has_mixed_race e.trace hb)
     result.executions
 
+(* -- concrete race witnesses -------------------------------------------------- *)
+
+type race_witness = {
+  outcome : Outcome.t;
+  loc : string option;
+  threads : int * int;
+  mixed : bool;
+}
+
+let pp_race_witness ppf w =
+  let t1, t2 = w.threads in
+  Fmt.pf ppf "%s race on %s between t%d and t%d under outcome %a"
+    (if w.mixed then "mixed" else "L-")
+    (Option.value w.loc ~default:"?")
+    t1 t2 Outcome.pp w.outcome
+
+(* The first racy execution, as a concrete counterexample: the repair
+   search uses this to justify discarding a candidate and to steer which
+   edits the next candidate must contain.  With [mixed_only] the search
+   is restricted to mixed races (§5); otherwise any L-race counts, and
+   [mixed] records which kind the reported pair is. *)
+let race_witness ?config ?l ?(mixed_only = false) model program =
+  let result = Enumerate.run ?config model program in
+  List.find_map
+    (fun (e : Enumerate.execution) ->
+      let ctx = Lift.make e.trace in
+      let hb = Hb.compute model ctx in
+      let mixed = Race.mixed_races e.trace hb in
+      let pairs = if mixed_only then mixed else Race.races ?l e.trace hb in
+      match pairs with
+      | [] -> None
+      | (b, c) :: _ ->
+          Some
+            {
+              outcome = e.outcome;
+              loc = Action.loc_of (Trace.act e.trace b);
+              threads = (Trace.thread e.trace b, Trace.thread e.trace c);
+              mixed = List.mem (b, c) mixed;
+            })
+    result.executions
+
 (* -- SC-LTRF ----------------------------------------------------------------- *)
 
 type sc_ltrf_report = {

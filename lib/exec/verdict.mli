@@ -26,6 +26,28 @@ val racy :
 val mixed_racy :
   ?config:Enumerate.config -> Model.t -> Tmx_lang.Ast.program -> bool
 
+type race_witness = {
+  outcome : Outcome.t;  (** the racy execution's outcome *)
+  loc : string option;  (** the raced location, when the action names one *)
+  threads : int * int;  (** the two racing threads *)
+  mixed : bool;  (** is the reported pair a mixed race (§5)? *)
+}
+
+val pp_race_witness : race_witness Fmt.t
+
+val race_witness :
+  ?config:Enumerate.config ->
+  ?l:string list ->
+  ?mixed_only:bool ->
+  Model.t ->
+  Tmx_lang.Ast.program ->
+  race_witness option
+(** The first racy execution, as a concrete counterexample — [None] iff
+    the program is race-free (mixed-race-free with [mixed_only]) under
+    the model.  The repair search's oracle: a [Some] justifies
+    discarding a candidate and names the threads whose accesses the next
+    candidate must address. *)
+
 (** {1 SC-LTRF (Theorem 4.1, global corollary)} *)
 
 type sc_ltrf_report = {

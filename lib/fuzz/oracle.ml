@@ -287,6 +287,33 @@ let check_reduction_det _ctx (p : Ast.program) =
          rn.explored rd.explored rs.explored)
   else Pass
 
+(* -- repair-sound ------------------------------------------------------------- *)
+
+(* The repair synthesizer's contract, end-to-end on fuzzed programs:
+   under the implementation model, every program either is already
+   mixed-race-free (and [Repair.run] returns the empty edit list), or
+   gets a repair whose independent re-verification ([Repair.check], no
+   state shared with the search) confirms the repaired program is
+   mixed-race-free and dropping any single edit reintroduces a race.  A
+   racy program for which no repair exists in the candidate space is a
+   soundness bug too: the pool always contains the promote-everything
+   repair, so [Error] from a racy program means the lint seeding or the
+   search lost it. *)
+let check_repair_sound _ctx (p : Ast.program) =
+  let model = Model.implementation in
+  match Tmx_analysis.Repair.run ~config:seq_config model p with
+  | Error e -> Fail (Fmt.str "no repair found: %s" e)
+  | Ok r -> (
+      let racy = Verdict.race_witness ~config:seq_config ~mixed_only:true model p <> None in
+      if (not racy) && r.Tmx_analysis.Repair.edits <> [] then
+        Fail "clean program got a nonempty repair"
+      else if racy && r.edits = [] then
+        Fail "racy program got an empty repair"
+      else
+        match Tmx_analysis.Repair.check ~config:seq_config model r with
+        | Ok () -> Pass
+        | Error e -> Fail e)
+
 (* -- the deliberately-broken demo oracle -------------------------------------- *)
 
 let check_broken _ctx (p : Ast.program) =
@@ -339,6 +366,13 @@ let stock =
       name = "reduction-det";
       descr = "dpor/dpor+sym enumeration preserves the unreduced verdicts";
       check = check_reduction_det;
+    };
+    {
+      name = "repair-sound";
+      descr =
+        "synthesized repairs verify mixed-race-free; dropping any single \
+         edit reintroduces a race";
+      check = check_repair_sound;
     };
   ]
 

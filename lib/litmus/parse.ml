@@ -331,6 +331,25 @@ let rec parse_stmt st : Ast.stmt =
       advance st;
       expect st LPAREN;
       let x = ident st in
+      (* an array cell: fence(z[0]) names the declared cell "z[0]" (the
+         index must be a constant — fence names are static) *)
+      let x =
+        match peek st with
+        | Some LBRACKET -> (
+            advance st;
+            match peek st with
+            | Some (INT n) ->
+                advance st;
+                expect st RBRACKET;
+                Fmt.str "%s[%d]" x n
+            | t ->
+                fail
+                  "line %d: fence index must be a constant, found %a"
+                  (cur_line st)
+                  Fmt.(option pp_token ~none:(any "end of file"))
+                  t)
+        | _ -> x
+      in
       expect st RPAREN;
       Ast.fence x
   | Some (IDENT "if") ->

@@ -1,0 +1,176 @@
+(* Path-keyed program edits — the repair synthesizer's edit language.
+
+   Edits address statements by the same source paths [Tmx_analysis.Access]
+   derives ("t1.0.atomic.2.then.0"): thread roots are "t<i>", statement
+   indices append ".<j>", and Atomic/If/While bodies append
+   ".atomic"/".then"/".else"/".do".  [apply] re-derives the paths in a
+   single walk over the original program, so an edit list computed from a
+   lint report applies without re-analysis — and edits never see each
+   other's renumbering (a promoted access keeps its pre-edit path).
+
+   Three edit kinds, matching the repair search's candidate space:
+
+   - [Insert_fence]: place a quiescence fence immediately before the
+     addressed statement (the per-site refinement of the wholesale
+     [Fenceify] pass).  Refused inside atomic blocks, where the language
+     forbids fences.
+   - [Promote]: wrap the addressed plain load/store in its own
+     [atomic { }] block, making it transactional.
+   - [Absorb]: merge the addressed plain load/store into an adjacent
+     sibling atomic block (the preceding one if it exists, else the
+     following one) — guard strengthening: the neighbouring transaction's
+     atomicity is extended to cover the access, rather than minting a
+     new transaction.  Refused when neither neighbour is atomic.
+
+   Errors (conflicting edits, unmatched paths, illegal targets) are
+   reported as [Error msg]; the rewritten program is re-validated with
+   [Ast.validate] before being returned. *)
+
+open Tmx_lang
+
+type edit =
+  | Insert_fence of { before : string; fence_loc : string }
+  | Promote of { path : string }
+  | Absorb of { path : string }
+
+let pp_edit ppf = function
+  | Insert_fence { before; fence_loc } ->
+      Fmt.pf ppf "insert fence(%s) before %s" fence_loc before
+  | Promote { path } -> Fmt.pf ppf "promote %s into atomic" path
+  | Absorb { path } -> Fmt.pf ppf "absorb %s into adjacent atomic" path
+
+let path_of = function
+  | Insert_fence { before; _ } -> before
+  | Promote { path } | Absorb { path } -> path
+
+let is_fence = function Insert_fence _ -> true | Promote _ | Absorb _ -> false
+let fence_count edits = List.length (List.filter is_fence edits)
+
+exception Fail of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Fail s)) fmt
+
+let apply edits (p : Ast.program) =
+  let program_locs = p.Ast.locs in
+  try
+  (* split the edit list into fence insertions (keyed by the statement
+     they precede; several may stack) and statement rewrites (at most
+     one per path) *)
+  let fences = Hashtbl.create 7 and rewrites = Hashtbl.create 7 in
+  let consumed = Hashtbl.create 7 in
+  List.iter
+    (fun e ->
+      match e with
+      | Insert_fence { before; fence_loc } ->
+          let prior = Option.value (Hashtbl.find_opt fences before) ~default:[] in
+          if not (List.mem fence_loc prior) then
+            Hashtbl.replace fences before (prior @ [ fence_loc ])
+      | Promote _ | Absorb _ ->
+          let path = path_of e in
+          if Hashtbl.mem rewrites path then
+            raise (Fail (Fmt.str "conflicting edits at %s" path));
+          Hashtbl.replace rewrites path e)
+    edits;
+  let take tbl path =
+    match Hashtbl.find_opt tbl path with
+    | None -> None
+    | Some v ->
+        Hashtbl.replace consumed path ();
+        Some v
+  in
+  let plain_access path = function
+    | (Ast.Load _ | Ast.Store _) as s -> s
+    | _ -> fail "%s is not a load or store" path
+  in
+  (* Rewrite one statement list.  [path] is the enclosing body's path
+     prefix; children are [path.i].  Forward absorption ([x := e]
+     followed by its absorbing atomic) is handled by looking one raw
+     sibling ahead and carrying the absorbed statement into the
+     atomic's rebuilt body. *)
+  let rec body ~path ~in_txn stmts =
+    let rec go i ~carry acc = function
+      | [] ->
+          (match carry with
+          | [] -> ()
+          | _ -> fail "internal: dangling absorbed statement");
+          List.rev acc
+      | s :: rest ->
+          let p = Fmt.str "%s.%d" path i in
+          let acc =
+            match take fences p with
+            | None -> acc
+            | Some locs ->
+                if in_txn then
+                  fail "cannot insert a fence inside an atomic block (%s)" p;
+                (* a footprint wildcard ("z[*]") fences every declared
+                   cell of the array, as [Fenceify] does *)
+                let expanded =
+                  List.sort_uniq compare
+                    (List.concat_map
+                       (Footprint.expand_name ~locs:program_locs)
+                       locs)
+                in
+                List.rev_append (List.map Ast.fence expanded) acc
+          in
+          let acc, carry' =
+            match take rewrites p with
+            | Some (Promote _) ->
+                if in_txn then fail "%s is already transactional" p;
+                (Ast.Atomic [ plain_access p s ] :: acc, [])
+            | Some (Absorb _) -> (
+                if in_txn then fail "%s is already transactional" p;
+                let s = plain_access p s in
+                match acc with
+                | Ast.Atomic b :: acc' -> (Ast.Atomic (b @ [ s ]) :: acc', [])
+                | _ -> (
+                    match rest with
+                    | Ast.Atomic _ :: _ -> (acc, carry @ [ s ])
+                    | _ -> fail "%s has no adjacent atomic block to absorb into" p
+                    ))
+            | Some (Insert_fence _) | None ->
+                let s' =
+                  match s with
+                  | Ast.Atomic b ->
+                      Ast.Atomic
+                        (carry @ body ~path:(p ^ ".atomic") ~in_txn:true b)
+                  | Ast.If (c, t, e) ->
+                      Ast.If
+                        ( c,
+                          body ~path:(p ^ ".then") ~in_txn t,
+                          body ~path:(p ^ ".else") ~in_txn e )
+                  | Ast.While (c, b) ->
+                      Ast.While (c, body ~path:(p ^ ".do") ~in_txn b)
+                  | s -> s
+                in
+                (s' :: acc, [])
+          in
+          (match (carry', carry) with
+          | [], _ :: _ -> (
+              (* a carried absorb must land in the very next statement *)
+              match s with
+              | Ast.Atomic _ -> ()
+              | _ -> fail "internal: absorbed statement skipped its atomic")
+          | _ -> ());
+          go (i + 1) ~carry:carry' acc rest
+    in
+    go 0 ~carry:[] [] stmts
+  in
+    let threads =
+      List.mapi
+        (fun i th -> body ~path:(Fmt.str "t%d" i) ~in_txn:false th)
+        p.Ast.threads
+    in
+    (* every edit must have found its statement *)
+    List.iter
+      (fun e ->
+        let path = path_of e in
+        (* a fence's key and a rewrite's key can coincide; consumption
+           is tracked per path *)
+        if not (Hashtbl.mem consumed path) then
+          fail "no statement at %s (edit: %a)" path pp_edit e)
+      edits;
+    let p' = { p with Ast.threads } in
+    match Ast.validate p' with
+    | Ok () -> Ok p'
+    | Error e -> Error (Fmt.str "edited program is invalid: %s" e)
+  with Fail msg -> Error msg

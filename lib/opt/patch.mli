@@ -1,0 +1,44 @@
+(** Path-keyed program edits — the repair synthesizer's edit language.
+
+    Edits address statements by the source paths {!Tmx_analysis.Access}
+    derives (e.g. ["t1.0.atomic.2.then.0"]); [apply] re-derives the same
+    paths in a single walk over the original program, so an edit list
+    computed from a lint report applies directly, and edits never
+    observe each other's renumbering. *)
+
+open Tmx_lang
+
+type edit =
+  | Insert_fence of { before : string; fence_loc : string }
+      (** place [fence(fence_loc)] immediately before the statement at
+          [before] — the per-site refinement of the wholesale
+          {!Fenceify} pass.  [fence_loc] is a footprint name: a wildcard
+          ["z\[*\]"] expands to one fence per declared cell of the
+          array, as {!Fenceify} does.  Refused inside atomic blocks. *)
+  | Promote of { path : string }
+      (** wrap the plain load/store at [path] in its own [atomic]
+          block *)
+  | Absorb of { path : string }
+      (** merge the plain load/store at [path] into the adjacent sibling
+          atomic block (preceding preferred, else following) — guard
+          strengthening: extends a neighbouring transaction rather than
+          minting a new one.  Refused when neither neighbour is
+          atomic. *)
+
+val pp_edit : edit Fmt.t
+
+val path_of : edit -> string
+(** The path the edit addresses. *)
+
+val is_fence : edit -> bool
+
+val fence_count : edit list -> int
+(** How many of the edits are fence insertions — the secondary
+    minimization objective of the repair search. *)
+
+val apply : edit list -> Ast.program -> (Ast.program, string) result
+(** Apply all edits in one walk.  Errors on conflicting edits at one
+    path, paths that match no statement, promotion/absorption targets
+    that are not plain loads/stores (or are already transactional),
+    fence insertion inside an atomic block, absorption with no atomic
+    neighbour — and re-validates the result with {!Ast.validate}. *)

@@ -147,8 +147,10 @@ let long_read ~mode ~policy ~iters ~domains =
 
 (* worker domains transact over [region] under a declared footprint;
    worker 0 is the privatizer: flag flip, quiescence fence (alternating
-   global and per-location), plain sweep, republish. *)
-let privatization_heavy ~mode ~policy ~iters ~domains =
+   global and per-location), plain sweep, republish.  [~fenced:false]
+   drops the quiescence fence — the unrepaired program `tmx repair`
+   starts from — so the fenced/unfenced pair prices the repair. *)
+let privatization_heavy ?(fenced = true) ~mode ~policy ~iters ~domains () =
   let region = Tarray.make 16 0 in
   let flag = Tvar.make 0 in
   let n = Tarray.length region in
@@ -161,8 +163,9 @@ let privatization_heavy ~mode ~policy ~iters ~domains =
           ignore
             (Stm.atomically ~mode ~policy ~footprint:[ flag ] (fun tx ->
                  Stm.write tx flag 1));
-          (if i land 1 = 0 then Stm.quiesce ()
-           else Stm.quiesce ~var:region.(rand n) ());
+          if fenced then
+            if i land 1 = 0 then Stm.quiesce ()
+            else Stm.quiesce ~var:region.(rand n) ();
           for j = 0 to n - 1 do
             Tvar.unsafe_write region.(j) (Tvar.unsafe_read region.(j) + 1)
           done;
@@ -186,7 +189,8 @@ let stage ~workload ~mode ~policy_name ~policy ~domains ~iters =
     | Read_heavy -> read_heavy ~mode ~policy ~iters ~domains
     | Write_heavy -> write_heavy ~mode ~policy ~iters ~domains
     | Long_read -> long_read ~mode ~policy ~iters ~domains
-    | Privatization_heavy -> privatization_heavy ~mode ~policy ~iters ~domains
+    | Privatization_heavy ->
+        privatization_heavy ~mode ~policy ~iters ~domains ()
   in
   Stm.reset_stats ();
   let t0 = Clock.now_s () in
@@ -235,6 +239,81 @@ let abort_rate (s : Stm.snapshot) =
   let attempts = commits + v + l in
   if attempts = 0 then 0. else float_of_int (v + l) /. float_of_int attempts
 
+(* --- repair cost ------------------------------------------------------ *)
+
+(* The price of the §5 repair under load: the privatization workload
+   with and without its quiescence fence.  The unfenced variant is the
+   racy program `tmx repair` starts from (the plain sweep overlaps
+   in-flight readers — harmless on int cells, and the sweep result is
+   not asserted); the fenced variant is the repaired program.  The
+   throughput ratio is what the paper's 0.6–2.5% fence-overhead claim
+   is about. *)
+
+type fence_cost = {
+  workload : string;
+  mode : string;
+  policy : string;
+  fences : int; (* quiescence fences executed by the fenced run *)
+  fenced_per_sec : float;
+  unfenced_per_sec : float;
+}
+
+let fence_overhead c =
+  1. -. (c.fenced_per_sec /. Float.max c.unfenced_per_sec 1e-9)
+
+let repair_cost (config : config) =
+  if not (List.mem Privatization_heavy config.workloads) then []
+  else
+    (* the regular stages are sized for the full grid; a percent-level
+       overhead needs longer runs and best-of-N to rise above scheduler
+       noise, so each variant runs scaled-up and keeps its best rate *)
+    let iters = config.iters * 25 and reps = 3 in
+    List.concat_map
+      (fun mode ->
+        List.map
+          (fun (policy_name, policy) ->
+            let measure_once ~fenced =
+              let workers =
+                privatization_heavy ~fenced ~mode ~policy ~iters
+                  ~domains:config.domains ()
+              in
+              Stm.reset_stats ();
+              let t0 = Clock.now_s () in
+              let ds = List.map (fun w -> Domain.spawn w) workers in
+              List.iter Domain.join ds;
+              let seconds = Clock.now_s () -. t0 in
+              let s = Stm.stats () in
+              let commits, _, _, _ = totals s in
+              (float_of_int commits /. Float.max seconds 1e-9, s.Stm.quiesces)
+            in
+            let measure ~fenced =
+              List.fold_left
+                (fun (best, fences) _ ->
+                  let rate, f = measure_once ~fenced in
+                  (Float.max best rate, max fences f))
+                (0., 0)
+                (List.init reps (fun i -> i))
+            in
+            let fenced_per_sec, fences = measure ~fenced:true in
+            let unfenced_per_sec, _ = measure ~fenced:false in
+            {
+              workload = workload_name Privatization_heavy;
+              mode = Stm.mode_name mode;
+              policy = policy_name;
+              fences;
+              fenced_per_sec;
+              unfenced_per_sec;
+            })
+          config.policies)
+      config.modes
+
+let pp_fence_cost ppf c =
+  Fmt.pf ppf
+    "repair-cost %-20s %-7s %-9s fences=%d fenced=%.0f tx/s unfenced=%.0f \
+     tx/s overhead=%+.1f%%"
+    c.workload c.mode c.policy c.fences c.fenced_per_sec c.unfenced_per_sec
+    (100. *. fence_overhead c)
+
 let pp_result ppf r =
   let commits, v, l, u = totals r.snapshot in
   Fmt.pf ppf
@@ -253,13 +332,29 @@ let json_histogram buf name (h : Stm.histogram) =
     (Printf.sprintf {|"%s": {"bounds": [%s], "counts": [%s]}|} name
        (ints h.bounds) (ints h.counts))
 
-let to_json (config : config) results =
+let to_json ?(repair_cost = []) (config : config) results =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf
        "{\n  \"experiment\": \"stm_runtime_contention\",\n  \"domains\": %d,\n\
-       \  \"iters_per_domain\": %d,\n  \"runs\": [\n" config.domains
-       config.iters);
+       \  \"iters_per_domain\": %d,\n" config.domains config.iters);
+  if repair_cost <> [] then begin
+    Buffer.add_string buf "  \"repair_cost\": [\n";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"workload\": %S, \"mode\": %S, \"policy\": %S, \
+              \"fences\": %d,\n\
+             \     \"fenced_per_sec\": %.1f, \"unfenced_per_sec\": %.1f, \
+              \"fence_overhead\": %.4f}"
+             c.workload c.mode c.policy c.fences c.fenced_per_sec
+             c.unfenced_per_sec (fence_overhead c)))
+      repair_cost;
+    Buffer.add_string buf "\n  ],\n"
+  end;
+  Buffer.add_string buf "  \"runs\": [\n";
   List.iteri
     (fun i r ->
       let commits, v, l, u = totals r.snapshot in
@@ -285,7 +380,7 @@ let to_json (config : config) results =
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
 
-let write_json ~file config results =
+let write_json ?repair_cost ~file config results =
   let oc = open_out file in
-  output_string oc (to_json config results);
+  output_string oc (to_json ?repair_cost config results);
   close_out oc

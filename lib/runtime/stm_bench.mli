@@ -46,7 +46,29 @@ val abort_rate : Stm.snapshot -> float
     checkpoint rollbacks do not count (avoiding the full abort is the
     mode's point). *)
 
-val to_json : config -> result list -> string
-(** The BENCH_stm.json document (schema in EXPERIMENTS.md). *)
+type fence_cost = {
+  workload : string;
+  mode : string;
+  policy : string;
+  fences : int;  (** quiescence fences executed by the fenced run *)
+  fenced_per_sec : float;
+  unfenced_per_sec : float;
+}
 
-val write_json : file:string -> config -> result list -> unit
+val fence_overhead : fence_cost -> float
+(** [1 - fenced/unfenced] commit throughput — the price of the §5
+    quiescence fence, the edit [tmx repair] inserts. *)
+
+val repair_cost : config -> fence_cost list
+(** Run the privatization workload with and without its quiescence
+    fence for every (mode, policy) of [config] — empty when the config
+    omits {!Privatization_heavy}. *)
+
+val pp_fence_cost : Format.formatter -> fence_cost -> unit
+
+val to_json : ?repair_cost:fence_cost list -> config -> result list -> string
+(** The BENCH_stm.json document (schema in EXPERIMENTS.md); the
+    [repair_cost] entries land in a top-level ["repair_cost"] array. *)
+
+val write_json :
+  ?repair_cost:fence_cost list -> file:string -> config -> result list -> unit

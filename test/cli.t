@@ -56,10 +56,12 @@ The STM bench drives multi-domain workloads and writes a JSON report
   report-written
 
 Witness files compare against themselves within the threshold (each run
-contributes a throughput and a commit-ratio metric):
+contributes a throughput and a commit-ratio metric, and each
+repair-cost entry a fence count, a fenced throughput and a fence
+efficiency):
 
   $ ../bin/tmx.exe bench-compare BENCH_stm.json BENCH_stm.json | tail -1
-  8/8 metrics within the 25%-regression threshold
+  11/11 metrics within the 25%-regression threshold
 
 The STM simulator explores commit strategies against the atomic
 reference: partial aborts keep lazy's privatization anomaly, while
@@ -75,13 +77,14 @@ NOrec's serialized writer commits remove it by construction:
 The differential fuzzer cross-checks the five semantic layers (the
 summary line carries wall-clock, so only the verdict table is pinned):
 
-  $ ../bin/tmx.exe fuzz --seed 1 --count 3 --no-corpus --jobs 1 | tail -7
+  $ ../bin/tmx.exe fuzz --seed 1 --count 3 --no-corpus --jobs 1 | tail -8
     enum-naive     3 programs
     machine-enum   3 programs
     stmsim-enum    3 programs
     lint-sound     3 programs
     jobs-det       3 programs
     reduction-det  3 programs
+    repair-sound   3 programs
   all oracles green
 
   $ ../bin/tmx.exe fuzz --list-oracles | cut -d' ' -f1
@@ -91,6 +94,7 @@ summary line carries wall-clock, so only the verdict table is pinned):
   lint-sound
   jobs-det
   reduction-det
+  repair-sound
 
 The static analyzer reports candidate races without enumerating, and
 exits 1 on findings so it can gate CI:
@@ -112,6 +116,50 @@ A statically race-free program exits 0:
   program opacity_iriw: x tx-only, y tx-only
   statically race-free
   1/1 programs statically race-free
+
+SARIF output carries the schema header, the rule ids, and one result
+per finding (still exit 1, so it can gate and upload in one step):
+
+  $ ../bin/tmx.exe lint privatization --sarif > lint.sarif
+  [1]
+  $ grep -c 'sarif-schema-2.1.0' lint.sarif
+  1
+  $ grep -o '"version": "2.1.0"' lint.sarif
+  "version": "2.1.0"
+  $ grep -o '"ruleId": "[a-z-]*"' lint.sarif
+  "ruleId": "mixed-race"
+  $ grep -o '"tmxFindingKey/v1": "[^"]*"' lint.sarif
+  "tmxFindingKey/v1": "privatization:x:t0.0.atomic.1.then.0:t1.1"
+
+The repair synthesizer turns a lint finding into the cheapest edit set
+the enumerator certifies race-free.  With promotion disabled the only
+candidate is the per-site fence, and the result is structurally the
+catalog's own fenced variant:
+
+  $ ../bin/tmx.exe repair privatization --no-promote --check
+  privatization: repaired with 1 edit (1 fence, 0 promotes, 0 absorbs)
+    - insert fence(x) before t1.1
+  certificate 49a609368316 (1 subsets, 2 enumerator calls)
+    repair-sound: verified (race-free, 1-minimal)
+  1 repaired, 0 already race-free, 0 failed (model im, goal mixed)
+
+With promotion allowed the fence ties on edit count and loses the
+fence-count tie-break:
+
+  $ ../bin/tmx.exe repair privatization --diff | head -7
+  privatization: repaired with 1 edit (0 fences, 1 promote, 0 absorbs)
+    - promote t1.1 into atomic
+  certificate 519105960ac5 (1 subsets, 2 enumerator calls)
+    privatization:
+      t0: atomic { ry := y; if !ry { x := 1 } }
+  +   t1: atomic { y := 1 }; atomic { x := 2 }
+  -   t1: atomic { y := 1 }; x := 2
+
+An already race-free program needs no edits:
+
+  $ ../bin/tmx.exe repair privatization_fence
+  privatization_fence: already mixed-race-free, no repair needed (certificate 49a609368316)
+  0 repaired, 1 already race-free, 0 failed (model im, goal mixed)
 
 The litmus runner records the static verdict next to the exhaustive one:
 

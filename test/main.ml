@@ -14,6 +14,7 @@ let exhaustive =
     "stm_stress";
     "stmsim_oracle";
     "analysis_oracle";
+    "repair_oracle";
   ]
 
 let () =
@@ -56,6 +57,8 @@ let () =
       ("volatile", Test_volatile.suite);
       ("analysis", Test_analysis.suite);
       ("analysis_oracle", Test_analysis.oracle_suite);
+      ("repair", Test_repair.suite);
+      ("repair_oracle", Test_repair.oracle_suite);
       ("fuzz", Test_fuzz.suite);
       ("service", Test_service.suite);
     ]

@@ -107,6 +107,7 @@ let test_stock_oracle_names () =
       "lint-sound";
       "jobs-det";
       "reduction-det";
+      "repair-sound";
     ]
     (List.map (fun (o : Oracle.t) -> o.name) Oracle.stock)
 
