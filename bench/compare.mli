@@ -1,7 +1,8 @@
 (** Benchmark-regression guard behind [tmx bench-compare].
 
     Reads two benchmark witnesses of the same schema
-    ([BENCH_stm.json] or [BENCH_parallel.json], auto-detected via their
+    ([BENCH_stm.json], [BENCH_parallel.json], [BENCH_reduction.json],
+    [BENCH_serve.json] or [BENCH_loadgen.json], auto-detected via their
     ["experiment"] field), normalizes every measurement to a throughput
     (higher is better), and reports the pairs where the new value fell
     more than {!default_threshold} below the old one. *)
@@ -19,9 +20,15 @@ type verdict = {
 }
 
 val compare_files :
-  ?threshold:float -> string -> string -> (verdict, string) result
+  ?threshold:float ->
+  ?gate_keys:string list ->
+  string ->
+  string ->
+  (verdict, string) result
 (** [compare_files old new] — [Error] on unreadable or unrecognized
-    files. *)
+    files.  A nonempty [gate_keys] restricts the comparison to keys
+    containing one of the given substrings, so CI can gate on a
+    witness's long-established keys while the rest stay warn-only. *)
 
 val passed : verdict -> bool
 val pp_verdict : verdict Fmt.t

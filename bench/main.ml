@@ -699,11 +699,138 @@ let serve_cache_speedup () =
   (try Unix.rmdir dir with Unix.Unix_error _ -> ());
   if not identical then failwith "cached litmus reports diverged from uncached"
 
+(* ------------------------------------------------------------------ *)
+(* part 6: the sharded service under load                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The loadgen acceptance measurement: an in-process server per shard
+   count (TCP on a kernel-chosen port, fresh cache dir each), the
+   deterministic Loadgen stream replayed at fixed concurrency, and the
+   1-vs-N-shard byte-identity oracle over two more fresh servers.
+   Recorded in BENCH_loadgen.json; the oracle verdict rides along so a
+   sharding divergence regresses the witness (bench-compare sees a 0). *)
+let serve_loadgen () =
+  Fmt.pr "@.=== part 6: sharded service under load ===@.@.";
+  let open Tmx_service in
+  let duration_s =
+    match Sys.getenv_opt "TMX_LOADGEN_DURATION" with
+    | Some s -> (try float_of_string s with _ -> 3.0)
+    | None -> 3.0
+  in
+  let lg_config =
+    { Loadgen.default_config with concurrency = 4; duration_s; seed = 42 }
+  in
+  let shard_counts = [ 1; 4 ] in
+  let fresh_dir tag =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tmx-bench-loadgen-%s-%d" tag (Unix.getpid ()))
+    in
+    ignore (Cache.clear ~dir);
+    dir
+  in
+  let with_server ~tag ~shards f =
+    let dir = fresh_dir tag in
+    let cfg =
+      {
+        (Server.default_config ~socket:"unused") with
+        Server.socket = None;
+        tcp = Some ("127.0.0.1", 0);
+        cache_dir = dir;
+        cache_capacity = 512;
+        cache_shards = shards;
+        workers = 4;
+      }
+    in
+    let t = Server.start cfg in
+    let addr =
+      match Server.server_addresses t with
+      | a :: _ -> Result.get_ok (Client.addr_of_string a)
+      | [] -> assert false
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop t;
+        ignore (Cache.clear ~dir);
+        (try
+           Array.iter
+             (fun d ->
+               let p = Filename.concat dir d in
+               if Sys.is_directory p then Unix.rmdir p)
+             (Sys.readdir dir)
+         with _ -> ());
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      (fun () -> f addr)
+  in
+  let reports =
+    List.map
+      (fun shards ->
+        let tag = Printf.sprintf "s%d" shards in
+        let r = with_server ~tag ~shards (fun addr -> Loadgen.run ~config:lg_config addr) in
+        Fmt.pr
+          "shards %d: %d requests (%.0f rps), p50 %.2fms p95 %.2fms p99 \
+           %.2fms, hit rate %.3f, shed rate %.3f, %d errors@."
+          shards r.Loadgen.requests_sent r.throughput_rps r.p50_ms r.p95_ms
+          r.p99_ms r.hit_rate r.shed_rate r.errors;
+        (shards, r))
+      shard_counts
+  in
+  let oracle_requests = 64 in
+  let oracle =
+    with_server ~tag:"oa" ~shards:1 (fun addr_a ->
+        with_server ~tag:"ob" ~shards:4 (fun addr_b ->
+            Loadgen.oracle ~config:lg_config ~requests:oracle_requests addr_a
+              addr_b))
+  in
+  let identical =
+    match oracle with
+    | Ok None -> true
+    | Ok (Some m) ->
+        Fmt.epr "oracle mismatch at request %d:@.  1 shard : %s@.  4 shards: %s@."
+          m.Loadgen.index m.line_a m.line_b;
+        false
+    | Error e ->
+        Fmt.epr "oracle transport failure: %s@." e;
+        false
+  in
+  Fmt.pr "1-vs-4-shard byte-identity oracle (%d requests): %s@." oracle_requests
+    (if identical then "identical" else "MISMATCH");
+  let shard_json (shards, (r : Loadgen.report)) =
+    Json.Obj
+      (("shards", Json.int shards)
+      ::
+      (match Loadgen.report_to_json r with Json.Obj fs -> fs | _ -> []))
+  in
+  let witness =
+    Json.Obj
+      [
+        ("experiment", Json.str "serve_loadgen");
+        ("seed", Json.int lg_config.seed);
+        ("skew", Json.Num lg_config.skew);
+        ("concurrency", Json.int lg_config.concurrency);
+        ("duration_s", Json.Num duration_s);
+        ("shards", Json.Arr (List.map shard_json reports));
+        ( "oracle",
+          Json.Obj
+            [
+              ("requests", Json.int oracle_requests);
+              ("identical", Json.Bool identical);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_loadgen.json" in
+  output_string oc (Json.to_string witness);
+  output_string oc "\n";
+  close_out oc;
+  if not identical then
+    failwith "sharded responses diverged from the single-shard reference"
+
 let () =
   (match Sys.getenv_opt "TMX_BENCH_ONLY" with
   | Some "parallel" -> parallel_speedup ()
   | Some "reduction" -> reduction_speedup ()
   | Some "serve" -> serve_cache_speedup ()
+  | Some "loadgen" -> serve_loadgen ()
   | _ ->
       verdict_matrix ();
       shapes_summary ();
@@ -714,5 +841,6 @@ let () =
       run_benchmarks ();
       parallel_speedup ();
       reduction_speedup ();
-      serve_cache_speedup ());
+      serve_cache_speedup ();
+      serve_loadgen ());
   Fmt.pr "@.done.@."

@@ -14,8 +14,11 @@
      tmx theorems [NAME ...]     run the theorem checks
      tmx models                  list the model configurations
      tmx show NAME               print a catalog program
-     tmx serve                   verdict-cache query daemon on a Unix socket
+     tmx serve                   verdict-cache query daemon (Unix socket / TCP,
+                                 sharded worker processes, admission control)
      tmx client VERB [NAME ...]  query a running daemon
+     tmx loadgen                 replay a deterministic query stream against a
+                                 daemon; latency/hit/shed report + shard oracle
      tmx cache {stats,gc,clear}  inspect / maintain the on-disk verdict cache *)
 
 open Cmdliner
@@ -1001,23 +1004,37 @@ let bench_compare_cmd =
       & info [ "threshold" ] ~docv:"F"
           ~doc:"Relative throughput-regression threshold (default 0.25).")
   in
-  let run threshold old_file new_file =
+  let gate_keys_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "gate-keys" ] ~docv:"SUBSTR,..."
+          ~doc:
+            "Compare only metrics whose key contains one of these \
+             substrings — CI gates a witness's long-established keys \
+             (e.g. commits_per_sec,commit_ratio) and leaves the rest to \
+             a separate warn-only run.")
+  in
+  let run threshold gate_keys old_file new_file =
     Result.map
       (fun v ->
         Fmt.pr "%a" Compare.pp_verdict v;
         if not (Compare.passed v) then exit 1)
-      (Compare.compare_files ~threshold old_file new_file)
+      (Compare.compare_files ~threshold ~gate_keys old_file new_file)
   in
   let term =
-    Term.(term_result' (const run $ threshold_arg $ old_arg $ new_arg))
+    Term.(
+      term_result' (const run $ threshold_arg $ gate_keys_arg $ old_arg $ new_arg))
   in
   Cmd.v
     (Cmd.info "bench-compare"
        ~doc:
          "Diff two benchmark witnesses (BENCH_stm.json, \
-          BENCH_parallel.json or BENCH_serve.json) and exit 1 on a \
-          throughput or cache-hit-rate regression beyond the threshold.  \
-          CI runs this warn-only against the committed witnesses.")
+          BENCH_parallel.json, BENCH_serve.json or BENCH_loadgen.json) \
+          and exit 1 on a throughput or cache-hit-rate regression beyond \
+          the threshold.  CI runs this warn-only against the committed \
+          witnesses, except the gated keys of BENCH_stm.json on pushes \
+          to main.")
     term
 
 (* -- theorems ----------------------------------------------------------------- *)
@@ -1150,11 +1167,11 @@ let check_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "remote" ] ~docv:"SOCK"
+      & info [ "remote" ] ~docv:"ADDR"
           ~doc:
             "Do not enumerate locally: send the file to the $(b,tmx serve) \
-             daemon listening on the Unix socket $(docv) and print its \
-             verdict.")
+             daemon at $(docv) (a Unix socket path, or tcp:HOST:PORT) and \
+             print its verdict.")
   in
   let check_remote ~socket file =
     let src =
@@ -1176,7 +1193,8 @@ let check_cmd =
       }
     in
     Result.bind
-      (Client.request ~wait_s:5. ~socket (Protocol.to_json req))
+      (Result.bind (Client.addr_of_string socket) (fun addr ->
+           Client.request ~wait_s:5. ~addr (Protocol.to_json req)))
       (fun resp ->
         if not (Protocol.response_ok resp) then
           Error
@@ -1325,10 +1343,11 @@ let socket_arg =
   Arg.(
     value
     & opt string "tmx.sock"
-    & info [ "s"; "socket" ] ~docv:"SOCK"
+    & info [ "s"; "socket" ] ~docv:"ADDR"
         ~doc:
-          "Unix-domain socket path.  Mind the OS limit of ~100 bytes; \
-           prefer short paths under /tmp.")
+          "Socket address: a Unix-domain socket path (mind the OS limit \
+           of ~100 bytes; prefer short paths under /tmp), or \
+           tcp:HOST:PORT.")
 
 let serve_cmd =
   let open Tmx_service in
@@ -1336,56 +1355,173 @@ let serve_cmd =
     Arg.(
       value & opt int 2
       & info [ "workers" ] ~docv:"N"
-          ~doc:"Accept-loop domains (concurrent connections served).")
+          ~doc:"Accept-loop domains per process (concurrent connections \
+                served).")
   in
   let capacity_arg =
     Arg.(
       value & opt int 128
       & info [ "capacity" ] ~docv:"N"
-          ~doc:"In-memory LRU front of the verdict cache, in entries.")
+          ~doc:"In-memory LRU front of the verdict cache, in entries \
+                (split across shards).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"TCP bind host (with $(b,--port)).")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "Also listen on TCP at $(b,--host):$(docv).  Port 0 lets the \
+             kernel pick; the bound address is printed either way.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Worker processes sharing the listening sockets, with the \
+             verdict cache sharded N ways by digest prefix.  A crashed \
+             shard is respawned; the listeners stay bound throughout.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission bound per process: at most $(docv) expensive \
+             requests in flight; arrivals past it are answered with a \
+             structured 'overloaded' error instead of queueing.  0 = \
+             unlimited.  ping/stats/shutdown are exempt.")
   in
   let verbose_flag =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log requests to stderr.")
   in
-  let run socket cache_dir capacity workers jobs reduction verbose =
+  (* one serving process: start on the shared listener, run to shutdown *)
+  let serve_process ~listener cfg =
+    let t = Server.start ~listener cfg in
+    let stop_and_exit _ = Server.stop t; exit 0 in
+    (try
+       Sys.set_signal Sys.sigint (Sys.Signal_handle stop_and_exit);
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_and_exit)
+     with _ -> ());
+    Server.wait t
+  in
+  (* the shard supervisor: children share the already-bound listener fds
+     (forked before any domain is spawned — fork and domains don't mix),
+     so the kernel load-balances accepts across processes.  A
+     signal-killed child is respawned with the same fds; a child exiting
+     normally saw a shutdown request, so the rest are drained too. *)
+  let supervise ~listener cfg shards =
+    let stopping = ref false in
+    let spawn () =
+      match Unix.fork () with
+      | 0 ->
+          (try serve_process ~listener cfg
+           with e ->
+             Fmt.epr "tmx serve: shard died: %s@." (Printexc.to_string e);
+             exit 1);
+          exit 0
+      | pid ->
+          (* lets operators (and the serve cram test) target one shard *)
+          Fmt.pr "shard %d started@." pid;
+          pid
+    in
+    let children = ref (List.init shards (fun _ -> spawn ())) in
+    let term_all signal =
+      List.iter (fun pid -> try Unix.kill pid signal with _ -> ()) !children
+    in
+    let on_signal _ =
+      stopping := true;
+      term_all Sys.sigterm
+    in
+    (try
+       Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+     with _ -> ());
+    let rec reap () =
+      if !children = [] then ()
+      else
+        match Unix.wait () with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> children := []
+        | pid, status ->
+            children := List.filter (fun p -> p <> pid) !children;
+            (match status with
+            | Unix.WEXITED _ ->
+                (* a shutdown request finished one shard: drain the rest *)
+                if not !stopping then (
+                  stopping := true;
+                  term_all Sys.sigterm)
+            | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+                if not !stopping then children := spawn () :: !children);
+            reap ()
+    in
+    reap ()
+  in
+  let run socket host port shards cache_dir capacity workers jobs reduction
+      max_inflight verbose =
     let jobs = if jobs <= 0 then Tmx_exec.Pool.available_cores () else jobs in
+    let shards = max 1 shards in
+    let socket_path, tcp =
+      match Client.addr_of_string socket with
+      | Ok (Client.Tcp (h, p)) ->
+          (* -s tcp:... means TCP only, overriding --host/--port *)
+          (None, Some (h, p))
+      | Ok (Client.Unix_sock _) | Error _ ->
+          (Some socket, Option.map (fun p -> (host, p)) port)
+    in
     let cfg =
       {
-        (Server.default_config ~socket) with
+        Server.socket = socket_path;
+        tcp;
         cache_dir = resolve_cache_dir cache_dir;
         cache_capacity = capacity;
+        cache_shards = shards;
         workers = max 1 workers;
         jobs;
+        max_inflight;
         enum = { Enumerate.default_config with reduction };
         verbose;
       }
     in
-    match Server.start cfg with
+    match Server.listen cfg with
     | exception Unix.Unix_error (e, _, _) ->
         Error (Fmt.str "cannot listen on %s: %s" socket (Unix.error_message e))
-    | t ->
-        let stop_and_exit _ = Server.stop t; exit 0 in
-        (try
-           Sys.set_signal Sys.sigint (Sys.Signal_handle stop_and_exit);
-           Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_and_exit)
-         with _ -> ());
-        Server.wait t;
+    | listener ->
+        (* print the bound addresses (the kernel-chosen port for --port
+           0) and flush before forking, so tests and loadgen connect
+           race-free and the lines are not duplicated into children *)
+        List.iter (fun a -> Fmt.pr "listening %s@." a) (Server.addresses listener);
+        Fmt.pr "%!";
+        if shards = 1 then serve_process ~listener cfg
+        else supervise ~listener cfg shards;
+        Server.close_listener listener;
+        Option.iter
+          (fun path -> try Unix.unlink path with _ -> ())
+          cfg.Server.socket;
         Ok ()
   in
   let term =
     Term.(
       term_result'
-        (const run $ socket_arg $ cache_dir_arg $ capacity_arg $ workers_arg
-       $ jobs_arg $ reduction_arg $ verbose_flag))
+        (const run $ socket_arg $ host_arg $ port_arg $ shards_arg
+       $ cache_dir_arg $ capacity_arg $ workers_arg $ jobs_arg $ reduction_arg
+       $ max_inflight_arg $ verbose_flag))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the verdict-cache query daemon: NDJSON requests (ping, check, \
           races, outcomes, lint, batch, stats, shutdown) over a Unix \
-          socket, answered by worker domains out of the content-addressed \
-          cache.  Runs in the foreground until a shutdown request (or \
-          SIGINT/SIGTERM).")
+          socket and/or TCP, answered by worker domains out of the \
+          content-addressed cache — sharded across worker processes with \
+          $(b,--shards), shedding past $(b,--max-inflight).  Runs in the \
+          foreground until a shutdown request (or SIGINT/SIGTERM).")
     term
 
 let client_cmd =
@@ -1479,9 +1615,9 @@ let client_cmd =
         (match get "metrics" Option.some resp with
         | Some m ->
             Fmt.pr "requests: %d total, %d errors, %d deadlines exceeded, %d \
-                    in flight@."
+                    shed, %d in flight@."
               (geti "requests" m) (geti "errors" m)
-              (geti "deadlines_exceeded" m)
+              (geti "deadlines_exceeded" m) (geti "sheds" m)
               (geti "queue_depth" m)
         | None -> ())
     | "batch" ->
@@ -1561,7 +1697,8 @@ let client_cmd =
                    ~default:"request failed");
               exit 1
             end)
-          (Client.request ~wait_s:wait ~socket (Protocol.to_json req)))
+          (Result.bind (Client.addr_of_string socket) (fun addr ->
+               Client.request ~wait_s:wait ~addr (Protocol.to_json req))))
   in
   let term =
     Term.(
@@ -1575,6 +1712,168 @@ let client_cmd =
          "Query a running $(b,tmx serve) daemon: one NDJSON request per \
           invocation (batch fans sub-requests across the daemon's domain \
           pool).")
+    term
+
+let loadgen_cmd =
+  let open Tmx_service in
+  let oracle_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "oracle" ] ~docv:"ADDR"
+          ~doc:
+            "Byte-identity oracle mode: instead of a measured run, replay \
+             the stream sequentially against both $(b,--socket) and \
+             $(docv) (two freshly started daemons, e.g. --shards 1 vs \
+             --shards 4) and fail on the first differing response line.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "requests" ] ~docv:"N"
+          ~doc:
+            "Send exactly $(docv) requests instead of timing (oracle mode \
+             defaults to 64).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~docv:"S" ~doc:"Measured-run duration in seconds.")
+  in
+  let concurrency_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "concurrency" ] ~docv:"N"
+          ~doc:"Client worker domains, one connection each.")
+  in
+  let skew_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "skew" ] ~docv:"F"
+          ~doc:"Zipf exponent over the target pool (0 = uniform).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Stream seed: the whole query stream is a pure function of \
+             (seed, request index).")
+  in
+  let generated_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "generated" ] ~docv:"N"
+          ~doc:"Fuzzer-generated programs added to the catalog pool.")
+  in
+  let no_catalog_flag =
+    Arg.(
+      value & flag
+      & info [ "no-catalog" ] ~doc:"Exclude the litmus catalog from the pool.")
+  in
+  let shards_label_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards-label" ] ~docv:"N"
+          ~doc:
+            "The shard count recorded in the $(b,--out) report (loadgen \
+             cannot see the server's own setting).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the report as JSON in the BENCH_loadgen.json \
+             schema (experiment serve_loadgen).")
+  in
+  let run socket oracle requests duration concurrency skew seed generated
+      no_catalog shards_label out =
+    let config =
+      {
+        Loadgen.concurrency;
+        duration_s = duration;
+        requests;
+        skew;
+        seed;
+        generated;
+        use_catalog = not no_catalog;
+      }
+    in
+    Result.bind (Client.addr_of_string socket) (fun addr ->
+        match oracle with
+        | Some b ->
+            Result.bind (Client.addr_of_string b) (fun addr_b ->
+                let n = if requests > 0 then requests else 64 in
+                match Loadgen.oracle ~config ~requests:n addr addr_b with
+                | Error e -> Error e
+                | Ok None ->
+                    Fmt.pr "oracle: %d responses byte-identical@." n;
+                    Ok ()
+                | Ok (Some m) ->
+                    Fmt.epr
+                      "oracle: MISMATCH at request %d@.  %s: %s@.  %s: %s@."
+                      m.Loadgen.index socket m.line_a b m.line_b;
+                    exit 1)
+        | None ->
+            let r = Loadgen.run ~config addr in
+            Fmt.pr
+              "%d requests in %.1fs (%.0f rps, concurrency %d, skew %.2f, \
+               seed %d)@."
+              r.Loadgen.requests_sent r.duration_s r.throughput_rps concurrency
+              skew seed;
+            Fmt.pr "latency: p50 %.2fms  p95 %.2fms  p99 %.2fms@." r.p50_ms
+              r.p95_ms r.p99_ms;
+            Fmt.pr "hit rate %.3f   shed rate %.3f   %d errors@." r.hit_rate
+              r.shed_rate r.errors;
+            Option.iter
+              (fun file ->
+                let witness =
+                  Json.Obj
+                    [
+                      ("experiment", Json.str "serve_loadgen");
+                      ("seed", Json.int seed);
+                      ("skew", Json.Num skew);
+                      ("concurrency", Json.int concurrency);
+                      ("duration_s", Json.Num r.duration_s);
+                      ( "shards",
+                        Json.Arr
+                          [
+                            Json.Obj
+                              (("shards", Json.int shards_label)
+                              ::
+                              (match Loadgen.report_to_json r with
+                              | Json.Obj fs -> fs
+                              | _ -> []));
+                          ] );
+                    ]
+                in
+                let oc = open_out file in
+                output_string oc (Json.to_string witness);
+                output_string oc "\n";
+                close_out oc)
+              out;
+            if r.requests_sent = 0 || r.ok = 0 then
+              Error "loadgen: no request succeeded"
+            else Ok ())
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ socket_arg $ oracle_arg $ requests_arg $ duration_arg
+       $ concurrency_arg $ skew_arg $ seed_arg $ generated_arg
+       $ no_catalog_flag $ shards_label_arg $ out_arg))
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay a deterministic catalog+fuzzer query stream against a \
+          running $(b,tmx serve) (Unix socket or TCP) at configurable \
+          concurrency, skew and duration; report p50/p95/p99 latency, hit \
+          rate and shed rate.  With $(b,--oracle), instead assert the \
+          byte-identity of two daemons' responses — the 1-vs-N-shard \
+          correctness oracle.")
     term
 
 let cache_cmd =
@@ -1628,5 +1927,5 @@ let () =
             litmus_cmd; outcomes_cmd; races_cmd; lint_cmd; repair_cmd; stm_cmd;
             stm_bench_cmd; machine_cmd; theorems_cmd; models_cmd; show_cmd;
             dot_cmd; check_cmd; export_cmd; shapes_cmd; fence_cmd; fuzz_cmd;
-            bench_compare_cmd; serve_cmd; client_cmd; cache_cmd;
+            bench_compare_cmd; serve_cmd; client_cmd; loadgen_cmd; cache_cmd;
           ]))

@@ -90,3 +90,42 @@ let backoff policy ~retry =
 
 let escalates policy ~retry =
   match policy with Budget n -> retry >= n | Spin | Jittered -> false
+
+(* --- admission budgets ---------------------------------------------- *)
+
+(* The [Budget] policy's idea — a hard bound past which work stops being
+   admitted optimistically and degrades to something that still makes
+   progress — applies beyond STM retries: a request server under
+   overload must shed (answer "no, later" cheaply) rather than queue
+   without bound.  [Admission] is that bound as a reusable counter:
+   lock-free, exact (a CAS race never admits past the limit), and
+   it keeps score of what it turned away. *)
+
+module Admission = struct
+  type t = { limit : int; inflight : int Atomic.t; shed : int Atomic.t }
+
+  let create ~limit =
+    { limit; inflight = Atomic.make 0; shed = Atomic.make 0 }
+
+  let unlimited t = t.limit <= 0
+
+  let rec try_enter t =
+    if unlimited t then true
+    else
+      let n = Atomic.get t.inflight in
+      if n >= t.limit then begin
+        Atomic.incr t.shed;
+        false
+      end
+      else if Atomic.compare_and_set t.inflight n (n + 1) then true
+      else try_enter t
+
+  let leave t = if not (unlimited t) then ignore (Atomic.fetch_and_add t.inflight (-1))
+
+  let with_admission t f ~shed =
+    if try_enter t then Fun.protect ~finally:(fun () -> leave t) f else shed ()
+
+  let inflight t = Atomic.get t.inflight
+  let shed_count t = Atomic.get t.shed
+  let limit t = t.limit
+end

@@ -40,6 +40,33 @@ val stall_if_serialized : unit -> unit
 (** Spin while some escalated transaction holds the gate.  Called by the
     STM at the top of every optimistic attempt. *)
 
+(** An admission budget: the {!Budget} idea lifted out of the retry loop
+    for reuse as load-shedding backpressure (e.g. the [tmx serve]
+    request path).  At most [limit] callers are inside at once; an
+    arrival past the limit is {e shed} — refused immediately and
+    counted — instead of queueing unboundedly.  [limit <= 0] disables
+    the bound (every entry is admitted, nothing is counted). *)
+module Admission : sig
+  type t
+
+  val create : limit:int -> t
+  val try_enter : t -> bool
+  (** Admit (true) or shed (false, incrementing {!shed_count}).
+      Lock-free and exact: concurrent admits never exceed [limit]. *)
+
+  val leave : t -> unit
+  (** Release one admitted slot.  Call exactly once per successful
+      {!try_enter}. *)
+
+  val with_admission : t -> (unit -> 'a) -> shed:(unit -> 'a) -> 'a
+  (** [with_admission t f ~shed] runs [f] inside the budget (releasing
+      on return or exception), or [shed ()] when the budget is full. *)
+
+  val inflight : t -> int
+  val shed_count : t -> int
+  val limit : t -> int
+end
+
 (**/**)
 
 val rand_bits : unit -> int

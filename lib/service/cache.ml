@@ -1,7 +1,17 @@
 (* Content-addressed verdict cache: one JSON file per key, atomic
    write-then-rename persistence, a mutex-guarded LRU front shared
    across domains, and corruption-tolerant loads (any failure to read
-   an entry is a miss, never a crash). *)
+   an entry is a miss, never a crash).
+
+   The store can be sharded by digest prefix: with [shards = n > 1] a
+   key's entry lives in dir/shard-XX/ where XX is the key's first two
+   hex digits reduced mod n, and each shard carries its own lock, LRU
+   front and counters.  Shared-nothing by construction — no two shards
+   ever touch the same file, so shard damage (corruption, deletion, a
+   full disk partition) is contained, and concurrent domains touching
+   different shards never contend on a lock.  Cross-process writers
+   were already safe via write-then-rename; per-shard locking only
+   narrows the in-process critical sections. *)
 
 open Tmx_core
 open Tmx_lang
@@ -236,19 +246,28 @@ type stats = {
   load_failures : int;
 }
 
-type t = {
-  cache_dir : string;
-  version : string;
-  capacity : int;
+type shard = {
   lock : Mutex.t;
   lru : (string, verdict * int ref) Hashtbl.t;
   tick : int ref;
+  capacity : int;
   mutable hits : int;
   mutable misses : int;
   mutable st_stores : int;
   mutable evictions : int;
   mutable load_failures : int;
 }
+
+type t = {
+  cache_dir : string;
+  version : string;
+  shards : shard array;
+}
+
+(* first two hex digits of the (MD5-hex) key pick the shard: enough
+   prefix for 256-way spread, and short enough that every digest the
+   digester can produce carries it *)
+let prefix_len = 2
 
 let default_dir () =
   match Sys.getenv_opt "TMX_CACHE_DIR" with
@@ -257,23 +276,38 @@ let default_dir () =
 
 let ensure_dir d = if not (Sys.file_exists d) then Unix.mkdir d 0o755
 
-let create ?(version = format_version) ?(capacity = 128) ~dir () =
+let shard_dir_name i = Printf.sprintf "shard-%02d" i
+
+let create ?(version = format_version) ?(capacity = 128) ?(shards = 1) ~dir () =
+  let shards = max 1 shards in
   ensure_dir dir;
+  if shards > 1 then
+    for i = 0 to shards - 1 do
+      ensure_dir (Filename.concat dir (shard_dir_name i))
+    done;
+  (* the total LRU budget is split across the shards (at least one
+     entry each), so capacity keeps its meaning under sharding *)
+  let per_shard = max 1 (capacity / shards) in
   {
     cache_dir = dir;
     version;
-    capacity = max 1 capacity;
-    lock = Mutex.create ();
-    lru = Hashtbl.create 64;
-    tick = ref 0;
-    hits = 0;
-    misses = 0;
-    st_stores = 0;
-    evictions = 0;
-    load_failures = 0;
+    shards =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            lru = Hashtbl.create 64;
+            tick = ref 0;
+            capacity = per_shard;
+            hits = 0;
+            misses = 0;
+            st_stores = 0;
+            evictions = 0;
+            load_failures = 0;
+          });
   }
 
 let dir t = t.cache_dir
+let shard_count t = Array.length t.shards
 
 let key t ~config model (program : Ast.program) =
   Digest.to_hex
@@ -286,14 +320,37 @@ let key t ~config model (program : Ast.program) =
             t.version;
           ]))
 
-let entry_path t k = Filename.concat t.cache_dir (k ^ ".json")
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg (Printf.sprintf "Cache: non-hex digest character %C" c)
 
-(* caller holds the lock *)
-let lru_insert t k v =
-  (if (not (Hashtbl.mem t.lru k)) && Hashtbl.length t.lru >= t.capacity then
+(* A digest shorter than the shard prefix cannot be placed (truncated
+   keys would silently alias into shard 0 and shadow each other), so it
+   is a caller bug worth an exception rather than a miss. *)
+let shard_index t k =
+  if String.length k < prefix_len then
+    invalid_arg
+      (Printf.sprintf "Cache: digest %S shorter than the %d-char shard prefix"
+         k prefix_len);
+  ((hex_digit k.[0] * 16) + hex_digit k.[1]) mod Array.length t.shards
+
+let shard_of_key t k = t.shards.(shard_index t k)
+
+let entry_path t k =
+  let i = shard_index t k in
+  if Array.length t.shards = 1 then Filename.concat t.cache_dir (k ^ ".json")
+  else Filename.concat (Filename.concat t.cache_dir (shard_dir_name i)) (k ^ ".json")
+
+let locked (s : shard) f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+(* caller holds the shard lock *)
+let lru_insert (s : shard) k v =
+  (if (not (Hashtbl.mem s.lru k)) && Hashtbl.length s.lru >= s.capacity then
      (* evict the least recently used; capacity is small, a scan is fine *)
      let victim = ref None in
      Hashtbl.iter
@@ -301,14 +358,14 @@ let lru_insert t k v =
          match !victim with
          | Some (_, best) when best <= !tick -> ()
          | _ -> victim := Some (k, !tick))
-       t.lru;
+       s.lru;
      match !victim with
      | Some (k, _) ->
-         Hashtbl.remove t.lru k;
-         t.evictions <- t.evictions + 1
+         Hashtbl.remove s.lru k;
+         s.evictions <- s.evictions + 1
      | None -> ());
-  incr t.tick;
-  Hashtbl.replace t.lru k (v, ref !(t.tick))
+  incr s.tick;
+  Hashtbl.replace s.lru k (v, ref !(s.tick))
 
 let load_file path =
   let ic = open_in_bin path in
@@ -335,13 +392,14 @@ let load_disk t path =
 
 let find t ~config model program =
   let k = key t ~config model program in
+  let s = shard_of_key t k in
   let in_lru =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.lru k with
+    locked s (fun () ->
+        match Hashtbl.find_opt s.lru k with
         | Some (v, tick) ->
-            incr t.tick;
-            tick := !(t.tick);
-            t.hits <- t.hits + 1;
+            incr s.tick;
+            tick := !(s.tick);
+            s.hits <- s.hits + 1;
             Some v
         | None -> None)
   in
@@ -351,23 +409,25 @@ let find t ~config model program =
       (* disk I/O outside the lock; a racing duplicate load is benign *)
       match load_disk t (entry_path t k) with
       | `Found v ->
-          locked t (fun () ->
-              t.hits <- t.hits + 1;
-              lru_insert t k v);
+          locked s (fun () ->
+              s.hits <- s.hits + 1;
+              lru_insert s k v);
           Some v
       | `Absent ->
-          locked t (fun () -> t.misses <- t.misses + 1);
+          locked s (fun () -> s.misses <- s.misses + 1);
           None
       | `Corrupt ->
-          locked t (fun () ->
-              t.misses <- t.misses + 1;
-              t.load_failures <- t.load_failures + 1);
+          locked s (fun () ->
+              s.misses <- s.misses + 1;
+              s.load_failures <- s.load_failures + 1);
           None)
 
 let tmp_counter = Atomic.make 0
 
 let store t ~config model program v =
   let k = key t ~config model program in
+  let s = shard_of_key t k in
+  let path = entry_path t k in
   let body =
     Json.to_string
       (json_of_verdict ~version:t.version
@@ -375,8 +435,10 @@ let store t ~config model program v =
          ~config_key:(Enumerate.config_key config)
          v)
   in
+  (* the temp file lives in the entry's own shard directory so the
+     rename stays within one filesystem directory (atomic everywhere) *)
   let tmp =
-    Filename.concat t.cache_dir
+    Filename.concat (Filename.dirname path)
       (Printf.sprintf ".tmp-%s-%d-%d" k (Unix.getpid ())
          (Atomic.fetch_and_add tmp_counter 1))
   in
@@ -384,14 +446,14 @@ let store t ~config model program v =
   (try
      output_string oc body;
      close_out oc;
-     Unix.rename tmp (entry_path t k)
+     Unix.rename tmp path
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with _ -> ());
      raise e);
-  locked t (fun () ->
-      t.st_stores <- t.st_stores + 1;
-      lru_insert t k v)
+  locked s (fun () ->
+      s.st_stores <- s.st_stores + 1;
+      lru_insert s k v)
 
 let memo t ~config model program =
   match find t ~config model program with
@@ -405,16 +467,23 @@ let memo_run t ~config model program =
   (fst (memo t ~config model program)).result
 
 let stats t =
-  locked t (fun () ->
-      {
-        hits = t.hits;
-        misses = t.misses;
-        stores = t.st_stores;
-        evictions = t.evictions;
-        load_failures = t.load_failures;
-      })
+  Array.fold_left
+    (fun (acc : stats) s ->
+      locked s (fun () ->
+          {
+            hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            stores = acc.stores + s.st_stores;
+            evictions = acc.evictions + s.evictions;
+            load_failures = acc.load_failures + s.load_failures;
+          }))
+    { hits = 0; misses = 0; stores = 0; evictions = 0; load_failures = 0 }
+    t.shards
 
-let resident t = locked t (fun () -> Hashtbl.length t.lru)
+let resident t =
+  Array.fold_left
+    (fun acc s -> acc + locked s (fun () -> Hashtbl.length s.lru))
+    0 t.shards
 
 (* -- maintenance ------------------------------------------------------------ *)
 
@@ -426,13 +495,27 @@ type disk_stats = {
   corrupt : int;
 }
 
+(* maintenance walks the flat layout and any shard-XX/ subdirectories
+   in one pass, so one `tmx cache gc` serves both layouts *)
 let entry_files dir =
   if not (Sys.file_exists dir) then []
   else
-    Sys.readdir dir |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f ".json")
-    |> List.sort String.compare
-    |> List.map (Filename.concat dir)
+    let entries_in d =
+      if not (Sys.file_exists d) then []
+      else
+        Sys.readdir d |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.map (Filename.concat d)
+    in
+    let shard_dirs =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f ->
+             String.length f > 6
+             && String.sub f 0 6 = "shard-"
+             && Sys.is_directory (Filename.concat dir f))
+      |> List.map (Filename.concat dir)
+    in
+    List.concat_map entries_in (dir :: shard_dirs) |> List.sort String.compare
 
 let classify ~version path =
   match Json.of_string (load_file path) with

@@ -12,7 +12,17 @@
     crashed processes can never expose a torn entry.  Loads are
     corruption-tolerant: any read, parse, or shape failure is a miss
     (never an exception), counted in {!stats}.  An in-memory LRU front
-    (shared across domains behind a mutex) short-circuits the disk. *)
+    (shared across domains behind a mutex) short-circuits the disk.
+
+    With [shards = n > 1] the store is sharded by digest prefix: a
+    key's entry lives under [dir/shard-XX/] where [XX] is the key's
+    first two hex digits reduced mod [n], and each shard has its own
+    lock, LRU slice and counters.  Shards are shared-nothing — no two
+    ever touch the same file — so damage to one (corruption, deletion)
+    leaves the others serving, and domains working different shards
+    never contend.  A digest shorter than the two-character shard
+    prefix is rejected with [Invalid_argument] (truncated keys would
+    alias into one shard and shadow each other). *)
 
 open Tmx_core
 open Tmx_lang
@@ -43,16 +53,27 @@ val format_version : string
 val default_dir : unit -> string
 (** [$TMX_CACHE_DIR] if set, else [".tmx-cache"]. *)
 
-val create : ?version:string -> ?capacity:int -> dir:string -> unit -> t
+val create :
+  ?version:string -> ?capacity:int -> ?shards:int -> dir:string -> unit -> t
 (** Opens (and creates if needed) the store at [dir].  [capacity]
-    bounds the in-memory LRU front (default 128 entries); [version]
-    overrides {!format_version} (tests use this to pin version-mismatch
-    invalidation). *)
+    bounds the in-memory LRU front (default 128 entries, split across
+    shards); [shards] (default 1: the flat legacy layout) shards the
+    store by digest prefix; [version] overrides {!format_version}
+    (tests use this to pin version-mismatch invalidation). *)
 
 val dir : t -> string
+val shard_count : t -> int
 val key : t -> config:Enumerate.config -> Model.t -> Ast.program -> string
+
+val shard_index : t -> string -> int
+(** Which shard a key lands in.
+    @raise Invalid_argument when the digest is shorter than the
+    two-character shard prefix (or not hex). *)
+
 val entry_path : t -> string -> string
-(** On-disk path of a key's entry (exists only after a store). *)
+(** On-disk path of a key's entry (exists only after a store); inside
+    the key's [shard-XX/] directory when the store is sharded.
+    @raise Invalid_argument as {!shard_index}. *)
 
 val find :
   t -> config:Enumerate.config -> Model.t -> Ast.program -> verdict option

@@ -1,22 +1,61 @@
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | Some _ when String.length s > 4 && String.sub s 0 4 = "tcp:" -> (
+      let rest = String.sub s 4 (String.length s - 4) in
+      match String.rindex_opt rest ':' with
+      | None -> Error (Printf.sprintf "tcp address %S has no port" s)
+      | Some i -> (
+          let host = String.sub rest 0 i in
+          let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p < 65536 ->
+              Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+          | _ -> Error (Printf.sprintf "bad port in tcp address %S" s)))
+  | _ -> Ok (Unix_sock s)
+
+let addr_to_string = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let sockaddr_of = function
+  | Unix_sock path -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp (host, port) -> (
+      match Unix.getaddrinfo host (string_of_int port)
+              [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+      with
+      | { Unix.ai_addr; _ } :: _ -> Ok (Unix.PF_INET, ai_addr)
+      | [] -> Error (Printf.sprintf "cannot resolve %s:%d" host port)
+      | exception _ -> Error (Printf.sprintf "cannot resolve %s:%d" host port))
+
 type conn = { fd : Unix.file_descr; mutable pending : string }
 
-let connect ?(wait_s = 0.) path =
+let connect ?(wait_s = 0.) addr =
   (* monotonic: a wall-clock step while we poll must not stretch or
      collapse the connect window *)
   let deadline = Tmx_runtime.Clock.now_s () +. wait_s in
   let rec go () =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX path) with
-    | () -> Ok { fd; pending = "" }
-    | exception Unix.Unix_error (e, _, _) ->
-        (try Unix.close fd with _ -> ());
-        if Tmx_runtime.Clock.now_s () < deadline then (
-          Unix.sleepf 0.02;
-          go ())
-        else
-          Error
-            (Printf.sprintf "cannot connect to %s: %s" path
-               (Unix.error_message e))
+    match sockaddr_of addr with
+    | Error _ as e -> e
+    | Ok (domain, sockaddr) -> (
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        match
+          Unix.connect fd sockaddr;
+          (match addr with
+          | Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
+          | Unix_sock _ -> ())
+        with
+        | () -> Ok { fd; pending = "" }
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with _ -> ());
+            if Tmx_runtime.Clock.now_s () < deadline then (
+              Unix.sleepf 0.02;
+              go ())
+            else
+              Error
+                (Printf.sprintf "cannot connect to %s: %s" (addr_to_string addr)
+                   (Unix.error_message e)))
   in
   go ()
 
@@ -60,19 +99,21 @@ let read_line c =
   in
   go ()
 
-let roundtrip c req =
+let roundtrip_raw c req =
   match write_all c.fd (Json.to_string req ^ "\n") with
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
-  | () -> (
-      match read_line c with
-      | Error e -> Error e
-      | Ok line -> (
-          match Json.of_string line with
-          | Ok j -> Ok j
-          | Error e -> Error (Printf.sprintf "bad response: %s" e)))
+  | () -> read_line c
 
-let request ?wait_s ~socket req =
-  match connect ?wait_s socket with
+let roundtrip c req =
+  match roundtrip_raw c req with
+  | Error e -> Error e
+  | Ok line -> (
+      match Json.of_string line with
+      | Ok j -> Ok j
+      | Error e -> Error (Printf.sprintf "bad response: %s" e))
+
+let request ?wait_s ~addr req =
+  match connect ?wait_s addr with
   | Error e -> Error e
   | Ok c ->
       Fun.protect ~finally:(fun () -> close c) (fun () -> roundtrip c req)

@@ -1,11 +1,24 @@
-(** The matching client for {!Server}: connect to the Unix socket, send
-    one JSON request per line, read one JSON response per line. *)
+(** The matching client for {!Server}: connect over the Unix socket or
+    TCP, send one JSON request per line, read one JSON response per
+    line. *)
+
+type addr =
+  | Unix_sock of string  (** a Unix-domain socket path *)
+  | Tcp of string * int  (** host, port *)
+
+val addr_of_string : string -> (addr, string) result
+(** ["tcp:HOST:PORT"] (empty host means 127.0.0.1) parses as {!Tcp};
+    anything else is a {!Unix_sock} path.  Matches the addresses
+    [tmx serve] prints at startup. *)
+
+val addr_to_string : addr -> string
+(** Inverse of {!addr_of_string} (Unix paths render bare). *)
 
 type conn
 
-val connect : ?wait_s:float -> string -> (conn, string) result
-(** Connect to the socket path.  [wait_s] retries the connection for up
-    to that many seconds (the server may still be binding — cram tests
+val connect : ?wait_s:float -> addr -> (conn, string) result
+(** Connect to the address.  [wait_s] retries the connection for up to
+    that many seconds (the server may still be binding — cram tests
     background [tmx serve] and race it). *)
 
 val close : conn -> unit
@@ -13,6 +26,9 @@ val close : conn -> unit
 val roundtrip : conn -> Json.t -> (Json.t, string) result
 (** Send one request, read its response line. *)
 
-val request :
-  ?wait_s:float -> socket:string -> Json.t -> (Json.t, string) result
+val roundtrip_raw : conn -> Json.t -> (string, string) result
+(** As {!roundtrip} but returns the raw response line unparsed — the
+    loadgen byte-identity oracle compares these verbatim. *)
+
+val request : ?wait_s:float -> addr:addr -> Json.t -> (Json.t, string) result
 (** One-shot: connect, {!roundtrip}, close. *)

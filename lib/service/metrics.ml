@@ -21,6 +21,7 @@ type t = {
   cells : (string * verb_cell) list;  (* verbs @ ["other"], fixed *)
   mutable deadlines : int;
   in_flight : int Atomic.t;
+  sheds : int Atomic.t;
 }
 
 let create () =
@@ -38,6 +39,7 @@ let create () =
         (verbs @ [ "other" ]);
     deadlines = 0;
     in_flight = Atomic.make 0;
+    sheds = Atomic.make 0;
   }
 
 let cell t verb =
@@ -67,6 +69,7 @@ let deadline_exceeded t =
 let incr_inflight t = Atomic.incr t.in_flight
 let decr_inflight t = Atomic.decr t.in_flight
 let inflight t = Atomic.get t.in_flight
+let shed t = Atomic.incr t.sheds
 
 type verb_stats = { requests : int; errors : int; latency_ns : histogram }
 
@@ -75,6 +78,7 @@ type snapshot = {
   total_requests : int;
   total_errors : int;
   deadlines_exceeded : int;
+  sheds : int;
   queue_depth : int;
 }
 
@@ -99,6 +103,7 @@ let snapshot t =
         List.fold_left (fun acc (_, s) -> acc + s.requests) 0 per_verb;
       total_errors = List.fold_left (fun acc (_, s) -> acc + s.errors) 0 per_verb;
       deadlines_exceeded = t.deadlines;
+      sheds = Atomic.get t.sheds;
       queue_depth = Atomic.get t.in_flight;
     }
   in
@@ -118,6 +123,7 @@ let snapshot_to_json s =
       ("requests", Json.int s.total_requests);
       ("errors", Json.int s.total_errors);
       ("deadlines_exceeded", Json.int s.deadlines_exceeded);
+      ("sheds", Json.int s.sheds);
       ("queue_depth", Json.int s.queue_depth);
       ( "verbs",
         Json.Obj

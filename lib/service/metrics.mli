@@ -22,6 +22,9 @@ val incr_inflight : t -> unit
 val decr_inflight : t -> unit
 val inflight : t -> int
 
+val shed : t -> unit
+(** Count one request refused by admission control. *)
+
 type verb_stats = { requests : int; errors : int; latency_ns : histogram }
 
 type snapshot = {
@@ -29,6 +32,7 @@ type snapshot = {
   total_requests : int;
   total_errors : int;
   deadlines_exceeded : int;
+  sheds : int;  (** requests refused by admission control *)
   queue_depth : int;  (** requests in flight at snapshot time *)
 }
 

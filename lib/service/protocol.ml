@@ -77,6 +77,16 @@ let base ?id ~verb ok_ =
 let ok ?id ~verb fields = Json.Obj (base ?id ~verb true @ fields)
 let error ?id ~verb msg = Json.Obj (base ?id ~verb false @ [ ("error", Json.str msg) ])
 
+let overloaded ?id ~verb () =
+  Json.Obj
+    (base ?id ~verb false
+    @ [ ("error", Json.str "overloaded"); ("overloaded", Json.bool true) ])
+
+let response_overloaded j =
+  match Option.bind (Json.mem "overloaded" j) Json.to_bool with
+  | Some b -> b
+  | None -> false
+
 let response_ok j =
   match Option.bind (Json.mem "ok" j) Json.to_bool with
   | Some b -> b

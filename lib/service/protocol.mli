@@ -28,5 +28,14 @@ val to_json : request -> Json.t
 
 val ok : ?id:Json.t -> verb:string -> (string * Json.t) list -> Json.t
 val error : ?id:Json.t -> verb:string -> string -> Json.t
+
+val overloaded : ?id:Json.t -> verb:string -> unit -> Json.t
+(** The structured shed response: [ok = false], [error = "overloaded"],
+    and a distinguishing ["overloaded": true] field so clients can
+    retry-with-backoff instead of treating it as a hard failure. *)
+
 val response_ok : Json.t -> bool
 (** The ["ok"] field of a response (false when absent). *)
+
+val response_overloaded : Json.t -> bool
+(** Was this response a shed (["overloaded"] field, false when absent)? *)

@@ -1,40 +1,144 @@
-(* The tmx serve daemon.  N worker domains block in accept on one
-   listening socket; each owns its accepted connection and runs the
-   NDJSON request loop on it.  Reads carry a short timeout so workers
-   notice the stop flag even inside an idle connection; a client
-   vanishing mid-request (read EOF, or EPIPE on the response write)
-   tears down only that connection. *)
+(* The tmx serve daemon.  N worker domains share the listening sockets
+   (Unix and/or TCP) through a select loop; each owns its accepted
+   connection and runs the NDJSON request loop on it.  Reads and the
+   select carry a short timeout so workers notice the stop flag even
+   inside an idle connection; a client vanishing mid-request (read EOF,
+   or EPIPE on the response write) tears down only that connection.
+
+   Binding is split out ([listen]) from serving ([start ~listener]) so
+   the CLI can bind once, print the bound addresses (the kernel picks
+   the port for --port 0), and fork shard processes that inherit the
+   same listening fds — the kernel then load-balances accepts across
+   processes, and a respawned shard reuses the fd without re-binding.
+
+   Overload is handled by admission, not queueing: at most
+   [max_inflight] expensive requests run at once per process, and an
+   arrival past that is answered immediately with a structured
+   "overloaded" error (Contention.Admission — the STM Budget policy's
+   bound, reused as backpressure).  Cheap verbs (ping, stats, shutdown)
+   bypass admission so observability and shutdown survive overload. *)
 
 open Tmx_core
 open Tmx_exec
 open Tmx_litmus
 
 type config = {
-  socket : string;
+  socket : string option;
+  tcp : (string * int) option;
   cache_dir : string;
   cache_capacity : int;
+  cache_shards : int;
   workers : int;
   jobs : int;
+  max_inflight : int;
   enum : Enumerate.config;
   verbose : bool;
 }
 
 let default_config ~socket =
   {
-    socket;
+    socket = Some socket;
+    tcp = None;
     cache_dir = Cache.default_dir ();
     cache_capacity = 128;
+    cache_shards = 1;
     workers = 2;
     jobs = 1;
+    max_inflight = 0;
     enum = Enumerate.default_config;
     verbose = false;
   }
 
+(* -- listeners -------------------------------------------------------------- *)
+
+type listener = {
+  l_unix : (Unix.file_descr * string) option;
+  l_tcp : (Unix.file_descr * string * int) option;  (* fd, host, bound port *)
+}
+
+let listen_fds l =
+  List.filter_map Fun.id
+    [
+      Option.map (fun (fd, _) -> fd) l.l_unix;
+      Option.map (fun (fd, _, _) -> fd) l.l_tcp;
+    ]
+
+let addresses l =
+  (match l.l_unix with Some (_, p) -> [ "unix:" ^ p ] | None -> [])
+  @
+  match l.l_tcp with
+  | Some (_, h, p) -> [ Printf.sprintf "tcp:%s:%d" h p ]
+  | None -> []
+
+let tcp_port l = Option.map (fun (_, _, p) -> p) l.l_tcp
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | a -> a
+  | exception _ -> (
+      match
+        Unix.getaddrinfo host ""
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+      with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let close_listener l =
+  Option.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) l.l_unix;
+  Option.iter (fun (fd, _, _) -> try Unix.close fd with _ -> ()) l.l_tcp
+
+let listen cfg =
+  if cfg.socket = None && cfg.tcp = None then
+    invalid_arg "Server.listen: need a Unix socket path or a TCP address";
+  let l_unix =
+    Option.map
+      (fun path ->
+        if Sys.file_exists path then (try Unix.unlink path with _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try
+           Unix.bind fd (Unix.ADDR_UNIX path);
+           Unix.listen fd 64;
+           (* nonblocking so workers selecting on the same fd never hang
+              in accept when a sibling wins the race for the connection *)
+           Unix.set_nonblock fd
+         with e ->
+           (try Unix.close fd with _ -> ());
+           raise e);
+        (fd, path))
+      cfg.socket
+  in
+  match
+    Option.map
+      (fun (host, port) ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.setsockopt fd Unix.SO_REUSEADDR true;
+           Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+           Unix.listen fd 64;
+           Unix.set_nonblock fd
+         with e ->
+           (try Unix.close fd with _ -> ());
+           raise e);
+        let bound =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> port
+        in
+        (fd, host, bound))
+      cfg.tcp
+  with
+  | l_tcp -> { l_unix; l_tcp }
+  | exception e ->
+      Option.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) l_unix;
+      raise e
+
 type t = {
   cfg : config;
-  listen_fd : Unix.file_descr;
+  listener : listener;
+  owns_listener : bool;
   cache : Cache.t;
   metrics : Metrics.t;
+  admission : Tmx_runtime.Contention.Admission.t;
   stop_flag : bool Atomic.t;
   mutable domains : unit Domain.t list;
   stop_lock : Mutex.t;
@@ -43,6 +147,7 @@ type t = {
 
 let cache t = t.cache
 let stopping t = Atomic.get t.stop_flag
+let server_addresses t = addresses t.listener
 
 (* deadlines and latency are durations, so they live on the monotonic
    clock — an NTP step or TZ change mid-request must not expire (or
@@ -212,6 +317,7 @@ let handle_stats t (req : Protocol.request) =
             ("evictions", Json.int c.evictions);
             ("load_failures", Json.int c.load_failures);
             ("resident", Json.int (Cache.resident t.cache));
+            ("shards", Json.int (Cache.shard_count t.cache));
           ] );
       ("metrics", Metrics.snapshot_to_json snap);
     ]
@@ -273,6 +379,12 @@ and handle_batch t ~deadline (req : Protocol.request) =
       ("responses", Json.Arr (Array.to_list responses));
     ]
 
+(* verbs that must keep answering under overload: liveness probes,
+   observability, and the off switch *)
+let admission_exempt = function
+  | "ping" | "stats" | "shutdown" -> true
+  | _ -> false
+
 let serve_line t line =
   Metrics.incr_inflight t.metrics;
   let t0 = now_ns () in
@@ -280,14 +392,23 @@ let serve_line t line =
     match Protocol.of_line line with
     | Error e -> ("other", Protocol.error ~verb:"error" e)
     | Ok req ->
-        let deadline =
-          Option.map
-            (fun ms -> now_s () +. (float_of_int ms /. 1000.))
-            req.deadline_ms
+        let handle () =
+          let deadline =
+            Option.map
+              (fun ms -> now_s () +. (float_of_int ms /. 1000.))
+              req.deadline_ms
+          in
+          try handle_single t ~deadline req
+          with e ->
+            Protocol.error ?id:req.id ~verb:req.verb (Printexc.to_string e)
         in
-        (req.verb, (try handle_single t ~deadline req
-                    with e -> Protocol.error ?id:req.id ~verb:req.verb
-                                (Printexc.to_string e)))
+        if admission_exempt req.verb then (req.verb, handle ())
+        else
+          ( req.verb,
+            Tmx_runtime.Contention.Admission.with_admission t.admission handle
+              ~shed:(fun () ->
+                Metrics.shed t.metrics;
+                Protocol.overloaded ?id:req.id ~verb:req.verb ()) )
   in
   Metrics.record t.metrics ~verb ~ok:(Protocol.response_ok resp)
     ~latency_ns:(now_ns () - t0);
@@ -382,43 +503,67 @@ let handle_conn t fd =
   (try loop () with Unix.Unix_error _ | Sys_error _ -> ());
   try Unix.close fd with _ -> ()
 
+(* low-latency responses on the TCP transport: NDJSON lines are tiny,
+   so Nagle would batch them behind the previous ack *)
+let tune_accepted fd =
+  try
+    match Unix.getpeername fd with
+    | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+    | _ -> ()
+  with _ -> ()
+
 let worker_loop t =
+  let fds = listen_fds t.listener in
+  (* select, not bare accept: one loop watches both transports, and the
+     timeout doubles as the stop-flag poll (no wakeup hack needed) *)
   let rec go () =
     if Atomic.get t.stop_flag then ()
     else
-      match Unix.accept t.listen_fd with
-      | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
-          go ()
+      match Unix.select fds [] [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
       | exception Unix.Unix_error _ -> () (* listener closed: stopping *)
-      | fd, _ ->
-          if Atomic.get t.stop_flag then (try Unix.close fd with _ -> ())
-          else (
-            log t "connection accepted";
-            handle_conn t fd;
-            go ())
+      | ready, _, _ ->
+          List.iter
+            (fun lfd ->
+              match Unix.accept lfd with
+              | exception
+                  Unix.Unix_error
+                    ( ( Unix.ECONNABORTED | Unix.EINTR | Unix.EAGAIN
+                      | Unix.EWOULDBLOCK ),
+                      _,
+                      _ ) ->
+                  () (* a sibling worker (or process) won this accept *)
+              | exception Unix.Unix_error _ -> ()
+              | fd, _ ->
+                  if Atomic.get t.stop_flag then (try Unix.close fd with _ -> ())
+                  else (
+                    log t "connection accepted";
+                    tune_accepted fd;
+                    handle_conn t fd))
+            ready;
+          go ()
   in
   go ()
 
 (* -- lifecycle -------------------------------------------------------------- *)
 
-let start cfg =
+let start ?listener cfg =
   (* a dying client must cost us an EPIPE, not a process kill *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
-  if Sys.file_exists cfg.socket then (try Unix.unlink cfg.socket with _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try
-     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
-     Unix.listen listen_fd 64
-   with e ->
-     (try Unix.close listen_fd with _ -> ());
-     raise e);
+  let owns_listener, listener =
+    match listener with Some l -> (false, l) | None -> (true, listen cfg)
+  in
   let t =
     {
       cfg;
-      listen_fd;
+      listener;
+      owns_listener;
       cache =
-        Cache.create ~capacity:cfg.cache_capacity ~dir:cfg.cache_dir ();
+        Cache.create ~capacity:cfg.cache_capacity ~shards:cfg.cache_shards
+          ~dir:cfg.cache_dir ();
       metrics = Metrics.create ();
+      admission =
+        Tmx_runtime.Contention.Admission.create ~limit:cfg.max_inflight;
       stop_flag = Atomic.make false;
       domains = [];
       stop_lock = Mutex.create ();
@@ -427,7 +572,9 @@ let start cfg =
   in
   t.domains <-
     List.init (max 1 cfg.workers) (fun _ -> Domain.spawn (fun () -> worker_loop t));
-  log t "listening on %s (%d workers)" cfg.socket (List.length t.domains);
+  log t "listening on %s (%d workers)"
+    (String.concat ", " (addresses listener))
+    (List.length t.domains);
   t
 
 let stop t =
@@ -437,18 +584,14 @@ let stop t =
   Mutex.unlock t.stop_lock;
   if first then (
     Atomic.set t.stop_flag true;
-    (* one dummy connection per worker wakes any accept still blocked *)
-    List.iter
-      (fun _ ->
-        try
-          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-          (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket) with _ -> ());
-          Unix.close fd
-        with _ -> ())
-      t.domains;
+    (* workers poll the flag from the select/read timeouts; no wakeup
+       connection needed *)
     List.iter Domain.join t.domains;
-    (try Unix.close t.listen_fd with _ -> ());
-    (try Unix.unlink t.cfg.socket with _ -> ());
+    if t.owns_listener then (
+      close_listener t.listener;
+      Option.iter
+        (fun (_, path) -> try Unix.unlink path with _ -> ())
+        t.listener.l_unix);
     log t "stopped")
 
 let wait t =

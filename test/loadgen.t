@@ -1,0 +1,50 @@
+tmx loadgen replays a deterministic query stream (a pure function of
+the seed) against a running daemon and reports latency percentiles,
+hit rate and shed rate.  A bounded --requests run keeps the test fast.
+
+  $ SOCK=/tmp/tmx-loadgen-$$.sock
+  $ DIR=/tmp/tmx-loadgen-$$.cache
+  $ ../bin/tmx.exe serve --socket "$SOCK" --cache-dir "$DIR" --workers 2 > serve.log 2>&1 &
+  $ ../bin/tmx.exe client --socket "$SOCK" --wait 10 ping
+  pong
+  $ ../bin/tmx.exe loadgen --socket "$SOCK" --requests 40 --concurrency 2 --no-catalog --generated 6 --out report.json | sed 's/[0-9][0-9.]*/N/g'
+  N requests in Ns (N rps, concurrency N, skew N, seed N)
+  latency: pN Nms  pN Nms  pN Nms
+  hit rate N   shed rate N   N errors
+
+The --out witness follows the BENCH_loadgen.json schema that
+tmx bench-compare understands:
+
+  $ tr ',' '\n' < report.json | grep -c '"experiment":"serve_loadgen"'
+  1
+  $ ../bin/tmx.exe bench-compare report.json report.json | tail -1
+  4/4 metrics within the 25%-regression threshold
+
+The byte-identity oracle replays the same stream sequentially against
+two fresh daemons and asserts identical response lines — here the
+daemon is compared against a second, sharded one:
+
+  $ SOCK2=/tmp/tmx-loadgen2-$$.sock
+  $ DIR2=/tmp/tmx-loadgen2-$$.cache
+  $ ../bin/tmx.exe serve --socket "$SOCK2" --cache-dir "$DIR2" --shards 2 --workers 2 > serve2.log 2>&1 &
+  $ ../bin/tmx.exe client --socket "$SOCK2" --wait 10 ping
+  pong
+
+The first daemon's cache is warm from the measured run while the
+second is cold, so the oracle uses fresh caches: restart the first.
+
+  $ ../bin/tmx.exe client --socket "$SOCK" shutdown
+  shutdown: ok
+  $ rm -rf "$DIR"
+  $ ../bin/tmx.exe serve --socket "$SOCK" --cache-dir "$DIR" --workers 2 > serve3.log 2>&1 &
+  $ ../bin/tmx.exe client --socket "$SOCK" --wait 10 ping
+  pong
+  $ ../bin/tmx.exe loadgen --socket "$SOCK" --oracle "$SOCK2" --requests 24 --no-catalog --generated 6
+  oracle: 24 responses byte-identical
+
+  $ ../bin/tmx.exe client --socket "$SOCK" shutdown
+  shutdown: ok
+  $ ../bin/tmx.exe client --socket "$SOCK2" shutdown
+  shutdown: ok
+  $ wait
+  $ rm -rf "$DIR" "$DIR2"

@@ -1,11 +1,12 @@
 The tmx serve daemon answers NDJSON queries over a Unix socket out of
 the content-addressed verdict cache.  The socket lives under /tmp: the
 sandbox working directory is too deep for the ~100-byte OS limit on
-Unix socket paths.
+Unix socket paths.  serve prints its bound addresses on startup, so
+the background daemon's output goes to a log.
 
   $ SOCK=/tmp/tmx-serve-$$.sock
   $ DIR=/tmp/tmx-serve-$$.cache
-  $ ../bin/tmx.exe serve --socket "$SOCK" --cache-dir "$DIR" --workers 2 --jobs 2 &
+  $ ../bin/tmx.exe serve --socket "$SOCK" --cache-dir "$DIR" --workers 2 --jobs 2 > serve.log 2>&1 &
   $ ../bin/tmx.exe client --socket "$SOCK" --wait 10 ping
   pong
 
@@ -45,6 +46,39 @@ way out:
   $ ../bin/tmx.exe client --socket "$SOCK" shutdown
   shutdown: ok
   $ wait
+  $ grep -c '^listening unix:' serve.log
+  1
   $ test -e "$SOCK" || echo socket-gone
   socket-gone
   $ rm -rf "$DIR"
+
+Sharded serving over TCP: -s tcp:HOST:PORT binds a TCP transport (port
+0 lets the kernel pick; the bound address is printed), and --shards
+forks worker processes that share the listening sockets.  The
+supervisor respawns a killed shard while the survivors keep answering;
+a shutdown request drains them all.
+
+  $ DIR2=/tmp/tmx-serve2-$$.cache
+  $ ../bin/tmx.exe serve -s tcp:127.0.0.1:0 --shards 2 --cache-dir "$DIR2" --workers 2 > serve2.log 2>&1 &
+  $ for _ in $(seq 100); do grep -q '^shard' serve2.log 2>/dev/null && break; sleep 0.1; done
+  $ ADDR=$(sed -n 's/^listening \(tcp:.*\)$/\1/p' serve2.log)
+  $ ../bin/tmx.exe client --socket "$ADDR" --wait 10 ping
+  pong
+  $ ../bin/tmx.exe client --socket "$ADDR" races sb
+  sb: 4 executions, 4 racy, 0 mixed
+
+One shard is SIGKILLed mid-service; the client reconnects and the
+surviving (and respawned) shards answer, sharing the on-disk cache the
+dead shard populated:
+
+  $ kill -9 "$(sed -n 's/^shard \([0-9]*\) started$/\1/p' serve2.log | head -1)"
+  $ ../bin/tmx.exe client --socket "$ADDR" --wait 10 ping
+  pong
+  $ ../bin/tmx.exe client --socket "$ADDR" races sb
+  sb: 4 executions, 4 racy, 0 mixed (cached)
+  $ ../bin/tmx.exe client --socket "$ADDR" shutdown
+  shutdown: ok
+  $ wait
+  $ grep -c '^listening tcp:127.0.0.1:' serve2.log
+  1
+  $ rm -rf "$DIR2"

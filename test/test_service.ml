@@ -311,8 +311,12 @@ let socket_path () = Fmt.str "/tmp/tmx-test-%d.sock" (Unix.getpid ())
 let req ?deadline_ms ?(model = "pm") ?name ?program ?(subrequests = []) verb =
   { Protocol.id = None; verb; name; program; model; deadline_ms; subrequests }
 
+(* [socket] is any Client-parseable address: a path or tcp:HOST:PORT *)
 let send socket r =
-  match Client.request ~wait_s:5. ~socket (Protocol.to_json r) with
+  match
+    Result.bind (Client.addr_of_string socket) (fun addr ->
+        Client.request ~wait_s:5. ~addr (Protocol.to_json r))
+  with
   | Ok resp -> resp
   | Error e -> Alcotest.failf "request %s failed: %s" r.Protocol.verb e
 
@@ -591,6 +595,270 @@ let test_pipelined_lines () =
                    Alcotest.failf "error response in pipeline: %s" s
              | Error e -> Alcotest.failf "bad response line: %s" e))
 
+(* -- sharded cache isolation -------------------------------------------------- *)
+
+(* Shards are shared-nothing: vandalizing every entry of one shard
+   directory must leave the other shards serving from disk, and the
+   damaged shard recovers by recomputation. *)
+let test_cache_shard_isolation () =
+  let dir = temp_dir "shardiso" in
+  let c = Cache.create ~shards:4 ~capacity:64 ~dir () in
+  let progs =
+    List.filteri (fun i _ -> i < 8) Tmx_litmus.Catalog.all
+    |> List.map (fun (l : Tmx_litmus.Litmus.t) -> l.program)
+  in
+  List.iter (fun p -> ignore (Cache.memo c ~config Model.programmer p)) progs;
+  let key_of p = Cache.key c ~config Model.programmer p in
+  let victim = List.hd progs in
+  let victim_shard = Cache.shard_index c (key_of victim) in
+  let survivor =
+    match
+      List.find_opt
+        (fun p -> Cache.shard_index c (key_of p) <> victim_shard)
+        progs
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "catalog keys all landed in one shard"
+  in
+  let victim_dir = Filename.dirname (Cache.entry_path c (key_of victim)) in
+  Array.iter
+    (fun f ->
+      let oc = open_out (Filename.concat victim_dir f) in
+      output_string oc "{ vandalized";
+      close_out oc)
+    (Sys.readdir victim_dir);
+  (* a fresh store over the same tree (cold LRU front, so every find
+     goes to disk) *)
+  let c2 = Cache.create ~shards:4 ~capacity:64 ~dir () in
+  Alcotest.(check bool)
+    "other shard unharmed" true
+    (Option.is_some (Cache.find c2 ~config Model.programmer survivor));
+  Alcotest.(check bool)
+    "victim entry unreadable" true
+    (Option.is_none (Cache.find c2 ~config Model.programmer victim));
+  Alcotest.(check bool)
+    "damage counted as load failure" true
+    ((Cache.stats c2).load_failures >= 1);
+  let v, outcome = Cache.memo c2 ~config Model.programmer victim in
+  Alcotest.(check bool) "victim recomputed" true (outcome = `Miss);
+  check_verdict_equal "recovered verdict"
+    (Cache.compute ~config Model.programmer victim)
+    v;
+  ignore (Cache.clear ~dir)
+
+(* Truncated digests would alias into a single shard and shadow each
+   other; the path constructors must reject them. *)
+let test_cache_shard_prefix_guard () =
+  let dir = temp_dir "shardguard" in
+  let c = Cache.create ~shards:2 ~dir () in
+  let rejects what k f =
+    match f k with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s %S accepted" what k
+  in
+  rejects "shard_index of short digest" "a" (Cache.shard_index c);
+  rejects "entry_path of short digest" "f" (Cache.entry_path c);
+  rejects "shard_index of empty digest" "" (Cache.shard_index c);
+  rejects "shard_index of non-hex digest" "zz0" (Cache.shard_index c);
+  let k = Cache.key c ~config Model.programmer (program_of "sb") in
+  let i = Cache.shard_index c k in
+  Alcotest.(check bool) "real key lands in range" true (i >= 0 && i < 2);
+  ignore (Cache.clear ~dir)
+
+(* -- TCP transport ------------------------------------------------------------ *)
+
+let test_server_tcp () =
+  let dir = temp_dir "tcp" in
+  let cfg =
+    {
+      (Server.default_config ~socket:"unused") with
+      socket = None;
+      tcp = Some ("127.0.0.1", 0);  (* kernel picks the port *)
+      cache_dir = dir;
+      cache_shards = 2;
+      workers = 2;
+    }
+  in
+  let t = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      ignore (Cache.clear ~dir))
+    (fun () ->
+      let addr =
+        match Server.server_addresses t with
+        | [ a ] -> a
+        | l -> Alcotest.failf "expected one address, got %d" (List.length l)
+      in
+      Alcotest.(check bool)
+        (Fmt.str "bound address %s is tcp with a real port" addr)
+        true
+        (String.length addr > String.length "tcp:127.0.0.1:"
+        && String.starts_with ~prefix:"tcp:127.0.0.1:" addr
+        && (match Client.addr_of_string addr with
+           | Ok (Client.Tcp (_, p)) -> p > 0
+           | _ -> false));
+      let resp = send addr (req "ping") in
+      Alcotest.(check bool) "tcp ping ok" true (Protocol.response_ok resp);
+      let r1 = send addr (req ~name:"sb" "races") in
+      Alcotest.(check bool) "tcp races ok" true (Protocol.response_ok r1);
+      let r2 = send addr (req ~name:"sb" "races") in
+      Alcotest.(check (option bool))
+        "tcp second races cached" (Some true)
+        (field Json.to_bool "cached" r2);
+      let s = send addr (req "stats") in
+      let cache_stats = Option.get (Json.mem "cache" s) in
+      Alcotest.(check (option int))
+        "stats reports the shard count" (Some 2)
+        (field Json.to_int "shards" cache_stats))
+
+(* -- admission control -------------------------------------------------------- *)
+
+(* With the admission budget pinned to one in-flight expensive request,
+   three domains hammering always-cold (freshly generated) programs must
+   collide: some requests get the structured overloaded response — well
+   formed, not a disconnect — and the server counts every shed. *)
+let test_admission_shedding () =
+  let dir = temp_dir "shed" in
+  let socket = socket_path () ^ "5" in
+  let cfg =
+    {
+      (Server.default_config ~socket) with
+      cache_dir = dir;
+      workers = 4;
+      max_inflight = 1;
+    }
+  in
+  let t = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      ignore (Cache.clear ~dir))
+    (fun () ->
+      let hammer d =
+        let sheds = ref [] in
+        for i = 0 to 19 do
+          let st = Tmx_fuzz.Gen.state_of_seed ~seed:((d * 1000) + i) ~index:0 in
+          let src =
+            Tmx_litmus.Export.program_to_string
+              (Tmx_fuzz.Gen.program ~name:"shed" Tmx_fuzz.Gen.mixed st)
+          in
+          let resp = send socket (req ~program:src "races") in
+          if Protocol.response_overloaded resp then sheds := resp :: !sheds
+          else if not (Protocol.response_ok resp) then
+            Alcotest.failf "non-shed error under load: %s"
+              (Json.to_string resp)
+        done;
+        !sheds
+      in
+      let domains = List.init 3 (fun d -> Domain.spawn (fun () -> hammer d)) in
+      let sheds = List.concat_map Domain.join domains in
+      Alcotest.(check bool)
+        (Fmt.str "observed %d sheds" (List.length sheds))
+        true
+        (List.length sheds >= 1);
+      List.iter
+        (fun resp ->
+          Alcotest.(check bool)
+            "shed is not ok" false (Protocol.response_ok resp);
+          Alcotest.(check (option string))
+            "shed error text" (Some "overloaded")
+            (field Json.to_str "error" resp);
+          Alcotest.(check (option string))
+            "shed echoes the verb" (Some "races")
+            (field Json.to_str "verb" resp))
+        sheds;
+      (* exempt verbs keep answering and the counter is visible *)
+      let s = send socket (req "stats") in
+      Alcotest.(check bool) "stats ok under load" true (Protocol.response_ok s);
+      let metrics = Option.get (Json.mem "metrics" s) in
+      Alcotest.(check bool)
+        "sheds counted in stats" true
+        (Option.get (field Json.to_int "sheds" metrics) >= List.length sheds))
+
+(* -- loadgen ------------------------------------------------------------------ *)
+
+(* The stream is a pure function of (seed, index): concurrency must not
+   change any request, and a different seed must. *)
+let test_loadgen_determinism () =
+  let open Loadgen in
+  let stream cfg n =
+    let targets = pool cfg in
+    let cum = zipf_cumulative ~skew:cfg.skew (Array.length targets) in
+    List.init n (fun i ->
+        Json.to_string (Protocol.to_json (request cfg ~cum ~targets i)))
+  in
+  let cfg = { default_config with generated = 4 } in
+  let a = stream cfg 64 in
+  let b = stream { cfg with concurrency = 7; duration_s = 0.1 } 64 in
+  Alcotest.(check (list string)) "stream independent of concurrency" a b;
+  let c = stream { cfg with seed = cfg.seed + 1 } 64 in
+  Alcotest.(check bool) "different seed, different stream" true (a <> c);
+  (* the verb mix actually mixes *)
+  let verbs =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun line ->
+           Result.to_option (Json.of_string line)
+           |> Fun.flip Option.bind (Json.mem "verb")
+           |> Fun.flip Option.bind Json.to_str)
+         a)
+  in
+  Alcotest.(check bool)
+    (Fmt.str "several verbs drawn (%s)" (String.concat "," verbs))
+    true
+    (List.length verbs >= 3)
+
+(* End-to-end: a short run against an in-process TCP server, then the
+   1-vs-2-shard byte-identity oracle on two fresh servers. *)
+let test_loadgen_oracle () =
+  let with_tcp_server ~tag ~shards f =
+    let dir = temp_dir tag in
+    let cfg =
+      {
+        (Server.default_config ~socket:"unused") with
+        socket = None;
+        tcp = Some ("127.0.0.1", 0);
+        cache_dir = dir;
+        cache_shards = shards;
+        workers = 2;
+      }
+    in
+    let t = Server.start cfg in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop t;
+        ignore (Cache.clear ~dir))
+      (fun () ->
+        match Server.server_addresses t with
+        | [ a ] -> f (Result.get_ok (Client.addr_of_string a))
+        | _ -> Alcotest.fail "expected one bound address")
+  in
+  let lg =
+    { Loadgen.default_config with use_catalog = false; generated = 8 }
+  in
+  with_tcp_server ~tag:"lg-run" ~shards:2 (fun addr ->
+      let r =
+        Loadgen.run
+          ~config:{ lg with concurrency = 2; requests = 40 }
+          addr
+      in
+      Alcotest.(check int) "all requests sent" 40 r.Loadgen.requests_sent;
+      Alcotest.(check int) "no transport errors" 0 r.Loadgen.errors;
+      Alcotest.(check bool) "answers arrived" true (r.Loadgen.ok > 0);
+      Alcotest.(check bool)
+        (Fmt.str "repeat targets hit the cache (hit rate %.2f)"
+           r.Loadgen.hit_rate)
+        true (r.Loadgen.hits > 0));
+  with_tcp_server ~tag:"lg-a" ~shards:1 (fun a ->
+      with_tcp_server ~tag:"lg-b" ~shards:2 (fun b ->
+          match Loadgen.oracle ~config:lg ~requests:32 a b with
+          | Ok None -> ()
+          | Ok (Some m) ->
+              Alcotest.failf "shard divergence at %d:@.%s@.%s" m.Loadgen.index
+                m.Loadgen.line_a m.Loadgen.line_b
+          | Error e -> Alcotest.failf "oracle transport failure: %s" e))
+
 let suite =
   [
     Alcotest.test_case "canon catalog round trip" `Quick test_canon_catalog;
@@ -606,8 +874,15 @@ let suite =
     Alcotest.test_case "cache concurrent memo" `Quick test_cache_concurrent;
     Alcotest.test_case "cached reports byte-identical" `Slow
       test_cached_reports_identical;
+    Alcotest.test_case "cache shard isolation" `Quick test_cache_shard_isolation;
+    Alcotest.test_case "cache shard prefix guard" `Quick
+      test_cache_shard_prefix_guard;
     Alcotest.test_case "server end to end" `Quick test_server_end_to_end;
+    Alcotest.test_case "server tcp transport" `Quick test_server_tcp;
     Alcotest.test_case "server shutdown verb" `Quick test_server_shutdown_verb;
+    Alcotest.test_case "admission shedding" `Slow test_admission_shedding;
+    Alcotest.test_case "loadgen determinism" `Quick test_loadgen_determinism;
+    Alcotest.test_case "loadgen run and shard oracle" `Slow test_loadgen_oracle;
     Alcotest.test_case "monotonic clock vs wall/TZ" `Quick test_clock_monotonic;
     Alcotest.test_case "batch response survives signals" `Slow
       test_batch_survives_signals;
