@@ -19,6 +19,9 @@
      tmx client VERB [NAME ...]  query a running daemon
      tmx loadgen                 replay a deterministic query stream against a
                                  daemon; latency/hit/shed report + shard oracle
+     tmx arch {check,diff,table} differential validation of the LTRF variants
+                                 against per-architecture backends (x86-TSO,
+                                 ARMv8, C++-TM/RC11) — the machine-checked §6
      tmx cache {stats,gc,clear}  inspect / maintain the on-disk verdict cache *)
 
 open Cmdliner
@@ -765,7 +768,19 @@ let stm_bench_cmd =
             "Enable the per-domain event rings during the run and print the \
              tail of the merged trace.")
   in
-  let run domains iters out mode policy trace =
+  let arch_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "arch-out" ] ~docv:"FILE"
+          ~doc:
+            "Also measure the per-architecture fence penalty (x86-TSO / \
+             ARMv8 DMB LD / C++ seq_cst fence emulations against an \
+             unfenced baseline) and write it, together with the \
+             machine-checked section-6 catalog claims, as an \
+             arch_fence_penalty JSON document (BENCH_arch.json in CI).")
+  in
+  let run domains iters out arch_out mode policy trace =
     let domains = max 1 domains and iters = max 1 iters in
     let modes =
       match mode with
@@ -802,12 +817,56 @@ let stm_bench_cmd =
     let repair_cost = Stm_bench.repair_cost config in
     List.iter (fun c -> Fmt.pr "%a@." Stm_bench.pp_fence_cost c) repair_cost;
     Stm_bench.write_json ~repair_cost ~file:out config results;
-    Fmt.pr "wrote %s (%d runs)@." out (List.length results)
+    Fmt.pr "wrote %s (%d runs)@." out (List.length results);
+    match arch_out with
+    | None -> ()
+    | Some file ->
+        let costs = Stm_bench.arch_fence_cost config in
+        List.iter (fun c -> Fmt.pr "%a@." Stm_bench.pp_arch_cost c) costs;
+        (* the section-6 claims, machine-checked over the catalog with
+           the same sweep `tmx arch table --all --check` runs *)
+        let aconfig =
+          { Enumerate.default_config with reduction = Enumerate.No_reduction }
+        in
+        let rows =
+          List.map
+            (fun (l : Tmx_litmus.Litmus.t) ->
+              Tmx_arch.Diff.rows ~config:aconfig l.program)
+            Tmx_litmus.Catalog.all
+        in
+        let count pred = List.length (List.filter pred (List.concat rows)) in
+        let bad arch =
+          count (fun (r : Tmx_arch.Diff.row) ->
+              r.arch = arch
+              && (r.imprecise || r.gap_fences <> None))
+        in
+        let armv8_open =
+          count (fun (r : Tmx_arch.Diff.row) ->
+              r.arch = Tmx_arch.Arch.Armv8
+              && (r.imprecise || r.gap_fences = Some None))
+        in
+        let armv8_gaps =
+          count (fun (r : Tmx_arch.Diff.row) ->
+              r.arch = Tmx_arch.Arch.Armv8 && r.gap_fences <> None)
+        in
+        let b v = if v then "true" else "false" in
+        let claims =
+          [
+            ("catalog_programs", string_of_int (List.length rows));
+            ("x86tso_strongest_validated", b (bad Tmx_arch.Arch.X86tso = 0));
+            ("x86tso_zero_fences", "true");
+            ("rc11_strongest_validated", b (bad Tmx_arch.Arch.Rc11 = 0));
+            ("armv8_gap_programs", string_of_int armv8_gaps);
+            ("armv8_gaps_closed", b (armv8_open = 0));
+          ]
+        in
+        Stm_bench.write_arch_json ~claims ~file config costs;
+        Fmt.pr "wrote %s (%d arch runs)@." file (List.length costs)
   in
   let term =
     Term.(
-      const run $ domains_arg $ iters_arg $ out_arg $ mode_arg $ policy_arg
-      $ trace_flag)
+      const run $ domains_arg $ iters_arg $ out_arg $ arch_out_arg $ mode_arg
+      $ policy_arg $ trace_flag)
   in
   Cmd.v
     (Cmd.info "stm-bench"
@@ -1788,8 +1847,20 @@ let loadgen_cmd =
             "Also write the report as JSON in the BENCH_loadgen.json \
              schema (experiment serve_loadgen).")
   in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Open-loop mode: issue requests at $(docv) requests/s \
+             (aggregate, deterministic exponential inter-arrival gaps from \
+             the seeded RNG) and measure latency from each request's \
+             scheduled arrival, so overload numbers include queueing delay \
+             instead of the coordinated-omission artifact closed loops \
+             report.  0 (default) keeps the closed loop.")
+  in
   let run socket oracle requests duration concurrency skew seed generated
-      no_catalog shards_label out =
+      no_catalog shards_label out rate =
     let config =
       {
         Loadgen.concurrency;
@@ -1799,6 +1870,7 @@ let loadgen_cmd =
         seed;
         generated;
         use_catalog = not no_catalog;
+        rate;
       }
     in
     Result.bind (Client.addr_of_string socket) (fun addr ->
@@ -1863,7 +1935,7 @@ let loadgen_cmd =
       term_result'
         (const run $ socket_arg $ oracle_arg $ requests_arg $ duration_arg
        $ concurrency_arg $ skew_arg $ seed_arg $ generated_arg
-       $ no_catalog_flag $ shards_label_arg $ out_arg))
+       $ no_catalog_flag $ shards_label_arg $ out_arg $ rate_arg))
   in
   Cmd.v
     (Cmd.info "loadgen"
@@ -1917,6 +1989,195 @@ let cache_cmd =
           serve), $(b,tmx litmus --cache) and $(b,tmx fuzz --cache).")
     [ stats_cmd; gc_cmd; clear_cmd ]
 
+let arch_cmd =
+  let open Tmx_arch in
+  let arch_conv =
+    let parse s =
+      match Arch.by_name s with
+      | Some a -> Ok a
+      | None ->
+          Error
+            (`Msg
+              (Fmt.str "unknown architecture %S (known: %a)" s
+                 Fmt.(list ~sep:comma Arch.pp)
+                 Arch.all))
+    in
+    Arg.conv (parse, Arch.pp)
+  in
+  let arch_arg =
+    Arg.(
+      value
+      & opt arch_conv Arch.X86tso
+      & info [ "a"; "arch" ] ~docv:"ARCH"
+          ~doc:
+            "Architecture backend: x86tso, armv8 or rc11 (the C++-TM-style \
+             RC11 fragment).")
+  in
+  let find_program name =
+    if Sys.file_exists name then
+      match Tmx_litmus.Parse.parse_file name with
+      | exception Tmx_litmus.Parse.Error msg -> Error (Fmt.str "%s: %s" name msg)
+      | litmus -> Ok (name, litmus.Tmx_litmus.Litmus.program)
+    else
+      Result.map
+        (fun (l : Tmx_litmus.Litmus.t) -> (l.name, l.program))
+        (find_litmus name)
+  in
+  let find_programs all names =
+    if all || names = [] then
+      Ok
+        (List.map
+           (fun (l : Tmx_litmus.Litmus.t) -> (l.name, l.program))
+           Tmx_litmus.Catalog.all)
+    else
+      List.fold_left
+        (fun acc n ->
+          Result.bind acc (fun ps ->
+              Result.map (fun p -> p :: ps) (find_program n)))
+        (Ok []) names
+      |> Result.map List.rev
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Run the whole catalog (also the default when no names are given).")
+  in
+  let check_cmd =
+    let run jobs model arch name =
+      Result.map
+        (fun (name, program) ->
+          let config = config_of_jobs jobs Enumerate.No_reduction in
+          let v = Diff.check ~config arch model program in
+          Fmt.pr "%s: %a@." name Diff.pp_verdict v;
+          if not (v.Diff.validated || v.Diff.fences <> None) then exit 1)
+        (find_program name)
+    in
+    let term =
+      Term.(
+        term_result' (const run $ jobs_arg $ model_arg $ arch_arg $ one_name))
+    in
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Does the architecture validate the LTRF variant on a program?  \
+            Prints the verdict, escape witnesses, and (ARMv8) the minimal \
+            re-verified DMB LD set closing the gap; exits 1 on an \
+            unclosable escape.")
+      term
+  in
+  let diff_cmd =
+    let run jobs model arch name =
+      Result.map
+        (fun (name, program) ->
+          let config = config_of_jobs jobs Enumerate.No_reduction in
+          let a = Aexec.run ~config arch program in
+          let r = Enumerate.run ~config model program in
+          let vo = Enumerate.outcomes r in
+          let escapes = Outcome.diff a.Aexec.outcomes vo in
+          let conservative = Outcome.diff vo a.Aexec.outcomes in
+          Fmt.pr "%s: %d outcomes under %a (%d graphs), %d under %a@." name
+            (List.length a.Aexec.outcomes)
+            Arch.pp arch a.Aexec.graphs (List.length vo) Model.pp model;
+          List.iter (fun o -> Fmt.pr "  arch-only    %a@." Outcome.pp o) escapes;
+          List.iter
+            (fun o -> Fmt.pr "  variant-only %a@." Outcome.pp o)
+            conservative;
+          if escapes = [] && conservative = [] then Fmt.pr "  (agree)@.")
+        (find_program name)
+    in
+    let term =
+      Term.(
+        term_result' (const run $ jobs_arg $ model_arg $ arch_arg $ one_name))
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Print the outcome differences between an architecture backend \
+            and an LTRF variant on one program, in both directions.")
+      term
+  in
+  let table_cmd =
+    let check_flag =
+      Arg.(
+        value & flag
+        & info [ "check" ]
+            ~doc:
+              "Assert the paper's section-6 claims: x86tso and rc11 validate \
+               the strongest variant with zero fences on every program, \
+               every armv8 escape closes under the reported DMB LD set, \
+               the architecture outcome lattice holds, and no enumeration \
+               was truncated or capped.  Exit 1 on any violation.")
+    in
+    let run jobs check all names =
+      Result.map
+        (fun programs ->
+          let config = config_of_jobs jobs Enumerate.No_reduction in
+          let failures = ref 0 in
+          let fail fmt =
+            incr failures;
+            Fmt.pr fmt
+          in
+          List.iter
+            (fun (name, program) ->
+              let rows = Diff.rows ~config program in
+              Fmt.pr "%s:@." name;
+              List.iter (fun r -> Fmt.pr "  %a@." Diff.pp_row r) rows;
+              if check then begin
+                List.iter
+                  (fun (r : Diff.row) ->
+                    if r.Diff.imprecise then
+                      fail "  FAIL %s: %s enumeration imprecise@." name
+                        (Arch.name r.Diff.arch);
+                    match (r.Diff.arch, r.Diff.gap_fences) with
+                    | (Arch.X86tso | Arch.Rc11), Some _ ->
+                        fail "  FAIL %s: %s does not validate strongest@."
+                          name (Arch.name r.Diff.arch)
+                    | Arch.Armv8, Some None ->
+                        fail "  FAIL %s: armv8 escape not closed by fences@."
+                          name
+                    | _ -> ())
+                  rows;
+                List.iter
+                  (fun (c : Diff.containment) ->
+                    if not c.Diff.ok then
+                      fail "  FAIL %s: outcomes(%s) escape outcomes(%s)@." name
+                        (Arch.name c.Diff.sub) (Arch.name c.Diff.sup))
+                  (Diff.containments ~config program)
+              end)
+            programs;
+          if check then
+            if !failures = 0 then
+              Fmt.pr "section-6 claims hold on %d programs@."
+                (List.length programs)
+            else begin
+              Fmt.pr "%d section-6 violations@." !failures;
+              exit 1
+            end)
+        (find_programs all names)
+    in
+    let term =
+      Term.(
+        term_result' (const run $ jobs_arg $ check_flag $ all_flag $ names_arg))
+    in
+    Cmd.v
+      (Cmd.info "table"
+         ~doc:
+           "Per-program agreement table: for each architecture the maximal \
+            validated LTRF variants and, when the strongest variant is \
+            escaped, the minimal fence set closing the gap.  \
+            $(b,--check) asserts the section-6 claims (CI runs this over \
+            the catalog).")
+      term
+  in
+  Cmd.group
+    (Cmd.info "arch"
+       ~doc:
+         "Differential validation of the LTRF variants against per-\
+          architecture axiomatic backends (x86-TSO, ARMv8, C++-TM/RC11): \
+          the machine-checked form of the paper's section-6 claims.")
+    [ check_cmd; diff_cmd; table_cmd ]
+
 let () =
   let doc = "modular transactions: the LTRF model checker and STM workbench" in
   let info = Cmd.info "tmx" ~version:"1.0.0" ~doc in
@@ -1927,5 +2188,6 @@ let () =
             litmus_cmd; outcomes_cmd; races_cmd; lint_cmd; repair_cmd; stm_cmd;
             stm_bench_cmd; machine_cmd; theorems_cmd; models_cmd; show_cmd;
             dot_cmd; check_cmd; export_cmd; shapes_cmd; fence_cmd; fuzz_cmd;
-            bench_compare_cmd; serve_cmd; client_cmd; loadgen_cmd; cache_cmd;
+            arch_cmd; bench_compare_cmd; serve_cmd; client_cmd; loadgen_cmd;
+            cache_cmd;
           ]))

@@ -1,0 +1,20 @@
+(* The architecture axis: x86-TSO, ARMv8 and a C++-TM-style RC11
+   fragment, after Chong, Sorensen & Wickerson.  The per-arch axioms
+   live in Aexec; this module is the naming and fence-mapping table. *)
+
+type t = X86tso | Armv8 | Rc11
+
+let all = [ X86tso; Armv8; Rc11 ]
+
+let name = function X86tso -> "x86tso" | Armv8 -> "armv8" | Rc11 -> "rc11"
+
+let by_name s = List.find_opt (fun a -> String.equal (name a) s) all
+
+let qfence_name = function
+  | X86tso -> "MFENCE"
+  | Armv8 -> "DMB SY"
+  | Rc11 -> "atomic_thread_fence(seq_cst)"
+
+let ld_fence_name = function Armv8 -> Some "DMB LD" | X86tso | Rc11 -> None
+
+let pp ppf a = Fmt.string ppf (name a)

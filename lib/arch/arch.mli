@@ -1,0 +1,42 @@
+(** The architecture axis: the three hardware/language memory models the
+    backends compile litmus programs onto.
+
+    Each backend ({!Aexec}) judges the same candidate graphs the LTRF
+    enumerator searches — thread paths × reads-from × coherence ×
+    quiescence-fence sides — under that architecture's axioms, after the
+    standard transactional compilation: a transaction executes as one
+    atomic block bounded by full fences (a locked region / HTM
+    transaction), the quiescence fence [Qx] maps to the architecture's
+    full barrier plus the runtime's quiescence ordering, and (ARMv8
+    only) anti-load-buffering fences can be inserted after plain loads.
+
+    Following Chong, Sorensen & Wickerson, "The Semantics of
+    Transactions and Weak Memory in x86, Power, ARMv8, and C++". *)
+
+type t =
+  | X86tso  (** acyclic ghb: po minus W→R, fences, rfe, co, fr *)
+  | Armv8
+      (** ordered-before from external edges and barriers only — no
+          dependency order, so load buffering is observable and the §6
+          anti-LB fences are needed *)
+  | Rc11
+      (** C++-TM-style RC11 fragment: transactions synchronize via rf,
+          no-thin-air (acyclic po ∪ rf), coherence via hb;eco *)
+
+val all : t list
+
+val name : t -> string
+(** ["x86tso"], ["armv8"], ["rc11"]. *)
+
+val by_name : string -> t option
+
+val qfence_name : t -> string
+(** What the quiescence fence [Qx] compiles to: ["MFENCE"],
+    ["DMB SY"], ["atomic_thread_fence(seq_cst)"]. *)
+
+val ld_fence_name : t -> string option
+(** The anti-load-buffering fence, when the architecture needs one:
+    [Some "DMB LD"] for ARMv8, [None] for the others (x86-TSO and RC11
+    already forbid load buffering). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,178 @@
+(* Differential validation: do the architecture backends' outcome sets
+   stay inside the LTRF variants'?  See diff.mli for the definitions. *)
+
+open Tmx_core
+open Tmx_exec
+
+type verdict = {
+  arch : Arch.t;
+  variant : Model.t;
+  validated : bool;
+  witnesses : Outcome.t list;
+  fences : Aexec.fence_site list option;
+  imprecise : bool;
+}
+
+type row = {
+  arch : Arch.t;
+  validated : Model.t list;
+  strongest : Model.t list;
+  gap_fences : Aexec.fence_site list option option;
+  imprecise : bool;
+}
+
+type containment = {
+  sub : Arch.t;
+  sup : Arch.t;
+  ok : bool;
+  witnesses : Outcome.t list;
+}
+
+let variant_outcomes ~config model program =
+  let r = Enumerate.run ~config model program in
+  (Enumerate.outcomes r, r.Enumerate.truncated || r.Enumerate.capped)
+
+(* -- minimal fence search ----------------------------------------------------- *)
+
+(* all size-k subsets, lexicographic in the input order *)
+let rec choose k xs =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun s -> x :: s) (choose (k - 1) rest) @ choose k rest
+
+(* Exhaustive cardinality-ordered search over few sites (guaranteed
+   minimum), 1-minimal greedy prune of the full set otherwise.  [closes]
+   re-runs the backend, so every returned set is verified by
+   construction. *)
+let minimal_fences ~sites ~closes =
+  let n = List.length sites in
+  if n <= 5 then
+    let rec by_size k =
+      if k > n then None
+      else
+        match List.find_opt closes (choose k sites) with
+        | Some s -> Some s
+        | None -> by_size (k + 1)
+    in
+    by_size 1
+  else if not (closes sites) then None
+  else
+    let prune kept site =
+      let without = List.filter (fun s -> s <> site) kept in
+      if closes without then without else kept
+    in
+    Some (List.fold_left prune sites sites)
+
+let check ?(config = Enumerate.default_config) ?(search_fences = true) arch
+    variant program =
+  let a = Aexec.run ~config arch program in
+  let vo, v_imprecise = variant_outcomes ~config variant program in
+  let witnesses = Outcome.diff a.Aexec.outcomes vo in
+  let validated = witnesses = [] in
+  let imprecise = a.Aexec.truncated || a.Aexec.capped || v_imprecise in
+  let fences =
+    if validated then Some []
+    else if (not search_fences) || Arch.ld_fence_name arch = None then None
+    else
+      let sites = Aexec.plain_load_sites ~config program in
+      let closes fences =
+        Outcome.subset (Aexec.run ~config ~fences arch program).Aexec.outcomes vo
+      in
+      minimal_fences ~sites ~closes
+  in
+  { arch; variant; validated; witnesses; fences; imprecise }
+
+let maximal_validated validated =
+  List.filter
+    (fun m ->
+      not
+        (List.exists
+           (fun m' ->
+             m' != m
+             && Model.stronger_eq m' m
+             && not (Model.stronger_eq m m'))
+           validated))
+    validated
+
+let rows ?(config = Enumerate.default_config) program =
+  let variants =
+    List.map (fun m -> (m, variant_outcomes ~config m program)) Model.all
+  in
+  List.map
+    (fun arch ->
+      let a = Aexec.run ~config arch program in
+      let validated, imprecise =
+        List.fold_left
+          (fun (vs, imp) (m, (vo, vimp)) ->
+            let vs =
+              if Outcome.subset a.Aexec.outcomes vo then m :: vs else vs
+            in
+            (vs, imp || vimp))
+          ([], a.Aexec.truncated || a.Aexec.capped)
+          variants
+      in
+      let validated = List.rev validated in
+      let gap_fences =
+        if List.memq Model.strongest validated then None
+        else if Arch.ld_fence_name arch = None then Some None
+        else
+          let so, _ = List.assq Model.strongest variants in
+          let sites = Aexec.plain_load_sites ~config program in
+          let closes fences =
+            Outcome.subset
+              (Aexec.run ~config ~fences arch program).Aexec.outcomes so
+          in
+          Some (minimal_fences ~sites ~closes)
+      in
+      {
+        arch;
+        validated;
+        strongest = maximal_validated validated;
+        gap_fences;
+        imprecise;
+      })
+    Arch.all
+
+let containments ?(config = Enumerate.default_config) program =
+  let out arch = (Aexec.run ~config arch program).Aexec.outcomes in
+  let tso = out Arch.X86tso in
+  let armv8 = out Arch.Armv8 in
+  let rc11 = out Arch.Rc11 in
+  let pair sub sub_out sup sup_out =
+    let witnesses = Outcome.diff sub_out sup_out in
+    { sub; sup; ok = witnesses = []; witnesses }
+  in
+  [
+    pair Arch.X86tso tso Arch.Armv8 armv8;
+    pair Arch.Rc11 rc11 Arch.Armv8 armv8;
+  ]
+
+let pp_fences ppf = function
+  | None -> Fmt.string ppf "no closing fence set"
+  | Some [] -> Fmt.string ppf "no fences needed"
+  | Some s ->
+      Fmt.pf ppf "fences {%a}" Fmt.(list ~sep:(any ", ") Aexec.pp_fence_site) s
+
+let pp_verdict ppf (v : verdict) =
+  Fmt.pf ppf "%a %s %s%s: %a" Arch.pp v.arch
+    (if v.validated then "validates" else "escapes")
+    v.variant.Model.name
+    (if v.imprecise then " (imprecise)" else "")
+    pp_fences v.fences;
+  if v.witnesses <> [] then
+    Fmt.pf ppf "; witnesses: %a"
+      Fmt.(list ~sep:(any " | ") Outcome.pp)
+      v.witnesses
+
+let pp_row ppf (r : row) =
+  let names ms = String.concat "," (List.map (fun (m : Model.t) -> m.Model.name) ms) in
+  Fmt.pf ppf "%-7s strongest=%s%s %a" (Arch.name r.arch)
+    (match r.strongest with [] -> "-" | ms -> names ms)
+    (if r.imprecise then " (imprecise)" else "")
+    (fun ppf -> function
+      | None -> Fmt.string ppf "gap=none"
+      | Some f -> Fmt.pf ppf "gap: %a" pp_fences f)
+    r.gap_fences

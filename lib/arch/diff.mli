@@ -1,0 +1,77 @@
+(** Differential validation of the LTRF variants against the
+    architecture backends — the machine-checked form of the paper's §6
+    claims.
+
+    "Architecture [a] validates variant [v] on program [p]" means every
+    outcome [a] admits is admitted by [v]: a programmer reasoning with
+    [v]'s rules is sound on [a] for [p].  Because a stronger variant
+    admits fewer outcomes, the validated set is downward closed along
+    {!Tmx_core.Model.stronger_eq}; the informative summary is its set of
+    maximal elements ([strongest]).
+
+    When an architecture escapes a variant (ARMv8 load buffering vs the
+    strongest variant), {!check} searches for a minimal set of
+    anti-load-buffering fences ({!Aexec.fence_site}) closing the gap and
+    re-verifies the fenced program against the variant — the §6 repair
+    story, counterexample-checked. *)
+
+open Tmx_core
+open Tmx_exec
+
+type verdict = {
+  arch : Arch.t;
+  variant : Model.t;
+  validated : bool;  (** zero-fence outcomes(arch) ⊆ outcomes(variant) *)
+  witnesses : Outcome.t list;
+      (** architecture outcomes the variant forbids (empty iff validated) *)
+  fences : Aexec.fence_site list option;
+      (** [Some []] when validated as-is; [Some s] when the gap closes
+          under fence set [s] (re-verified); [None] when no fence set
+          closes it (or the architecture has no anti-LB fence) *)
+  imprecise : bool;  (** truncation or graph cap on either side *)
+}
+
+val check :
+  ?config:Enumerate.config ->
+  ?search_fences:bool ->
+  Arch.t ->
+  Model.t ->
+  Tmx_lang.Ast.program ->
+  verdict
+(** Does [arch] validate [variant] on the program?  With
+    [~search_fences:true] (default) and a non-validating ARMv8, searches
+    for a minimal closing fence set: exhaustive cardinality-ordered
+    search when few candidate sites exist, a 1-minimal greedy prune of
+    the full site set otherwise — either way the returned set is
+    re-verified by re-running the backend on the fenced program. *)
+
+type row = {
+  arch : Arch.t;
+  validated : Model.t list;  (** variants validated with zero fences *)
+  strongest : Model.t list;
+      (** maximal validated variants under {!Model.stronger_eq} *)
+  gap_fences : Aexec.fence_site list option option;
+      (** vs {!Model.strongest}: [None] = validated as-is; [Some (Some
+          s)] = gap closed by [s]; [Some None] = no closing set *)
+  imprecise : bool;
+}
+
+val rows : ?config:Enumerate.config -> Tmx_lang.Ast.program -> row list
+(** One row per architecture ({!Arch.all} order), each variant of
+    {!Model.all} checked, plus the fence search against
+    {!Model.strongest}. *)
+
+type containment = {
+  sub : Arch.t;
+  sup : Arch.t;
+  ok : bool;
+  witnesses : Outcome.t list;
+}
+
+val containments : ?config:Enumerate.config -> Tmx_lang.Ast.program -> containment list
+(** The structural lattice facts — outcomes(x86tso) ⊆ outcomes(armv8)
+    and outcomes(rc11) ⊆ outcomes(armv8) — checked empirically on the
+    program.  A violation is an axiom bug, never expected. *)
+
+val pp_verdict : verdict Fmt.t
+val pp_row : row Fmt.t

@@ -70,4 +70,16 @@ let all = [ programmer; implementation; strongest; variant_ww; variant_rw;
 
 let by_name name = List.find_opt (fun m -> String.equal m.name name) all
 
+(* Pointwise flag implication: [a] has every rule/axiom [b] has, so every
+   execution consistent under [a] is consistent under [b].  The partial
+   order the arch backends use to report the weakest validated variant:
+   more hb rules and anti axioms can only forbid more. *)
+let stronger_eq a b =
+  let ge x y = x || not y in
+  ge a.hb_ww b.hb_ww && ge a.anti_ww b.anti_ww && ge a.hb_wr b.hb_wr
+  && ge a.hb_rw b.hb_rw && ge a.anti_rw b.anti_rw && ge a.hb_ww' b.hb_ww'
+  && ge a.anti_ww' b.anti_ww' && ge a.hb_wr' b.hb_wr'
+  && ge a.hb_rw' b.hb_rw' && ge a.anti_rw' b.anti_rw'
+  && ge a.quiescence b.quiescence
+
 let pp ppf m = Fmt.string ppf m.name

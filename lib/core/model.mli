@@ -37,4 +37,12 @@ val variant_rw' : t
 val variant_wr' : t
 val all : t list
 val by_name : string -> t option
+
+val stronger_eq : t -> t -> bool
+(** [stronger_eq a b] holds when [a] enables every happens-before rule,
+    antidependency axiom and fence rule that [b] does (pointwise flag
+    implication): [a] forbids at least everything [b] forbids.  A partial
+    order ([strongest] is the top, [bare] the bottom); the architecture
+    backends use it to report the weakest validated variant. *)
+
 val pp : t Fmt.t

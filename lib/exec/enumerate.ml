@@ -413,10 +413,14 @@ let run_reduced ~config ~model ~locs ~truncated reduction thread_paths =
     explored;
   }
 
-let run ?(config = default_config) (model : Model.t) (program : Tmx_lang.Ast.program) =
+(* The shared front half of [run], also the entry point of the
+   architecture backends (Tmx_arch), which reuse the candidate space —
+   combos × reads-from × coherence × fence sides — but judge the graphs
+   under per-architecture axioms instead of linearizing. *)
+let unfold_combos config (program : Tmx_lang.Ast.program) =
   (match Tmx_lang.Ast.validate program with
   | Ok () -> ()
-  | Error msg -> invalid_arg ("Enumerate.run: " ^ msg));
+  | Error msg -> invalid_arg ("Enumerate.unfold_combos: " ^ msg));
   let domain, thread_paths =
     Proto.unfold ~iters:config.domain_iters ~fuel:config.fuel program
   in
@@ -427,6 +431,10 @@ let run ?(config = default_config) (model : Model.t) (program : Tmx_lang.Ast.pro
   let thread_paths =
     List.map (List.filter (fun (p : Proto.path) -> not p.truncated)) thread_paths
   in
+  (locs, thread_paths, truncated)
+
+let run ?(config = default_config) (model : Model.t) (program : Tmx_lang.Ast.program) =
+  let locs, thread_paths, truncated = unfold_combos config program in
   match config.reduction with
   | No_reduction -> run_unreduced ~config ~model ~locs ~truncated thread_paths
   | (Dpor | Dpor_sym) as reduction ->

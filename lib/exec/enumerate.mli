@@ -81,6 +81,16 @@ type result = {
           [graphs] but not here — the ratio is the reduction's win. *)
 }
 
+val unfold_combos :
+  config -> Tmx_lang.Ast.program -> string list * Proto.path list list * bool
+(** The shared front half of {!run}: validate, unfold every thread's
+    control paths (dropping paths that hit the loop-unrolling bound) and
+    report the location set.  Returns [(locs, thread_paths, truncated)].
+    The architecture backends ({!Tmx_arch}) enter here to reuse the
+    candidate space — path combos × reads-from choices × coherence
+    permutations × fence sides — while swapping the consistency check.
+    @raise Invalid_argument on an ill-formed program. *)
+
 val run : ?config:config -> Tmx_core.Model.t -> Tmx_lang.Ast.program -> result
 val outcomes : result -> Outcome.t list
 val allowed : result -> (Outcome.t -> bool) -> bool

@@ -314,6 +314,59 @@ let check_repair_sound _ctx (p : Ast.program) =
         | Ok () -> Pass
         | Error e -> Fail e)
 
+(* -- arch-diff ---------------------------------------------------------------- *)
+
+(* The §6 differential claim on fuzzed programs: x86-TSO and the C++-TM
+   mapping validate even the strongest LTRF variant with no inserted
+   fences; every ARMv8 escape is closed by a minimal DMB LD set that
+   Diff.check re-verifies by re-running the backend; and the structural
+   lattice (tso ⊆ armv8, rc11 ⊆ armv8) holds on the outcome sets.  The
+   arch backends judge the unreduced selection product, so the graph cap
+   is kept small and capped/truncated programs are skipped rather than
+   judged on a clipped state space. *)
+let arch_config = { seq_config with Enumerate.max_graphs = 10_000 }
+
+let check_arch_diff _ctx (p : Ast.program) =
+  let config = arch_config in
+  let verdicts =
+    List.map
+      (fun a -> Tmx_arch.Diff.check ~config a Model.strongest p)
+      Tmx_arch.Arch.all
+  in
+  if List.exists (fun (v : Tmx_arch.Diff.verdict) -> v.imprecise) verdicts then
+    Pass
+  else
+    let bad =
+      List.find_map
+        (fun (v : Tmx_arch.Diff.verdict) ->
+          match (v.arch, v.validated, v.fences) with
+          | (Tmx_arch.Arch.X86tso | Tmx_arch.Arch.Rc11), false, _ ->
+              Some
+                (Fmt.str "%s escapes the strongest variant: %a"
+                   (Tmx_arch.Arch.name v.arch)
+                   Fmt.(list ~sep:(any " | ") Outcome.pp)
+                   v.witnesses)
+          | Tmx_arch.Arch.Armv8, false, None ->
+              Some "armv8 escape not closed by any DMB LD fence set"
+          | _ -> None)
+        verdicts
+    in
+    match bad with
+    | Some msg -> Fail msg
+    | None -> (
+        match
+          List.find_opt
+            (fun (c : Tmx_arch.Diff.containment) -> not c.ok)
+            (Tmx_arch.Diff.containments ~config p)
+        with
+        | Some c ->
+            Fail
+              (Fmt.str "outcomes(%s) escape outcomes(%s): %a"
+                 (Tmx_arch.Arch.name c.sub) (Tmx_arch.Arch.name c.sup)
+                 Fmt.(list ~sep:(any " | ") Outcome.pp)
+                 c.witnesses)
+        | None -> Pass)
+
 (* -- the deliberately-broken demo oracle -------------------------------------- *)
 
 let check_broken _ctx (p : Ast.program) =
@@ -373,6 +426,13 @@ let stock =
         "synthesized repairs verify mixed-race-free; dropping any single \
          edit reintroduces a race";
       check = check_repair_sound;
+    };
+    {
+      name = "arch-diff";
+      descr =
+        "x86tso/rc11 validate the strongest variant; armv8 escapes close \
+         under a re-verified DMB LD set; arch outcome lattice holds";
+      check = check_arch_diff;
     };
   ]
 

@@ -21,8 +21,15 @@
                       unreduced reference, and under [Dpor_sym] preserves the
                       execution multiset, graphs, caps, and monotonically
                       shrinks explored states                                      |
+    | [repair-sound]| synthesized repairs re-verify mixed-race-free, and every
+                      edit is load-bearing                                         |
+    | [arch-diff]   | x86-TSO and the C++-TM mapping validate the strongest
+                      LTRF variant fence-free; ARMv8 escapes close under a
+                      re-verified minimal DMB LD set; and the architecture
+                      outcome lattice (tso ⊆ armv8, rc11 ⊆ armv8) holds
+                      ({!Tmx_arch.Diff})                                           |
 
-    A seventh oracle, [broken], deliberately fails on any program with a
+    A further oracle, [broken], deliberately fails on any program with a
     mixed location.  It exists to test the minimizer end-to-end and is
     hidden: {!by_name} only resolves it when the [TMX_FUZZ_BROKEN]
     environment variable is set. *)

@@ -66,6 +66,43 @@ val repair_cost : config -> fence_cost list
 
 val pp_fence_cost : Format.formatter -> fence_cost -> unit
 
+type arch_cost = {
+  arch : string;  (** ["x86tso"], ["armv8"] or ["rc11"] *)
+  workload : string;
+  mode : string;
+  fenced_per_sec : float;
+  baseline_per_sec : float;
+}
+(** The runtime price of the §6 per-architecture fence insertions,
+    emulated with same-ordering-class atomics on an uncontended
+    per-worker cell: nothing for x86-TSO (zero inserted fences), an
+    atomic load per transactional read for ARMv8's [DMB LD], an atomic
+    RMW for C++'s [atomic_thread_fence(seq_cst)]. *)
+
+val arch_penalty : arch_cost -> float
+(** [1 - fenced/baseline] commit throughput. *)
+
+val arch_fence_cost : config -> arch_cost list
+(** One entry per architecture on the read-mix microworkload, best of
+    three scaled-up runs against a shared unfenced baseline, using the
+    first mode and policy of [config]. *)
+
+val pp_arch_cost : Format.formatter -> arch_cost -> unit
+
+val arch_json :
+  ?claims:(string * string) list -> config -> arch_cost list -> string
+(** The BENCH_arch.json document ([experiment: "arch_fence_penalty"];
+    schema in EXPERIMENTS.md).  [claims] are raw-JSON key/value pairs
+    recording the machine-checked §6 facts the caller obtained from the
+    arch table sweep. *)
+
+val write_arch_json :
+  ?claims:(string * string) list ->
+  file:string ->
+  config ->
+  arch_cost list ->
+  unit
+
 val to_json : ?repair_cost:fence_cost list -> config -> result list -> string
 (** The BENCH_stm.json document (schema in EXPERIMENTS.md); the
     [repair_cost] entries land in a top-level ["repair_cost"] array. *)

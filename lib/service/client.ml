@@ -1,8 +1,21 @@
 type addr = Unix_sock of string | Tcp of string * int
 
+(* a scheme-looking prefix (letters/digits/+/-/., starting with a
+   letter) that isn't "tcp" is almost surely a typo for one — treated
+   as a socket path it would only surface later as a confusing ENOENT.
+   Paths starting with '/' or '.' are never mistaken for schemes. *)
+let scheme_like s =
+  String.length s >= 2
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '+' | '-' | '.' -> true
+         | _ -> false)
+       s
+
 let addr_of_string s =
   match String.index_opt s ':' with
-  | Some _ when String.length s > 4 && String.sub s 0 4 = "tcp:" -> (
+  | Some _ when String.length s >= 4 && String.sub s 0 4 = "tcp:" -> (
       let rest = String.sub s 4 (String.length s - 4) in
       match String.rindex_opt rest ':' with
       | None -> Error (Printf.sprintf "tcp address %S has no port" s)
@@ -13,6 +26,12 @@ let addr_of_string s =
           | Some p when p >= 0 && p < 65536 ->
               Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
           | _ -> Error (Printf.sprintf "bad port in tcp address %S" s)))
+  | Some i when scheme_like (String.sub s 0 i) ->
+      Error
+        (Printf.sprintf
+           "unknown scheme in address %S (use tcp:HOST:PORT, or a socket \
+            path starting with / or .)"
+           s)
   | _ -> Ok (Unix_sock s)
 
 let addr_to_string = function
@@ -31,7 +50,15 @@ let sockaddr_of = function
 
 type conn = { fd : Unix.file_descr; mutable pending : string }
 
+(* set on the first connect, not at module init: only processes that
+   actually open client connections should trade SIGPIPE death for
+   EPIPE errors (a plain CLI run keeps the usual quiet exit when its
+   stdout pipe closes) *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+
 let connect ?(wait_s = 0.) addr =
+  Lazy.force ignore_sigpipe;
   (* monotonic: a wall-clock step while we poll must not stretch or
      collapse the connect window *)
   let deadline = Tmx_runtime.Clock.now_s () +. wait_s in
@@ -112,8 +139,30 @@ let roundtrip c req =
       | Ok j -> Ok j
       | Error e -> Error (Printf.sprintf "bad response: %s" e))
 
-let request ?wait_s ~addr req =
-  match connect ?wait_s addr with
-  | Error e -> Error e
-  | Ok c ->
-      Fun.protect ~finally:(fun () -> close c) (fun () -> roundtrip c req)
+(* a connect can succeed against a server already on its way down: the
+   kernel completes the handshake out of the dying listener's backlog,
+   the process exits, and the first write or read then sees a dead
+   peer.  Within a wait budget those are "not up yet", same as a
+   refused connect — retry the whole connect+roundtrip. *)
+let dead_peer_error e =
+  e = "server closed the connection"
+  || e = Unix.error_message Unix.EPIPE
+  || e = Unix.error_message Unix.ECONNRESET
+
+let request ?(wait_s = 0.) ~addr req =
+  let deadline = Tmx_runtime.Clock.now_s () +. wait_s in
+  let rec go () =
+    let budget = Float.max 0. (deadline -. Tmx_runtime.Clock.now_s ()) in
+    match connect ~wait_s:budget addr with
+    | Error e -> Error e
+    | Ok c -> (
+        match
+          Fun.protect ~finally:(fun () -> close c) (fun () -> roundtrip c req)
+        with
+        | Error e when dead_peer_error e && Tmx_runtime.Clock.now_s () < deadline
+          ->
+            Unix.sleepf 0.02;
+            go ()
+        | r -> r)
+  in
+  go ()

@@ -9,7 +9,11 @@ type addr =
 val addr_of_string : string -> (addr, string) result
 (** ["tcp:HOST:PORT"] (empty host means 127.0.0.1) parses as {!Tcp};
     anything else is a {!Unix_sock} path.  Matches the addresses
-    [tmx serve] prints at startup. *)
+    [tmx serve] prints at startup.  Malformed tcp addresses (missing,
+    empty, non-numeric or out-of-range port) and scheme-looking
+    prefixes other than [tcp:] (e.g. ["udp:...]"]) are errors rather
+    than socket paths — a path containing [:] is fine as long as it
+    starts with [/] or [.]. *)
 
 val addr_to_string : addr -> string
 (** Inverse of {!addr_of_string} (Unix paths render bare). *)
@@ -31,4 +35,8 @@ val roundtrip_raw : conn -> Json.t -> (string, string) result
     loadgen byte-identity oracle compares these verbatim. *)
 
 val request : ?wait_s:float -> addr:addr -> Json.t -> (Json.t, string) result
-(** One-shot: connect, {!roundtrip}, close. *)
+(** One-shot: connect, {!roundtrip}, close.  Within the [wait_s]
+    budget a dead peer mid-roundtrip (the connect raced a server
+    shutting down: accepted from the old listener's backlog, then
+    EPIPE/reset/EOF) is treated like a refused connect and the whole
+    exchange is retried against the new listener. *)

@@ -31,6 +31,7 @@ type config = {
   seed : int;
   generated : int;  (* fuzzer-generated programs in the pool *)
   use_catalog : bool;
+  rate : float;  (* > 0: open-loop arrivals/s across all workers *)
 }
 
 let default_config =
@@ -42,6 +43,7 @@ let default_config =
     seed = 42;
     generated = 16;
     use_catalog = true;
+    rate = 0.0;
   }
 
 (* -- the deterministic stream ----------------------------------------------- *)
@@ -61,6 +63,28 @@ let rng_of ~seed ~index =
   in
   ignore (step ());
   step
+
+(* Open-loop arrivals: request [i] is due at the prefix sum of
+   exponential inter-arrival gaps with mean [1/rate], gap [j] drawn
+   from its own (seed, index) PRNG on a stream disjoint from the
+   request-content stream — the schedule never perturbs what any index
+   contains, so the determinism oracle is untouched.  Every worker
+   folds the same global prefix sum, so the schedule is identical at
+   any concurrency. *)
+let gap_of cfg ~index =
+  let rng = rng_of ~seed:(cfg.seed lxor 0x2E8B57) ~index in
+  (* u in (0, 1]: never log 0 *)
+  let u = (float_of_int (rng ()) +. 1.0) /. 2147483649.0 in
+  -.Float.log u /. cfg.rate
+
+let arrivals cfg ~n =
+  let a = Array.make (max n 0) 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. gap_of cfg ~index:i;
+    a.(i) <- !acc
+  done;
+  a
 
 type target = By_name of string | By_source of string
 
@@ -156,7 +180,7 @@ type sample = { latency_ns : int; s_ok : bool; s_shed : bool; s_hit : bool }
 let now_s = Tmx_runtime.Clock.now_s
 let now_ns = Tmx_runtime.Clock.now_ns
 
-let worker cfg ~addr ~cum ~targets ~t_end d =
+let worker cfg ~addr ~cum ~targets ~t_start ~t_end d =
   let samples = ref [] in
   let errors = ref 0 in
   let conn = ref None in
@@ -174,15 +198,43 @@ let worker cfg ~addr ~cum ~targets ~t_end d =
     if cfg.requests > 0 then cfg.requests else max_int
   in
   let i = ref d in
+  (* open loop: [due] is the global arrival offset of index [!i];
+     every worker folds the same gap stream, skipping no index *)
+  let due = ref 0.0 in
+  let advance_due ~from_excl ~to_incl =
+    if cfg.rate > 0.0 then
+      for j = from_excl + 1 to to_incl do
+        due := !due +. gap_of cfg ~index:j
+      done
+  in
+  advance_due ~from_excl:(-1) ~to_incl:d;
   let continue () =
-    !i < stop_at_index && (cfg.requests > 0 || now_s () < t_end)
+    !i < stop_at_index
+    && (cfg.requests > 0
+       || (now_s () < t_end
+          && (cfg.rate <= 0.0 || t_start +. !due < t_end)))
+  in
+  let rec wait_until t =
+    let dt = t -. now_s () in
+    if dt > 0.0 then begin
+      Unix.sleepf dt;
+      wait_until t
+    end
   in
   while continue () do
     let req = Protocol.to_json (request cfg ~cum ~targets !i) in
+    let sched = t_start +. !due in
+    if cfg.rate > 0.0 then wait_until sched;
     (match get_conn () with
     | None -> incr errors
     | Some c -> (
-        let t0 = now_ns () in
+        (* open loop: latency counts from the scheduled arrival, so a
+           backed-up worker charges its queueing delay to the requests
+           it delays instead of silently not sending them (the
+           coordinated-omission artifact closed loops suffer) *)
+        let t0 =
+          if cfg.rate > 0.0 then int_of_float (sched *. 1e9) else now_ns ()
+        in
         match Client.roundtrip c req with
         | Error _ ->
             (* server gone or worker died mid-request: drop the
@@ -206,6 +258,7 @@ let worker cfg ~addr ~cum ~targets ~t_end d =
                 s_hit = hit;
               }
               :: !samples));
+    advance_due ~from_excl:!i ~to_incl:(!i + cfg.concurrency);
     i := !i + cfg.concurrency
   done;
   Option.iter Client.close !conn;
@@ -219,7 +272,8 @@ let run ?(config = default_config) addr =
   let t_end = t_start +. cfg.duration_s in
   let results =
     List.init cfg.concurrency (fun d ->
-        Domain.spawn (fun () -> worker cfg ~addr ~cum ~targets ~t_end d))
+        Domain.spawn (fun () ->
+            worker cfg ~addr ~cum ~targets ~t_start ~t_end d))
     |> List.map Domain.join
   in
   let duration = Float.max 1e-9 (now_s () -. t_start) in

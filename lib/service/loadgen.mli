@@ -23,10 +23,24 @@ type config = {
   seed : int;
   generated : int;  (** fuzzer-generated programs added to the pool *)
   use_catalog : bool;  (** include every catalog litmus in the pool *)
+  rate : float;
+      (** [> 0]: open-loop mode — requests arrive at this aggregate
+          rate (requests/s across all workers) on a deterministic
+          schedule of exponential inter-arrival gaps drawn from the
+          seeded RNG, and latency counts from the {e scheduled} arrival
+          rather than the send, so a saturated server charges its queue
+          delay to the requests it delays (closed-loop latencies under
+          overload are coordinated-omission artifacts: the generator
+          only sends when the server is ready, so the numbers only
+          describe requests the server was ready for).  [0] (default) =
+          closed loop.  The schedule stream is disjoint from the
+          request-content stream, so {!request} and the {!oracle} are
+          unaffected. *)
 }
 
 val default_config : config
-(** concurrency 2, 5 s, skew 1.0, seed 42, catalog + 16 generated. *)
+(** concurrency 2, 5 s, skew 1.0, seed 42, catalog + 16 generated,
+    closed loop. *)
 
 type target = By_name of string | By_source of string
 
@@ -35,6 +49,12 @@ val pool : config -> target array
     @raise Invalid_argument when the config yields an empty pool. *)
 
 val zipf_cumulative : skew:float -> int -> float array
+
+val arrivals : config -> n:int -> float array
+(** Open-loop arrival offsets (seconds from run start) of requests
+    [0..n-1]: the prefix sums of the exponential gap stream.  A pure
+    function of [(seed, rate)] — exposed for tests pinning the schedule.
+    Meaningless when [rate <= 0]. *)
 
 val request :
   config -> cum:float array -> targets:target array -> int -> Protocol.request

@@ -77,7 +77,7 @@ NOrec's serialized writer commits remove it by construction:
 The differential fuzzer cross-checks the five semantic layers (the
 summary line carries wall-clock, so only the verdict table is pinned):
 
-  $ ../bin/tmx.exe fuzz --seed 1 --count 3 --no-corpus --jobs 1 | tail -8
+  $ ../bin/tmx.exe fuzz --seed 1 --count 3 --no-corpus --jobs 1 | tail -9
     enum-naive     3 programs
     machine-enum   3 programs
     stmsim-enum    3 programs
@@ -85,6 +85,7 @@ summary line carries wall-clock, so only the verdict table is pinned):
     jobs-det       3 programs
     reduction-det  3 programs
     repair-sound   3 programs
+    arch-diff      3 programs
   all oracles green
 
   $ ../bin/tmx.exe fuzz --list-oracles | cut -d' ' -f1
@@ -95,6 +96,7 @@ summary line carries wall-clock, so only the verdict table is pinned):
   jobs-det
   reduction-det
   repair-sound
+  arch-diff
 
 The static analyzer reports candidate races without enumerating, and
 exits 1 on findings so it can gate CI:

@@ -15,6 +15,7 @@ let exhaustive =
     "stmsim_oracle";
     "analysis_oracle";
     "repair_oracle";
+    "arch_catalog";
   ]
 
 let () =
@@ -60,6 +61,8 @@ let () =
       ("repair", Test_repair.suite);
       ("repair_oracle", Test_repair.oracle_suite);
       ("fuzz", Test_fuzz.suite);
+      ("arch", Test_arch.suite);
+      ("arch_catalog", Test_arch.catalog_suite);
       ("service", Test_service.suite);
     ]
   in

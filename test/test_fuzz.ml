@@ -108,6 +108,7 @@ let test_stock_oracle_names () =
       "jobs-det";
       "reduction-det";
       "repair-sound";
+      "arch-diff";
     ]
     (List.map (fun (o : Oracle.t) -> o.name) Oracle.stock)
 

@@ -663,7 +663,46 @@ let test_cache_shard_prefix_guard () =
   let k = Cache.key c ~config Model.programmer (program_of "sb") in
   let i = Cache.shard_index c k in
   Alcotest.(check bool) "real key lands in range" true (i >= 0 && i < 2);
+  (* uppercase hex is a valid digest spelling: same shard as lowercase,
+     not a guard trip ('A'..'F' go through hex_digit too) *)
+  Alcotest.(check int) "uppercase digest, same shard" i
+    (Cache.shard_index c (String.uppercase_ascii k));
+  Alcotest.(check int) "FF agrees with ff" (Cache.shard_index c "ff")
+    (Cache.shard_index c "FF");
+  Alcotest.(check int) "0A agrees with 0a" (Cache.shard_index c "0a")
+    (Cache.shard_index c "0A");
   ignore (Cache.clear ~dir)
+
+(* -- client address parsing --------------------------------------------------- *)
+
+let test_addr_of_string () =
+  let ok what s expect =
+    match Client.addr_of_string s with
+    | Ok a ->
+        if a <> expect then
+          Alcotest.failf "%s: %S parsed to %s" what s (Client.addr_to_string a)
+    | Error e -> Alcotest.failf "%s: %S rejected: %s" what s e
+  in
+  let err what s =
+    match Client.addr_of_string s with
+    | Error _ -> ()
+    | Ok a ->
+        Alcotest.failf "%s: %S accepted as %s" what s (Client.addr_to_string a)
+  in
+  ok "tcp host:port" "tcp:localhost:8080" (Client.Tcp ("localhost", 8080));
+  ok "empty host defaults" "tcp::9" (Client.Tcp ("127.0.0.1", 9));
+  ok "absolute socket path" "/tmp/tmx.sock" (Client.Unix_sock "/tmp/tmx.sock");
+  ok "relative path with colon" "./run/a:b.sock"
+    (Client.Unix_sock "./run/a:b.sock");
+  ok "bare name is a path" "tmx.sock" (Client.Unix_sock "tmx.sock");
+  err "missing port" "tcp:localhost";
+  err "bare scheme" "tcp:";
+  err "empty port" "tcp:localhost:";
+  err "non-numeric port" "tcp:localhost:http";
+  err "port out of range" "tcp:localhost:70000";
+  err "negative port" "tcp:localhost:-1";
+  err "unknown scheme" "udp:localhost:9";
+  err "url scheme" "http://localhost:9"
 
 (* -- TCP transport ------------------------------------------------------------ *)
 
@@ -807,7 +846,25 @@ let test_loadgen_determinism () =
   Alcotest.(check bool)
     (Fmt.str "several verbs drawn (%s)" (String.concat "," verbs))
     true
-    (List.length verbs >= 3)
+    (List.length verbs >= 3);
+  (* open loop: the arrival schedule is deterministic, strictly
+     increasing, roughly at the configured rate — and disjoint from the
+     content stream, so turning it on changes no request *)
+  let ol = { cfg with rate = 100.0 } in
+  let t1 = arrivals ol ~n:256 and t2 = arrivals ol ~n:256 in
+  Alcotest.(check (array (float 0.0))) "arrival schedule deterministic" t1 t2;
+  Array.iteri
+    (fun i t ->
+      if i > 0 && t <= t1.(i - 1) then
+        Alcotest.failf "arrivals not increasing at %d" i)
+    t1;
+  let mean_gap = t1.(255) /. 256.0 in
+  Alcotest.(check bool)
+    (Fmt.str "mean gap %.4fs near 1/rate" mean_gap)
+    true
+    (mean_gap > 0.005 && mean_gap < 0.02);
+  Alcotest.(check (list string)) "rate leaves request contents alone" a
+    (stream ol 64)
 
 (* End-to-end: a short run against an in-process TCP server, then the
    1-vs-2-shard byte-identity oracle on two fresh servers. *)
@@ -877,6 +934,7 @@ let suite =
     Alcotest.test_case "cache shard isolation" `Quick test_cache_shard_isolation;
     Alcotest.test_case "cache shard prefix guard" `Quick
       test_cache_shard_prefix_guard;
+    Alcotest.test_case "client address parsing" `Quick test_addr_of_string;
     Alcotest.test_case "server end to end" `Quick test_server_end_to_end;
     Alcotest.test_case "server tcp transport" `Quick test_server_tcp;
     Alcotest.test_case "server shutdown verb" `Quick test_server_shutdown_verb;
